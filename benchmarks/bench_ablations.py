@@ -1,0 +1,64 @@
+"""Ablations beyond the paper's figures (DESIGN.md §6).
+
+* lazy vs eager cleaning — how much the paper's core idea buys;
+* pipelined vs blocking host->device transfers (Section V-A);
+* GPU_SDist early exit vs the paper's fixed |V| rounds (Algorithm 5);
+* measured transfer volume vs the Section VI closed-form bound.
+"""
+
+from repro.bench.experiments import (
+    ablation_batched_queries,
+    ablation_lazy_vs_eager,
+    ablation_pipelining,
+    ablation_sdist_early_exit,
+    costmodel_validation,
+)
+from repro.bench.reporting import format_table, save_results
+
+
+def test_ablation_lazy_vs_eager(run_once):
+    rows = run_once(ablation_lazy_vs_eager, "NY")
+    print("\n" + format_table(rows, "Ablation: lazy vs eager cleaning"))
+    save_results("ablation_lazy_vs_eager", rows)
+
+    by = {r["variant"]: r for r in rows}
+    assert by["lazy"]["amortized_s"] < by["eager"]["amortized_s"]
+    assert by["lazy"]["kernel_launches"] < by["eager"]["kernel_launches"]
+
+
+def test_ablation_pipelining(run_once):
+    rows = run_once(ablation_pipelining, "FLA")
+    print("\n" + format_table(rows, "Ablation: pipelined vs blocking transfers"))
+    save_results("ablation_pipelining", rows)
+
+    by = {r["pipelined"]: r["gpu_s"] for r in rows}
+    assert by[True] <= by[False]
+
+
+def test_ablation_sdist_early_exit(run_once):
+    rows = run_once(ablation_sdist_early_exit, "FLA")
+    print("\n" + format_table(rows, "Ablation: GPU_SDist early exit"))
+    save_results("ablation_sdist_early_exit", rows)
+
+    by = {r["early_exit"]: r["gpu_s"] for r in rows}
+    assert by[True] <= by[False]
+
+
+def test_ablation_batched_queries(run_once):
+    rows = run_once(ablation_batched_queries, "FLA")
+    print("\n" + format_table(rows, "Ablation: batched vs individual queries"))
+    save_results("ablation_batched_queries", rows)
+
+    by = {r["mode"]: r for r in rows}
+    assert by["batched"]["bytes_h2d"] <= by["individual"]["bytes_h2d"]
+    assert by["batched"]["kernel_launches"] <= by["individual"]["kernel_launches"]
+
+
+def test_costmodel_validation(run_once):
+    rows = run_once(costmodel_validation, "FLA")
+    print("\n" + format_table(rows, "Section VI bound vs measured transfers"))
+    save_results("costmodel_validation", rows)
+
+    # measured per-query transfer volume grows with k, like the bound
+    assert rows[-1]["measured_bytes_per_query"] > rows[0]["measured_bytes_per_query"]
+    assert rows[-1]["bound_bytes"] > rows[0]["bound_bytes"]

@@ -1,0 +1,29 @@
+"""Extension bench: answer accuracy vs update frequency (Section II).
+
+"The time interval between two location updates ... determines how far
+away the actual kNNs could be from the kNNs computed at query time.  A
+smaller t_delta produces more accurate results but also brings a higher
+update workload."  This bench quantifies that trade-off against a dense
+ground-truth trace.
+"""
+
+from repro.bench.experiments import accuracy_vs_frequency
+from repro.bench.reporting import format_table, save_results
+
+
+def test_accuracy_vs_frequency(run_once):
+    rows = run_once(accuracy_vs_frequency, "FLA")
+    print("\n" + format_table(rows, "Extension: answer accuracy vs update frequency"))
+    save_results("accuracy_vs_frequency", rows)
+
+    assert [r["frequency_hz"] for r in rows] == sorted(
+        r["frequency_hz"] for r in rows
+    )
+    # more frequent updates -> more ingested work ...
+    ingested = [r["updates_ingested"] for r in rows]
+    assert ingested == sorted(ingested)
+    # ... and at least as accurate answers at the extremes
+    assert rows[-1]["recall_at_k"] >= rows[0]["recall_at_k"]
+    assert rows[-1]["mean_distance_error"] <= rows[0]["mean_distance_error"] + 1e-9
+    # the densest stream reproduces the truth almost exactly
+    assert rows[-1]["recall_at_k"] > 0.95

@@ -1,0 +1,36 @@
+"""Fig. 10: scalability of G-Grid across network sizes.
+
+* 10a/b — running time rises and throughput falls with network size;
+* 10c/d — DRAM-GPU transfer volume and time grow with k and with the
+  network size, flattening once message lists go empty.
+"""
+
+from repro.bench.experiments import fig10ab_scalability, fig10cd_transfer
+from repro.bench.reporting import format_table, save_results
+
+DATASETS = ("NY", "COL", "FLA", "CAL", "LKS", "USA")
+
+
+def test_fig10ab_runtime_throughput(run_once):
+    rows = run_once(fig10ab_scalability, DATASETS)
+    print("\n" + format_table(rows, "Fig. 10a/b: G-Grid runtime & throughput"))
+    save_results("fig10ab_scalability", rows)
+
+    assert [r["vertices"] for r in rows] == sorted(r["vertices"] for r in rows)
+    # broad trend: the biggest network is slower than the smallest
+    assert rows[-1]["amortized_s"] > rows[0]["amortized_s"]
+    assert rows[-1]["throughput_qps"] < rows[0]["throughput_qps"]
+    # throughput is the reciprocal of amortised time
+    for row in rows:
+        assert abs(row["throughput_qps"] * row["amortized_s"] - 1.0) < 1e-6
+
+
+def test_fig10cd_transfer(run_once):
+    rows = run_once(fig10cd_transfer, DATASETS, (8, 32, 128))
+    print("\n" + format_table(rows, "Fig. 10c/d: DRAM-GPU transfer size & time"))
+    save_results("fig10cd_transfer", rows)
+
+    by = {(r["dataset"], r["k"]): r["transfer_bytes_per_query"] for r in rows}
+    # transfer volume grows with k on every dataset
+    for dataset in DATASETS:
+        assert by[(dataset, 128)] > by[(dataset, 8)]

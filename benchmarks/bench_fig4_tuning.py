@@ -1,0 +1,51 @@
+"""Fig. 4: tuning the G-Grid system parameters (Section VII-C1).
+
+* 4a — bucket capacity ``delta_b``: U-shaped GPU time (per-bucket
+  transfer/launch overhead on the left, long serial rounds on the right);
+* 4b — bundle size ``2^eta``: fine up to the 32-lane warp, then every
+  shuffle pays a cross-warp barrier;
+* 4c — ``rho``: larger values clean more cells on the GPU.
+"""
+
+from repro.bench.experiments import (
+    fig4a_bucket_capacity,
+    fig4b_bundle_size,
+    fig4c_rho,
+)
+from repro.bench.reporting import format_table, save_results
+
+
+def test_fig4a_bucket_capacity(run_once):
+    rows = run_once(fig4a_bucket_capacity, ("NY", "FLA"))
+    print("\n" + format_table(rows, "Fig. 4a: varying bucket capacity delta_b"))
+    save_results("fig4a_bucket_capacity", rows)
+
+    for dataset in ("NY", "FLA"):
+        series = {r["delta_b"]: r["gpu_s"] for r in rows if r["dataset"] == dataset}
+        # left slope: tiny buckets pay per-bucket overheads
+        assert series[4] > series[64]
+        # right slope: giant buckets serialise rounds on few threads
+        assert series[256] > series[64]
+
+
+def test_fig4b_bundle_size(run_once):
+    rows = run_once(fig4b_bundle_size, ("NY", "FLA"))
+    print("\n" + format_table(rows, "Fig. 4b: varying bundle size 2^eta"))
+    save_results("fig4b_bundle_size", rows)
+
+    for dataset in ("NY", "FLA"):
+        series = {r["bundle"]: r["gpu_s"] for r in rows if r["dataset"] == dataset}
+        # the paper's headline: beyond the 32-lane warp, bundles lose
+        assert series[64] > series[32]
+        assert series[128] > series[32]
+
+
+def test_fig4c_rho(run_once):
+    rows = run_once(fig4c_rho, ("NY", "FLA"))
+    print("\n" + format_table(rows, "Fig. 4c: varying the balance factor rho"))
+    save_results("fig4c_rho", rows)
+
+    for dataset in ("NY", "FLA"):
+        series = {r["rho"]: r["gpu_s"] for r in rows if r["dataset"] == dataset}
+        # a larger rho shifts work onto the GPU (more cells cleaned)
+        assert series[3.0] >= series[1.4]

@@ -1,0 +1,29 @@
+"""Fig. 5: amortised query time per dataset, all algorithms.
+
+Expected shape (paper): G-Grid <= G-Grid (L) < V-Tree / V-Tree (G) <
+ROAD on every dataset; V-Tree (G) is missing on USA because its index
+exceeds the 5 GB device.
+"""
+
+from repro.bench.experiments import fig5_datasets
+from repro.bench.reporting import format_table, save_results
+
+DATASETS = ("NY", "COL", "FLA", "CAL", "LKS", "USA")
+
+
+def test_fig5_datasets(run_once):
+    rows = run_once(fig5_datasets, DATASETS)
+    print("\n" + format_table(rows, "Fig. 5: query time vs dataset"))
+    save_results("fig5_datasets", rows)
+
+    by = {(r["dataset"], r["algorithm"]): r["amortized_s"] for r in rows}
+    for dataset in DATASETS:
+        ggrid = by[(dataset, "G-Grid")]
+        latency = by[(dataset, "G-Grid (L)")]
+        assert ggrid <= latency
+        # G-Grid beats every eager baseline present on this dataset
+        for baseline in ("V-Tree", "V-Tree (G)", "ROAD"):
+            if (dataset, baseline) in by and by[(dataset, baseline)] is not None:
+                assert ggrid < by[(dataset, baseline)]
+    # the paper omits V-Tree (G) on USA: index exceeds device memory
+    assert by.get(("USA", "V-Tree (G)")) is None

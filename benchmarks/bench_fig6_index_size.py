@@ -1,0 +1,26 @@
+"""Fig. 6: index sizes — G-Grid (CPU / GPU / total) vs V-Tree.
+
+Expected shape: on the larger networks the V-Tree index (pairwise leaf
+distance matrices) dwarfs the G-Grid, which only stores the original
+graph plus lightweight message lists.
+"""
+
+from repro.bench.experiments import fig6_index_size
+from repro.bench.reporting import format_table, save_results
+
+DATASETS = ("NY", "COL", "FLA", "CAL", "LKS", "USA")
+
+
+def test_fig6_index_size(run_once):
+    rows = run_once(fig6_index_size, DATASETS)
+    print("\n" + format_table(rows, "Fig. 6: index size vs dataset"))
+    save_results("fig6_index_size", rows)
+
+    for row in rows:
+        assert row["ggrid_total_B"] == row["ggrid_cpu_B"] + row["ggrid_gpu_B"]
+        assert row["ggrid_gpu_B"] > 0
+    # the paper's headline holds where precomputation dominates: on the
+    # biggest networks V-Tree is clearly larger than the full G-Grid
+    big = {r["dataset"]: r for r in rows}
+    for dataset in ("LKS", "USA"):
+        assert big[dataset]["vtree_B"] > big[dataset]["ggrid_total_B"]

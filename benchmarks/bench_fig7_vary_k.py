@@ -1,0 +1,27 @@
+"""Fig. 7: amortised time vs the query parameter k (NY and USA).
+
+Expected shape: G-Grid wins at every k; G-Grid and V-Tree grow with k
+(larger search range); ROAD is nearly flat in k because its cost is
+update-dominated.
+"""
+
+from repro.bench.experiments import fig7_vary_k
+from repro.bench.reporting import format_table, save_results
+
+K_GRID = (8, 16, 32, 64, 128, 256)
+
+
+def test_fig7_vary_k(run_once):
+    rows = run_once(fig7_vary_k, ("NY", "USA"), K_GRID)
+    print("\n" + format_table(rows, "Fig. 7: varying k"))
+    save_results("fig7_vary_k", rows)
+
+    by = {(r["dataset"], r["k"], r["algorithm"]): r["amortized_s"] for r in rows}
+    for dataset in ("NY", "USA"):
+        for k in K_GRID:
+            ggrid = by[(dataset, k, "G-Grid")]
+            for baseline in ("V-Tree", "V-Tree (G)", "ROAD"):
+                assert ggrid < by[(dataset, k, baseline)]
+        # ROAD is nearly flat in k: its cost is update-dominated
+        road_spread = by[(dataset, 256, "ROAD")] / by[(dataset, 8, "ROAD")]
+        assert road_spread < 1.5

@@ -1,0 +1,33 @@
+"""Fig. 8: amortised time vs the number of moving objects |O|.
+
+Expected shape: everything grows with |O|, but G-Grid grows by a much
+smaller factor across the sweep than the eager baselines (the paper
+reports <10x for G-Grid vs ~100x for the baselines over 10^4x more
+objects; our sweep spans 100x).
+"""
+
+from repro.bench.experiments import fig8_vary_objects
+from repro.bench.reporting import format_table, save_results
+
+GRID = (100, 300, 1000, 3000, 10000)
+
+
+def test_fig8_vary_objects(run_once):
+    rows = run_once(fig8_vary_objects, "USA", GRID)
+    print("\n" + format_table(rows, "Fig. 8: varying |O| (USA)"))
+    save_results("fig8_vary_objects", rows)
+
+    by = {(r["objects"], r["algorithm"]): r["amortized_s"] for r in rows}
+    growth = {
+        algo: by[(GRID[-1], algo)] / by[(GRID[0], algo)]
+        for algo in ("G-Grid", "V-Tree", "ROAD")
+    }
+    # the paper's Fig. 8 claim: G-Grid's growth factor is far smaller
+    assert growth["G-Grid"] < growth["V-Tree"]
+    assert growth["G-Grid"] < growth["ROAD"]
+    # and once the update volume is non-trivial it wins outright (below
+    # ~300 objects the fixed GPU overheads dominate at our scale — a
+    # scale artefact documented in EXPERIMENTS.md)
+    for n in (1000, 3000, 10000):
+        assert by[(n, "G-Grid")] < by[(n, "V-Tree")]
+        assert by[(n, "G-Grid")] < by[(n, "ROAD")]

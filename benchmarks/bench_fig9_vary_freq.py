@@ -1,0 +1,29 @@
+"""Fig. 9: amortised time vs the object update frequency f.
+
+The lazy-update headline result: the eager baselines' amortised time
+rises steeply with f (every message is an index update) while G-Grid's
+barely moves (messages are appended and only cleaned when queried).
+"""
+
+from repro.bench.experiments import fig9_vary_frequency
+from repro.bench.reporting import format_table, save_results
+
+GRID = (0.2, 0.5, 1.0, 2.0, 5.0)
+
+
+def test_fig9_vary_frequency(run_once):
+    rows = run_once(fig9_vary_frequency, "FLA", GRID)
+    print("\n" + format_table(rows, "Fig. 9: varying update frequency (FLA)"))
+    save_results("fig9_vary_frequency", rows)
+
+    by = {(r["frequency_hz"], r["algorithm"]): r["amortized_s"] for r in rows}
+    growth = {
+        algo: by[(GRID[-1], algo)] / by[(GRID[0], algo)]
+        for algo in ("G-Grid", "V-Tree", "V-Tree (G)", "ROAD")
+    }
+    # G-Grid is the least sensitive to f of all algorithms
+    for baseline in ("V-Tree", "V-Tree (G)", "ROAD"):
+        assert growth["G-Grid"] < growth[baseline]
+    # and at high frequency it wins outright
+    for baseline in ("V-Tree", "V-Tree (G)", "ROAD"):
+        assert by[(5.0, "G-Grid")] < by[(5.0, baseline)]

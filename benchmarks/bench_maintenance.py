@@ -1,0 +1,49 @@
+"""Extension bench: background maintenance policies vs pure lazy.
+
+Measures the trade-off the maintenance policies buy: background cleaning
+adds steady update-path work but caps the backlog a cold query must
+clean, shrinking the worst-case query latency.
+"""
+
+from repro.bench.harness import cached_workload
+from repro.bench.reporting import format_table, save_results
+from repro.config import GGridConfig
+from repro.core.ggrid import GGridIndex
+from repro.roadnet.datasets import load_dataset
+from repro.server.maintenance import BacklogCleaning, NoMaintenance, PeriodicCleaning
+from repro.server.server import QueryServer
+
+
+def _run() -> list[dict]:
+    graph = load_dataset("FLA")
+    workload = cached_workload("FLA", 500, 30.0, 6, 16, 1.0, 7)
+    rows = []
+    for label, policy in (
+        ("lazy (paper)", NoMaintenance()),
+        ("periodic 10s", PeriodicCleaning(10.0, slice_cells=32)),
+        ("backlog<=32", BacklogCleaning(32)),
+    ):
+        index = GGridIndex(graph, GGridConfig())
+        server = QueryServer(index, maintenance=policy)
+        report, _ = server.replay(workload)
+        worst = max(r.modeled_s for r in report.query_records)
+        rows.append(
+            {
+                "policy": label,
+                "amortized_s": report.amortized_s(),
+                "worst_query_s": worst,
+                "pending_after": index.pending_messages(),
+            }
+        )
+    return rows
+
+
+def test_maintenance_policies(run_once):
+    rows = run_once(_run)
+    print("\n" + format_table(rows, "Extension: background maintenance policies"))
+    save_results("maintenance_policies", rows)
+
+    by = {r["policy"]: r for r in rows}
+    # background cleaning leaves less backlog behind than pure lazy
+    assert by["backlog<=32"]["pending_after"] <= by["lazy (paper)"]["pending_after"]
+    assert by["periodic 10s"]["pending_after"] <= by["lazy (paper)"]["pending_after"]

@@ -1,0 +1,20 @@
+"""Table II: statistics of the six road networks (paper vs synthetic)."""
+
+from repro.bench.experiments import table2_datasets
+from repro.bench.reporting import format_table, save_results
+from repro.roadnet.datasets import DATASET_ORDER
+
+
+def test_table2_datasets(run_once):
+    rows = run_once(table2_datasets)
+    print("\n" + format_table(rows, "Table II: road-network statistics"))
+    save_results("table2_datasets", rows)
+
+    assert [r["dataset"] for r in rows] == list(DATASET_ORDER)
+    # size ordering of Table II is preserved
+    sizes = [r["V"] for r in rows]
+    assert sizes == sorted(sizes)
+    # each synthetic network keeps its paper edge/vertex ratio
+    for row in rows:
+        paper_ratio = row["paper_E"] / row["paper_V"]
+        assert abs(row["edge_ratio"] - paper_ratio) / paper_ratio < 0.3

@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+Every benchmark runs its experiment exactly once via
+``benchmark.pedantic(..., rounds=1, iterations=1)`` — the experiments are
+full workload replays whose cost is dominated by deterministic simulation,
+so statistical repetition adds nothing but wall time.  Result tables are
+printed (run pytest with ``-s`` to see them) and persisted under
+``results/`` for EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment function once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Fleet monitoring: compare G-Grid against the baselines under load.
+
+A logistics operator tracks a fleet on the Florida network and runs
+periodic "nearest vehicles" checks from dispatch points.  This example
+replays the same workload through G-Grid, V-Tree, V-Tree (G) and ROAD
+and prints the paper's amortised metric ``(T_u + T_q) / n_q`` for each,
+showing where the lazy-update strategy wins as the update stream grows.
+
+Run:
+    python examples/fleet_comparison.py
+"""
+
+from repro import GGridIndex
+from repro.baselines import RoadIndex, VTreeGpuIndex, VTreeIndex
+from repro.mobility import make_workload
+from repro.roadnet import load_dataset
+from repro.server import QueryServer
+
+
+def main() -> None:
+    graph = load_dataset("FLA")
+    print(f"Florida (scaled): {graph.num_vertices} vertices, {graph.num_edges} edges\n")
+
+    header = f"{'frequency':>9}  {'algorithm':<12} {'amortized':>12} {'updates':>9} {'queries':>8}"
+    for frequency in (0.5, 2.0):
+        workload = make_workload(
+            graph,
+            num_objects=250,
+            duration=30.0,
+            num_queries=6,
+            k=16,
+            update_frequency=frequency,
+            seed=5,
+        )
+        print(header)
+        print("-" * len(header))
+        for index in (
+            GGridIndex(graph),
+            VTreeIndex(graph),
+            VTreeGpuIndex(graph),
+            RoadIndex(graph),
+        ):
+            report, _ = QueryServer(index).replay(workload)
+            print(
+                f"{frequency:>7.1f}Hz  {index.name:<12} "
+                f"{report.amortized_s() * 1e3:>10.3f}ms "
+                f"{report.n_updates:>9} {report.n_queries:>8}"
+            )
+        print()
+    print(
+        "The eager baselines pay for every message; G-Grid's amortised\n"
+        "time barely moves as the update frequency quadruples (Fig. 9)."
+    )
+
+
+if __name__ == "__main__":
+    main()

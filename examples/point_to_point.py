@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Point-to-point shortest paths: Dijkstra vs A* vs bidirectional vs CH.
+
+The kNN index answers "who is near me"; a dispatch system also needs
+"how far is this driver from that pickup".  The road-network substrate
+ships four exact point-to-point algorithms with very different search
+behaviour — this example races them on the scaled California network and
+reports distances (identical) and vertices settled (not at all).
+
+Run:
+    python examples/point_to_point.py
+"""
+
+import random
+import time
+
+from repro.roadnet import load_dataset
+from repro.roadnet.astar import astar, bidirectional_dijkstra
+from repro.roadnet.contraction import ContractionHierarchy
+from repro.roadnet.dijkstra import multi_source_dijkstra
+
+
+def main() -> None:
+    graph = load_dataset("CAL")
+    print(f"California (scaled): {graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges")
+
+    t0 = time.perf_counter()
+    ch = ContractionHierarchy(graph)
+    print(f"contraction hierarchy built in {time.perf_counter() - t0:.2f}s "
+          f"({ch.shortcuts_added} shortcuts)\n")
+
+    rng = random.Random(4)
+    pairs = [
+        (rng.randrange(graph.num_vertices), rng.randrange(graph.num_vertices))
+        for _ in range(5)
+    ]
+
+    header = f"{'pair':>12} {'distance':>10} {'dijkstra':>9} {'a*':>7} {'bidir':>7} {'ch':>6}"
+    print(header)
+    print("-" * len(header))
+    for s, t in pairs:
+        dist = multi_source_dijkstra(graph, {s: 0.0}, targets=[t])
+        d_dij = dist.get(t, float("inf"))
+        settled_dij = len(dist)
+        d_astar, settled_astar = astar(graph, s, t)
+        d_bi, settled_bi = bidirectional_dijkstra(graph, s, t)
+        d_ch, settled_ch = ch.distance_with_stats(s, t)
+        assert abs(d_dij - d_astar) < 1e-9
+        assert abs(d_dij - d_bi) < 1e-9
+        assert abs(d_dij - d_ch) < 1e-9
+        print(
+            f"{s:>5} ->{t:>5} {d_dij:>10.3f} {settled_dij:>9} "
+            f"{settled_astar:>7} {settled_bi:>7} {settled_ch:>6}"
+        )
+    print("\nAll four agree on every distance.  A* (goal direction) and "
+          "CH (hierarchy) settle a fraction of Dijkstra's vertices; "
+          "bidirectional search pays off on larger graphs where its two "
+          "frontiers stay smaller than one target-pruned sweep.")
+
+
+if __name__ == "__main__":
+    main()

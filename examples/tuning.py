@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Tuning the G-Grid knobs: bucket capacity, bundle size and rho.
+
+Reproduces the Section VII-C1 tuning methodology in miniature: sweep one
+knob at a time on a message-dense workload and report the simulated GPU
+time per query, highlighting the same effects the paper found —
+
+* bucket capacity ``delta_b``: a U-shape (too small = transfer/launch
+  overhead per bucket; too large = long serial rounds per thread);
+* bundle size ``2^eta``: cheap up to the 32-lane warp, then every
+  shuffle needs a cross-warp barrier;
+* ``rho``: larger values clean more cells on the GPU, smaller ones push
+  work into CPU refinement.
+
+Run:
+    python examples/tuning.py
+"""
+
+from repro import GGridConfig, GGridIndex
+from repro.mobility import make_workload
+from repro.roadnet import load_dataset
+from repro.server import QueryServer
+
+
+def sweep(graph, workload, knob: str, values) -> None:
+    print(f"--- sweeping {knob} ---")
+    for value in values:
+        config = GGridConfig(**{knob: value})
+        index = GGridIndex(graph, config)
+        report, _ = QueryServer(index).replay(workload)
+        gpu_us = report.gpu_seconds / report.n_queries * 1e6
+        print(f"  {knob}={value:<6} gpu={gpu_us:8.1f} us/query "
+              f"amortized={report.amortized_s() * 1e6:8.1f} us")
+    print()
+
+
+def main() -> None:
+    graph = load_dataset("NY")
+    dense = make_workload(
+        graph, num_objects=1500, duration=30.0, num_queries=5, k=16, seed=21
+    )
+    sparse = make_workload(
+        graph, num_objects=150, duration=30.0, num_queries=8, k=16, seed=22
+    )
+    sweep(graph, dense, "delta_b", (4, 16, 64, 128, 256))
+    sweep(graph, dense, "eta", (3, 4, 5, 6, 7))
+    sweep(graph, sparse, "rho", (1.4, 1.8, 2.2, 2.6, 3.0))
+    print("Paper-tuned defaults: delta_b=128, 2^eta=32 (the warp size), rho=1.8")
+
+
+if __name__ == "__main__":
+    main()

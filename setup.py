@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `pip install -e .` where the `wheel` package
+(needed for PEP 660 editable builds) is unavailable."""
+
+from setuptools import setup
+
+setup()

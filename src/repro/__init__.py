@@ -1,0 +1,41 @@
+"""G-Grid: a GPU-accelerated update-efficient index for kNN queries in
+road networks.
+
+A from-scratch reproduction of Li et al., ICDE 2018 (see DESIGN.md).  The
+headline API:
+
+    >>> from repro import GGridIndex, GGridConfig, Message
+    >>> from repro.roadnet import grid_road_network, NetworkLocation
+    >>> graph = grid_road_network(8, 8, seed=1)
+    >>> index = GGridIndex(graph)
+    >>> index.ingest(Message(obj=1, edge=0, offset=0.2, t=1.0))
+    >>> answer = index.knn(NetworkLocation(0, 0.0), k=1)
+    >>> answer.objects()
+    [1]
+
+Subpackages: :mod:`repro.core` (the paper's contribution),
+:mod:`repro.roadnet`, :mod:`repro.partition`, :mod:`repro.simgpu`,
+:mod:`repro.mobility` (substrates), :mod:`repro.baselines` (V-Tree,
+V-Tree (G), ROAD, brute force), :mod:`repro.server` (the query server the
+experiments drive) and :mod:`repro.bench` (experiment harness).
+"""
+
+from repro.config import GGridConfig
+from repro.core.ggrid import GGridIndex
+from repro.core.knn import KnnAnswer, KnnResultEntry
+from repro.core.messages import Message
+from repro.errors import ReproError
+from repro.roadnet.location import NetworkLocation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GGridConfig",
+    "GGridIndex",
+    "KnnAnswer",
+    "KnnResultEntry",
+    "Message",
+    "NetworkLocation",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Baseline kNN systems the paper compares against.
+
+* :mod:`repro.baselines.naive` — brute-force Dijkstra kNN; the oracle all
+  correctness tests compare against.
+* :mod:`repro.baselines.vtree` — V-Tree (Shen et al., ICDE 2017): a
+  balanced partition tree with precomputed border-distance matrices and
+  *eager* per-message index updates.
+* :mod:`repro.baselines.vtree_gpu` — V-Tree (G): the paper's GPU port of
+  V-Tree (index resident on the device, messages batched per warp).
+* :mod:`repro.baselines.road` — ROAD (Lee et al., EDBT 2009): route
+  overlay + association directory, extended to moving objects following
+  the V-Tree paper's recipe.
+"""
+
+from repro.baselines.naive import NaiveKnnIndex
+from repro.baselines.road import RoadIndex
+from repro.baselines.vtree import VTreeIndex
+from repro.baselines.vtree_gpu import VTreeGpuIndex
+
+__all__ = ["NaiveKnnIndex", "VTreeIndex", "VTreeGpuIndex", "RoadIndex"]

@@ -1,0 +1,79 @@
+"""Brute-force kNN: the correctness oracle.
+
+Keeps every object's latest location in a hash table and answers a query
+with one full Dijkstra sweep from the query location, scoring all
+objects.  O(1) updates, O(|V| log |V| + |O|) queries — the exact answers
+every other index is tested against.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.knn import KnnAnswer, KnnResultEntry
+from repro.core.messages import Message
+from repro.errors import QueryError
+from repro.roadnet.dijkstra import multi_source_dijkstra
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.location import NetworkLocation, entry_costs, location_distance
+from repro.simgpu.memory import TABLE_ENTRY_BYTES
+
+_INF = float("inf")
+
+
+class NaiveKnnIndex:
+    """Hash table of locations + full-graph Dijkstra per query."""
+
+    name = "Naive"
+
+    def __init__(self, graph: RoadNetwork) -> None:
+        self.graph = graph
+        self.locations: dict[int, NetworkLocation] = {}
+        self.messages_ingested = 0
+        self.update_touches = 0
+        self.latest_time = 0.0
+
+    def ingest(self, message: Message) -> None:
+        """Record the object's new location (O(1))."""
+        if message.is_removal:
+            raise QueryError("clients send location updates, not removal markers")
+        self.locations[message.obj] = NetworkLocation(message.edge, message.offset)
+        self.messages_ingested += 1
+        self.update_touches += 1
+        self.latest_time = max(self.latest_time, message.t)
+
+    def bulk_load(self, placements: dict[int, NetworkLocation], t: float) -> None:
+        for obj, loc in placements.items():
+            self.ingest(Message(obj, loc.edge_id, loc.offset, t))
+
+    def reset_objects(self) -> None:
+        """Drop all object state (benchmark replays reuse the index)."""
+        self.locations.clear()
+        self.messages_ingested = 0
+        self.update_touches = 0
+        self.latest_time = 0.0
+
+    def knn(
+        self, location: NetworkLocation, k: int, t_now: float | None = None
+    ) -> KnnAnswer:
+        """Exact kNN by exhaustive search."""
+        if k <= 0:
+            raise QueryError(f"k must be positive, got {k}")
+        location.validate(self.graph)
+        answer = KnnAnswer()
+        t0 = time.perf_counter()
+        dist = multi_source_dijkstra(self.graph, entry_costs(self.graph, location))
+        scored = []
+        for obj, loc in self.locations.items():
+            d = location_distance(self.graph, dist, location, loc)
+            if d < _INF:
+                scored.append((d, obj))
+        scored.sort()
+        answer.entries = [KnnResultEntry(o, d) for d, o in scored[:k]]
+        answer.candidates = len(scored)
+        answer.cpu_seconds["search"] = time.perf_counter() - t0
+        return answer
+
+    def size_bytes(self) -> dict[str, int]:
+        total = len(self.locations) * (TABLE_ENTRY_BYTES + 12)
+        return {"cpu": total, "gpu": 0, "total": total}

@@ -1,0 +1,266 @@
+"""ROAD baseline (Lee, Lee, Zheng: "Fast Object Search on Road Networks",
+EDBT 2009), extended to moving objects following the V-Tree paper.
+
+ROAD organises the network as a hierarchy of *Rnets* (regional
+sub-networks, here a balanced binary partition tree).  Two structures
+accelerate search:
+
+* the **route overlay** — for every Rnet, precomputed *shortcuts* between
+  its border vertices (shortest distances through the Rnet), letting the
+  search traverse an entire region in one hop;
+* the **association directory** — per-Rnet object occupancy, maintained
+  eagerly on every location update along the leaf-to-root path.
+
+Query processing is a network expansion (Dijkstra) from the query that,
+on settling a border vertex of an object-*empty* Rnet not containing the
+query, follows the Rnet's shortcuts and skips the edges diving into its
+interior — empty regions are flown over instead of explored.  Objects are
+discovered on the edges leaving settled vertices.
+
+As in the paper's evaluation, updates are the weak point: every message
+touches the association directory at each hierarchy level, so ROAD's
+amortised cost grows quickly with the update frequency (Fig. 9).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+
+from repro.core.knn import KnnAnswer, KnnResultEntry
+from repro.core.messages import Message
+from repro.errors import QueryError
+from repro.partition.tree import PartitionTree, TreeNode
+from repro.roadnet.dijkstra import multi_source_dijkstra
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.location import NetworkLocation
+from repro.simgpu.memory import TABLE_ENTRY_BYTES
+
+_INF = float("inf")
+
+
+class RoadIndex:
+    """Route overlay + association directory over a partition hierarchy."""
+
+    name = "ROAD"
+
+    def __init__(
+        self, graph: RoadNetwork, leaf_size: int = 48, seed: int = 0
+    ) -> None:
+        self.graph = graph
+        self.tree = PartitionTree(graph, leaf_size, seed=seed)
+        #: per node id: {border: [(border', dist), ...]} — the shortcuts
+        self.shortcuts: dict[int, dict[int, list[tuple[int, float]]]] = {}
+        self._precompute_shortcuts()
+        #: Rnets (node ids) each vertex borders, ordered largest-first
+        self._border_of: dict[int, list[int]] = {}
+        for node in self.tree.nodes:
+            for v in node.borders:
+                self._border_of.setdefault(v, []).append(node.id)
+        for memberships in self._border_of.values():
+            memberships.sort(key=lambda nid: self.tree.nodes[nid].depth)
+        # moving-object state: the association directory proper keeps the
+        # object *sets* per Rnet at every level (the V-Tree paper's
+        # moving-object extension), not just counters — each update
+        # touches one set per hierarchy level.
+        self.locations: dict[int, NetworkLocation] = {}
+        self.objects_by_vertex: dict[int, set[int]] = {}
+        self.node_counts: list[int] = [0] * len(self.tree.nodes)
+        self.node_objects: list[set[int]] = [set() for _ in self.tree.nodes]
+        self.messages_ingested = 0
+        self.update_touches = 0
+        self.latest_time = 0.0
+
+    # ------------------------------------------------------------------
+    # precomputation
+    # ------------------------------------------------------------------
+    def _precompute_shortcuts(self) -> None:
+        for node in self.tree.nodes:
+            if node.parent == -1 or len(node.vertices) <= 2:
+                continue
+            sub, mapping = self.graph.subgraph(node.vertices)
+            inverse = {new: old for old, new in mapping.items()}
+            table: dict[int, list[tuple[int, float]]] = {}
+            border_set = set(node.borders)
+            for border in node.borders:
+                dist = multi_source_dijkstra(
+                    sub, {mapping[border]: 0.0}, targets=[mapping[b] for b in border_set]
+                )
+                hops = []
+                for v_local, d in dist.items():
+                    v = inverse[v_local]
+                    if v != border and v in border_set:
+                        hops.append((v, d))
+                table[border] = hops
+            self.shortcuts[node.id] = table
+
+    # ------------------------------------------------------------------
+    # eager updates (association directory maintenance)
+    # ------------------------------------------------------------------
+    def ingest(self, message: Message) -> None:
+        """Apply one update: object location, per-vertex object sets, and
+        the association-directory counters along the hierarchy path."""
+        if message.is_removal:
+            raise QueryError("clients send location updates, not removal markers")
+        loc = NetworkLocation(message.edge, message.offset)
+        new_vertex = self.graph.edge(message.edge).source
+        old = self.locations.get(message.obj)
+        if old is not None:
+            old_vertex = self.graph.edge(old.edge_id).source
+            if old_vertex != new_vertex:
+                self.objects_by_vertex[old_vertex].discard(message.obj)
+                self._detach(message.obj, old_vertex)
+                self._attach(message.obj, new_vertex)
+            else:
+                # ROAD was not built for moving objects: even a same-
+                # vertex update must locate and confirm the object's
+                # association at every hierarchy level (the V-Tree
+                # paper's extension), which is why ROAD's amortised time
+                # rises fastest with the update frequency (Fig. 9)
+                leaf = self.tree.leaf_node_of_vertex(new_vertex)
+                self.update_touches += len(self.tree.path_to_root(leaf))
+        else:
+            self._attach(message.obj, new_vertex)
+        self.locations[message.obj] = loc
+        self.update_touches += 1
+        self.messages_ingested += 1
+        self.latest_time = max(self.latest_time, message.t)
+
+    def _attach(self, obj: int, vertex: int) -> None:
+        self.objects_by_vertex.setdefault(vertex, set()).add(obj)
+        leaf = self.tree.leaf_node_of_vertex(vertex)
+        for node in self.tree.path_to_root(leaf):
+            self.node_counts[node.id] += 1
+            self.node_objects[node.id].add(obj)
+            self.update_touches += 2
+
+    def _detach(self, obj: int, vertex: int) -> None:
+        leaf = self.tree.leaf_node_of_vertex(vertex)
+        for node in self.tree.path_to_root(leaf):
+            self.node_counts[node.id] -= 1
+            self.node_objects[node.id].discard(obj)
+            self.update_touches += 2
+
+    def bulk_load(self, placements: dict[int, NetworkLocation], t: float) -> None:
+        for obj, loc in placements.items():
+            self.ingest(Message(obj, loc.edge_id, loc.offset, t))
+
+    def reset_objects(self) -> None:
+        """Drop all object state, keeping the precomputed shortcuts."""
+        self.locations.clear()
+        self.objects_by_vertex.clear()
+        self.node_counts = [0] * len(self.tree.nodes)
+        for objs in self.node_objects:
+            objs.clear()
+        self.messages_ingested = 0
+        self.update_touches = 0
+        self.latest_time = 0.0
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def knn(
+        self, location: NetworkLocation, k: int, t_now: float | None = None
+    ) -> KnnAnswer:
+        """Network expansion with empty-Rnet shortcutting."""
+        if k <= 0:
+            raise QueryError(f"k must be positive, got {k}")
+        location.validate(self.graph)
+        answer = KnnAnswer()
+        t0 = time.perf_counter()
+        best, settled = self._expand(location, k)
+        answer.cpu_seconds["search"] = time.perf_counter() - t0
+        ranked = sorted(best.items(), key=lambda kv: (kv[1], kv[0]))
+        answer.entries = [KnnResultEntry(o, d) for o, d in ranked[:k] if d < _INF]
+        answer.refine_settled = settled
+        return answer
+
+    def _expand(
+        self, location: NetworkLocation, k: int
+    ) -> tuple[dict[int, float], int]:
+        edge = self.graph.edge(location.edge_id)
+        q_leaf_index = self.tree.leaf_of_vertex[edge.source]
+        best: dict[int, float] = {}
+
+        # objects ahead on the query's own edge
+        for obj in self.objects_by_vertex.get(edge.source, ()):
+            loc = self.locations[obj]
+            if loc.edge_id == location.edge_id and loc.offset >= location.offset:
+                best[obj] = min(best.get(obj, _INF), loc.offset - location.offset)
+
+        heap: list[tuple[float, int]] = [(edge.weight - location.offset, edge.dest)]
+        if location.offset == 0.0:
+            heap.append((0.0, edge.source))
+        heapq.heapify(heap)
+        seen: dict[int, float] = {v: d for d, v in heap}
+        settled: set[int] = set()
+
+        def push(v: int, d: float) -> None:
+            if d < seen.get(v, _INF):
+                seen[v] = d
+                heapq.heappush(heap, (d, v))
+
+        while heap:
+            d, v = heapq.heappop(heap)
+            if v in settled:
+                continue
+            settled.add(v)
+            # score objects sitting on edges out of v
+            for obj in self.objects_by_vertex.get(v, ()):
+                loc = self.locations[obj]
+                d_obj = d + loc.offset
+                if d_obj < best.get(obj, _INF):
+                    best[obj] = d_obj
+            kth = self._kth(best, k)
+            if d >= kth:
+                break
+            # ROAD step: fly over the largest empty Rnet v borders
+            skip = self._empty_rnet(v, q_leaf_index)
+            if skip is not None:
+                for u, w in self.shortcuts[skip.id].get(v, ()):  # shortcuts
+                    push(u, d + w)
+            for e in self.graph.out_edges(v):
+                if skip is not None and self.tree.contains(skip, e.dest):
+                    continue  # interior of the flown-over Rnet
+                push(e.dest, d + e.weight)
+        return best, len(settled)
+
+    def _empty_rnet(self, vertex: int, q_leaf_index: int) -> TreeNode | None:
+        """Largest object-empty Rnet bordered by ``vertex`` that does not
+        contain the query (largest first: memberships are depth-sorted)."""
+        for node_id in self._border_of.get(vertex, ()):
+            node = self.tree.nodes[node_id]
+            if node.id not in self.shortcuts:
+                continue
+            if self.node_counts[node.id]:
+                continue
+            if node.leaf_lo <= q_leaf_index < node.leaf_hi:
+                continue
+            return node
+        return None
+
+    @staticmethod
+    def _kth(best: dict[int, float], k: int) -> float:
+        if len(best) < k:
+            return _INF
+        return sorted(best.values())[k - 1]
+
+    # ------------------------------------------------------------------
+    # size accounting
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> dict[str, int]:
+        shortcut_entries = sum(
+            len(hops) for table in self.shortcuts.values() for hops in table.values()
+        )
+        overlay = shortcut_entries * 12
+        directory = len(self.node_counts) * 4
+        objects = len(self.locations) * (TABLE_ENTRY_BYTES + 12)
+        total = overlay + directory + objects
+        return {
+            "shortcuts": overlay,
+            "directory": directory,
+            "objects": objects,
+            "cpu": total,
+            "gpu": 0,
+            "total": total,
+        }

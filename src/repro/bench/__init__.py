@@ -1,0 +1,24 @@
+"""Experiment harness shared by the ``benchmarks/`` suite.
+
+* :mod:`repro.bench.harness` — cached index builders and replay drivers;
+* :mod:`repro.bench.experiments` — one function per paper table/figure,
+  each returning printable result rows;
+* :mod:`repro.bench.reporting` — table formatting and JSON persistence.
+"""
+
+from repro.bench.harness import (
+    ALGORITHMS,
+    build_index,
+    run_point,
+    scaled_objects,
+)
+from repro.bench.reporting import format_table, save_results
+
+__all__ = [
+    "ALGORITHMS",
+    "build_index",
+    "run_point",
+    "scaled_objects",
+    "format_table",
+    "save_results",
+]

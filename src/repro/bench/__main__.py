@@ -1,0 +1,117 @@
+"""Command-line experiment runner.
+
+Run any paper experiment by name without pytest:
+
+    python -m repro.bench list
+    python -m repro.bench fig5
+    python -m repro.bench fig9 --dataset NY
+    python -m repro.bench all
+
+Result tables print to stdout and persist under ``results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import experiments
+from repro.bench.reporting import format_table, save_results
+
+#: experiment name -> (driver, description, accepts --dataset)
+EXPERIMENTS = {
+    "table2": (experiments.table2_datasets, "Table II: dataset statistics", False),
+    "fig4a": (experiments.fig4a_bucket_capacity, "Fig. 4a: bucket capacity", False),
+    "fig4b": (experiments.fig4b_bundle_size, "Fig. 4b: bundle size", False),
+    "fig4c": (experiments.fig4c_rho, "Fig. 4c: rho", False),
+    "fig5": (experiments.fig5_datasets, "Fig. 5: query time vs dataset", False),
+    "fig6": (experiments.fig6_index_size, "Fig. 6: index sizes", False),
+    "fig7": (experiments.fig7_vary_k, "Fig. 7: varying k", False),
+    "fig8": (experiments.fig8_vary_objects, "Fig. 8: varying |O|", True),
+    "fig9": (experiments.fig9_vary_frequency, "Fig. 9: varying f", True),
+    "fig10ab": (experiments.fig10ab_scalability, "Fig. 10a/b: scalability", False),
+    "fig10cd": (experiments.fig10cd_transfer, "Fig. 10c/d: transfers", False),
+    "lazy-vs-eager": (
+        experiments.ablation_lazy_vs_eager,
+        "Ablation: lazy vs eager cleaning",
+        True,
+    ),
+    "pipelining": (
+        experiments.ablation_pipelining,
+        "Ablation: pipelined transfers",
+        True,
+    ),
+    "sdist-early-exit": (
+        experiments.ablation_sdist_early_exit,
+        "Ablation: GPU_SDist early exit",
+        True,
+    ),
+    "batched-queries": (
+        experiments.ablation_batched_queries,
+        "Ablation: batched queries",
+        True,
+    ),
+    "costmodel": (
+        experiments.costmodel_validation,
+        "Section VI bound validation",
+        True,
+    ),
+    "accuracy": (
+        experiments.accuracy_vs_frequency,
+        "Extension: accuracy vs update frequency",
+        True,
+    ),
+}
+
+
+def run_experiment(name: str, dataset: str | None) -> None:
+    driver, description, takes_dataset = EXPERIMENTS[name]
+    started = time.perf_counter()
+    rows = driver(dataset) if (takes_dataset and dataset) else driver()
+    elapsed = time.perf_counter() - started
+    print(format_table(rows, description))
+    path = save_results(name, rows)
+    print(f"({len(rows)} rows in {elapsed:.1f}s -> {path})\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name, 'list' to enumerate, or 'all'",
+    )
+    parser.add_argument(
+        "--dataset",
+        default=None,
+        help="dataset override for single-dataset experiments (NY..USA)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, (_, description, _) in EXPERIMENTS.items():
+            print(f"{name:18s} {description}")
+        print(f"{'report':18s} Assemble results/REPORT.md from recorded rows")
+        return 0
+    if args.experiment == "report":
+        from repro.bench.summary import write_report
+
+        path = write_report()
+        print(f"report written to {path}")
+        return 0
+    if args.experiment == "all":
+        for name in EXPERIMENTS:
+            run_experiment(name, args.dataset)
+        return 0
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
+        return 2
+    run_experiment(args.experiment, args.dataset)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""Result formatting and persistence for the benchmark suite.
+
+Each experiment produces a list of flat dict rows; :func:`format_table`
+renders them as an aligned text table (what the benchmark prints next to
+the pytest-benchmark timings) and :func:`save_results` appends them to
+``results/<experiment>.json`` so EXPERIMENTS.md can reference stable
+numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+#: Default output directory, relative to the repository root.
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "results"
+
+
+def format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 1e-3 or abs(value) >= 1e6:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: list[dict[str, Any]], title: str = "") -> str:
+    """Render rows as an aligned text table (all rows share the columns
+    of the first row)."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    columns = list(rows[0].keys())
+    cells = [[format_value(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(w) for c, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def save_results(
+    experiment: str, rows: list[dict[str, Any]], directory: Path | None = None
+) -> Path:
+    """Write rows to ``results/<experiment>.json`` and return the path."""
+    out_dir = directory or RESULTS_DIR
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"{experiment}.json"
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(rows, fh, indent=2, default=str)
+    return path

@@ -1,0 +1,27 @@
+"""The paper's contribution: the G-Grid index and its query processor.
+
+Public surface:
+
+* :class:`repro.core.ggrid.GGridIndex` — build, ingest updates
+  (Algorithm 1), clean lazily (Algorithms 2–3) and answer kNN queries
+  (Algorithms 4–6);
+* :class:`repro.config.GGridConfig` — every tunable;
+* :mod:`repro.core.mu` — the combinatorics behind the X-shuffle bound.
+"""
+
+from repro.config import GGridConfig
+from repro.core.ggrid import GGridIndex
+from repro.core.knn import KnnAnswer, KnnResultEntry
+from repro.core.messages import Message
+from repro.core.mu import mu
+from repro.core.range_query import RangeAnswer
+
+__all__ = [
+    "GGridConfig",
+    "GGridIndex",
+    "Message",
+    "KnnAnswer",
+    "KnnResultEntry",
+    "RangeAnswer",
+    "mu",
+]

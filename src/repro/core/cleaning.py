@@ -1,0 +1,218 @@
+"""Message cleaning: materialising cached updates on demand (Algorithm 2).
+
+Given the message lists of the cells a query touches, cleaning
+
+1. **locks** each list (fresh tail bucket, ``p_l`` pointer) and gathers
+   the live buckets, discarding buckets whose newest message is older
+   than ``t_now - t_delta`` (every object must update at least once per
+   ``t_delta``, so such buckets are wholly obsolete);
+2. **ships** the buckets to the GPU — pipelined, so the device cleans
+   early chunks while later chunks are still in flight (Section V-A);
+3. **deduplicates** them with the X-shuffle kernel into the intermediate
+   table ``T`` (one candidate slot per object per bundle);
+4. **collects** the per-object latest messages into the result table
+   ``R``, copies ``R`` back and rewrites each cell's message list as the
+   compacted snapshot (one message per live object).
+
+The result — the up-to-date occupants of every cleaned cell — is what the
+kNN candidate phase consumes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.config import GGridConfig
+from repro.core.message_list import MessageList
+from repro.core.messages import CellMessage, Message
+from repro.core.object_table import ObjectTable
+from repro.core.xshuffle import IntermediateTable, collect_kernel, x_shuffle_kernel
+from repro.simgpu.device import SimGpu
+from repro.simgpu.memory import MESSAGE_BYTES
+from repro.simgpu.stream import PipelinedStream
+
+#: Buckets are shipped to the GPU in chunks of this many bundles.
+_CHUNK_BUNDLES = 4
+
+
+@dataclass(frozen=True, slots=True)
+class CleanedLocation:
+    """Latest known position of an object after cleaning."""
+
+    edge: int
+    offset: float
+    t: float
+
+
+@dataclass
+class CleaningResult:
+    """Outcome of one ``Message_Cleaning`` invocation.
+
+    Attributes:
+        occupants: per cleaned cell, the live objects and their latest
+            locations (removal-marker-latest objects are excluded).
+        cells: the cells actually cleaned (locked lists are skipped).
+        messages_processed: messages the GPU kernels consumed.
+        buckets_shipped: buckets transferred to the device.
+        messages_dropped: messages discarded as obsolete before transfer.
+    """
+
+    occupants: dict[int, dict[int, CleanedLocation]] = field(default_factory=dict)
+    cells: set[int] = field(default_factory=set)
+    messages_processed: int = 0
+    buckets_shipped: int = 0
+    messages_dropped: int = 0
+    objects_expired: int = 0
+
+    def all_objects(self) -> dict[int, tuple[int, CleanedLocation]]:
+        """Flatten to ``{obj: (cell, location)}``."""
+        flat: dict[int, tuple[int, CleanedLocation]] = {}
+        for cell, objs in self.occupants.items():
+            for obj, loc in objs.items():
+                flat[obj] = (cell, loc)
+        return flat
+
+
+class MessageCleaner:
+    """Executes Algorithm 2 against a set of per-cell message lists."""
+
+    def __init__(self, gpu: SimGpu, config: GGridConfig) -> None:
+        self.gpu = gpu
+        self.config = config
+        self._rng = random.Random(config.seed ^ 0x5EED)
+        self._stream = PipelinedStream(gpu, enabled=config.pipelined_transfers)
+
+    def clean(
+        self,
+        lists: dict[int, MessageList],
+        t_now: float,
+        object_table: ObjectTable,
+    ) -> CleaningResult:
+        """Clean the given cells' message lists; see the module docstring.
+
+        Args:
+            lists: ``{cell id: its message list}`` for the cells to clean.
+            t_now: current time (prunes buckets older than ``t_delta``).
+            object_table: the eager object table, used to drop objects
+                whose newest message lives in a cell outside this pass.
+        """
+        result = CleaningResult()
+        config = self.config
+
+        # -- step 1: preprocessing — lock lists and gather live buckets --
+        locked: dict[int, MessageList] = {}
+        tagged_buckets: list[list[CellMessage]] = []
+        for cell, mlist in lists.items():
+            if mlist.locked:  # concurrent cleaning owns it: skip safely
+                continue
+            before = mlist.num_messages
+            mlist.lock_for_cleaning()
+            locked[cell] = mlist
+            live = mlist.locked_buckets(t_now, config.t_delta)
+            shipped = 0
+            for bucket in live:
+                tagged_buckets.append(
+                    [CellMessage.tag(m, cell) for m in bucket.messages]
+                )
+                shipped += bucket.n
+            result.messages_dropped += before - shipped
+            result.cells.add(cell)
+        result.buckets_shipped = len(tagged_buckets)
+
+        try:
+            latest = self._run_gpu_pipeline(tagged_buckets, result)
+        except Exception:
+            # fault during the GPU phase: put every frozen bucket back —
+            # cached updates must survive any cleaning failure
+            for mlist in locked.values():
+                mlist.unlock_abort()
+            self.gpu.free("clean.T")
+            self.gpu.free("clean.R")
+            raise
+
+        # -- step 4 (CPU side): build R, reconcile with the object table,
+        #    and rewrite the cleaned lists as compacted snapshots --
+        for cell in locked:
+            result.occupants[cell] = {}
+        # expire contract violators from the object table too: an object
+        # whose last report predates t_now - t_delta was pruned from the
+        # message lists above, and leaving it in the table would let the
+        # CPU refinement (which enumerates objects via the table) see a
+        # different world than the GPU candidate phase
+        cutoff = t_now - config.t_delta
+        for cell in locked:
+            for obj in object_table.objects_in_cell(cell):
+                if object_table.get(obj).t < cutoff:
+                    object_table.remove(obj)
+                    result.objects_expired += 1
+        for obj, message in latest.items():
+            if message.is_removal:
+                continue  # the object left this cell
+            entry = object_table.try_get(obj)
+            if entry is None or entry.cell != message.cell:
+                continue  # moved away; its newer message lives elsewhere
+            result.occupants.setdefault(message.cell, {})[obj] = CleanedLocation(
+                message.edge, message.offset, message.t
+            )
+
+        for cell, mlist in locked.items():
+            mlist.release_cleaned()
+            snapshot = [
+                Message(obj, loc.edge, loc.offset, loc.t)
+                for obj, loc in sorted(
+                    result.occupants.get(cell, {}).items(),
+                    key=lambda kv: kv[1].t,
+                )
+            ]
+            mlist.prepend_snapshot(snapshot)
+        return result
+
+    def _run_gpu_pipeline(
+        self,
+        tagged_buckets: list[list[CellMessage]],
+        result: CleaningResult,
+    ) -> dict[int, CellMessage]:
+        """Steps 2-4 (GPU side): ship, X-shuffle and collect."""
+        if not tagged_buckets:
+            return {}
+        config = self.config
+        bundle_size = config.bundle_size
+        num_bundles = -(-len(tagged_buckets) // bundle_size)
+
+        # -- step 2: prepare device memory for T --
+        table = IntermediateTable(num_bundles)
+        self.gpu.memory.store("clean.T", table, nbytes=0)
+
+        # -- step 3: pipelined transfer + parallel X-shuffle cleaning --
+        chunk_size = _CHUNK_BUNDLES * bundle_size
+        chunks = [
+            tagged_buckets[i : i + chunk_size]
+            for i in range(0, len(tagged_buckets), chunk_size)
+        ]
+
+        def process(chunk_index: int, chunk: list[list[CellMessage]]) -> int:
+            first_bundle = chunk_index * _CHUNK_BUNDLES
+            return self.gpu.launch(
+                "GPU_X_Shuffle",
+                len(chunk),
+                x_shuffle_kernel,
+                chunk,
+                config.eta,
+                table,
+                first_bundle,
+                self._rng,
+            )
+
+        processed = self._stream.run(chunks, process, name="clean.buckets")
+        result.messages_processed += sum(processed)
+
+        # -- step 4 (GPU side): collect the latest message per object --
+        latest = self.gpu.launch(
+            "GPU_Collect", max(1, len(table.slots)), collect_kernel, table
+        )
+        self.gpu.memory.store("clean.R", latest, nbytes=len(latest) * MESSAGE_BYTES)
+        self.gpu.from_device("clean.R")
+        self.gpu.free("clean.R")
+        self.gpu.free("clean.T")
+        return latest

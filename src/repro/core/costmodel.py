@@ -1,0 +1,71 @@
+"""Closed-form cost formulas from Section VI.
+
+These are the paper's analytical space and query cost bounds; the
+``bench_costmodel`` benchmark compares them against measured counter
+values to validate that the implementation scales the way the analysis
+predicts.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.mu import mu as mu_fn
+from repro.simgpu.memory import MESSAGE_BYTES, TABLE_ENTRY_BYTES
+
+
+def space_graph_grid(num_vertices: int, num_edges: int) -> int:
+    """Section VI-A: the graph grid is ``O(|V| + |E|)`` (in entries)."""
+    return num_vertices + num_edges
+
+
+def space_message_lists(f_delta: float, num_objects: int) -> float:
+    """Section VI-A: ``O(f_delta * |O|)`` live messages at steady state —
+    each object sends ``f_delta`` messages per retention window."""
+    return f_delta * num_objects
+
+
+def space_object_table(num_objects: int) -> int:
+    """Section VI-A: one entry per object."""
+    return num_objects * (TABLE_ENTRY_BYTES + 16)
+
+
+def messages_transferred_bound(f_delta: float, rho: float, k: int) -> float:
+    """Section VI-B1: messages shipped per query is ``O(f_delta rho k)``."""
+    return f_delta * rho * k
+
+
+def transfer_bytes_bound(f_delta: float, rho: float, k: int) -> float:
+    """Byte form of :func:`messages_transferred_bound`."""
+    return messages_transferred_bound(f_delta, rho, k) * MESSAGE_BYTES
+
+
+def cleaning_ops_bound(delta_b: int, eta: int, f_delta: float, rho: float, k: int) -> float:
+    """Section VI-B1: per-thread cleaning cost.
+
+    ``O(delta_b)`` for the shuffled rounds plus the logarithmic
+    ``GPU_Collect`` term ``O((log(f_delta rho k) - log(delta_b)) / eta)``.
+    """
+    collect = max(
+        0.0,
+        (math.log2(max(2.0, f_delta * rho * k)) - math.log2(delta_b)) / eta,
+    )
+    return delta_b * (1 + 2 * eta + mu_fn(eta)) + collect
+
+
+def candidate_ops_bound(rho: float, k: int, delta_v: int) -> float:
+    """Section VI-B2: computing the candidate set is ``O(rho k delta_v)``."""
+    return rho * k * delta_v
+
+
+def refine_radius(m_ratio: float, rho: float, k: int) -> float:
+    """Section VI-B2: expected unresolved-range search radius
+    ``O(m sqrt(k / pi) - sqrt(rho k) / 2)``."""
+    return max(0.0, m_ratio * math.sqrt(k / math.pi) - math.sqrt(rho * k) / 2)
+
+
+def refine_ops_bound(m_ratio: float, rho: float, k: int) -> float:
+    """Section VI-B2: per-vertex refinement Dijkstra cost
+    ``O((m - sqrt(rho)) sqrt(k) log((m - sqrt(rho)) sqrt(k)))``."""
+    base = max(1.0, (m_ratio - math.sqrt(rho)) * math.sqrt(k))
+    return base * math.log2(base + 1)

@@ -1,0 +1,112 @@
+"""Operational diagnostics for a running G-Grid index.
+
+Production indexes need observability: how much backlog is cached where,
+how well the partitioner did, how busy the device is.  This module
+computes those summaries without mutating the index, so dashboards (or
+tests) can poll them between queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ggrid import GGridIndex
+
+
+@dataclass(frozen=True)
+class BacklogStats:
+    """Distribution of cached (uncleaned) messages across cells."""
+
+    total_messages: int
+    cells_with_backlog: int
+    max_cell_backlog: int
+    mean_cell_backlog: float
+    buckets_allocated: int
+
+    @staticmethod
+    def of(index: GGridIndex) -> "BacklogStats":
+        counts = [m.num_messages for m in index.lists.values() if m.num_messages]
+        return BacklogStats(
+            total_messages=sum(counts),
+            cells_with_backlog=len(counts),
+            max_cell_backlog=max(counts, default=0),
+            mean_cell_backlog=(sum(counts) / len(counts)) if counts else 0.0,
+            buckets_allocated=sum(m.num_buckets for m in index.lists.values()),
+        )
+
+
+@dataclass(frozen=True)
+class OccupancyStats:
+    """Distribution of live objects across cells (from the object table)."""
+
+    objects: int
+    occupied_cells: int
+    max_cell_objects: int
+    mean_cell_objects: float
+
+    @staticmethod
+    def of(index: GGridIndex) -> "OccupancyStats":
+        counts = [
+            len(index.object_table.objects_in_cell(z))
+            for z in range(index.grid.num_cells)
+        ]
+        occupied = [c for c in counts if c]
+        return OccupancyStats(
+            objects=index.num_objects,
+            occupied_cells=len(occupied),
+            max_cell_objects=max(counts, default=0),
+            mean_cell_objects=(sum(occupied) / len(occupied)) if occupied else 0.0,
+        )
+
+
+@dataclass(frozen=True)
+class PartitionQuality:
+    """How well the grid partitioning kept the network local."""
+
+    cells: int
+    internal_edge_fraction: float
+    mean_cell_degree: float
+    max_cell_size: int
+
+    @staticmethod
+    def of(index: GGridIndex) -> "PartitionQuality":
+        grid = index.grid
+        graph = index.graph
+        internal = sum(
+            1
+            for e in graph.edges()
+            if grid.cell_of_vertex[e.source] == grid.cell_of_vertex[e.dest]
+        )
+        degrees = [len(grid.neighbors(z)) for z in range(grid.num_cells)]
+        return PartitionQuality(
+            cells=grid.num_cells,
+            internal_edge_fraction=internal / max(1, graph.num_edges),
+            mean_cell_degree=sum(degrees) / max(1, len(degrees)),
+            max_cell_size=max((c.n_v for c in grid.cells), default=0),
+        )
+
+
+def snapshot(index: GGridIndex) -> dict[str, object]:
+    """One flat diagnostics record: backlog + occupancy + partition +
+    device counters + sizes.  JSON-serialisable."""
+    backlog = BacklogStats.of(index)
+    occupancy = OccupancyStats.of(index)
+    quality = PartitionQuality.of(index)
+    gpu = index.stats
+    sizes = index.size_bytes()
+    return {
+        "messages_ingested": index.messages_ingested,
+        "objects": occupancy.objects,
+        "backlog_messages": backlog.total_messages,
+        "backlog_max_cell": backlog.max_cell_backlog,
+        "backlog_cells": backlog.cells_with_backlog,
+        "occupied_cells": occupancy.occupied_cells,
+        "max_cell_objects": occupancy.max_cell_objects,
+        "internal_edge_fraction": quality.internal_edge_fraction,
+        "mean_cell_degree": quality.mean_cell_degree,
+        "gpu_kernels": gpu.kernel_launches,
+        "gpu_bytes": gpu.total_bytes,
+        "gpu_time_s": gpu.gpu_time_s,
+        "size_cpu_bytes": sizes["cpu"],
+        "size_gpu_bytes": sizes["gpu"],
+    }

@@ -1,0 +1,226 @@
+"""The graph grid: an array-based grid index over the road network.
+
+Section III-A: vertices are partitioned into ``2^psi x 2^psi`` cells
+(:mod:`repro.partition.grid_assign`), cells are laid out in one array
+ordered by Z-value, and each cell stores fixed-capacity arrays — at most
+``delta_c`` vertex elements, each holding at most ``delta_v`` *incoming*
+edges.  A real vertex with more than ``delta_v`` in-edges spills into
+*virtual vertex* elements in the same cell.  An inverted index maps every
+edge id to its source vertex and that vertex's cell, which is how a
+message ``m = <o, e, d, t>`` is routed to a cell (``getCell`` in
+Algorithm 1).
+
+Two identical copies of this structure live on the CPU and the GPU; the
+index build ships one copy to the simulated device and accounts the
+transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import GGridConfig
+from repro.errors import UnknownEdgeError
+from repro.partition.grid_assign import GridAssignment, assign_cells
+from repro.roadnet.graph import RoadNetwork
+from repro.simgpu.memory import CELL_BYTES, EDGE_BYTES, TABLE_ENTRY_BYTES, VERTEX_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class GridEdgeRec:
+    """An edge stored in a vertex element: ``<id, v_s, w>``."""
+
+    edge_id: int
+    source: int
+    weight: float
+
+
+@dataclass(slots=True)
+class GridVertexElement:
+    """One vertex slot of a cell: ``<id, A_e, n>``.
+
+    ``real_id`` is the road-network vertex; ``virtual_rank`` is 0 for the
+    primary element and ``1, 2, ...`` for the virtual vertices created
+    when the in-degree exceeds ``delta_v`` (Section III-A).
+    """
+
+    real_id: int
+    virtual_rank: int
+    edges: list[GridEdgeRec] = field(default_factory=list)
+
+    @property
+    def n(self) -> int:
+        return len(self.edges)
+
+    @property
+    def is_virtual(self) -> bool:
+        return self.virtual_rank > 0
+
+
+@dataclass(slots=True)
+class GridCell:
+    """One grid cell: ``<A_v, n_v, n_e>`` at Z-position ``z``."""
+
+    z: int
+    elements: list[GridVertexElement] = field(default_factory=list)
+    #: distinct real vertex ids in this cell (the partitioning output)
+    real_vertices: list[int] = field(default_factory=list)
+    #: number of edges whose *source* vertex lies in this cell
+    n_source_edges: int = 0
+
+    @property
+    def n_v(self) -> int:
+        return len(self.real_vertices)
+
+
+class GraphGrid:
+    """The assembled grid over a road network.
+
+    Example:
+        >>> from repro.roadnet import grid_road_network
+        >>> from repro.config import GGridConfig
+        >>> g = grid_road_network(6, 6, seed=1)
+        >>> grid = GraphGrid.build(g, GGridConfig())
+        >>> grid.num_cells >= 1 and grid.cell_of_edge(0) >= 0
+        True
+    """
+
+    def __init__(
+        self,
+        graph: RoadNetwork,
+        assignment: GridAssignment,
+        config: GGridConfig,
+    ) -> None:
+        self.graph = graph
+        self.assignment = assignment
+        self.config = config
+        self.cells: list[GridCell] = [GridCell(z) for z in range(assignment.num_cells)]
+        self.cell_of_vertex: list[int] = list(assignment.cell_of_vertex)
+        self._edge_cell: list[int] = [0] * graph.num_edges
+        self._edge_source: list[int] = [0] * graph.num_edges
+        self._neighbors: list[frozenset[int]] = []
+        self._populate()
+
+    @staticmethod
+    def build(graph: RoadNetwork, config: GGridConfig) -> "GraphGrid":
+        """Partition ``graph`` per the config and assemble the grid."""
+        assignment = assign_cells(graph, config.delta_c, seed=config.seed)
+        return GraphGrid(graph, assignment, config)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _populate(self) -> None:
+        delta_v = self.config.delta_v
+        for z, vertex_ids in enumerate(self.assignment.vertices_of_cell):
+            cell = self.cells[z]
+            cell.real_vertices = list(vertex_ids)
+            for vid in vertex_ids:
+                in_edges = self.graph.in_edges(vid)
+                records = [GridEdgeRec(e.id, e.source, e.weight) for e in in_edges]
+                if not records:
+                    cell.elements.append(GridVertexElement(vid, 0))
+                for rank, start in enumerate(range(0, len(records), delta_v)):
+                    cell.elements.append(
+                        GridVertexElement(vid, rank, records[start : start + delta_v])
+                    )
+                cell.n_source_edges += self.graph.out_degree(vid)
+        # inverted index: edge -> (source vertex, cell of the source vertex)
+        for e in self.graph.edges():
+            self._edge_source[e.id] = e.source
+            self._edge_cell[e.id] = self.cell_of_vertex[e.source]
+        # cell adjacency: an edge from cell A to cell B links them both ways
+        neighbor_sets: list[set[int]] = [set() for _ in self.cells]
+        for e in self.graph.edges():
+            a = self.cell_of_vertex[e.source]
+            b = self.cell_of_vertex[e.dest]
+            if a != b:
+                neighbor_sets[a].add(b)
+                neighbor_sets[b].add(a)
+        self._neighbors = [frozenset(s) for s in neighbor_sets]
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    @property
+    def num_cells(self) -> int:
+        return len(self.cells)
+
+    def cell(self, z: int) -> GridCell:
+        return self.cells[z]
+
+    def cell_of_edge(self, edge_id: int) -> int:
+        """``getCell``: the cell of the edge's source vertex (Algorithm 1).
+
+        Raises:
+            UnknownEdgeError: for edge ids outside the network.
+        """
+        if not 0 <= edge_id < len(self._edge_cell):
+            raise UnknownEdgeError(f"unknown edge id {edge_id}")
+        return self._edge_cell[edge_id]
+
+    def source_of_edge(self, edge_id: int) -> int:
+        if not 0 <= edge_id < len(self._edge_source):
+            raise UnknownEdgeError(f"unknown edge id {edge_id}")
+        return self._edge_source[edge_id]
+
+    def neighbors(self, z: int) -> frozenset[int]:
+        """Cells sharing at least one edge with cell ``z`` (Section V-A)."""
+        return self._neighbors[z]
+
+    def neighbors_of_set(self, cells: set[int]) -> set[int]:
+        """``neighbors(L) \\ L``: the next expansion ring of Algorithm 4."""
+        ring: set[int] = set()
+        for z in cells:
+            ring |= self._neighbors[z]
+        return ring - cells
+
+    def vertices_of_cells(self, cells: set[int]) -> list[int]:
+        """Distinct real vertex ids across ``cells`` (the set ``V``)."""
+        result: list[int] = []
+        for z in sorted(cells):
+            result.extend(self.cells[z].real_vertices)
+        return result
+
+    def elements_of_cells(self, cells: set[int]) -> list[GridVertexElement]:
+        """Vertex elements (incl. virtual) across ``cells``; one GPU thread
+        is assigned per element in ``GPU_SDist``."""
+        result: list[GridVertexElement] = []
+        for z in sorted(cells):
+            result.extend(self.cells[z].elements)
+        return result
+
+    def boundary_vertices(self, cells: set[int]) -> list[int]:
+        """Vertices "on the edge of" ``cells`` (Definition 3): vertices with
+        an out-edge whose destination lies outside the cell set."""
+        result = []
+        for vid in self.vertices_of_cells(cells):
+            for e in self.graph.out_edges(vid):
+                if self.cell_of_vertex[e.dest] not in cells:
+                    result.append(vid)
+                    break
+        return result
+
+    # ------------------------------------------------------------------
+    # size accounting (Fig. 6)
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """Modelled byte size of the grid using the paper's C layout:
+        128 bytes per cell (padded), 32 per overflow vertex element,
+        plus the inverted index at one hash entry per edge."""
+        total = 0
+        for cell in self.cells:
+            total += CELL_BYTES
+            overflow = max(0, len(cell.elements) - self.config.delta_c)
+            total += overflow * VERTEX_BYTES
+        total += self.graph.num_edges * (TABLE_ENTRY_BYTES + EDGE_BYTES)
+        return total
+
+    def device_nbytes(self) -> int:
+        """Size of the GPU-resident copy (no inverted index on device)."""
+        total = 0
+        for cell in self.cells:
+            total += CELL_BYTES
+            overflow = max(0, len(cell.elements) - self.config.delta_c)
+            total += overflow * VERTEX_BYTES
+        return total

@@ -1,0 +1,359 @@
+"""kNN query processing (Algorithm 4): the CPU–GPU collaboration.
+
+A query runs in three phases:
+
+1. **Candidate cells** — starting from the query's cell and its grid
+   neighbours, rings of cells are cleaned (lazily, on the GPU) until at
+   least ``rho * k`` live objects have been found;
+2. **Candidate results on the GPU** — ``GPU_SDist`` computes restricted
+   shortest distances over the candidate cells, ``GPU_First_k`` ranks the
+   objects, and ``GPU_Unresolved`` flags boundary vertices whose
+   unresolved range could still hide better answers;
+3. **Refinement on the CPU** — bounded Dijkstra from each unresolved
+   vertex (Algorithm 6) fixes up both missed objects and shortcut paths,
+   yielding the exact k nearest neighbours.
+
+If the whole network is cleaned and fewer than ``k`` finite candidates
+exist (or all cells hold fewer than ``k`` objects), the processor falls
+back to one exact Dijkstra sweep from the query — the paper never hits
+this case because ``|O| >> k`` in every experiment, but a library must
+answer correctly regardless.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.config import GGridConfig
+from repro.core.cleaning import CleanedLocation, MessageCleaner
+from repro.core.graph_grid import GraphGrid
+from repro.core.message_list import MessageList
+from repro.core.object_table import ObjectTable
+from repro.core.refine import refine_knn
+from repro.core.sdist import first_k_kernel, get_sdist_kernel, unresolved_kernel
+from repro.errors import QueryError
+from repro.roadnet.dijkstra import multi_source_dijkstra
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.location import NetworkLocation, entry_costs, location_distance
+from repro.simgpu.device import SimGpu
+from repro.simgpu.memory import MESSAGE_BYTES
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True, slots=True)
+class KnnResultEntry:
+    """One result object with its exact network distance from the query."""
+
+    obj: int
+    distance: float
+
+
+@dataclass
+class KnnAnswer:
+    """A kNN answer plus per-phase diagnostics.
+
+    Attributes:
+        entries: the k nearest objects, ascending by distance.
+        cells_cleaned: candidate cells cleaned for this query.
+        candidates: size of the GPU candidate object set.
+        unresolved: number of unresolved boundary vertices refined.
+        refine_settled: vertices settled by the refinement Dijkstras
+            (drives the modelled parallel-CPU time).
+        used_fallback: True when the exact-Dijkstra fallback answered.
+        cpu_seconds: measured wall time of the CPU-side phases, keyed by
+            phase name (``select``, ``refine``).
+    """
+
+    entries: list[KnnResultEntry] = field(default_factory=list)
+    cells_cleaned: int = 0
+    candidates: int = 0
+    unresolved: int = 0
+    refine_settled: int = 0
+    used_fallback: bool = False
+    cpu_seconds: dict[str, float] = field(default_factory=dict)
+
+    def objects(self) -> list[int]:
+        return [e.obj for e in self.entries]
+
+    def distances(self) -> list[float]:
+        return [e.distance for e in self.entries]
+
+
+class KnnProcessor:
+    """Executes Algorithm 4 against a G-Grid's components."""
+
+    def __init__(
+        self,
+        graph: RoadNetwork,
+        grid: GraphGrid,
+        lists: dict[int, MessageList],
+        object_table: ObjectTable,
+        cleaner: MessageCleaner,
+        gpu: SimGpu,
+        config: GGridConfig,
+    ) -> None:
+        self.graph = graph
+        self.grid = grid
+        self.lists = lists
+        self.object_table = object_table
+        self.cleaner = cleaner
+        self.gpu = gpu
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # public entry point
+    # ------------------------------------------------------------------
+    def query(self, location: NetworkLocation, k: int, t_now: float) -> KnnAnswer:
+        """Answer a kNN query issued at ``location`` at time ``t_now``.
+
+        Raises:
+            QueryError: for ``k <= 0`` or a location off the network.
+        """
+        if k <= 0:
+            raise QueryError(f"k must be positive, got {k}")
+        location.validate(self.graph)
+        answer = KnnAnswer()
+
+        # -- phase 1: select candidate cells, cleaning lazily (lines 1-4)
+        t0 = time.perf_counter()
+        cells, occupants = self._select_candidates(location, k, t_now, answer)
+        answer.cpu_seconds["select"] = time.perf_counter() - t0
+        answer.cells_cleaned = len(cells)
+        answer.candidates = len(occupants)
+
+        return self._finish_query(location, k, cells, occupants, answer)
+
+    def _finish_query(
+        self,
+        location: NetworkLocation,
+        k: int,
+        cells: set[int],
+        occupants: dict[int, tuple[int, CleanedLocation]],
+        answer: KnnAnswer,
+    ) -> KnnAnswer:
+        """Phases 2-3 (shared by single and batched queries): GPU
+        candidate set (lines 5-9), then CPU refinement (Algorithm 6)."""
+        if len(occupants) < k:
+            return self._fallback(location, k, answer)
+
+        candidates, unresolved, l_bound = self._gpu_candidates(
+            location, k, cells, occupants
+        )
+        if l_bound == _INF:
+            return self._fallback(location, k, answer)
+        answer.unresolved = len(unresolved)
+
+        t0 = time.perf_counter()
+        results, settled = refine_knn(
+            self.graph,
+            self.object_table,
+            self.grid.cell_of_vertex,
+            candidates,
+            unresolved,
+            k,
+            l_bound,
+        )
+        answer.cpu_seconds["refine"] = time.perf_counter() - t0
+        answer.refine_settled = settled
+        answer.entries = [KnnResultEntry(o, d) for o, d in results]
+        if len(answer.entries) < k:
+            return self._fallback(location, k, answer)
+        return answer
+
+    # ------------------------------------------------------------------
+    # batched queries
+    # ------------------------------------------------------------------
+    def query_batch(
+        self, queries: list[tuple[NetworkLocation, int]], t_now: float
+    ) -> list[KnnAnswer]:
+        """Answer several concurrent queries, sharing the GPU cleaning.
+
+        This is the mechanism behind the paper's *G-Grid* vs *G-Grid (L)*
+        gap (Fig. 5): in every expansion round the candidate-cell
+        frontiers of all in-flight queries are unioned and cleaned in one
+        GPU pipeline, so overlapping regions are shipped and deduplicated
+        once instead of once per query.  Phases 2-3 then run per query on
+        the shared cleaning results.
+
+        Returns one :class:`KnnAnswer` per query, identical to what
+        :meth:`query` would return for each individually.
+        """
+        for location, k in queries:
+            if k <= 0:
+                raise QueryError(f"k must be positive, got {k}")
+            location.validate(self.graph)
+
+        cleaned: dict[int, dict[int, CleanedLocation]] = {}
+
+        def clean_shared(frontier: set[int]) -> None:
+            todo = frontier - cleaned.keys()
+            if not todo:
+                return
+            result = self.cleaner.clean(
+                {c: self._list_of(c) for c in todo}, t_now, self.object_table
+            )
+            for cell in todo:
+                cleaned[cell] = result.occupants.get(cell, {})
+
+        # phase 1, batched: expand every query's ring against the shared
+        # cleaned-cell cache, one GPU pipeline per round
+        states = []
+        for location, k in queries:
+            c_q = self.grid.cell_of_edge(location.edge_id)
+            states.append(
+                {
+                    "frontier": {c_q} | set(self.grid.neighbors(c_q)),
+                    "cells": set(),
+                    "done": False,
+                }
+            )
+        while not all(s["done"] for s in states):
+            union_frontier: set[int] = set()
+            for state in states:
+                if not state["done"]:
+                    union_frontier |= state["frontier"]
+            clean_shared(union_frontier)
+            for (location, k), state in zip(queries, states):
+                if state["done"]:
+                    continue
+                state["cells"] |= state["frontier"]
+                found = sum(len(cleaned[c]) for c in state["cells"])
+                if found >= self.config.rho * k:
+                    state["done"] = True
+                    continue
+                state["frontier"] = self.grid.neighbors_of_set(state["cells"])
+                if not state["frontier"]:
+                    state["done"] = True
+
+        # phases 2-3 per query, against the shared cleaning results
+        answers = []
+        for (location, k), state in zip(queries, states):
+            answer = KnnAnswer()
+            cells = state["cells"]
+            occupants = {
+                obj: (cell, loc)
+                for cell in cells
+                for obj, loc in cleaned[cell].items()
+            }
+            answer.cells_cleaned = len(cells)
+            answer.candidates = len(occupants)
+            answers.append(self._finish_query(location, k, cells, occupants, answer))
+        return answers
+
+    # ------------------------------------------------------------------
+    # phase 1
+    # ------------------------------------------------------------------
+    def _select_candidates(
+        self,
+        location: NetworkLocation,
+        k: int,
+        t_now: float,
+        answer: KnnAnswer,
+    ) -> tuple[set[int], dict[int, tuple[int, CleanedLocation]]]:
+        """Expand cell rings until ``rho * k`` candidate objects are found."""
+        target = self.config.rho * k
+        c_q = self.grid.cell_of_edge(location.edge_id)
+        frontier = {c_q} | set(self.grid.neighbors(c_q))
+        cells: set[int] = set()
+        occupants: dict[int, tuple[int, CleanedLocation]] = {}
+        while True:
+            result = self.cleaner.clean(
+                {c: self._list_of(c) for c in frontier}, t_now, self.object_table
+            )
+            occupants.update(result.all_objects())
+            cells |= frontier
+            if len(occupants) >= target:
+                break
+            frontier = self.grid.neighbors_of_set(cells)
+            if not frontier:
+                break  # the whole network is cleaned
+        return cells, occupants
+
+    def _list_of(self, cell: int) -> MessageList:
+        mlist = self.lists.get(cell)
+        if mlist is None:
+            mlist = MessageList(self.config.delta_b)
+            self.lists[cell] = mlist
+        return mlist
+
+    # ------------------------------------------------------------------
+    # phase 2
+    # ------------------------------------------------------------------
+    def _gpu_candidates(
+        self,
+        location: NetworkLocation,
+        k: int,
+        cells: set[int],
+        occupants: dict[int, tuple[int, CleanedLocation]],
+    ) -> tuple[dict[int, float], list[tuple[int, float]], float]:
+        """Run GPU_SDist / GPU_First_k / GPU_Unresolved (lines 5-9)."""
+        vertices = self.grid.vertices_of_cells(cells)
+        elements = self.grid.elements_of_cells(cells)
+        seeds = entry_costs(self.graph, location)
+        dist = self.gpu.launch(
+            "GPU_SDist",
+            max(1, len(elements)),
+            get_sdist_kernel(self.config.sdist_backend),
+            elements,
+            vertices,
+            seeds,
+            self.config.delta_v,
+            self.config.sdist_early_exit,
+        )
+
+        object_distances: dict[int, float] = {}
+        for obj, (_, loc) in occupants.items():
+            target = NetworkLocation(loc.edge, loc.offset)
+            object_distances[obj] = location_distance(
+                self.graph, dist, location, target
+            )
+        ranked = self.gpu.launch(
+            "GPU_First_k",
+            max(1, len(object_distances)),
+            first_k_kernel,
+            object_distances,
+            k,
+        )
+        l_bound = ranked[k - 1][1] if len(ranked) >= k else _INF
+
+        boundary = self.grid.boundary_vertices(cells)
+        unresolved = self.gpu.launch(
+            "GPU_Unresolved",
+            max(1, len(boundary)),
+            unresolved_kernel,
+            boundary,
+            dist,
+            l_bound,
+        )
+
+        # candidate + unresolved sets travel back to the CPU
+        payload = len(ranked) * MESSAGE_BYTES + len(unresolved) * 8
+        self.gpu.memory.store("knn.candidates", ranked, nbytes=payload)
+        self.gpu.from_device("knn.candidates")
+        self.gpu.free("knn.candidates")
+
+        candidates = {obj: d for obj, d in ranked}
+        return candidates, unresolved, l_bound
+
+    # ------------------------------------------------------------------
+    # fallback
+    # ------------------------------------------------------------------
+    def _fallback(
+        self, location: NetworkLocation, k: int, answer: KnnAnswer
+    ) -> KnnAnswer:
+        """Exact one-shot Dijkstra answer for degenerate cases."""
+        t0 = time.perf_counter()
+        dist = multi_source_dijkstra(self.graph, entry_costs(self.graph, location))
+        scored: list[tuple[int, float]] = []
+        for obj, entry in self.object_table.objects().items():
+            target = NetworkLocation(entry.edge, entry.offset)
+            d = location_distance(self.graph, dist, location, target)
+            if d < _INF:
+                scored.append((obj, d))
+        scored.sort(key=lambda kv: (kv[1], kv[0]))
+        answer.entries = [KnnResultEntry(o, d) for o, d in scored[:k]]
+        answer.used_fallback = True
+        answer.cpu_seconds["fallback"] = time.perf_counter() - t0
+        return answer

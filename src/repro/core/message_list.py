@@ -1,0 +1,198 @@
+"""Bucketed per-cell message lists (Section III-C).
+
+Each grid cell owns a linked list of fixed-capacity buckets holding the
+location updates that arrived for that cell, in chronological order.  A
+list carries three pointers: ``p_h`` (head), ``p_t`` (tail) and ``p_l``
+(lock) — buckets *before* ``p_l`` are frozen for an in-flight cleaning
+pass (Section IV-B1) while new messages keep appending at the tail, so
+ingest never blocks on cleaning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import CapacityError
+from repro.core.messages import Message
+from repro.simgpu.memory import MESSAGE_BYTES
+
+
+@dataclass
+class Bucket:
+    """A fixed-capacity message bucket: ``<A_m, n, t, p_n>``.
+
+    ``t`` is the timestamp of the *latest* message in the bucket; since
+    messages arrive in order it is the last one's timestamp.
+    """
+
+    capacity: int
+    messages: list[Message] = field(default_factory=list)
+    next: "Bucket | None" = None
+
+    @property
+    def n(self) -> int:
+        return len(self.messages)
+
+    @property
+    def t(self) -> float:
+        """Latest message time; ``-inf`` for an empty bucket."""
+        return self.messages[-1].t if self.messages else float("-inf")
+
+    @property
+    def full(self) -> bool:
+        return len(self.messages) >= self.capacity
+
+    def append(self, message: Message) -> None:
+        if self.full:
+            raise CapacityError(f"bucket full at capacity {self.capacity}")
+        self.messages.append(message)
+
+    def device_nbytes(self) -> int:
+        """Transfer size: the paper ships only the used message slots."""
+        return self.n * MESSAGE_BYTES
+
+
+class MessageList:
+    """The per-cell chronological update log.
+
+    Example:
+        >>> lst = MessageList(capacity=2)
+        >>> for i in range(5):
+        ...     lst.append(Message(obj=1, edge=0, offset=0.0, t=float(i)))
+        >>> lst.num_messages, lst.num_buckets
+        (5, 3)
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise CapacityError(f"bucket capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._head: Bucket | None = None
+        self._tail: Bucket | None = None
+        self._lock: Bucket | None = None  # p_l: cleaning frontier
+
+    # ------------------------------------------------------------------
+    # ingest path
+    # ------------------------------------------------------------------
+    def append(self, message: Message) -> None:
+        """Append a message at the tail, opening a new bucket when full."""
+        if self._tail is None or self._tail.full:
+            bucket = Bucket(self.capacity)
+            if self._tail is None:
+                self._head = self._tail = bucket
+            else:
+                self._tail.next = bucket
+                self._tail = bucket
+        self._tail.append(message)
+
+    # ------------------------------------------------------------------
+    # cleaning protocol (Section IV-B1)
+    # ------------------------------------------------------------------
+    @property
+    def locked(self) -> bool:
+        """True while a cleaning pass owns the buckets before ``p_l``."""
+        return self._lock is not None and self._lock is not self._head
+
+    def lock_for_cleaning(self) -> None:
+        """Freeze the current contents: append a fresh (empty) tail bucket
+        and point ``p_l`` at it.  Everything before ``p_l`` belongs to the
+        cleaner; new messages land in / after the fresh bucket."""
+        fresh = Bucket(self.capacity)
+        if self._tail is None:
+            self._head = self._tail = fresh
+        else:
+            self._tail.next = fresh
+            self._tail = fresh
+        self._lock = fresh
+
+    def locked_buckets(self, t_now: float, t_delta: float) -> list[Bucket]:
+        """The live locked buckets to ship to the GPU.
+
+        Buckets whose latest message is older than ``t_now - t_delta`` are
+        wholly obsolete (every object must update at least once per
+        ``t_delta``) and are skipped — the paper discards them outright.
+        """
+        cutoff = t_now - t_delta
+        result = []
+        node = self._head
+        while node is not None and node is not self._lock:
+            if node.t >= cutoff and node.n > 0:
+                result.append(node)
+            node = node.next
+        return result
+
+    def unlock_abort(self) -> None:
+        """Abandon a cleaning pass without consuming anything.
+
+        Clears ``p_l`` so the frozen buckets rejoin the live list intact;
+        used when the GPU pipeline fails mid-clean (e.g. device memory
+        exhaustion) so no cached update is ever lost to a fault.
+        """
+        self._lock = None
+
+    def release_cleaned(self) -> int:
+        """Drop the buckets consumed by a finished cleaning pass.
+
+        Returns the number of messages discarded.  The list head moves to
+        ``p_l`` (the bucket that was fresh at lock time) and the lock
+        clears.
+        """
+        dropped = 0
+        node = self._head
+        while node is not None and node is not self._lock:
+            dropped += node.n
+            node = node.next
+        self._head = self._lock if self._lock is not None else None
+        if self._head is None:
+            self._tail = None
+        self._lock = None
+        return dropped
+
+    def prepend_snapshot(self, messages: list[Message]) -> None:
+        """Re-insert a cleaned snapshot before the current head.
+
+        Section IV-B4: the final result table ``R`` is sent back to the
+        CPU "to update the message lists of the corresponding cells" —
+        i.e. the cleaned per-object latest locations become the compacted
+        new content of the list, ahead of anything that arrived after the
+        cleaning lock.  ``messages`` must be in chronological order (their
+        timestamps precede any post-lock message by construction).
+        """
+        if not messages:
+            return
+        buckets: list[Bucket] = []
+        for start in range(0, len(messages), self.capacity):
+            bucket = Bucket(self.capacity, list(messages[start : start + self.capacity]))
+            buckets.append(bucket)
+        for earlier, later in zip(buckets, buckets[1:]):
+            earlier.next = later
+        buckets[-1].next = self._head
+        self._head = buckets[0]
+        if self._tail is None:
+            self._tail = buckets[-1]
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def buckets(self) -> Iterator[Bucket]:
+        node = self._head
+        while node is not None:
+            yield node
+            node = node.next
+
+    @property
+    def num_buckets(self) -> int:
+        return sum(1 for _ in self.buckets())
+
+    @property
+    def num_messages(self) -> int:
+        return sum(b.n for b in self.buckets())
+
+    def messages(self) -> list[Message]:
+        """All cached messages in chronological order (test helper)."""
+        return [m for b in self.buckets() for m in b.messages]
+
+    def size_bytes(self) -> int:
+        """Modelled footprint: full slot arrays plus bucket headers."""
+        return self.num_buckets * (self.capacity * MESSAGE_BYTES + 16)

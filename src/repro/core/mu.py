@@ -1,0 +1,161 @@
+"""Combinatorics of the X-shuffle bound (Section IV-D).
+
+After the ``eta`` butterfly shuffles of ``GPU_X_Shuffle``, the number of
+*distinct* surviving messages of any single object within a ``2^eta``
+bundle is bounded by ``mu(eta)`` (Theorem 1).  That bound is what lets
+each thread update the intermediate table only ``mu(eta)`` times instead
+of once per thread.
+
+This module implements the paper's definitions exactly so both the
+algorithm and the tests can use them:
+
+* :func:`x_distance` — Definition 2 (number of 1-runs in ``a XOR b``);
+* :func:`covers` — Lemma 1 (``a`` covers ``b`` iff x-distance is 1);
+* :func:`cover_set` — ``C(a)``, with ``|C(a)| = binom(eta+1, 2)``
+  (Lemma 2);
+* :func:`lam` — the coverage lower bound ``lambda(eta, i)`` of Lemma 5;
+* :func:`mu` — Theorem 1, with a brute-force fallback for ``eta <= 3``
+  where the theorem does not apply;
+* :func:`shuffle_position` — Theorem 2: where a never-replaced message
+  sits after the k-th shuffle;
+* :func:`max_exclusive_set_size` — exhaustive maximum-independent-set
+  computation on the cover graph (small ``eta`` only; used in tests).
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+from repro.errors import ConfigError
+
+
+def x_distance(a: int, b: int) -> int:
+    """Definition 2: the number of maximal runs of 1s in ``a XOR b``.
+
+    ``x_distance(10, 1) == 2`` since ``01010 ^ 00001 == 01011`` which
+    splits on 0s into two 1-runs.
+    """
+    if a < 0 or b < 0:
+        raise ConfigError("thread indices must be non-negative")
+    x = a ^ b
+    runs = 0
+    in_run = False
+    while x:
+        if x & 1:
+            if not in_run:
+                runs += 1
+                in_run = True
+        else:
+            in_run = False
+        x >>= 1
+    return runs
+
+
+def covers(a: int, b: int) -> bool:
+    """Lemma 1: thread ``a`` covers thread ``b`` iff their x-distance is 1.
+
+    (The relation is symmetric — covering means the two messages meet at a
+    thread during the shuffle cascade, so the newer of the two wins.)
+    """
+    return x_distance(a, b) == 1
+
+
+def cover_set(a: int, eta: int) -> frozenset[int]:
+    """``C(a)``: the threads of a ``2^eta`` bundle covered by ``a``."""
+    _check_eta(eta)
+    return frozenset(b for b in range(1 << eta) if b != a and covers(a, b))
+
+
+def shuffle_position(alpha: int, k: int, eta: int) -> int:
+    """Theorem 2: thread index of ``m_alpha`` after the ``k``-th shuffle.
+
+    Assuming the message was never replaced: it sits at
+    ``alpha XOR sum_{i=1..k} 2^(eta-i)``.
+    """
+    _check_eta(eta)
+    if not 0 <= k <= eta:
+        raise ConfigError(f"shuffle round {k} out of [0, {eta}]")
+    acc = 0
+    for i in range(1, k + 1):
+        acc ^= 1 << (eta - i)
+    return alpha ^ acc
+
+
+def lam(eta: int, i: int) -> float:
+    """``lambda(eta, i)`` from Theorem 1: a size-``i`` exclusive set covers
+    at least this many threads (Lemma 5)."""
+    if i < 0:
+        raise ConfigError(f"exclusive-set size must be non-negative, got {i}")
+    base = i * math.comb(eta + 1, 2)
+    overlap = sum((14 - j) * (j - 1) / 2 for j in range(1, i + 1))
+    return base - overlap + i
+
+
+@lru_cache(maxsize=None)
+def mu(eta: int) -> int:
+    """Theorem 1: max distinct same-object messages after the shuffles.
+
+    For bundles of 16, 32, 64, 128 threads this yields 2, 4, 8, 16.  The
+    theorem requires ``eta > 3``; for smaller bundles we fall back to the
+    exact maximum exclusive-set size (brute force over at most 8 threads).
+    """
+    _check_eta(eta)
+    if eta <= 3:
+        return max_exclusive_set_size(eta)
+    total = 1 << eta
+    # Case 1 of Theorem 1: some exclusive set of size i <= 8 already covers
+    # the whole bundle, so no larger exclusive set exists.  (The paper
+    # phrases the condition via lambda(eta, 8), but lambda as defined is
+    # not monotone in i; testing every i <= 8 matches the stated values
+    # mu = 2, 4, 8 for eta = 4, 5, 6.)
+    feasible = [i for i in range(1, 9) if lam(eta, i) >= total]
+    if feasible:
+        return min(feasible)
+    # Case 2: even eight mutually exclusive threads cover only
+    # lambda(eta, 8) others; the rest could each hold a distinct message.
+    return int(total - lam(eta, 8) + 8)
+
+
+@lru_cache(maxsize=None)
+def max_exclusive_set_size(eta: int) -> int:
+    """Exact size of the largest *exclusive set* of a ``2^eta`` bundle.
+
+    An exclusive set is a set of threads none of which covers another —
+    i.e. an independent set of the cover graph.  Exponential search;
+    intended for ``eta <= 4`` (16 threads) in tests and small-bundle
+    fallbacks.
+    """
+    _check_eta(eta)
+    n = 1 << eta
+    if n > 1 << 16:  # pragma: no cover - guarded by callers
+        raise ConfigError(f"brute force infeasible for eta={eta}")
+    adjacency = [0] * n
+    for a in range(n):
+        for b in range(a + 1, n):
+            if covers(a, b):
+                adjacency[a] |= 1 << b
+                adjacency[b] |= 1 << a
+
+    best = 0
+
+    def extend(candidates: int, size: int) -> None:
+        nonlocal best
+        if size + candidates.bit_count() <= best:
+            return
+        if candidates == 0:
+            best = max(best, size)
+            return
+        v = (candidates & -candidates).bit_length() - 1
+        # branch 1: include v
+        extend(candidates & ~((1 << v) | adjacency[v]), size + 1)
+        # branch 2: exclude v
+        extend(candidates & ~(1 << v), size)
+
+    extend((1 << n) - 1, 0)
+    return best
+
+
+def _check_eta(eta: int) -> None:
+    if eta < 1:
+        raise ConfigError(f"eta must be >= 1, got {eta}")

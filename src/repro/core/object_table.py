@@ -1,0 +1,88 @@
+"""The object table: latest known location of every object.
+
+Section III-B: a CPU-side hash table mapping ``o.id -> <c.id, e.id, d>``.
+Algorithm 1 updates it eagerly on every message (line 6) — the hash put is
+cheap; what the lazy strategy avoids is the expensive per-cell spatial
+materialisation, which lives in the message lists until queried.
+
+Alongside the paper's mapping we maintain the inverse ``cell -> objects``
+view; the CPU refinement step (Algorithm 6) uses it to enumerate objects
+inside an unresolved range, and tests use it as the oracle that lazy
+cleaning must agree with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnknownObjectError
+from repro.simgpu.memory import TABLE_ENTRY_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectEntry:
+    """Value of one object-table entry: ``<cell, edge, offset>`` at ``t``."""
+
+    cell: int
+    edge: int
+    offset: float
+    t: float
+
+
+class ObjectTable:
+    """Hash table of latest object locations with a per-cell inverse."""
+
+    def __init__(self) -> None:
+        self._entries: dict[int, ObjectEntry] = {}
+        self._cell_objects: dict[int, set[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, obj: int) -> bool:
+        return obj in self._entries
+
+    def get(self, obj: int) -> ObjectEntry:
+        """Entry for ``obj``.
+
+        Raises:
+            UnknownObjectError: when the object was never ingested.
+        """
+        try:
+            return self._entries[obj]
+        except KeyError:
+            raise UnknownObjectError(f"object {obj} not in the object table") from None
+
+    def try_get(self, obj: int) -> ObjectEntry | None:
+        return self._entries.get(obj)
+
+    def cell_of(self, obj: int) -> int:
+        """The ``getCellFromOT`` lookup of Algorithm 1."""
+        return self.get(obj).cell
+
+    def put(self, obj: int, entry: ObjectEntry) -> None:
+        """The ``setOT`` update of Algorithm 1 (eager, O(1))."""
+        old = self._entries.get(obj)
+        if old is not None and old.cell != entry.cell:
+            self._cell_objects[old.cell].discard(obj)
+        self._entries[obj] = entry
+        self._cell_objects.setdefault(entry.cell, set()).add(obj)
+
+    def remove(self, obj: int) -> None:
+        """Drop an object entirely (e.g. a car going offline)."""
+        entry = self._entries.pop(obj, None)
+        if entry is None:
+            raise UnknownObjectError(f"object {obj} not in the object table")
+        self._cell_objects[entry.cell].discard(obj)
+
+    def objects_in_cell(self, cell: int) -> frozenset[int]:
+        """Objects whose latest location lies in ``cell``."""
+        return frozenset(self._cell_objects.get(cell, ()))
+
+    def objects(self) -> dict[int, ObjectEntry]:
+        """A snapshot copy of all entries (test/diagnostic use)."""
+        return dict(self._entries)
+
+    def size_bytes(self) -> int:
+        """Modelled memory footprint (Section VI-A: ``O(|O|)``)."""
+        return len(self._entries) * (TABLE_ENTRY_BYTES + 16)

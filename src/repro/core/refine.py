@@ -1,0 +1,82 @@
+"""Refine_kNN: CPU refinement of the GPU candidate set (Algorithm 6).
+
+The GPU phase only saw the candidate cells, so two things can be missing:
+objects *outside* those cells that are actually nearer than the k-th
+candidate, and *shorter paths* that leave the candidate subgraph and come
+back.  Both are recovered from the unresolved vertices: for each boundary
+vertex ``v`` with restricted distance ``dist(q, v) < l``, a bounded
+Dijkstra with radius ``l - dist(q, v)`` explores v's unresolved range on
+the full graph and scores every object found there.  Each unresolved
+vertex is independent, so the paper runs them on parallel CPU threads;
+this implementation runs them sequentially and lets the metrics layer
+model the division across ``cpu_workers`` (see DESIGN.md §2).
+
+Correctness sketch (tested against a brute-force oracle): any true
+shortest path to an object not fully inside the candidate cells first
+exits the cell set at some boundary vertex ``u``; its in-set prefix is at
+least the restricted ``dist[u]``, so the remaining suffix fits inside
+``u``'s unresolved range whenever the object beats the bound ``l``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.object_table import ObjectTable
+from repro.roadnet.dijkstra import multi_source_dijkstra
+from repro.roadnet.graph import RoadNetwork
+
+_INF = float("inf")
+
+
+def refine_knn(
+    graph: RoadNetwork,
+    object_table: ObjectTable,
+    cell_of_vertex: Sequence[int],
+    candidates: dict[int, float],
+    unresolved: list[tuple[int, float]],
+    k: int,
+    l_bound: float,
+) -> tuple[list[tuple[int, float]], int]:
+    """Produce the final kNN from candidates plus unresolved ranges.
+
+    Args:
+        graph: the full road network.
+        object_table: eager latest locations (used to enumerate objects
+            inside an unresolved range by cell).
+        cell_of_vertex: vertex id -> grid cell, to map settled vertices to
+            the cells whose objects must be scored.
+        candidates: ``{obj: restricted distance}`` from ``GPU_First_k``
+            (may contain more than k entries; infinite distances allowed).
+        unresolved: ``(vertex, dist(q, vertex))`` pairs from
+            ``GPU_Unresolved``.
+        k: result size.
+        l_bound: the k-th smallest candidate distance ``l``.
+
+    Returns:
+        ``(results, vertices_settled)`` where results is at most ``k``
+        ``(obj, distance)`` pairs sorted ascending and vertices_settled
+        counts the total Dijkstra work done (for the metrics layer).
+    """
+    best: dict[int, float] = dict(candidates)
+    settled_total = 0
+    for u, d_qu in unresolved:
+        radius = l_bound - d_qu
+        if radius <= 0:
+            continue
+        dist_u = multi_source_dijkstra(graph, {u: 0.0}, radius=radius)
+        settled_total += len(dist_u)
+        touched_cells = {cell_of_vertex[w] for w in dist_u}
+        for cell in touched_cells:
+            for obj in object_table.objects_in_cell(cell):
+                entry = object_table.get(obj)
+                src = graph.edge(entry.edge).source
+                d_src = dist_u.get(src)
+                if d_src is None:
+                    continue
+                d_obj = d_qu + d_src + entry.offset
+                if d_obj < best.get(obj, _INF):
+                    best[obj] = d_obj
+    ranked = sorted(best.items(), key=lambda kv: (kv[1], kv[0]))
+    finite = [(obj, d) for obj, d in ranked if d < _INF]
+    return finite[:k], settled_total

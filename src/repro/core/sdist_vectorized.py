@@ -1,0 +1,77 @@
+"""Vectorised GPU_SDist backend.
+
+:func:`repro.core.sdist.sdist_kernel` walks the vertex elements in a
+Python loop — faithful to the per-thread kernel but slow on large
+candidate sets.  This backend performs the same restricted Bellman–Ford
+with numpy array operations: all edges of the candidate subgraph are
+relaxed per round with one ``minimum.at`` scatter, which is also exactly
+how a real GPU executes the kernel (one lane per edge slot, lockstep
+rounds, no write conflicts beyond atomic-min semantics).
+
+Selected via ``GGridConfig.sdist_backend = "vectorized"``; results are
+bit-identical to the lockstep backend (property-tested) and the charged
+GPU work is the same — only the *host* simulation gets faster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.graph_grid import GridVertexElement
+from repro.simgpu.kernel import KernelContext
+
+_INF = float("inf")
+
+
+def sdist_kernel_vectorized(
+    ctx: KernelContext,
+    elements: list[GridVertexElement],
+    vertices: list[int],
+    seeds: dict[int, float],
+    delta_v: int,
+    early_exit: bool = True,
+) -> dict[int, float]:
+    """Drop-in replacement for :func:`repro.core.sdist.sdist_kernel`.
+
+    Same signature, same results, same cost accounting; the relaxation
+    loop runs as numpy scatter operations instead of per-element Python.
+    """
+    index_of = {v: i for i, v in enumerate(vertices)}
+    n = len(vertices)
+    dist = np.full(n, np.inf)
+    for v, cost in seeds.items():
+        i = index_of.get(v)
+        if i is not None:
+            dist[i] = min(dist[i], cost)
+
+    # flatten the in-edge records whose sources lie inside the subgraph
+    sources = []
+    targets = []
+    weights = []
+    for element in elements:
+        ti = index_of[element.real_id]
+        for rec in element.edges:
+            si = index_of.get(rec.source)
+            if si is None:
+                continue  # source outside the shipped cells
+            sources.append(si)
+            targets.append(ti)
+            weights.append(rec.weight)
+    src = np.array(sources, dtype=np.int64)
+    tgt = np.array(targets, dtype=np.int64)
+    wgt = np.array(weights, dtype=np.float64)
+
+    rounds_run = 0
+    for _ in range(max(1, n)):
+        rounds_run += 1
+        before = dist.copy()
+        if len(src):
+            candidate = dist[src] + wgt
+            np.minimum.at(dist, tgt, candidate)
+        ctx.sync_threads()
+        if early_exit and np.array_equal(before, dist):
+            break
+    ctx.charge(rounds_run * delta_v, n_threads=max(1, len(elements)))
+    return {
+        vertices[i]: float(dist[i]) for i in range(n) if dist[i] < _INF
+    }

@@ -1,0 +1,218 @@
+"""GPU_X_Shuffle: lock-free message deduplication (Algorithm 3).
+
+One GPU thread is assigned per message bucket; threads are grouped into
+bundles of ``2^eta`` lanes.  In every round each thread reads one message
+from its bucket, then the bundle performs ``eta`` butterfly shuffles with
+lane masks ``2^(eta-1) ... 2^0``.  Between shuffles each thread checks the
+message it received against a small per-thread cache ``Gamma``: an older
+message of a cached object is *replaced in flight* by the cached newer
+one, which is how duplicates die without any lock.  Theorem 1 guarantees
+at most ``mu(eta)`` distinct messages of any object survive a round, so
+the final racy writes into the intermediate table ``T`` need only be
+repeated ``mu(eta)`` times to ensure the newest message lands.
+
+The write race is simulated faithfully: every repetition, all lanes read a
+snapshot of ``T``, decide whether to write, and the writes are applied in
+a seeded random order with last-write-wins — exactly the hazard a real
+GPU exhibits.  The convergence argument (each repetition strictly
+increases the stored timestamp while a newer message exists, and there
+are at most ``mu(eta)`` distinct values) is what the property tests
+exercise.
+
+Deviations from the paper's pseudocode (both required for Theorem 1 to
+hold, see ``tests/core/test_xshuffle.py``):
+
+* the cache ``Gamma`` is cleared at the start of each read round —
+  Algorithm 3 allocates it once, but its size-``eta`` capacity is only
+  sufficient per round; clearing keeps the bound tight and cannot lose
+  messages (a cached entry only duplicates a message still in flight);
+* a final cache check runs *after* the last shuffle — Algorithm 3's loop
+  checks before shuffling, so a message arriving on the ``eta``-th
+  shuffle would never meet the cache, yet the coverage argument behind
+  Theorem 1 (Lemma 1 with ``k = eta``) counts exactly those meetings.
+  Without the final check, a 4-lane bundle can end with 2 distinct
+  survivors where ``mu`` says 1.
+
+All bundles of a launch execute in lockstep on the device, so the kernel
+charges its work once over the full thread count (rounds x (read + eta
+cache/compare steps + eta shuffles) + mu(eta) table-write repetitions);
+only the racy atomic writes are charged per actual conflict.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.messages import CellMessage
+from repro.core.mu import mu
+from repro.simgpu import warp as warp_mod
+from repro.simgpu.kernel import KernelContext
+
+
+@dataclass
+class IntermediateTable:
+    """The table ``T``: per object, one candidate slot per bundle."""
+
+    num_bundles: int
+    slots: dict[int, list[CellMessage | None]] = field(default_factory=dict)
+
+    def slot(self, obj: int, bundle: int) -> CellMessage | None:
+        row = self.slots.get(obj)
+        return row[bundle] if row is not None else None
+
+    def store(self, obj: int, bundle: int, message: CellMessage) -> None:
+        row = self.slots.get(obj)
+        if row is None:
+            row = [None] * self.num_bundles
+            self.slots[obj] = row
+        row[bundle] = message
+
+    def device_nbytes(self) -> int:
+        from repro.simgpu.memory import MESSAGE_BYTES, TABLE_ENTRY_BYTES
+
+        return sum(
+            TABLE_ENTRY_BYTES + self.num_bundles * MESSAGE_BYTES for _ in self.slots
+        )
+
+
+def x_shuffle_kernel(
+    ctx: KernelContext,
+    buckets: list[list[CellMessage]],
+    eta: int,
+    table: IntermediateTable,
+    first_bundle: int,
+    rng: random.Random,
+) -> int:
+    """Clean a batch of buckets into ``table``; returns messages processed.
+
+    Args:
+        ctx: kernel context for work accounting.
+        buckets: one message bucket per thread (ragged; short/empty
+            buckets read ``None`` past their end).
+        eta: bundle-size exponent (``2^eta`` lanes per bundle).
+        table: the shared intermediate table ``T``.
+        first_bundle: global bundle index of this batch's first bundle
+            (bundles from different pipeline chunks must not collide).
+        rng: seeded source for the simulated write-race ordering.
+    """
+    bundle_size = 1 << eta
+    mu_eta = mu(eta)
+    processed = 0
+    atomic_writes = 0
+    for start in range(0, len(buckets), bundle_size):
+        bundle = buckets[start : start + bundle_size]
+        bundle = bundle + [[] for _ in range(bundle_size - len(bundle))]
+        bundle_id = first_bundle + start // bundle_size
+        done, writes = _clean_bundle(bundle, eta, mu_eta, table, bundle_id, rng)
+        processed += done
+        atomic_writes += writes
+
+    # Lockstep accounting over the whole launch: every thread walks the
+    # longest bucket's rounds (shorter buckets idle but stay in step).
+    rounds = max((len(b) for b in buckets), default=0)
+    if rounds:
+        # register work per round: (eta + 1) x (cache lookup + compare)
+        ctx.charge(rounds * 2 * (eta + 1))
+        # global-memory work per round: the bucket read + mu snapshot
+        # reads of T (this is what makes very large serial buckets —
+        # few threads, many rounds — lose in Fig. 4a)
+        ctx.charge_mem(rounds * (1 + mu_eta))
+        for _ in range(rounds * eta):
+            ctx.charge_shuffle(bundle_size)
+    ctx.charge_atomic(atomic_writes)
+    return processed
+
+
+def shuffle_round(
+    lanes: list[CellMessage | None], eta: int
+) -> list[CellMessage | None]:
+    """One cache-and-shuffle round over a bundle's lanes (Algorithm 3
+    lines 5-10 plus the final post-shuffle check, see module docstring).
+
+    Returns the surviving per-lane messages; at most ``mu(eta)`` distinct
+    messages of any single object remain, and the newest message of every
+    object is always among the survivors.
+    """
+    bundle_size = 1 << eta
+    lanes = list(lanes)
+    caches: list[dict[int, CellMessage]] = [dict() for _ in range(bundle_size)]
+
+    def check(lane: int) -> None:
+        m = lanes[lane]
+        if m is None:
+            return
+        cached = caches[lane].get(m.obj)
+        if cached is None or cached.sort_key < m.sort_key:
+            caches[lane][m.obj] = m
+        else:
+            lanes[lane] = cached  # carry the newer message onward
+
+    for j in range(1, eta + 1):
+        for lane in range(bundle_size):
+            check(lane)
+        lanes = warp_mod.shuffle_xor(lanes, 1 << (eta - j))
+    for lane in range(bundle_size):
+        check(lane)  # final check: meetings at the eta-th shuffle count
+    return lanes
+
+
+def _clean_bundle(
+    bundle: list[list[CellMessage]],
+    eta: int,
+    mu_eta: int,
+    table: IntermediateTable,
+    bundle_id: int,
+    rng: random.Random,
+) -> tuple[int, int]:
+    """Run Algorithm 3 on one bundle; returns (messages, atomic writes)."""
+    rounds = max((len(b) for b in bundle), default=0)
+    processed = 0
+    atomic_writes = 0
+    for i in range(rounds - 1, -1, -1):
+        # every lane reads one message from its bucket (line 4)
+        read: list[CellMessage | None] = [
+            bucket[i] if i < len(bucket) else None for bucket in bundle
+        ]
+        processed += sum(1 for m in read if m is not None)
+        lanes = shuffle_round(read, eta)
+        # racy table writes, repeated mu(eta) times (lines 11-13)
+        for _ in range(mu_eta):
+            snapshot = {
+                lane: table.slot(m.obj, bundle_id)
+                for lane, m in enumerate(lanes)
+                if m is not None
+            }
+            writers = [
+                lane
+                for lane, m in enumerate(lanes)
+                if m is not None
+                and (snapshot[lane] is None or snapshot[lane].sort_key < m.sort_key)
+            ]
+            rng.shuffle(writers)  # last write wins, in arbitrary order
+            for lane in writers:
+                table.store(lanes[lane].obj, bundle_id, lanes[lane])
+            atomic_writes += len(writers)
+    return processed, atomic_writes
+
+
+def collect_kernel(
+    ctx: KernelContext, table: IntermediateTable
+) -> dict[int, CellMessage]:
+    """``GPU_Collect``: reduce each object's bundle slots to its latest.
+
+    One thread per object scans the object's per-bundle candidates and
+    returns ``{obj: latest message}``.
+    """
+    result: dict[int, CellMessage] = {}
+    for obj, row in table.slots.items():
+        latest: CellMessage | None = None
+        for m in row:
+            if m is not None and (latest is None or m.sort_key > latest.sort_key):
+                latest = m
+        if latest is not None:
+            result[obj] = latest
+    # parallel reduction over the bundle axis: log2 depth per object
+    depth = max(1, (table.num_bundles - 1).bit_length())
+    ctx.charge(depth, n_threads=max(1, len(table.slots)))
+    return result

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the G-Grid reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Subclasses mirror the main subsystems: graph loading,
+index construction, GPU simulation and query processing.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed road-network graphs (bad vertices/edges)."""
+
+
+class GraphFormatError(GraphError):
+    """Raised when parsing an external graph file (e.g. DIMACS) fails."""
+
+
+class PartitionError(ReproError):
+    """Raised when graph partitioning cannot satisfy its constraints."""
+
+
+class IndexError_(ReproError):
+    """Raised for G-Grid index construction or maintenance failures.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """
+
+
+class CapacityError(IndexError_):
+    """Raised when a fixed-capacity array (cell/vertex/bucket) overflows."""
+
+
+class UnknownObjectError(IndexError_):
+    """Raised when an operation references an object id never ingested."""
+
+
+class UnknownEdgeError(IndexError_):
+    """Raised when a message references an edge absent from the network."""
+
+
+class GpuError(ReproError):
+    """Base class for GPU-simulator errors."""
+
+
+class DeviceMemoryError(GpuError):
+    """Raised when a simulated allocation exceeds device memory."""
+
+
+class KernelError(GpuError):
+    """Raised when a simulated kernel is launched with invalid geometry."""
+
+
+class TransferError(GpuError):
+    """Raised for invalid host<->device transfer requests."""
+
+
+class QueryError(ReproError):
+    """Raised for invalid kNN query parameters (k <= 0, bad location...)."""
+
+
+class ConfigError(ReproError):
+    """Raised when a configuration value is out of its legal range."""

@@ -1,0 +1,64 @@
+"""Moving-object state.
+
+A :class:`MovingObject` is a point constrained to the road network: it
+sits ``offset`` metres along a directed edge and advances toward the
+edge's destination at its own speed.  At the destination vertex it picks
+the next outgoing edge (avoiding an immediate U-turn when possible).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.location import NetworkLocation
+
+
+@dataclass
+class MovingObject:
+    """One simulated vehicle.
+
+    Attributes:
+        obj_id: unique object id.
+        edge: current edge id.
+        offset: metres travelled along the current edge.
+        speed: metres per second (constant per object).
+    """
+
+    obj_id: int
+    edge: int
+    offset: float
+    speed: float
+
+    def location(self) -> NetworkLocation:
+        return NetworkLocation(self.edge, self.offset)
+
+    def advance(self, graph: RoadNetwork, dt: float, rng: random.Random) -> None:
+        """Move forward ``dt`` seconds along the network.
+
+        Crosses as many vertices as the distance covers; at each vertex a
+        random outgoing edge is chosen, preferring one that does not turn
+        straight back onto the edge just travelled.
+        """
+        remaining = self.speed * dt
+        while remaining > 0:
+            edge = graph.edge(self.edge)
+            to_go = edge.weight - self.offset
+            if remaining < to_go:
+                self.offset += remaining
+                return
+            remaining -= to_go
+            self.edge = self._next_edge(graph, edge.dest, came_from=edge.source, rng=rng)
+            self.offset = 0.0
+
+    @staticmethod
+    def _next_edge(
+        graph: RoadNetwork, vertex: int, came_from: int, rng: random.Random
+    ) -> int:
+        out = graph.out_edges(vertex)
+        if not out:  # dead end on a directed network: stay put forever
+            raise ValueError(f"vertex {vertex} has no outgoing edges")
+        forward = [e for e in out if e.dest != came_from]
+        choices = forward if forward else out
+        return rng.choice(choices).id

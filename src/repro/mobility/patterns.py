@@ -1,0 +1,117 @@
+"""Non-uniform workload patterns: hotspots and rush hours.
+
+The paper's MOTO workloads are spatially and temporally uniform; real
+fleets are neither.  These generators stress the index in the ways
+uniform traffic cannot:
+
+* :func:`hotspot_placements` — objects clustered around a few network
+  hotspots (a Zipf-ish city), concentrating message-list backlog into
+  few cells (worst case for per-cell bucket chains);
+* :class:`RushHourGenerator` — a MOTO variant whose update frequency
+  follows a daily profile, producing bursts (worst case for anything
+  eager, and for cleaning backlog after quiet periods).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.core.messages import Message
+from repro.errors import ConfigError
+from repro.mobility.moto import MotoGenerator
+from repro.roadnet.dijkstra import bounded_dijkstra
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.location import NetworkLocation
+
+
+def hotspot_placements(
+    graph: RoadNetwork,
+    num_objects: int,
+    num_hotspots: int = 3,
+    spread: float = 2.0,
+    seed: int = 0,
+) -> dict[int, NetworkLocation]:
+    """Cluster ``num_objects`` around ``num_hotspots`` random centres.
+
+    Each object picks a hotspot (uniformly), then a location on an edge
+    whose source lies within network distance ``spread`` of the centre —
+    so clusters are network-shaped, not circles on the plane.
+
+    Raises:
+        ConfigError: non-positive counts or spread.
+    """
+    if num_objects < 1 or num_hotspots < 1:
+        raise ConfigError("need at least one object and one hotspot")
+    if spread <= 0:
+        raise ConfigError(f"spread must be positive, got {spread}")
+    rng = random.Random(seed)
+    centres = [rng.randrange(graph.num_vertices) for _ in range(num_hotspots)]
+    neighbourhoods = []
+    for centre in centres:
+        near = list(bounded_dijkstra(graph, centre, spread))
+        edges = [e.id for v in near for e in graph.out_edges(v)]
+        neighbourhoods.append(edges or [e.id for e in graph.out_edges(centre)])
+    placements = {}
+    for obj in range(num_objects):
+        edges = neighbourhoods[rng.randrange(num_hotspots)]
+        edge = rng.choice(edges)
+        placements[obj] = NetworkLocation(
+            edge, rng.uniform(0.0, graph.edge(edge).weight)
+        )
+    return placements
+
+
+class RushHourGenerator:
+    """MOTO traces with a time-varying update frequency.
+
+    The frequency profile is piecewise constant:
+    ``profile = [(until_t, frequency), ...]`` — e.g. a quiet night, a
+    morning burst, a steady day.  Within each phase objects behave like
+    the uniform generator at that phase's frequency.
+
+    Example:
+        >>> from repro.roadnet import grid_road_network
+        >>> g = grid_road_network(5, 5, seed=1)
+        >>> gen = RushHourGenerator(g, 10, [(10.0, 0.5), (20.0, 4.0)], seed=1)
+        >>> msgs = list(gen.messages())
+        >>> early = sum(1 for m in msgs if m.t <= 10.0)
+        >>> late = sum(1 for m in msgs if m.t > 10.0)
+        >>> late > early
+        True
+    """
+
+    def __init__(
+        self,
+        graph: RoadNetwork,
+        num_objects: int,
+        profile: list[tuple[float, float]],
+        seed: int = 0,
+    ) -> None:
+        if not profile:
+            raise ConfigError("profile must have at least one phase")
+        last = 0.0
+        for until, freq in profile:
+            if until <= last:
+                raise ConfigError("profile phase ends must strictly increase")
+            if freq <= 0:
+                raise ConfigError("phase frequencies must be positive")
+            last = until
+        self.graph = graph
+        self.num_objects = num_objects
+        self.profile = list(profile)
+        self.seed = seed
+        self._moto = MotoGenerator(graph, num_objects, update_frequency=1.0, seed=seed)
+
+    def initial_placements(self) -> dict[int, NetworkLocation]:
+        return self._moto.initial_placements()
+
+    def messages(self) -> Iterator[Message]:
+        """All phases' messages in global time order."""
+        phase_start = 0.0
+        for until, frequency in self.profile:
+            self._moto.update_frequency = frequency
+            yield from self._moto.messages(
+                duration=until - phase_start, start=phase_start
+            )
+            phase_start = until

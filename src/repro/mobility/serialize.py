@@ -1,0 +1,140 @@
+"""Workload serialisation: record and replay experiment inputs.
+
+Reproducibility beyond seeds: a workload (initial placements, update
+stream, query set) can be written to a JSON-lines file and replayed
+byte-identically on another machine or against another index version.
+
+Format — one JSON object per line, tagged by ``kind``:
+
+    {"kind": "meta", "version": 1, "objects": 100, ...}
+    {"kind": "place", "obj": 0, "edge": 5, "offset": 0.3}
+    {"kind": "update", "obj": 0, "edge": 7, "offset": 0.1, "t": 1.5}
+    {"kind": "query", "t": 5.0, "edge": 3, "offset": 0.0, "k": 16}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.messages import Message
+from repro.errors import ReproError
+from repro.mobility.workload import Query, Workload
+from repro.roadnet.location import NetworkLocation
+
+FORMAT_VERSION = 1
+
+
+def save_workload(workload: Workload, path: str | Path) -> Path:
+    """Write ``workload`` as JSON lines; returns the path."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(
+            json.dumps(
+                {
+                    "kind": "meta",
+                    "version": FORMAT_VERSION,
+                    "objects": len(workload.initial),
+                    "updates": workload.num_updates,
+                    "queries": workload.num_queries,
+                }
+            )
+            + "\n"
+        )
+        for obj, loc in sorted(workload.initial.items()):
+            fh.write(
+                json.dumps(
+                    {
+                        "kind": "place",
+                        "obj": obj,
+                        "edge": loc.edge_id,
+                        "offset": loc.offset,
+                    }
+                )
+                + "\n"
+            )
+        for m in workload.updates:
+            fh.write(
+                json.dumps(
+                    {
+                        "kind": "update",
+                        "obj": m.obj,
+                        "edge": m.edge,
+                        "offset": m.offset,
+                        "t": m.t,
+                    }
+                )
+                + "\n"
+            )
+        for q in workload.queries:
+            fh.write(
+                json.dumps(
+                    {
+                        "kind": "query",
+                        "t": q.t,
+                        "edge": q.location.edge_id,
+                        "offset": q.location.offset,
+                        "k": q.k,
+                    }
+                )
+                + "\n"
+            )
+    return path
+
+
+def load_workload(path: str | Path) -> Workload:
+    """Read a workload written by :func:`save_workload`.
+
+    Raises:
+        ReproError: on version mismatch, unknown records or count
+            mismatches against the meta line.
+    """
+    initial: dict[int, NetworkLocation] = {}
+    updates: list[Message] = []
+    queries: list[Query] = []
+    meta: dict | None = None
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ReproError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
+            kind = record.get("kind")
+            if kind == "meta":
+                if record.get("version") != FORMAT_VERSION:
+                    raise ReproError(
+                        f"{path}: workload version {record.get('version')!r} "
+                        f"!= {FORMAT_VERSION}"
+                    )
+                meta = record
+            elif kind == "place":
+                initial[record["obj"]] = NetworkLocation(
+                    record["edge"], record["offset"]
+                )
+            elif kind == "update":
+                updates.append(
+                    Message(record["obj"], record["edge"], record["offset"], record["t"])
+                )
+            elif kind == "query":
+                queries.append(
+                    Query(
+                        record["t"],
+                        NetworkLocation(record["edge"], record["offset"]),
+                        record["k"],
+                    )
+                )
+            else:
+                raise ReproError(f"{path}:{lineno}: unknown record kind {kind!r}")
+    if meta is None:
+        raise ReproError(f"{path}: missing meta line")
+    workload = Workload(initial=initial, updates=updates, queries=queries)
+    if (
+        len(initial) != meta["objects"]
+        or workload.num_updates != meta["updates"]
+        or workload.num_queries != meta["queries"]
+    ):
+        raise ReproError(f"{path}: record counts disagree with the meta line")
+    return workload

@@ -1,0 +1,117 @@
+"""Experiment workloads: interleaved update streams and query sets.
+
+Section VII-A: "we randomly generate the query locations and assume a
+fixed time interval between the queries" — a workload is the merged,
+time-ordered sequence of object update messages (from the MOTO generator)
+and kNN queries, which the server replays to measure the amortised time
+``(T_u + T_q) / n_q``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Literal
+
+from repro.core.messages import Message
+from repro.errors import ConfigError
+from repro.mobility.moto import MotoGenerator
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.location import NetworkLocation
+
+
+def random_locations(
+    graph: RoadNetwork, count: int, seed: int = 0
+) -> list[NetworkLocation]:
+    """``count`` uniformly random on-edge locations (deterministic)."""
+    rng = random.Random(seed)
+    result = []
+    for _ in range(count):
+        edge = rng.randrange(graph.num_edges)
+        result.append(NetworkLocation(edge, rng.uniform(0.0, graph.edge(edge).weight)))
+    return result
+
+
+@dataclass(frozen=True, slots=True)
+class Query:
+    """One kNN query issued at time ``t``."""
+
+    t: float
+    location: NetworkLocation
+    k: int
+
+
+@dataclass
+class Workload:
+    """A replayable experiment workload.
+
+    Attributes:
+        initial: object placements loaded before the clock starts.
+        updates: location-update messages, time-ordered.
+        queries: kNN queries, time-ordered.
+    """
+
+    initial: dict[int, NetworkLocation]
+    updates: list[Message] = field(default_factory=list)
+    queries: list[Query] = field(default_factory=list)
+
+    @property
+    def num_updates(self) -> int:
+        return len(self.updates)
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.queries)
+
+    def events(self) -> Iterator[tuple[Literal["update", "query"], Message | Query]]:
+        """Merge updates and queries into one time-ordered stream.
+
+        Ties resolve update-first, so a query at time ``t`` sees every
+        message with timestamp ``<= t`` (the snapshot semantics of
+        Definition 1).
+        """
+        ui = qi = 0
+        while ui < len(self.updates) or qi < len(self.queries):
+            take_update = qi >= len(self.queries) or (
+                ui < len(self.updates) and self.updates[ui].t <= self.queries[qi].t
+            )
+            if take_update:
+                yield "update", self.updates[ui]
+                ui += 1
+            else:
+                yield "query", self.queries[qi]
+                qi += 1
+
+
+def make_workload(
+    graph: RoadNetwork,
+    num_objects: int,
+    duration: float,
+    num_queries: int,
+    k: int = 16,
+    update_frequency: float = 1.0,
+    seed: int = 0,
+) -> Workload:
+    """Build the standard experiment workload.
+
+    Objects move and report for ``duration`` seconds at ``f`` updates per
+    second; ``num_queries`` queries are spread at a fixed interval across
+    the duration at random locations (Section VII-A defaults: ``k = 16``,
+    ``|O| = 10^4``, ``f = 1``).
+    """
+    if num_queries < 1:
+        raise ConfigError(f"need at least one query, got {num_queries}")
+    if duration <= 0:
+        raise ConfigError(f"duration must be positive, got {duration}")
+    gen = MotoGenerator(
+        graph, num_objects, update_frequency=update_frequency, seed=seed
+    )
+    initial = gen.initial_placements()
+    updates = list(gen.messages(duration))
+    spacing = duration / num_queries
+    locations = random_locations(graph, num_queries, seed=seed + 1)
+    queries = [
+        Query(t=(i + 1) * spacing, location=loc, k=k)
+        for i, loc in enumerate(locations)
+    ]
+    return Workload(initial=initial, updates=updates, queries=queries)

@@ -1,0 +1,28 @@
+"""Graph-partitioning substrate.
+
+Section III-A of the paper maps the road network's vertices into a
+``2^psi x 2^psi`` grid of cells using the multilevel partitioning scheme of
+Karypis and Kumar (recursive balanced bisection with coarsening and local
+refinement), then orders cells by their Z-curve value.  This subpackage
+implements the whole pipeline from scratch:
+
+* :mod:`repro.partition.coarsen` — heavy-edge-matching graph coarsening;
+* :mod:`repro.partition.kl` — Kernighan–Lin/FM-style boundary refinement;
+* :mod:`repro.partition.multilevel` — the multilevel bisection driver;
+* :mod:`repro.partition.zcurve` — Morton (Z-order) encoding;
+* :mod:`repro.partition.grid_assign` — recursive bisection into grid cells
+  with capacity guarantees.
+"""
+
+from repro.partition.zcurve import z_decode, z_encode
+from repro.partition.multilevel import bisect_graph
+from repro.partition.grid_assign import GridAssignment, assign_cells, psi_for
+
+__all__ = [
+    "z_encode",
+    "z_decode",
+    "bisect_graph",
+    "GridAssignment",
+    "assign_cells",
+    "psi_for",
+]

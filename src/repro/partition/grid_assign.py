@@ -1,0 +1,130 @@
+"""Assigning road-network vertices to graph-grid cells.
+
+Section III-A: given cell capacity ``delta_c``, the vertices are mapped
+into ``2^psi x 2^psi`` cells with ``psi = ceil(0.5 * log2(|V| / delta_c))``
+using recursive balanced bisection (each bisection produced by the
+multilevel partitioner), so that each cell holds at most ``delta_c``
+vertices and cells that are adjacent in the grid tend to hold adjacent
+subgraphs.
+
+The capacity guarantee follows from exact floor/ceil bisection: after
+``2 * psi`` halvings the largest part has ``ceil(|V| / 4^psi)`` vertices,
+and ``4^psi >= |V| / delta_c`` by choice of ``psi``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import PartitionError
+from repro.partition.coarsen import PartGraph
+from repro.partition.multilevel import bisect_graph
+from repro.partition.zcurve import z_encode
+from repro.roadnet.graph import RoadNetwork
+
+
+def psi_for(num_vertices: int, cell_capacity: int) -> int:
+    """The paper's grid exponent: ``ceil(0.5 * log2(|V| / delta_c))``."""
+    if cell_capacity <= 0:
+        raise PartitionError(f"cell capacity must be positive, got {cell_capacity}")
+    if num_vertices <= cell_capacity:
+        return 0
+    return max(0, math.ceil(0.5 * math.log2(num_vertices / cell_capacity)))
+
+
+@dataclass
+class GridAssignment:
+    """Result of partitioning a road network into grid cells.
+
+    Attributes:
+        psi: the grid is ``2^psi`` cells on a side.
+        cell_capacity: the ``delta_c`` used.
+        cell_of_vertex: for each vertex id, the Z-value of its cell.
+        vertices_of_cell: for each Z-value (length ``4^psi``), the sorted
+            vertex ids in that cell.
+    """
+
+    psi: int
+    cell_capacity: int
+    cell_of_vertex: list[int]
+    vertices_of_cell: list[list[int]]
+
+    @property
+    def num_cells(self) -> int:
+        return 1 << (2 * self.psi)
+
+    @property
+    def side(self) -> int:
+        return 1 << self.psi
+
+    def max_cell_size(self) -> int:
+        return max((len(vs) for vs in self.vertices_of_cell), default=0)
+
+
+def assign_cells(
+    graph: RoadNetwork, cell_capacity: int, seed: int = 0
+) -> GridAssignment:
+    """Partition ``graph`` into grid cells of at most ``cell_capacity``.
+
+    The recursion alternates split axes (columns first), so sibling parts
+    land in geometrically adjacent grid rectangles; each split is an exact
+    floor/ceil balanced bisection minimising crossing edges.
+
+    Args:
+        graph: the road network to partition.
+        cell_capacity: the paper's ``delta_c``.
+        seed: base RNG seed (each recursion derives a child seed).
+
+    Returns:
+        A :class:`GridAssignment` with every vertex in exactly one cell
+        and no cell above capacity.
+    """
+    psi = psi_for(graph.num_vertices, cell_capacity)
+    work = PartGraph.from_road_network(graph)
+    n = graph.num_vertices
+    cell_of_vertex = [0] * n
+    side = 1 << psi
+    vertices_of_cell: list[list[int]] = [[] for _ in range(side * side)]
+
+    def subgraph(vertex_ids: list[int]) -> tuple[PartGraph, dict[int, int]]:
+        local = {vid: i for i, vid in enumerate(vertex_ids)}
+        adj: list[dict[int, float]] = [dict() for _ in vertex_ids]
+        for vid in vertex_ids:
+            u = local[vid]
+            for nbr, w in work.adj[vid].items():
+                if nbr in local:
+                    adj[u][local[nbr]] = w
+        return PartGraph([1] * len(vertex_ids), adj), local
+
+    def split(
+        vertex_ids: list[int], depth: int, x0: int, y0: int, w: int, h: int, level_seed: int
+    ) -> None:
+        if depth == 0:
+            z = z_encode(x0, y0, psi)
+            for vid in vertex_ids:
+                cell_of_vertex[vid] = z
+            vertices_of_cell[z] = sorted(vertex_ids)
+            return
+        sub, local = subgraph(vertex_ids)
+        half0 = (len(vertex_ids) + 1) // 2  # ceil: keeps max part <= ceil(n/2^d)
+        side_of = bisect_graph(sub, target_weight0=half0, seed=level_seed)
+        part0 = [vid for vid in vertex_ids if side_of[local[vid]] == 0]
+        part1 = [vid for vid in vertex_ids if side_of[local[vid]] == 1]
+        if w >= h:  # split columns
+            w2 = w // 2
+            split(part0, depth - 1, x0, y0, w2, h, level_seed * 2 + 1)
+            split(part1, depth - 1, x0 + w2, y0, w - w2, h, level_seed * 2 + 2)
+        else:  # split rows
+            h2 = h // 2
+            split(part0, depth - 1, x0, y0, w, h2, level_seed * 2 + 1)
+            split(part1, depth - 1, x0, y0 + h2, w, h - h2, level_seed * 2 + 2)
+
+    split(list(range(n)), 2 * psi, 0, 0, side, side, seed + 1)
+
+    assignment = GridAssignment(psi, cell_capacity, cell_of_vertex, vertices_of_cell)
+    if assignment.max_cell_size() > cell_capacity:  # pragma: no cover - guarded by math
+        raise PartitionError(
+            f"cell capacity {cell_capacity} violated: {assignment.max_cell_size()}"
+        )
+    return assignment

@@ -1,0 +1,127 @@
+"""Kernighan–Lin / Fiduccia–Mattheyses-style bisection refinement.
+
+Given a bisection of a :class:`~repro.partition.coarsen.PartGraph`, the
+refiner greedily moves boundary vertices between the two sides to reduce
+the cut while keeping both sides within a weight budget, with the classic
+KL twist of accepting locally negative moves and rolling back to the best
+prefix.  A separate :func:`rebalance` pass forces exact side weights, which
+the grid assignment uses to guarantee the paper's cell capacity ``delta_c``.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+
+def _gain(adj: list[dict[int, float]], side: list[int], u: int) -> float:
+    """Cut reduction achieved by moving ``u`` to the other side."""
+    external = internal = 0.0
+    for v, w in adj[u].items():
+        if side[v] == side[u]:
+            internal += w
+        else:
+            external += w
+    return external - internal
+
+
+def refine(
+    graph_adj: list[dict[int, float]],
+    vertex_weight: list[int],
+    side: list[int],
+    max_side_weight: tuple[float, float],
+    passes: int = 4,
+) -> list[int]:
+    """Refine a bisection in place and return it.
+
+    Args:
+        graph_adj: symmetric adjacency ``{neighbor: weight}`` per vertex.
+        vertex_weight: weight of each vertex.
+        side: 0/1 side per vertex; modified in place.
+        max_side_weight: weight budget for side 0 and side 1.
+        passes: maximum KL passes; stops early when a pass yields no gain.
+
+    Returns:
+        The refined ``side`` list (same object).
+    """
+    n = len(side)
+    side_weight = [0.0, 0.0]
+    for u in range(n):
+        side_weight[side[u]] += vertex_weight[u]
+
+    for _ in range(passes):
+        moved = [False] * n
+        # max-heap of (-gain, vertex); lazily revalidated
+        heap = [(-_gain(graph_adj, side, u), u) for u in range(n)]
+        heapq.heapify(heap)
+        history: list[tuple[int, float]] = []  # (vertex, cumulative gain)
+        cumulative = 0.0
+        best_prefix, best_gain = 0, 0.0
+
+        while heap:
+            neg_gain, u = heapq.heappop(heap)
+            if moved[u]:
+                continue
+            gain = _gain(graph_adj, side, u)
+            if -neg_gain != gain:  # stale entry: re-push with fresh gain
+                heapq.heappush(heap, (-gain, u))
+                continue
+            target = 1 - side[u]
+            if side_weight[target] + vertex_weight[u] > max_side_weight[target]:
+                moved[u] = True  # cannot move this pass
+                continue
+            # tentatively move u
+            side_weight[side[u]] -= vertex_weight[u]
+            side_weight[target] += vertex_weight[u]
+            side[u] = target
+            moved[u] = True
+            cumulative += gain
+            history.append((u, cumulative))
+            if cumulative > best_gain:
+                best_gain, best_prefix = cumulative, len(history)
+            for v in graph_adj[u]:
+                if not moved[v]:
+                    heapq.heappush(heap, (-_gain(graph_adj, side, v), v))
+
+        # roll back moves beyond the best prefix
+        for u, _ in history[best_prefix:]:
+            target = 1 - side[u]
+            side_weight[side[u]] -= vertex_weight[u]
+            side_weight[target] += vertex_weight[u]
+            side[u] = target
+        if best_gain <= 0:
+            break
+    return side
+
+
+def rebalance(
+    graph_adj: list[dict[int, float]],
+    vertex_weight: list[int],
+    side: list[int],
+    target_weight0: float,
+) -> list[int]:
+    """Force side 0's weight to exactly ``target_weight0``.
+
+    Repeatedly moves the cheapest (highest-gain) vertex from the heavy side
+    until the target is met.  Assumes unit weights can always meet integer
+    targets (true for the grid assignment, which rebalances at the finest,
+    unit-weight level).
+    """
+    side_weight = [0.0, 0.0]
+    for u, s in enumerate(side):
+        side_weight[s] += vertex_weight[u]
+
+    while side_weight[0] != target_weight0:
+        heavy = 0 if side_weight[0] > target_weight0 else 1
+        best_u, best_gain = -1, float("-inf")
+        for u in range(len(side)):
+            if side[u] != heavy:
+                continue
+            g = _gain(graph_adj, side, u)
+            if g > best_gain:
+                best_u, best_gain = u, g
+        if best_u == -1:  # pragma: no cover - heavy side always non-empty
+            break
+        side[best_u] = 1 - heavy
+        side_weight[heavy] -= vertex_weight[best_u]
+        side_weight[1 - heavy] += vertex_weight[best_u]
+    return side

@@ -1,0 +1,131 @@
+"""Multilevel balanced graph bisection (Karypis–Kumar style).
+
+Pipeline per bisection:
+
+1. *Coarsen* with heavy-edge matching until the graph is small
+   (:mod:`repro.partition.coarsen`);
+2. *Initial bisection* of the coarsest graph by BFS region growing from a
+   random seed until half of the total vertex weight is absorbed;
+3. *Uncoarsen*: project each level's bisection to the finer level and run
+   KL/FM refinement with a small balance tolerance
+   (:mod:`repro.partition.kl`);
+4. *Exact rebalance* at the finest (unit-weight) level so the two sides
+   have exactly ``floor(n/2)`` and ``ceil(n/2)`` vertices — the property
+   that lets :mod:`repro.partition.grid_assign` guarantee the paper's cell
+   capacity ``delta_c``.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from repro.errors import PartitionError
+from repro.partition.coarsen import CoarseLevel, PartGraph, coarsen, project
+from repro.partition.kl import rebalance, refine
+
+#: Stop coarsening below this many vertices.
+_COARSEST_SIZE = 48
+
+#: Allowed per-side overweight during refinement (exactness is restored by
+#: the final rebalance pass).
+_BALANCE_TOLERANCE = 0.04
+
+
+def _initial_bisection(graph: PartGraph, target0: float, rng: random.Random) -> list[int]:
+    """Grow side 0 by BFS from a random seed until ``target0`` weight."""
+    n = graph.num_vertices
+    side = [1] * n
+    if n == 0:
+        return side
+    start = rng.randrange(n)
+    absorbed = 0.0
+    queue: deque[int] = deque([start])
+    seen = {start}
+    order = []
+    while queue:
+        u = queue.popleft()
+        order.append(u)
+        for v in graph.adj[u]:
+            if v not in seen:
+                seen.add(v)
+                queue.append(v)
+    # components not reached by BFS are appended in index order
+    order.extend(u for u in range(n) if u not in seen)
+    for u in order:
+        if absorbed >= target0:
+            break
+        side[u] = 0
+        absorbed += graph.vertex_weight[u]
+    return side
+
+
+def bisect_graph(
+    graph: PartGraph,
+    target_weight0: int | None = None,
+    seed: int = 0,
+) -> list[int]:
+    """Bisect ``graph`` into sides of exact weight.
+
+    Args:
+        graph: unit- or integer-weighted working graph.
+        target_weight0: exact weight for side 0; defaults to
+            ``total_weight // 2``.
+        seed: RNG seed (deterministic output per seed).
+
+    Returns:
+        A 0/1 side per vertex with side-0 weight exactly
+        ``target_weight0``.
+
+    Raises:
+        PartitionError: when the target is not achievable (e.g. larger
+            than the total weight).
+    """
+    total = graph.total_weight
+    if target_weight0 is None:
+        target_weight0 = total // 2
+    if not 0 <= target_weight0 <= total:
+        raise PartitionError(
+            f"target weight {target_weight0} outside [0, {total}]"
+        )
+    rng = random.Random(seed)
+
+    # Coarsening phase.
+    levels: list[CoarseLevel] = []
+    current = graph
+    while current.num_vertices > _COARSEST_SIZE:
+        level = coarsen(current, rng)
+        if level.graph.num_vertices >= current.num_vertices:  # no progress
+            break
+        levels.append(level)
+        current = level.graph
+
+    # Initial bisection + refinement on the coarsest graph.
+    side = _initial_bisection(current, float(target_weight0), rng)
+    budget0 = target_weight0 * (1 + _BALANCE_TOLERANCE) + 1
+    budget1 = (total - target_weight0) * (1 + _BALANCE_TOLERANCE) + 1
+    refine(current.adj, current.vertex_weight, side, (budget0, budget1))
+
+    # Uncoarsening with per-level refinement.
+    for level in reversed(levels):
+        side = project(level, side)
+        fine = graph if level is levels[0] else None
+        fine_graph = fine if fine is not None else _fine_graph_of(levels, level, graph)
+        refine(
+            fine_graph.adj,
+            fine_graph.vertex_weight,
+            side,
+            (budget0, budget1),
+        )
+
+    # Exact balance at the finest level.
+    rebalance(graph.adj, graph.vertex_weight, side, float(target_weight0))
+    return side
+
+
+def _fine_graph_of(
+    levels: list[CoarseLevel], level: CoarseLevel, finest: PartGraph
+) -> PartGraph:
+    """The graph one step finer than ``level`` in the coarsening chain."""
+    idx = levels.index(level)
+    return finest if idx == 0 else levels[idx - 1].graph

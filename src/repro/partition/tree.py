@@ -1,0 +1,158 @@
+"""Binary partition trees over a road network.
+
+Both baselines decompose the network hierarchically: V-Tree (Shen et al.)
+partitions into a balanced tree whose leaves are small subgraphs with
+precomputed border-distance matrices, and ROAD (Lee et al.) builds a
+hierarchy of *Rnets* with border-to-border shortcuts.  This module builds
+the shared substrate: a balanced binary bisection tree (each split by the
+multilevel partitioner) with per-node vertex sets, leaf-interval
+containment tests and border-vertex computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PartitionError
+from repro.partition.coarsen import PartGraph
+from repro.partition.multilevel import bisect_graph
+from repro.roadnet.graph import RoadNetwork
+
+
+@dataclass
+class TreeNode:
+    """One node of the partition tree.
+
+    Attributes:
+        id: dense node id (0 is the root).
+        parent: parent node id (-1 for the root).
+        depth: 0 at the root.
+        vertices: the vertex ids this node's subgraph contains.
+        children: child node ids (empty for leaves).
+        leaf_lo / leaf_hi: this node covers leaves ``[leaf_lo, leaf_hi)``,
+            giving O(1) "does this node contain vertex v" via the leaf
+            index of ``v``.
+        borders: vertices with an edge (either direction) crossing the
+            node boundary; empty for the root.
+    """
+
+    id: int
+    parent: int
+    depth: int
+    vertices: list[int]
+    children: list[int] = field(default_factory=list)
+    leaf_lo: int = -1
+    leaf_hi: int = -1
+    borders: list[int] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class PartitionTree:
+    """A balanced binary bisection tree over a road network."""
+
+    def __init__(self, graph: RoadNetwork, leaf_size: int, seed: int = 0) -> None:
+        """Recursively bisect ``graph`` until parts have at most
+        ``leaf_size`` vertices.
+
+        Raises:
+            PartitionError: for a non-positive leaf size.
+        """
+        if leaf_size < 1:
+            raise PartitionError(f"leaf size must be >= 1, got {leaf_size}")
+        self.graph = graph
+        self.leaf_size = leaf_size
+        self.nodes: list[TreeNode] = []
+        self.leaf_of_vertex: list[int] = [-1] * graph.num_vertices
+        self._leaf_count = 0
+        work = PartGraph.from_road_network(graph)
+        self._build(list(range(graph.num_vertices)), parent=-1, depth=0,
+                    work=work, seed=seed + 1)
+        self._leaf_nodes: list[TreeNode] = [None] * self._leaf_count  # type: ignore
+        for node in self.nodes:
+            if node.is_leaf:
+                self._leaf_nodes[node.leaf_lo] = node
+        self._compute_borders()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build(
+        self, vertex_ids: list[int], parent: int, depth: int, work: PartGraph, seed: int
+    ) -> int:
+        node = TreeNode(len(self.nodes), parent, depth, list(vertex_ids))
+        self.nodes.append(node)
+        if len(vertex_ids) <= self.leaf_size:
+            node.leaf_lo = self._leaf_count
+            node.leaf_hi = self._leaf_count + 1
+            for vid in vertex_ids:
+                self.leaf_of_vertex[vid] = self._leaf_count
+            self._leaf_count += 1
+            return node.id
+        local = {vid: i for i, vid in enumerate(vertex_ids)}
+        adj: list[dict[int, float]] = [dict() for _ in vertex_ids]
+        for vid in vertex_ids:
+            u = local[vid]
+            for nbr, w in work.adj[vid].items():
+                if nbr in local:
+                    adj[u][local[nbr]] = w
+        sub = PartGraph([1] * len(vertex_ids), adj)
+        side = bisect_graph(sub, target_weight0=(len(vertex_ids) + 1) // 2, seed=seed)
+        part0 = [vid for vid in vertex_ids if side[local[vid]] == 0]
+        part1 = [vid for vid in vertex_ids if side[local[vid]] == 1]
+        left = self._build(part0, node.id, depth + 1, work, seed * 2 + 1)
+        right = self._build(part1, node.id, depth + 1, work, seed * 2 + 2)
+        node.children = [left, right]
+        node.leaf_lo = self.nodes[left].leaf_lo
+        node.leaf_hi = self.nodes[right].leaf_hi
+        return node.id
+
+    def _compute_borders(self) -> None:
+        for node in self.nodes:
+            if node.parent == -1:
+                continue  # the root has no boundary
+            inside = set(node.vertices)
+            borders = []
+            for vid in node.vertices:
+                crossing = any(
+                    e.dest not in inside for e in self.graph.out_edges(vid)
+                ) or any(e.source not in inside for e in self.graph.in_edges(vid))
+                if crossing:
+                    borders.append(vid)
+            node.borders = borders
+        # the root's "borders" stay empty: nothing crosses it
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_leaves(self) -> int:
+        return self._leaf_count
+
+    @property
+    def root(self) -> TreeNode:
+        return self.nodes[0]
+
+    def leaves(self) -> list[TreeNode]:
+        return [n for n in self.nodes if n.is_leaf]
+
+    def leaf_node_of_vertex(self, vid: int) -> TreeNode:
+        """The leaf node whose subgraph contains vertex ``vid``."""
+        return self._leaf_nodes[self.leaf_of_vertex[vid]]
+
+    def contains(self, node: TreeNode, vid: int) -> bool:
+        """O(1): does ``node``'s subgraph contain vertex ``vid``?"""
+        return node.leaf_lo <= self.leaf_of_vertex[vid] < node.leaf_hi
+
+    def path_to_root(self, node: TreeNode) -> list[TreeNode]:
+        """``node`` and its ancestors up to the root (inclusive)."""
+        path = [node]
+        while path[-1].parent != -1:
+            path.append(self.nodes[path[-1].parent])
+        return path
+
+    @property
+    def depth(self) -> int:
+        return max(n.depth for n in self.nodes)

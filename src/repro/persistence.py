@@ -1,0 +1,113 @@
+"""Saving and restoring index state.
+
+A query server restarting should not have to re-solicit every object's
+location, so the library supports snapshotting a
+:class:`~repro.core.ggrid.GGridIndex` to a single JSON file — the road
+network (vertices with coordinates, edges with weights), the
+configuration, and the latest known object locations — and restoring an
+equivalent index from it.  Cached message lists are *not* persisted: the
+object table already holds each object's newest location (Algorithm 1
+keeps it eager), so the restored index bulk-loads those and is
+immediately queryable with identical answers.
+
+Example:
+    >>> import tempfile, os
+    >>> from repro import GGridIndex, Message
+    >>> from repro.roadnet import grid_road_network
+    >>> index = GGridIndex(grid_road_network(5, 5, seed=1))
+    >>> index.ingest(Message(1, 0, 0.25, 3.0))
+    >>> path = os.path.join(tempfile.mkdtemp(), "snap.json")
+    >>> _ = save_index(index, path)
+    >>> restored = load_index(path)
+    >>> restored.object_table.get(1).offset
+    0.25
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.config import GGridConfig
+from repro.core.ggrid import GGridIndex
+from repro.core.messages import Message
+from repro.errors import ReproError
+from repro.roadnet.graph import RoadNetwork
+
+#: bumped on breaking snapshot-layout changes
+SNAPSHOT_VERSION = 1
+
+#: GGridConfig fields persisted (the GPU cost model is environment, not state)
+_CONFIG_FIELDS = (
+    "delta_c",
+    "delta_v",
+    "delta_b",
+    "eta",
+    "rho",
+    "t_delta",
+    "cpu_workers",
+    "python_speedup",
+    "pipelined_transfers",
+    "sdist_early_exit",
+    "seed",
+)
+
+
+def save_index(index: GGridIndex, path: str | Path) -> Path:
+    """Snapshot ``index`` (graph + config + object locations) to JSON."""
+    graph = index.graph
+    snapshot = {
+        "version": SNAPSHOT_VERSION,
+        "graph": {
+            "vertices": [[v.x, v.y] for v in graph.vertices()],
+            "edges": [[e.source, e.dest, e.weight] for e in graph.edges()],
+        },
+        "config": {
+            name: getattr(index.config, name) for name in _CONFIG_FIELDS
+        },
+        "objects": [
+            [obj, entry.edge, entry.offset, entry.t]
+            for obj, entry in sorted(index.object_table.objects().items())
+        ],
+        "latest_time": index.latest_time,
+    }
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh)
+    return path
+
+
+def load_index(path: str | Path) -> GGridIndex:
+    """Restore a :class:`GGridIndex` from a :func:`save_index` snapshot.
+
+    Raises:
+        ReproError: on version mismatch or malformed snapshots.
+    """
+    with open(path, encoding="utf-8") as fh:
+        snapshot = json.load(fh)
+    if snapshot.get("version") != SNAPSHOT_VERSION:
+        raise ReproError(
+            f"snapshot version {snapshot.get('version')!r} is not "
+            f"{SNAPSHOT_VERSION} (file: {path})"
+        )
+    try:
+        graph = RoadNetwork()
+        for x, y in snapshot["graph"]["vertices"]:
+            graph.add_vertex(x, y)
+        for source, dest, weight in snapshot["graph"]["edges"]:
+            graph.add_edge(source, dest, weight)
+        config = GGridConfig(**snapshot["config"])
+        index = GGridIndex(graph, config)
+        for obj, edge, offset, t in snapshot["objects"]:
+            index.ingest(Message(obj, edge, offset, t))
+        index.latest_time = max(index.latest_time, snapshot["latest_time"])
+        return index
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"malformed snapshot {path}: {exc}") from exc
+
+
+def config_to_dict(config: GGridConfig) -> dict[str, object]:
+    """The persistable subset of a configuration (diagnostics helper)."""
+    full = dataclasses.asdict(config)
+    return {name: full[name] for name in _CONFIG_FIELDS}

@@ -1,0 +1,150 @@
+"""Goal-directed point-to-point shortest paths: A* and bidirectional
+Dijkstra.
+
+The kNN algorithms never need point-to-point queries, but a road-network
+library does (ETA between two locations, distance checks in tests and
+examples).  Both algorithms return exactly the Dijkstra distance:
+
+* :func:`astar` uses a scaled-Euclidean heuristic that is *provably
+  admissible* for the given graph — the scale is the minimum edge
+  weight / Euclidean length ratio, so ``h(v) <= dist(v, goal)`` always;
+* :func:`bidirectional_dijkstra` races forward and backward searches and
+  stops on the standard top-of-heap criterion.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable
+
+from repro.roadnet.graph import RoadNetwork
+
+_INF = float("inf")
+
+
+def euclidean_heuristic_scale(graph: RoadNetwork) -> float:
+    """The largest ``c`` such that ``c * euclid(u, v) <= weight(u->v)``
+    for every edge — making ``c * euclid(v, goal)`` admissible.
+
+    Returns 0 (degrading A* to Dijkstra) when any edge is shorter than
+    its endpoints' Euclidean distance allows, or coordinates are absent.
+    """
+    scale = _INF
+    for e in graph.edges():
+        a, b = graph.vertex(e.source), graph.vertex(e.dest)
+        euclid = math.hypot(a.x - b.x, a.y - b.y)
+        if euclid == 0.0:
+            continue
+        scale = min(scale, e.weight / euclid)
+    if scale is _INF or scale == _INF:
+        return 0.0
+    return max(0.0, scale)
+
+
+def astar(
+    graph: RoadNetwork,
+    source: int,
+    goal: int,
+    heuristic: Callable[[int], float] | None = None,
+) -> tuple[float, int]:
+    """A* distance from ``source`` to ``goal``.
+
+    Args:
+        graph: the road network (with coordinates for the default
+            heuristic).
+        source: start vertex.
+        goal: target vertex.
+        heuristic: optional admissible ``h(vertex) -> lower bound``;
+            defaults to the scaled-Euclidean bound.
+
+    Returns:
+        ``(distance, vertices_settled)``; distance is ``inf`` when the
+        goal is unreachable.  With an admissible heuristic the distance
+        equals Dijkstra's and the settled count is usually smaller.
+    """
+    if source == goal:
+        return 0.0, 0
+    if heuristic is None:
+        scale = euclidean_heuristic_scale(graph)
+        gx, gy = graph.vertex(goal).x, graph.vertex(goal).y
+
+        def heuristic(v: int) -> float:
+            vert = graph.vertex(v)
+            return scale * math.hypot(vert.x - gx, vert.y - gy)
+
+    indptr, targets, weights, _ = graph.csr_out()
+    best = {source: 0.0}
+    heap = [(heuristic(source), source)]
+    settled: set[int] = set()
+    while heap:
+        f, v = heapq.heappop(heap)
+        if v in settled:
+            continue
+        settled.add(v)
+        if v == goal:
+            return best[v], len(settled)
+        dv = best[v]
+        for i in range(indptr[v], indptr[v + 1]):
+            u = int(targets[i])
+            nd = dv + float(weights[i])
+            if nd < best.get(u, _INF):
+                best[u] = nd
+                heapq.heappush(heap, (nd + heuristic(u), u))
+    return _INF, len(settled)
+
+
+def bidirectional_dijkstra(
+    graph: RoadNetwork, source: int, goal: int
+) -> tuple[float, int]:
+    """Bidirectional Dijkstra distance from ``source`` to ``goal``.
+
+    Alternates a forward search on the graph and a backward search on
+    the reversed adjacency; terminates when the sum of the two heap tops
+    reaches the best meeting distance.
+
+    Returns ``(distance, vertices_settled)``.
+    """
+    if source == goal:
+        return 0.0, 0
+    f_indptr, f_targets, f_weights, _ = graph.csr_out()
+    b_indptr, b_targets, b_weights, _ = graph.csr_in()
+
+    best = {0: {source: 0.0}, 1: {goal: 0.0}}
+    heaps = {0: [(0.0, source)], 1: [(0.0, goal)]}
+    settled: dict[int, set[int]] = {0: set(), 1: set()}
+    meet = _INF
+
+    def expand(side: int) -> None:
+        nonlocal meet
+        d, v = heapq.heappop(heaps[side])
+        if v in settled[side]:
+            return
+        settled[side].add(v)
+        other = 1 - side
+        if v in best[other]:
+            meet = min(meet, d + best[other][v])
+        indptr = f_indptr if side == 0 else b_indptr
+        targets = f_targets if side == 0 else b_targets
+        weights = f_weights if side == 0 else b_weights
+        for i in range(indptr[v], indptr[v + 1]):
+            u = int(targets[i])
+            nd = d + float(weights[i])
+            if nd < best[side].get(u, _INF):
+                best[side][u] = nd
+                heapq.heappush(heaps[side], (nd, u))
+                if u in best[other]:
+                    meet = min(meet, nd + best[other][u])
+
+    while heaps[0] and heaps[1]:
+        top = heaps[0][0][0] + heaps[1][0][0]
+        if top >= meet:
+            break
+        side = 0 if heaps[0][0][0] <= heaps[1][0][0] else 1
+        expand(side)
+    # drain a one-sided remainder only while it can still help
+    for side in (0, 1):
+        while heaps[side] and heaps[side][0][0] < meet:
+            expand(side)
+    total = len(settled[0]) + len(settled[1])
+    return meet, total

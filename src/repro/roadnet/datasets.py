@@ -1,0 +1,134 @@
+"""The six named evaluation road networks (Table II), at reduced scale.
+
+The paper evaluates on DIMACS networks from New York City (264k vertices)
+up to the full USA (24M vertices).  Those are neither downloadable here nor
+tractable for a pure-Python reproduction, so :func:`load_dataset` generates
+deterministic synthetic networks that preserve what the experiments
+actually use:
+
+* the *relative size ordering* NY < COL < FLA < CAL < LKS < USA;
+* each dataset's directed ``|E| / |V|`` ratio from Table II;
+* rough geographic aspect (USA is wide, NY is compact).
+
+The default ``scale`` of 1/2000 keeps the largest network around 12k
+vertices.  Passing real DIMACS files through
+:func:`repro.roadnet.dimacs.read_gr` substitutes the originals unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import GraphError
+from repro.roadnet.generators import grid_dims_for, grid_road_network
+from repro.roadnet.graph import RoadNetwork
+
+DEFAULT_SCALE = 1.0 / 2000.0
+
+#: Minimum synthetic size so even heavily scaled datasets stay non-trivial.
+MIN_VERTICES = 100
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Static description of one Table II dataset.
+
+    Attributes:
+        name: the paper's dataset label.
+        region: human-readable region string from Table II.
+        paper_vertices: |V| reported in Table II.
+        paper_edges: |E| reported in Table II.
+        aspect: rows/cols ratio used when synthesising the stand-in.
+        seed: RNG seed so every load is reproducible.
+    """
+
+    name: str
+    region: str
+    paper_vertices: int
+    paper_edges: int
+    aspect: float
+    seed: int
+
+    @property
+    def edge_ratio(self) -> float:
+        """Directed edges per vertex, preserved in the synthetic network."""
+        return self.paper_edges / self.paper_vertices
+
+    def scaled_vertices(self, scale: float) -> int:
+        return max(MIN_VERTICES, int(round(self.paper_vertices * scale)))
+
+
+#: Table II, in ascending size order (the order Figs. 5/6/10 sweep).
+DATASET_SPECS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        DatasetSpec("NY", "New York City", 264_346, 733_846, 1.0, 101),
+        DatasetSpec("COL", "Colorado", 435_666, 1_057_066, 1.1, 102),
+        DatasetSpec("FLA", "Florida", 1_070_376, 2_712_798, 1.6, 103),
+        DatasetSpec("CAL", "California and Nevada", 1_890_815, 4_657_742, 1.8, 104),
+        DatasetSpec("LKS", "Great Lakes", 2_758_119, 6_885_658, 0.8, 105),
+        DatasetSpec("USA", "Full USA", 23_974_347, 58_333_344, 0.6, 106),
+    )
+}
+
+#: Size-ascending dataset names, the sweep order used by the benchmarks.
+DATASET_ORDER: tuple[str, ...] = ("NY", "COL", "FLA", "CAL", "LKS", "USA")
+
+
+@lru_cache(maxsize=32)
+def _load_cached(name: str, scale: float) -> RoadNetwork:
+    spec = DATASET_SPECS[name]
+    n = spec.scaled_vertices(scale)
+    rows, cols = grid_dims_for(n, spec.aspect)
+    return grid_road_network(
+        rows,
+        cols,
+        edge_ratio=spec.edge_ratio,
+        seed=spec.seed,
+    )
+
+
+def load_dataset(name: str, scale: float = DEFAULT_SCALE) -> RoadNetwork:
+    """Load (generate) a named evaluation network.
+
+    Args:
+        name: one of ``NY, COL, FLA, CAL, LKS, USA`` (case-insensitive).
+        scale: fraction of the paper's vertex count to synthesise; the
+            default 1/2000 keeps USA around 12k vertices.
+
+    Returns:
+        A deterministic, strongly connected :class:`RoadNetwork`.  Results
+        are cached per ``(name, scale)``; callers must not mutate them.
+
+    Raises:
+        GraphError: unknown dataset name or non-positive scale.
+    """
+    key = name.upper()
+    if key not in DATASET_SPECS:
+        raise GraphError(
+            f"unknown dataset {name!r}; expected one of {sorted(DATASET_SPECS)}"
+        )
+    if scale <= 0:
+        raise GraphError(f"scale must be positive, got {scale}")
+    return _load_cached(key, scale)
+
+
+def dataset_table(scale: float = DEFAULT_SCALE) -> list[dict[str, object]]:
+    """Regenerate Table II: per-dataset |V| and |E|, paper vs synthetic."""
+    rows = []
+    for name in DATASET_ORDER:
+        spec = DATASET_SPECS[name]
+        g = load_dataset(name, scale)
+        rows.append(
+            {
+                "dataset": name,
+                "region": spec.region,
+                "paper_V": spec.paper_vertices,
+                "paper_E": spec.paper_edges,
+                "V": g.num_vertices,
+                "E": g.num_edges,
+                "edge_ratio": round(g.num_edges / g.num_vertices, 3),
+            }
+        )
+    return rows

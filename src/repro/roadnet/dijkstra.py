@@ -1,0 +1,149 @@
+"""Shortest-path primitives over :class:`~repro.roadnet.graph.RoadNetwork`.
+
+These are the CPU reference algorithms the paper builds on:
+
+* :func:`dijkstra` / :func:`multi_source_dijkstra` — textbook binary-heap
+  Dijkstra, used as ground truth for ``GPU_SDist`` and by the baselines;
+* :func:`bounded_dijkstra` — radius-limited search used by ``Refine_kNN``
+  (Algorithm 6) to explore an unresolved vertex's unresolved range;
+* :func:`shortest_path_distance` — point-to-point with early termination.
+
+All functions run on out-edges of the given graph; searching "towards" a
+vertex is done by the callers on :meth:`RoadNetwork.reversed`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Mapping
+
+from repro.roadnet.graph import RoadNetwork
+
+_INF = float("inf")
+
+
+def dijkstra(graph: RoadNetwork, source: int, targets: Iterable[int] | None = None) -> dict[int, float]:
+    """Single-source shortest distances from ``source``.
+
+    Args:
+        graph: the road network.
+        source: start vertex id.
+        targets: optional set of vertices; the search stops early once all
+            of them are settled.
+
+    Returns:
+        ``{vertex: distance}`` for every settled vertex (all reachable
+        vertices when ``targets`` is None).
+    """
+    return multi_source_dijkstra(graph, {source: 0.0}, targets=targets)
+
+
+def multi_source_dijkstra(
+    graph: RoadNetwork,
+    seeds: Mapping[int, float],
+    targets: Iterable[int] | None = None,
+    radius: float = _INF,
+) -> dict[int, float]:
+    """Dijkstra from multiple seed vertices with given initial costs.
+
+    This is the workhorse behind query-location searches: a location on an
+    edge seeds the edge's destination vertex with the remaining edge length
+    (see :func:`repro.roadnet.location.entry_costs`).
+
+    Args:
+        graph: the road network.
+        seeds: ``{vertex: initial_cost}``; costs may be non-zero.
+        targets: optional early-exit target set.
+        radius: do not settle vertices farther than this.
+
+    Returns:
+        ``{vertex: distance}`` over settled vertices within ``radius``.
+    """
+    indptr, targets_arr, weights, _ = graph.csr_out()
+    dist: dict[int, float] = {}
+    pending = set(targets) if targets is not None else None
+    heap: list[tuple[float, int]] = [(c, v) for v, c in seeds.items()]
+    heapq.heapify(heap)
+    best: dict[int, float] = dict(seeds)
+    while heap:
+        d, v = heapq.heappop(heap)
+        if v in dist or d > radius:
+            continue
+        dist[v] = d
+        if pending is not None:
+            pending.discard(v)
+            if not pending:
+                break
+        start, end = indptr[v], indptr[v + 1]
+        for i in range(start, end):
+            u = int(targets_arr[i])
+            nd = d + float(weights[i])
+            if nd < best.get(u, _INF) and nd <= radius:
+                best[u] = nd
+                heapq.heappush(heap, (nd, u))
+    return dist
+
+
+def bounded_dijkstra(graph: RoadNetwork, source: int, radius: float) -> dict[int, float]:
+    """All vertices within network distance ``radius`` of ``source``.
+
+    Used by the CPU refinement step: each unresolved vertex ``v`` explores
+    locations with ``dist(v, .) < l - dist(q, v)`` (Definition 3).
+    """
+    return multi_source_dijkstra(graph, {source: 0.0}, radius=radius)
+
+
+def shortest_path_distance(graph: RoadNetwork, source: int, dest: int) -> float:
+    """Point-to-point shortest distance; ``inf`` when unreachable."""
+    if source == dest:
+        return 0.0
+    dist = multi_source_dijkstra(graph, {source: 0.0}, targets=[dest])
+    return dist.get(dest, _INF)
+
+
+def dijkstra_with_paths(
+    graph: RoadNetwork, source: int
+) -> tuple[dict[int, float], dict[int, int]]:
+    """Dijkstra that also records predecessor vertices.
+
+    Returns:
+        ``(dist, parent)`` where ``parent[v]`` is the vertex preceding
+        ``v`` on a shortest path (absent for the source / unreachable).
+    """
+    indptr, targets_arr, weights, _ = graph.csr_out()
+    dist: dict[int, float] = {}
+    parent: dict[int, int] = {}
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    best = {source: 0.0}
+    while heap:
+        d, v = heapq.heappop(heap)
+        if v in dist:
+            continue
+        dist[v] = d
+        start, end = indptr[v], indptr[v + 1]
+        for i in range(start, end):
+            u = int(targets_arr[i])
+            nd = d + float(weights[i])
+            if nd < best.get(u, _INF):
+                best[u] = nd
+                parent[u] = v
+                heapq.heappush(heap, (nd, u))
+    return dist, parent
+
+
+def reconstruct_path(parent: Mapping[int, int], source: int, dest: int) -> list[int]:
+    """Rebuild the vertex path ``source -> dest`` from a parent map.
+
+    Returns an empty list when ``dest`` was not reached.
+    """
+    if dest == source:
+        return [source]
+    if dest not in parent:
+        return []
+    path = [dest]
+    v = dest
+    while v != source:
+        v = parent[v]
+        path.append(v)
+    path.reverse()
+    return path

@@ -1,0 +1,174 @@
+"""Synthetic road-network generators.
+
+The paper evaluates on six DIMACS road networks (Table II) that are not
+redistributable here, so we generate synthetic stand-ins that preserve the
+structural properties the experiments depend on:
+
+* near-planar topology with low, fairly uniform degree;
+* directed edge count / vertex count ratio around 2.4–2.8 (Table II);
+* strong connectivity (every object can reach every query);
+* positive travel-cost weights correlated with Euclidean length.
+
+:func:`grid_road_network` perturbs a rectangular lattice and thins it to a
+target edge ratio while keeping a spanning backbone — the standard road
+stand-in.  :func:`random_road_network` builds a random geometric graph for
+tests that want less regular topology.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.errors import GraphError
+from repro.roadnet.graph import RoadNetwork
+
+
+def grid_road_network(
+    rows: int,
+    cols: int,
+    *,
+    edge_ratio: float = 2.6,
+    jitter: float = 0.25,
+    weight_noise: float = 0.2,
+    diagonal_prob: float = 0.05,
+    seed: int = 0,
+) -> RoadNetwork:
+    """Generate a perturbed-lattice road network.
+
+    The lattice gives ``rows * cols`` vertices.  Each undirected road is
+    materialised as two directed edges (the paper's convention), and roads
+    are removed at random — never breaking a spanning backbone — until the
+    directed ``|E| / |V|`` ratio is approximately ``edge_ratio``.
+
+    Args:
+        rows: lattice rows (>= 2).
+        cols: lattice columns (>= 2).
+        edge_ratio: target directed-edge to vertex ratio (Table II has
+            2.4–2.8 across the six datasets).
+        jitter: max coordinate perturbation as a fraction of cell size.
+        weight_noise: multiplicative weight noise, uniform in
+            ``[1, 1 + weight_noise]``.
+        diagonal_prob: probability of adding a diagonal shortcut per cell,
+            mimicking non-grid roads.
+        seed: RNG seed; generation is fully deterministic per seed.
+
+    Returns:
+        A strongly connected :class:`RoadNetwork`.
+    """
+    if rows < 2 or cols < 2:
+        raise GraphError("grid_road_network needs rows >= 2 and cols >= 2")
+    rng = random.Random(seed)
+    g = RoadNetwork()
+    for r in range(rows):
+        for c in range(cols):
+            g.add_vertex(
+                c + rng.uniform(-jitter, jitter),
+                r + rng.uniform(-jitter, jitter),
+            )
+
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    # Candidate undirected roads: lattice edges plus sparse diagonals.
+    roads: list[tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                roads.append((vid(r, c), vid(r, c + 1)))
+            if r + 1 < rows:
+                roads.append((vid(r, c), vid(r + 1, c)))
+            if r + 1 < rows and c + 1 < cols and rng.random() < diagonal_prob:
+                roads.append((vid(r, c), vid(r + 1, c + 1)))
+
+    # Keep a random spanning tree as the connectivity backbone.
+    rng.shuffle(roads)
+    parent = list(range(g.num_vertices))
+
+    def find(a: int) -> int:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    backbone: list[tuple[int, int]] = []
+    extras: list[tuple[int, int]] = []
+    for u, v in roads:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            backbone.append((u, v))
+        else:
+            extras.append((u, v))
+
+    target_roads = max(len(backbone), int(edge_ratio * g.num_vertices / 2))
+    keep = backbone + extras[: max(0, target_roads - len(backbone))]
+    for u, v in keep:
+        a, b = g.vertex(u), g.vertex(v)
+        length = math.hypot(a.x - b.x, a.y - b.y)
+        weight = max(length, 1e-6) * rng.uniform(1.0, 1.0 + weight_noise)
+        g.add_bidirectional_edge(u, v, weight)
+    return g
+
+
+def random_road_network(
+    num_vertices: int,
+    *,
+    avg_degree: float = 2.6,
+    seed: int = 0,
+) -> RoadNetwork:
+    """Generate a random geometric road network.
+
+    Vertices are placed uniformly in the unit square; each vertex is
+    connected to its nearest unconnected neighbours until the average
+    undirected degree reaches ``avg_degree``; a spanning pass guarantees
+    strong connectivity.  Slower than :func:`grid_road_network` — intended
+    for randomized tests, not for the large benchmark datasets.
+    """
+    if num_vertices < 2:
+        raise GraphError("random_road_network needs at least 2 vertices")
+    rng = random.Random(seed)
+    g = RoadNetwork()
+    points = [(rng.random(), rng.random()) for _ in range(num_vertices)]
+    for x, y in points:
+        g.add_vertex(x, y)
+
+    def dist(u: int, v: int) -> float:
+        (x1, y1), (x2, y2) = points[u], points[v]
+        return math.hypot(x1 - x2, y1 - y2)
+
+    # Connect sequentially to the nearest already-placed vertex: spanning.
+    connected: set[tuple[int, int]] = set()
+    for v in range(1, num_vertices):
+        u = min(range(v), key=lambda u: dist(u, v))
+        g.add_bidirectional_edge(u, v, max(dist(u, v), 1e-6))
+        connected.add((min(u, v), max(u, v)))
+
+    target_roads = int(avg_degree * num_vertices / 2)
+    attempts = 0
+    while len(connected) < target_roads and attempts < 50 * num_vertices:
+        attempts += 1
+        u = rng.randrange(num_vertices)
+        # pick one of the few nearest vertices to keep near-planarity
+        candidates = sorted(
+            (w for w in range(num_vertices) if w != u), key=lambda w: dist(u, w)
+        )[:6]
+        v = rng.choice(candidates)
+        key = (min(u, v), max(u, v))
+        if key in connected:
+            continue
+        connected.add(key)
+        g.add_bidirectional_edge(u, v, max(dist(u, v), 1e-6))
+    return g
+
+
+def grid_dims_for(num_vertices: int, aspect: float = 1.0) -> tuple[int, int]:
+    """Rows/cols whose product is close to ``num_vertices``.
+
+    ``aspect`` is rows/cols; USA-like wide networks use ``aspect < 1``.
+    """
+    if num_vertices < 4:
+        raise GraphError("need at least 4 vertices for a grid")
+    rows = max(2, int(round(math.sqrt(num_vertices * aspect))))
+    cols = max(2, int(round(num_vertices / rows)))
+    return rows, cols

@@ -1,0 +1,102 @@
+"""On-edge network locations.
+
+Objects and queries live *on edges*, not just at vertices: a location is a
+pair ``<edge, offset>`` where ``offset`` is the distance already travelled
+from the edge's source vertex (the paper's message fields ``m.e`` and
+``m.d``).  This module defines the location value type and the distance
+conventions used throughout the library:
+
+* distance *from* a location ``q = <e, d>`` to a vertex ``v``:
+  ``(e.w - d) + dist(dest(e), v)`` — the traveller must first finish the
+  current edge (offset 0 collapses to the source vertex);
+* distance from ``q`` to an object at ``<e', d'>``:
+  ``dist(q, source(e')) + d'`` — exactly the formula used by
+  ``GPU_First_k`` in Section V-B, with the special case of both locations
+  sharing an edge with ``d <= d'``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GraphError
+from repro.roadnet.graph import RoadNetwork
+
+
+@dataclass(frozen=True)
+class NetworkLocation:
+    """A position on a road network: ``offset`` metres along ``edge_id``.
+
+    Invariant (checked against a graph via :meth:`validate`):
+    ``0 <= offset <= edge.weight``.
+    """
+
+    edge_id: int
+    offset: float
+
+    def validate(self, graph: RoadNetwork) -> "NetworkLocation":
+        """Check this location is legal on ``graph`` and return ``self``.
+
+        Raises:
+            GraphError: if the edge is unknown or the offset is out of
+                ``[0, weight]``.
+        """
+        edge = graph.edge(self.edge_id)
+        if not 0.0 <= self.offset <= edge.weight + 1e-12:
+            raise GraphError(
+                f"offset {self.offset} outside [0, {edge.weight}] on edge {self.edge_id}"
+            )
+        return self
+
+    def clamp(self, graph: RoadNetwork) -> "NetworkLocation":
+        """Return a copy with the offset clamped into ``[0, weight]``."""
+        w = graph.edge(self.edge_id).weight
+        return NetworkLocation(self.edge_id, min(max(self.offset, 0.0), w))
+
+    def at_source(self) -> bool:
+        """True when the location coincides with the edge's source vertex."""
+        return self.offset == 0.0
+
+    def xy(self, graph: RoadNetwork) -> tuple[float, float]:
+        """Interpolated Euclidean coordinates (for display only)."""
+        edge = graph.edge(self.edge_id)
+        s, t = graph.vertex(edge.source), graph.vertex(edge.dest)
+        frac = 0.0 if edge.weight == 0 else self.offset / edge.weight
+        return s.x + frac * (t.x - s.x), s.y + frac * (t.y - s.y)
+
+
+def entry_costs(graph: RoadNetwork, loc: NetworkLocation) -> dict[int, float]:
+    """Seed costs for a shortest-path search *from* ``loc``.
+
+    Returns ``{vertex: cost}`` mapping the vertices directly reachable from
+    the location: the destination of the current edge at cost
+    ``weight - offset``, plus the source vertex at cost 0 when the offset
+    is exactly 0 (the traveller is standing on the vertex).
+    """
+    loc.validate(graph)
+    edge = graph.edge(loc.edge_id)
+    seeds = {edge.dest: edge.weight - loc.offset}
+    if loc.at_source():
+        seeds[edge.source] = 0.0
+    return seeds
+
+
+def location_distance(
+    graph: RoadNetwork,
+    dist_to_vertex: dict[int, float],
+    query: NetworkLocation,
+    target: NetworkLocation,
+) -> float:
+    """Distance from ``query`` to ``target`` given vertex distances.
+
+    ``dist_to_vertex`` must hold shortest distances *from the query* for at
+    least the source vertex of ``target.edge_id`` (missing vertices are
+    treated as unreachable).  Handles the same-edge shortcut where the
+    target lies ahead of the query on the shared edge.
+    """
+    inf = float("inf")
+    edge = graph.edge(target.edge_id)
+    via_source = dist_to_vertex.get(edge.source, inf) + target.offset
+    if target.edge_id == query.edge_id and target.offset >= query.offset:
+        return min(via_source, target.offset - query.offset)
+    return via_source

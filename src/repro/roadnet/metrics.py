@@ -1,0 +1,84 @@
+"""Road-network statistics.
+
+Summary metrics for datasets and generated networks: degree
+distributions, weight statistics, connectivity and a sampled diameter
+estimate.  Used by the dataset table, tests and anyone validating that a
+loaded network looks like a road network.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.roadnet.dijkstra import dijkstra
+from repro.roadnet.graph import RoadNetwork
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Structural statistics of a road network."""
+
+    vertices: int
+    edges: int
+    edge_ratio: float
+    min_out_degree: int
+    max_out_degree: int
+    mean_out_degree: float
+    min_weight: float
+    max_weight: float
+    total_weight: float
+    strongly_connected: bool
+
+    @staticmethod
+    def of(graph: RoadNetwork) -> "GraphStats":
+        degrees = [graph.out_degree(v.id) for v in graph.vertices()]
+        weights = [e.weight for e in graph.edges()]
+        n = max(1, graph.num_vertices)
+        return GraphStats(
+            vertices=graph.num_vertices,
+            edges=graph.num_edges,
+            edge_ratio=graph.num_edges / n,
+            min_out_degree=min(degrees, default=0),
+            max_out_degree=max(degrees, default=0),
+            mean_out_degree=sum(degrees) / n,
+            min_weight=min(weights, default=0.0),
+            max_weight=max(weights, default=0.0),
+            total_weight=sum(weights),
+            strongly_connected=graph.is_strongly_connected(),
+        )
+
+
+def estimate_diameter(
+    graph: RoadNetwork, samples: int = 8, seed: int = 0
+) -> float:
+    """Lower-bound diameter estimate by sampled double sweeps.
+
+    From each of ``samples`` random sources, run Dijkstra, jump to the
+    farthest reached vertex and run once more; the maximum eccentricity
+    seen is a (often tight) lower bound on the weighted diameter.
+    """
+    if graph.num_vertices == 0:
+        return 0.0
+    rng = random.Random(seed)
+    best = 0.0
+    for _ in range(samples):
+        source = rng.randrange(graph.num_vertices)
+        dist = dijkstra(graph, source)
+        if not dist:
+            continue
+        far, ecc = max(dist.items(), key=lambda kv: kv[1])
+        best = max(best, ecc)
+        second = dijkstra(graph, far)
+        if second:
+            best = max(best, max(second.values()))
+    return best
+
+
+def degree_histogram(graph: RoadNetwork) -> dict[int, int]:
+    """``{out degree: vertex count}``."""
+    hist: dict[int, int] = {}
+    for v in graph.vertices():
+        d = graph.out_degree(v.id)
+        hist[d] = hist.get(d, 0) + 1
+    return hist

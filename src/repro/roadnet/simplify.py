@@ -1,0 +1,93 @@
+"""Road-network simplification: contracting degree-2 chains.
+
+Raw road data is full of *shape vertices* — degree-2 vertices that only
+encode geometry, not topology.  Contracting each maximal chain of them
+into one edge shrinks the graph (often 2-4x on real data) while
+preserving every shortest distance between the remaining vertices, which
+makes index builds and searches proportionally cheaper.
+
+Only *transit* vertices are contracted: exactly one in-edge and one
+out-edge per direction forming a bidirectional pass-through (or a pure
+one-way pass-through), with no other incident edges.  The mapping back
+to original vertices is returned so object locations can be projected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.roadnet.graph import RoadNetwork
+
+
+@dataclass(frozen=True)
+class SimplifiedNetwork:
+    """Result of :func:`contract_chains`.
+
+    Attributes:
+        graph: the simplified network.
+        kept: original vertex ids that survived, indexed by new id.
+        new_id: ``{original id: new id}`` for surviving vertices.
+    """
+
+    graph: RoadNetwork
+    kept: list[int]
+    new_id: dict[int, int]
+
+
+def _is_transit(graph: RoadNetwork, vid: int) -> bool:
+    """A pure pass-through vertex: its edges form either one two-way
+    road passing through, or one one-way road passing through."""
+    out_edges = graph.out_edges(vid)
+    in_edges = graph.in_edges(vid)
+    out_n = {e.dest for e in out_edges}
+    in_n = {e.source for e in in_edges}
+    if len(out_edges) == 2 and len(in_edges) == 2:
+        # two-way pass-through: same two neighbours on both sides
+        return out_n == in_n and len(out_n) == 2 and vid not in out_n
+    if len(out_edges) == 1 and len(in_edges) == 1:
+        # one-way pass-through: in from one side, out the other
+        return next(iter(in_n)) != next(iter(out_n))
+    return False
+
+
+def contract_chains(graph: RoadNetwork) -> SimplifiedNetwork:
+    """Contract every maximal chain of transit vertices.
+
+    Returns a new network over the non-transit vertices; each contracted
+    chain becomes one edge whose weight is the chain's total weight.
+    Shortest distances between surviving vertices are preserved exactly
+    (property-tested against Dijkstra on the original).
+    """
+    n = graph.num_vertices
+    transit = [_is_transit(graph, v) for v in range(n)]
+    kept = [v for v in range(n) if not transit[v]]
+    if not kept:  # a pure cycle: keep one vertex to anchor it
+        kept = [0]
+        transit[0] = False
+    new_id = {old: i for i, old in enumerate(kept)}
+
+    simplified = RoadNetwork()
+    for old in kept:
+        v = graph.vertex(old)
+        simplified.add_vertex(v.x, v.y)
+
+    # walk chains starting from each kept vertex's out-edges
+    seen_pairs: set[tuple[int, float]] = set()
+    for start in kept:
+        for first in graph.out_edges(start):
+            total = first.weight
+            prev, cur = start, first.dest
+            while transit[cur]:
+                nxt = next(
+                    e for e in graph.out_edges(cur) if e.dest != prev
+                )
+                total += nxt.weight
+                prev, cur = cur, nxt.dest
+            if cur == start:
+                continue  # a loop road back to itself: no effect on distances
+            key = (new_id[start] * graph.num_vertices + new_id[cur], round(total, 12))
+            if key in seen_pairs:
+                continue  # equal-weight parallel duplicate
+            seen_pairs.add(key)
+            simplified.add_edge(new_id[start], new_id[cur], total)
+    return SimplifiedNetwork(simplified, kept, new_id)

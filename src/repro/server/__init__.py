@@ -1,0 +1,33 @@
+"""The query server the experiments drive.
+
+:class:`~repro.server.server.QueryServer` wraps any index implementing
+the :class:`~repro.server.server.KnnIndex` protocol (G-Grid, V-Tree,
+V-Tree (G), ROAD, Naive), replays a
+:class:`~repro.mobility.workload.Workload` and reports the paper's
+metrics — most importantly the amortised per-query time
+``(T_u + T_q) / n_q`` (Section VII-A).
+
+:mod:`repro.server.metrics` converts measured pure-Python wall time and
+simulated GPU time into the modelled times the benchmarks report (see
+DESIGN.md §2 for the calibration rationale).
+"""
+
+from repro.server.maintenance import (
+    BacklogCleaning,
+    MaintenancePolicy,
+    NoMaintenance,
+    PeriodicCleaning,
+)
+from repro.server.metrics import ReplayReport, TimingModel
+from repro.server.server import KnnIndex, QueryServer
+
+__all__ = [
+    "KnnIndex",
+    "QueryServer",
+    "TimingModel",
+    "ReplayReport",
+    "MaintenancePolicy",
+    "NoMaintenance",
+    "PeriodicCleaning",
+    "BacklogCleaning",
+]

@@ -1,0 +1,152 @@
+"""Timing model and replay reports.
+
+The paper's numbers come from a C++/CUDA implementation on a 12-core Xeon
+machine; ours come from pure Python plus a simulated GPU.  To report
+times whose *shape* matches the paper we combine:
+
+* **simulated GPU time** — from the device cost model (exact, not
+  measured);
+* **modelled CPU time** — measured Python wall time divided by
+  ``python_speedup`` (Python-to-compiled factor, applied identically to
+  every algorithm so comparisons stay fair), with embarrassingly parallel
+  phases (the per-unresolved-vertex refinement Dijkstras, Section V-C)
+  further divided by the worker count they would occupy.
+
+Raw wall-clock times are reported alongside so nothing is hidden.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Converts measured/simulated component times into reported times.
+
+    Attributes:
+        python_speedup: divisor for pure-Python wall time (DESIGN.md §2).
+        cpu_workers: CPU threads of the modelled machine (paper: 12).
+        query_parallelism: independent queries the server overlaps; this
+            is what separates *G-Grid* (amortised, overlapped) from
+            *G-Grid (L)* (per-query latency) in Fig. 5.
+        touch_cost_s: modelled cost of one index-entry touch during an
+            update.  Update time is modelled from the *operation count*
+            each index reports (``update_touches``) rather than Python
+            wall time: interpreter overhead flattens the real gap between
+            a lazy append (2-3 touches) and an eager V-Tree/ROAD update
+            (tens of touches), and the op count is what the paper's
+            analysis argues about.
+    """
+
+    python_speedup: float = 50.0
+    cpu_workers: int = 12
+    query_parallelism: int = 4
+    touch_cost_s: float = 5.0e-8
+
+    def __post_init__(self) -> None:
+        if self.python_speedup <= 0:
+            raise ConfigError("python_speedup must be positive")
+        if self.cpu_workers < 1 or self.query_parallelism < 1:
+            raise ConfigError("worker counts must be >= 1")
+        if self.touch_cost_s <= 0:
+            raise ConfigError("touch_cost_s must be positive")
+
+    def cpu_seconds(self, wall: float, parallel_items: int = 1) -> float:
+        """Modelled compiled-CPU time for a measured Python phase."""
+        workers = max(1, min(self.cpu_workers, parallel_items))
+        return wall / self.python_speedup / workers
+
+    def update_seconds(self, touches: int) -> float:
+        """Modelled CPU time for update handling from its op count."""
+        return touches * self.touch_cost_s
+
+
+@dataclass
+class QueryRecord:
+    """Timing of one replayed query."""
+
+    modeled_s: float
+    wall_s: float
+    gpu_s: float
+    transfer_bytes: int
+    used_fallback: bool = False
+
+
+@dataclass
+class ReplayReport:
+    """Aggregated outcome of one workload replay.
+
+    All ``*_modeled`` times are in modelled seconds (see
+    :class:`TimingModel`); ``*_wall`` are raw Python seconds.
+    """
+
+    index_name: str
+    n_updates: int = 0
+    n_queries: int = 0
+    update_wall_s: float = 0.0
+    update_gpu_s: float = 0.0
+    update_touches: int = 0
+    query_records: list[QueryRecord] = field(default_factory=list)
+    timing: TimingModel = field(default_factory=TimingModel)
+
+    # ------------------------------------------------------------------
+    # derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def update_modeled_s(self) -> float:
+        return (
+            self.timing.update_seconds(self.update_touches) + self.update_gpu_s
+        )
+
+    @property
+    def query_modeled_s(self) -> float:
+        return sum(r.modeled_s for r in self.query_records)
+
+    @property
+    def query_wall_s(self) -> float:
+        return sum(r.wall_s for r in self.query_records)
+
+    @property
+    def gpu_seconds(self) -> float:
+        return self.update_gpu_s + sum(r.gpu_s for r in self.query_records)
+
+    @property
+    def transfer_bytes(self) -> int:
+        return sum(r.transfer_bytes for r in self.query_records)
+
+    def amortized_latency_s(self) -> float:
+        """G-Grid (L) style: ``(T_u + T_q) / n_q`` with queries serial."""
+        if not self.n_queries:
+            raise ConfigError("no queries replayed")
+        return (self.update_modeled_s + self.query_modeled_s) / self.n_queries
+
+    def amortized_s(self) -> float:
+        """G-Grid style: query processing overlapped across
+        ``query_parallelism`` in-flight queries."""
+        if not self.n_queries:
+            raise ConfigError("no queries replayed")
+        overlapped = self.query_modeled_s / self.timing.query_parallelism
+        return (self.update_modeled_s + overlapped) / self.n_queries
+
+    def throughput_qps(self) -> float:
+        """Modelled queries per second at full overlap."""
+        return self.n_queries / max(self.amortized_s() * self.n_queries, 1e-12)
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "index": self.index_name,
+            "n_updates": self.n_updates,
+            "n_queries": self.n_queries,
+            "amortized_s": self.amortized_s(),
+            "amortized_latency_s": self.amortized_latency_s(),
+            "update_modeled_s": self.update_modeled_s,
+            "query_modeled_s": self.query_modeled_s,
+            "gpu_s": self.gpu_seconds,
+            "transfer_bytes": self.transfer_bytes,
+            "throughput_qps": self.throughput_qps(),
+            "update_wall_s": self.update_wall_s,
+            "query_wall_s": self.query_wall_s,
+        }

@@ -1,0 +1,180 @@
+"""Capacity planning from the Section VI cost model.
+
+Section II: "The value of t_delta is constrained by the processing power
+of the server."  This module turns that sentence into a tool: given a
+deployment's workload parameters (object count, update frequency, query
+rate, k) and the calibrated per-operation costs, it predicts server
+utilisation and answers the planning questions —
+
+* can this server keep up with the update stream and query rate?
+* what is the highest update frequency (smallest t_delta) it supports?
+* how many queries per second fit next to a given update stream?
+
+The per-operation constants default to the same
+:class:`~repro.server.metrics.TimingModel` /
+:class:`~repro.simgpu.device.CostModel` values the benchmarks use, so
+planner predictions are consistent with replayed measurements (tested in
+``tests/server/test_planner.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import costmodel
+from repro.errors import ConfigError
+from repro.server.metrics import TimingModel
+from repro.simgpu.device import CostModel
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A deployment's workload parameters."""
+
+    num_objects: int
+    update_frequency_hz: float
+    queries_per_second: float
+    k: int = 16
+    rho: float = 1.8
+    delta_b: int = 128
+    eta: int = 5
+    delta_v: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_objects < 1:
+            raise ConfigError("num_objects must be >= 1")
+        if self.update_frequency_hz <= 0 or self.queries_per_second <= 0:
+            raise ConfigError("rates must be positive")
+        if self.k < 1:
+            raise ConfigError("k must be >= 1")
+
+    @property
+    def updates_per_second(self) -> float:
+        return self.num_objects * self.update_frequency_hz
+
+
+@dataclass(frozen=True)
+class CapacityReport:
+    """Planner output: per-second time budgets and the verdict."""
+
+    update_cpu_s_per_s: float
+    query_gpu_s_per_s: float
+    query_cpu_s_per_s: float
+    transfer_bytes_per_s: float
+    utilization: float
+    sustainable: bool
+    max_update_frequency_hz: float
+    max_queries_per_second: float
+
+
+class CapacityPlanner:
+    """Predicts utilisation from the closed-form cost model."""
+
+    #: cached updates per ingested message (G-Grid touches 2-3 entries)
+    TOUCHES_PER_UPDATE = 3
+
+    def __init__(
+        self,
+        timing: TimingModel | None = None,
+        gpu: CostModel | None = None,
+    ) -> None:
+        self.timing = timing or TimingModel()
+        self.gpu = gpu or CostModel()
+
+    # ------------------------------------------------------------------
+    # component estimates (per event)
+    # ------------------------------------------------------------------
+    def update_seconds(self, spec: WorkloadSpec) -> float:
+        """CPU time to cache one update (lazy: a few touches)."""
+        return self.timing.update_seconds(self.TOUCHES_PER_UPDATE)
+
+    def query_gpu_seconds(self, spec: WorkloadSpec) -> float:
+        """Simulated GPU time for one query: transfers + cleaning +
+        candidate kernels, from the Section VI bounds."""
+        f_delta = spec.update_frequency_hz
+        transfer = self.gpu.transfer_time(
+            int(costmodel.transfer_bytes_bound(f_delta, spec.rho, spec.k))
+        )
+        cleaning_ops = costmodel.cleaning_ops_bound(
+            spec.delta_b, spec.eta, f_delta, spec.rho, spec.k
+        )
+        candidate_ops = costmodel.candidate_ops_bound(spec.rho, spec.k, spec.delta_v)
+        threads = max(1.0, f_delta * spec.rho * spec.k / spec.delta_b)
+        kernel = self.gpu.op_time(int(threads), cleaning_ops) + self.gpu.op_time(
+            int(spec.rho * spec.k), candidate_ops
+        )
+        return transfer + kernel + 3 * self.gpu.kernel_launch_time_s
+
+    def query_cpu_seconds(self, spec: WorkloadSpec) -> float:
+        """Modelled CPU refinement time for one query (Section VI-B2)."""
+        ops = costmodel.refine_ops_bound(4.0, spec.rho, spec.k)
+        # ops are Dijkstra settles; cost one touch each, spread over workers
+        return (
+            ops
+            * self.timing.touch_cost_s
+            / max(1, self.timing.cpu_workers)
+        )
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def plan(self, spec: WorkloadSpec) -> CapacityReport:
+        """Utilisation and headroom for a workload spec."""
+        upd = spec.updates_per_second * self.update_seconds(spec)
+        q_gpu = spec.queries_per_second * self.query_gpu_seconds(spec)
+        q_cpu = spec.queries_per_second * self.query_cpu_seconds(spec)
+        transfer_rate = spec.queries_per_second * costmodel.transfer_bytes_bound(
+            spec.update_frequency_hz, spec.rho, spec.k
+        )
+        utilization = upd + q_cpu + q_gpu  # seconds of work per second
+        return CapacityReport(
+            update_cpu_s_per_s=upd,
+            query_gpu_s_per_s=q_gpu,
+            query_cpu_s_per_s=q_cpu,
+            transfer_bytes_per_s=transfer_rate,
+            utilization=utilization,
+            sustainable=utilization < 1.0,
+            max_update_frequency_hz=self._max_frequency(spec),
+            max_queries_per_second=self._max_query_rate(spec),
+        )
+
+    def _max_frequency(self, spec: WorkloadSpec) -> float:
+        """Bisect the highest sustainable update frequency."""
+        lo, hi = 0.0, 1.0
+        while self._utilization_at(spec, frequency=hi) < 1.0 and hi < 1e9:
+            hi *= 2
+        for _ in range(60):
+            mid = (lo + hi) / 2
+            if self._utilization_at(spec, frequency=mid) < 1.0:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    def _max_query_rate(self, spec: WorkloadSpec) -> float:
+        base = spec.updates_per_second * self.update_seconds(spec)
+        per_query = self.query_gpu_seconds(spec) + self.query_cpu_seconds(spec)
+        headroom = max(0.0, 1.0 - base)
+        return headroom / per_query if per_query > 0 else float("inf")
+
+    def _utilization_at(self, spec: WorkloadSpec, frequency: float) -> float:
+        if frequency <= 0:
+            return 0.0
+        probe = WorkloadSpec(
+            num_objects=spec.num_objects,
+            update_frequency_hz=frequency,
+            queries_per_second=spec.queries_per_second,
+            k=spec.k,
+            rho=spec.rho,
+            delta_b=spec.delta_b,
+            eta=spec.eta,
+            delta_v=spec.delta_v,
+        )
+        return self.plan_utilization(probe)
+
+    def plan_utilization(self, spec: WorkloadSpec) -> float:
+        upd = spec.updates_per_second * self.update_seconds(spec)
+        q = spec.queries_per_second * (
+            self.query_gpu_seconds(spec) + self.query_cpu_seconds(spec)
+        )
+        return upd + q

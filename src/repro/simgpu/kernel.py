@@ -1,0 +1,92 @@
+"""Kernel execution contexts.
+
+A kernel in this simulator is a Python function written in lockstep style:
+it manipulates per-lane arrays (one slot per thread) phase by phase and
+reports its work through the :class:`KernelContext` —
+:meth:`~KernelContext.charge` for plain lane operations,
+:meth:`~KernelContext.shuffle_xor` for butterfly shuffles and
+:meth:`~KernelContext.sync_threads` for barriers.  The context converts
+those into simulated time using the owning device's cost model, including
+the warp-size effect: shuffles across warp boundaries cost a full barrier,
+which is why bundles larger than one warp slow down (Fig. 4b).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Sequence, TypeVar
+
+from repro.simgpu import warp as warp_mod
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simgpu.device import SimGpu
+
+T = TypeVar("T")
+
+
+class KernelContext:
+    """Work-accounting handle passed to every simulated kernel."""
+
+    def __init__(self, device: "SimGpu", name: str, n_threads: int) -> None:
+        self.device = device
+        self.name = name
+        self.n_threads = n_threads
+        self.lane_ops = 0
+        self.shuffle_ops = 0
+        self.sync_count = 0
+        self.atomic_ops = 0
+        self.elapsed_s = 0.0
+
+    # ------------------------------------------------------------------
+    # work charging
+    # ------------------------------------------------------------------
+    def charge(self, ops_per_thread: float, n_threads: int | None = None) -> None:
+        """Charge ``ops_per_thread`` lane operations on ``n_threads`` lanes."""
+        n = self.n_threads if n_threads is None else n_threads
+        self.lane_ops += int(math.ceil(ops_per_thread * n))
+        self.elapsed_s += self.device.cost_model.op_time(n, ops_per_thread)
+
+    def charge_mem(self, ops_per_thread: float, n_threads: int | None = None) -> None:
+        """Charge global-memory accesses (slower than register ops)."""
+        n = self.n_threads if n_threads is None else n_threads
+        self.lane_ops += int(math.ceil(ops_per_thread * n))
+        self.elapsed_s += self.device.cost_model.mem_time(n, ops_per_thread)
+
+    def charge_atomic(self, writes: int) -> None:
+        """Charge racy/atomic global-table writes (serialised per conflict)."""
+        self.atomic_ops += writes
+        # atomics contend: model as ~4x a plain lane op each
+        self.elapsed_s += writes * 4 * self.device.cost_model.lane_op_time_s
+
+    def sync_threads(self) -> None:
+        """A grid-wide barrier (the expensive one past warp boundaries)."""
+        self.sync_count += 1
+        self.elapsed_s += self.device.cost_model.sync_cost_s
+
+    # ------------------------------------------------------------------
+    # warp primitives
+    # ------------------------------------------------------------------
+    def charge_shuffle(self, bundle_size: int, n_threads: int | None = None) -> None:
+        """Charge one butterfly-shuffle step over all lanes of the launch.
+
+        When the bundle fits in a warp the shuffle costs one instruction
+        per lane; when it spans multiple warps the exchange must go
+        through shared memory guarded by a barrier, modelled as the
+        shuffle plus a ``sync_threads`` (this is the Fig. 4b effect).
+        """
+        cm = self.device.cost_model
+        n = self.n_threads if n_threads is None else n_threads
+        self.shuffle_ops += n
+        self.elapsed_s += cm.op_time(n, 1) * (cm.shuffle_op_time_s / cm.lane_op_time_s)
+        if bundle_size > cm.warp_size:
+            self.sync_threads()
+
+    def shuffle_xor(self, values: Sequence[T], lane_mask: int) -> list[T]:
+        """Butterfly-shuffle one register across a bundle of lanes,
+        charging the cost for exactly this bundle's lanes."""
+        self.charge_shuffle(len(values), n_threads=len(values))
+        return warp_mod.shuffle_xor(values, lane_mask)
+
+    @property
+    def warp_size(self) -> int:
+        return self.device.cost_model.warp_size

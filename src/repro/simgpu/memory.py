@@ -1,0 +1,115 @@
+"""Device memory model: allocations and byte-size estimation.
+
+The simulator tracks a device memory budget (the paper's Quadro P2000 has
+5 GB; V-Tree (G) on the USA dataset is dropped from Fig. 5 because its
+index exceeds it) and charges host<->device transfers by the byte sizes
+the paper's C structs would have: a message is five 4-byte fields, an edge
+12 bytes, a vertex 32 bytes and a cell 128 bytes including padding
+(Section VII-C1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import DeviceMemoryError
+
+#: Byte sizes of the paper's packed structures (Section VII-C1).
+MESSAGE_BYTES = 20  # <o, c, e, d, t> as five 4-byte fields
+EDGE_BYTES = 12  # <id, v_s, w>
+VERTEX_BYTES = 32  # id + n + delta_v edges at delta_v = 2
+CELL_BYTES = 128  # 104 bytes payload padded to the 128-byte cache line
+TABLE_ENTRY_BYTES = 24  # hash-table entry: key + value tuple
+
+
+def nbytes_of(obj: Any) -> int:
+    """Estimate the device size in bytes of a host object.
+
+    Numpy arrays report exactly; objects may implement ``device_nbytes()``;
+    lists/tuples/sets/dicts sum their elements (dict entries add hashing
+    overhead); scalars count as 4-byte words.  Unknown objects raise so
+    accounting bugs surface instead of silently under-counting.
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if hasattr(obj, "device_nbytes"):
+        return int(obj.device_nbytes())
+    if isinstance(obj, (bool, int, float, np.integer, np.floating)):
+        return 4
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return sum(nbytes_of(x) for x in obj)
+    if isinstance(obj, dict):
+        return sum(TABLE_ENTRY_BYTES + nbytes_of(v) for v in obj.values())
+    raise DeviceMemoryError(f"cannot size object of type {type(obj).__name__}")
+
+
+@dataclass
+class DeviceAllocation:
+    """One named allocation living in simulated device memory."""
+
+    name: str
+    data: Any
+    nbytes: int
+
+
+class DeviceMemory:
+    """Named-allocation device memory with a hard byte budget."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise DeviceMemoryError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._allocations: dict[str, DeviceAllocation] = {}
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(a.nbytes for a in self._allocations.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def store(self, name: str, data: Any, nbytes: int | None = None) -> DeviceAllocation:
+        """Place ``data`` on the device under ``name`` (replacing any prior).
+
+        Raises:
+            DeviceMemoryError: when the allocation would exceed capacity.
+        """
+        size = nbytes_of(data) if nbytes is None else nbytes
+        existing = self._allocations.get(name)
+        projected = self.used_bytes - (existing.nbytes if existing else 0) + size
+        if projected > self.capacity_bytes:
+            raise DeviceMemoryError(
+                f"allocating {size} bytes for {name!r} exceeds device capacity "
+                f"({projected} > {self.capacity_bytes})"
+            )
+        alloc = DeviceAllocation(name, data, size)
+        self._allocations[name] = alloc
+        return alloc
+
+    def fetch(self, name: str) -> Any:
+        """Return the data stored under ``name``.
+
+        Raises:
+            DeviceMemoryError: when nothing is allocated under that name.
+        """
+        if name not in self._allocations:
+            raise DeviceMemoryError(f"no device allocation named {name!r}")
+        return self._allocations[name].data
+
+    def nbytes(self, name: str) -> int:
+        if name not in self._allocations:
+            raise DeviceMemoryError(f"no device allocation named {name!r}")
+        return self._allocations[name].nbytes
+
+    def free(self, name: str) -> None:
+        """Release an allocation (idempotent)."""
+        self._allocations.pop(name, None)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._allocations

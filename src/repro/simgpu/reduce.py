@@ -1,0 +1,118 @@
+"""Warp vote and reduction primitives.
+
+CUDA exposes warp-level collectives besides the butterfly shuffle the
+paper leans on: vote functions (``__ballot_sync``, ``__any_sync``,
+``__all_sync``) and shuffle-based tree reductions.  ``GPU_Collect``
+reduces each object's per-bundle candidates and ``GPU_First_k`` selects
+minima — both are shuffle-reduction patterns, so the simulator provides
+them as first-class, tested primitives.
+
+All functions operate on per-lane value lists (one entry per lane) and
+are pure; cost accounting happens in the calling kernel via
+:meth:`~repro.simgpu.kernel.KernelContext.charge_shuffle`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+from repro.errors import KernelError
+from repro.simgpu.warp import shuffle_xor
+
+T = TypeVar("T")
+
+
+def _check_lanes(n: int) -> None:
+    if n <= 0 or n & (n - 1):
+        raise KernelError(f"lane count must be a power of two, got {n}")
+
+
+def ballot(predicates: Sequence[bool]) -> int:
+    """``__ballot_sync``: a bitmask with bit ``i`` set iff lane ``i``'s
+    predicate holds."""
+    mask = 0
+    for i, p in enumerate(predicates):
+        if p:
+            mask |= 1 << i
+    return mask
+
+
+def any_sync(predicates: Sequence[bool]) -> bool:
+    """``__any_sync``: true iff any lane's predicate holds."""
+    return any(predicates)
+
+
+def all_sync(predicates: Sequence[bool]) -> bool:
+    """``__all_sync``: true iff every lane's predicate holds."""
+    return all(predicates)
+
+
+def warp_reduce(
+    values: Sequence[T], combine: Callable[[T, T], T]
+) -> list[T]:
+    """Butterfly tree reduction: every lane ends with the full reduction.
+
+    Runs ``log2(n)`` shuffle_xor rounds with masks ``n/2, n/4, ..., 1``,
+    combining each lane's value with its butterfly partner's — the
+    standard CUDA all-reduce idiom.  ``combine`` must be associative and
+    commutative.
+
+    Returns the per-lane values after the reduction (all equal).
+    """
+    n = len(values)
+    _check_lanes(n)
+    lanes = list(values)
+    mask = n >> 1
+    while mask:
+        partner = shuffle_xor(lanes, mask)
+        lanes = [combine(a, b) for a, b in zip(lanes, partner)]
+        mask >>= 1
+    return lanes
+
+
+def warp_reduce_min(values: Sequence[float]) -> float:
+    """All-reduce minimum over the warp."""
+    return warp_reduce(values, min)[0]
+
+
+def warp_reduce_max(values: Sequence[float]) -> float:
+    """All-reduce maximum over the warp."""
+    return warp_reduce(values, max)[0]
+
+
+def warp_reduce_sum(values: Sequence[float]) -> float:
+    """All-reduce sum over the warp."""
+    return warp_reduce(values, lambda a, b: a + b)[0]
+
+
+def inclusive_scan(
+    values: Sequence[T], combine: Callable[[T, T], T]
+) -> list[T]:
+    """Hillis–Steele inclusive prefix scan across the lanes.
+
+    ``log2(n)`` rounds of up-shifted combines; lane ``i`` ends with the
+    reduction of lanes ``0..i``.  Used by compaction-style kernels (e.g.
+    packing the survivors of ``GPU_Unresolved``).
+    """
+    n = len(values)
+    _check_lanes(n)
+    lanes = list(values)
+    offset = 1
+    while offset < n:
+        lanes = [
+            combine(lanes[i - offset], lanes[i]) if i >= offset else lanes[i]
+            for i in range(n)
+        ]
+        offset <<= 1
+    return lanes
+
+
+def compact(values: Sequence[T], keep: Sequence[bool]) -> list[T]:
+    """Stream compaction: the kept values, in lane order.
+
+    On a real GPU this is ballot + popcount prefix + scatter; here the
+    semantics suffice (the calling kernel charges the scan depth).
+    """
+    if len(values) != len(keep):
+        raise KernelError("values and keep must have equal lane counts")
+    return [v for v, k in zip(values, keep) if k]

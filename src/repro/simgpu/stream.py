@@ -1,0 +1,73 @@
+"""Pipelined host->device streams.
+
+Section V-A: "we use a pipelined strategy, i.e., let the GPU process and
+receive messages simultaneously" — message lists are shipped in chunks and
+the GPU starts cleaning the first chunk while later chunks are still in
+flight.  :class:`PipelinedStream` reproduces the timing of that overlap:
+chunk ``i``'s processing starts at
+``max(transfer_done[i], process_done[i-1])``, so total time is the classic
+two-stage pipeline makespan, and the saving relative to the blocking
+schedule is credited to ``stats.pipelined_saved_s``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.simgpu.device import SimGpu
+from repro.simgpu.memory import nbytes_of
+
+
+class PipelinedStream:
+    """Overlapped transfer/compute execution of a chunked workload."""
+
+    def __init__(self, device: SimGpu, enabled: bool = True) -> None:
+        self.device = device
+        self.enabled = enabled
+
+    def run(
+        self,
+        chunks: list[Any],
+        process: Callable[[int, Any], Any],
+        name: str = "stream",
+        chunk_nbytes: Callable[[Any], int] | None = None,
+    ) -> list[Any]:
+        """Transfer each chunk host->device, processing as chunks arrive.
+
+        Args:
+            chunks: host-side data chunks, shipped in order.
+            process: called once per chunk *after* its transfer; its GPU
+                work must be charged through kernels on ``self.device``.
+            name: device allocation prefix.
+            chunk_nbytes: optional size override per chunk.
+
+        Returns:
+            The per-chunk results of ``process``.
+
+        The functional result is identical with pipelining on or off; only
+        the simulated timing differs (``pipelined_saved_s`` records the
+        hidden transfer time).
+        """
+        stats = self.device.stats
+        results: list[Any] = []
+        transfer_done = 0.0
+        process_done = 0.0
+        blocking_total = 0.0
+        for i, chunk in enumerate(chunks):
+            size = chunk_nbytes(chunk) if chunk_nbytes else nbytes_of(chunk)
+            alloc = f"{name}.chunk{i}"
+            before_t = stats.transfer_time_s
+            self.device.to_device(alloc, chunk, nbytes=size)
+            t_cost = stats.transfer_time_s - before_t
+            before_k = stats.kernel_time_s
+            results.append(process(i, self.device.fetch(alloc)))
+            k_cost = stats.kernel_time_s - before_k
+            self.device.free(alloc)
+
+            transfer_done += t_cost
+            process_done = max(transfer_done, process_done) + k_cost
+            blocking_total += t_cost + k_cost
+        if self.enabled and chunks:
+            saved = blocking_total - process_done
+            stats.pipelined_saved_s += max(0.0, saved)
+        return results

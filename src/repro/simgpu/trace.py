@@ -1,0 +1,143 @@
+"""Kernel and transfer timeline tracing.
+
+Attach a :class:`GpuTrace` to a :class:`~repro.simgpu.device.SimGpu` to
+record every kernel launch and transfer with its simulated start/end
+time.  The trace exports Chrome-trace-format JSON (loadable in
+``chrome://tracing`` / Perfetto), which is how one debugs where a
+query's simulated GPU time actually goes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.simgpu.device import SimGpu
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One timeline span (times in simulated seconds)."""
+
+    name: str
+    category: str  # "kernel" | "h2d" | "d2h"
+    start_s: float
+    duration_s: float
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class GpuTrace:
+    """Records device activity by wrapping a SimGpu's entry points."""
+
+    def __init__(self, gpu: SimGpu) -> None:
+        self.gpu = gpu
+        self.events: list[TraceEvent] = []
+        self._cursor = 0.0
+        self._installed = False
+        self._orig_launch = None
+        self._orig_to_device = None
+        self._orig_from_device = None
+
+    # ------------------------------------------------------------------
+    # installation
+    # ------------------------------------------------------------------
+    def install(self) -> "GpuTrace":
+        """Start recording (idempotent)."""
+        if self._installed:
+            return self
+        self._orig_launch = self.gpu.launch
+        self._orig_to_device = self.gpu.to_device
+        self._orig_from_device = self.gpu.from_device
+
+        def launch(kernel_name, n_threads, fn, *args, **kwargs):
+            before = self.gpu.stats.kernel_time_s
+            result = self._orig_launch(kernel_name, n_threads, fn, *args, **kwargs)
+            self._emit(
+                kernel_name,
+                "kernel",
+                self.gpu.stats.kernel_time_s - before,
+                {"threads": n_threads},
+            )
+            return result
+
+        def to_device(name, data, nbytes=None):
+            before = self.gpu.stats.transfer_time_s
+            moved = self._orig_to_device(name, data, nbytes=nbytes)
+            self._emit(
+                name, "h2d", self.gpu.stats.transfer_time_s - before, {"bytes": moved}
+            )
+            return moved
+
+        def from_device(name, nbytes=None):
+            before = self.gpu.stats.transfer_time_s
+            data = self._orig_from_device(name, nbytes=nbytes)
+            self._emit(name, "d2h", self.gpu.stats.transfer_time_s - before, {})
+            return data
+
+        self.gpu.launch = launch  # type: ignore[method-assign]
+        self.gpu.to_device = to_device  # type: ignore[method-assign]
+        self.gpu.from_device = from_device  # type: ignore[method-assign]
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        """Stop recording and restore the device's methods."""
+        if not self._installed:
+            return
+        self.gpu.launch = self._orig_launch  # type: ignore[method-assign]
+        self.gpu.to_device = self._orig_to_device  # type: ignore[method-assign]
+        self.gpu.from_device = self._orig_from_device  # type: ignore[method-assign]
+        self._installed = False
+
+    def __enter__(self) -> "GpuTrace":
+        return self.install()
+
+    def __exit__(self, *exc: object) -> None:
+        self.uninstall()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def _emit(
+        self, name: str, category: str, duration: float, detail: dict[str, Any]
+    ) -> None:
+        self.events.append(TraceEvent(name, category, self._cursor, duration, detail))
+        self._cursor += duration
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def total_by_category(self) -> dict[str, float]:
+        totals: dict[str, float] = {}
+        for event in self.events:
+            totals[event.category] = totals.get(event.category, 0.0) + event.duration_s
+        return totals
+
+    def top_kernels(self, n: int = 5) -> list[tuple[str, float]]:
+        """The n kernels with the largest cumulative simulated time."""
+        totals: dict[str, float] = {}
+        for event in self.events:
+            if event.category == "kernel":
+                totals[event.name] = totals.get(event.name, 0.0) + event.duration_s
+        return sorted(totals.items(), key=lambda kv: -kv[1])[:n]
+
+    def to_chrome_trace(self, path: str | Path) -> Path:
+        """Write Chrome-trace JSON (microsecond timestamps)."""
+        records = [
+            {
+                "name": e.name,
+                "cat": e.category,
+                "ph": "X",
+                "ts": e.start_s * 1e6,
+                "dur": e.duration_s * 1e6,
+                "pid": 0,
+                "tid": {"kernel": 0, "h2d": 1, "d2h": 2}.get(e.category, 3),
+                "args": e.detail,
+            }
+            for e in self.events
+        ]
+        path = Path(path)
+        path.write_text(json.dumps({"traceEvents": records}))
+        return path

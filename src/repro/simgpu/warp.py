@@ -1,0 +1,80 @@
+"""Warp-level primitives: butterfly shuffle and friends.
+
+CUDA's ``__shfl_xor_sync`` lets lane ``j`` of a warp read the register of
+lane ``j XOR mask`` with no shared-memory round trip; the paper builds its
+lock-free message deduplication on exactly this *butterfly shuffle*
+(Section IV-C2).  Here a "register file" is a Python list indexed by lane,
+and a shuffle is the corresponding permutation — which is an involution,
+a property the tests verify.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+from repro.errors import KernelError
+
+T = TypeVar("T")
+
+
+def shuffle_xor(values: Sequence[T], lane_mask: int, width: int | None = None) -> list[T]:
+    """Butterfly-shuffle ``values`` between lanes.
+
+    Lane ``j`` receives the value held by lane ``j XOR lane_mask``; with
+    ``width`` given, lanes are grouped into independent sub-warps of that
+    size and the mask must stay within a group (CUDA's ``width`` parameter
+    to ``__shfl_xor_sync``).
+
+    Args:
+        values: one value per lane.
+        lane_mask: the XOR mask ``s``; threads ``j`` and ``j ^ s`` swap.
+        width: sub-warp width; defaults to ``len(values)``.
+
+    Returns:
+        The new per-lane values (input is not modified).
+
+    Raises:
+        KernelError: non-power-of-two geometry or mask escaping the group.
+    """
+    n = len(values)
+    if width is None:
+        width = n
+    if width <= 0 or width & (width - 1):
+        raise KernelError(f"shuffle width must be a power of two, got {width}")
+    if n % width:
+        raise KernelError(f"lane count {n} is not a multiple of width {width}")
+    if not 0 <= lane_mask < width:
+        raise KernelError(f"lane mask {lane_mask} out of range for width {width}")
+    out: list[T] = [None] * n  # type: ignore[list-item]
+    for j in range(n):
+        group = j - (j % width)
+        out[j] = values[group + ((j % width) ^ lane_mask)]
+    return out
+
+
+def lane_id(thread_id: int, warp_size: int) -> int:
+    """Lane index of a thread within its warp."""
+    if warp_size <= 0 or warp_size & (warp_size - 1):
+        raise KernelError(f"warp size must be a power of two, got {warp_size}")
+    return thread_id % warp_size
+
+
+def warp_id(thread_id: int, warp_size: int) -> int:
+    """Warp index of a thread."""
+    if warp_size <= 0 or warp_size & (warp_size - 1):
+        raise KernelError(f"warp size must be a power of two, got {warp_size}")
+    return thread_id // warp_size
+
+
+def bundle_spans(n_threads: int, bundle_size: int) -> list[range]:
+    """Thread-id ranges of the equi-sized bundles (Section IV-C1).
+
+    The final bundle may be short when ``n_threads`` is not a multiple of
+    ``bundle_size`` — the X-shuffle pads it with empty lanes.
+    """
+    if bundle_size <= 0 or bundle_size & (bundle_size - 1):
+        raise KernelError(f"bundle size must be a power of two, got {bundle_size}")
+    return [
+        range(start, min(start + bundle_size, n_threads))
+        for start in range(0, n_threads, bundle_size)
+    ]

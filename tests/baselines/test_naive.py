@@ -1,0 +1,48 @@
+"""Unit tests for the brute-force oracle index."""
+
+import pytest
+
+from repro.baselines.naive import NaiveKnnIndex
+from repro.core.messages import Message
+from repro.errors import QueryError
+from repro.roadnet.location import NetworkLocation
+
+
+def test_ingest_and_query(line_graph):
+    ix = NaiveKnnIndex(line_graph)
+    ix.ingest(Message(1, 0, 0.5, 1.0))
+    edge_23 = next(e for e in line_graph.edges() if e.source == 2 and e.dest == 3)
+    ix.ingest(Message(2, edge_23.id, 0.5, 1.0))
+    answer = ix.knn(NetworkLocation(0, 0.0), k=2, t_now=1.0)
+    assert answer.objects() == [1, 2]
+    assert answer.distances() == pytest.approx([0.5, 2.5])
+
+
+def test_latest_update_wins(line_graph):
+    ix = NaiveKnnIndex(line_graph)
+    ix.ingest(Message(1, 0, 0.1, 1.0))
+    ix.ingest(Message(1, 0, 0.9, 2.0))
+    answer = ix.knn(NetworkLocation(0, 0.0), k=1)
+    assert answer.distances() == pytest.approx([0.9])
+
+
+def test_rejects_markers_and_bad_k(line_graph):
+    ix = NaiveKnnIndex(line_graph)
+    with pytest.raises(QueryError):
+        ix.ingest(Message(1, None, None, 1.0))
+    with pytest.raises(QueryError):
+        ix.knn(NetworkLocation(0, 0.0), k=0)
+
+
+def test_fewer_objects_than_k(line_graph):
+    ix = NaiveKnnIndex(line_graph)
+    ix.ingest(Message(1, 0, 0.5, 1.0))
+    assert len(ix.knn(NetworkLocation(0, 0.0), k=5).entries) == 1
+
+
+def test_reset_objects(line_graph):
+    ix = NaiveKnnIndex(line_graph)
+    ix.ingest(Message(1, 0, 0.5, 1.0))
+    ix.reset_objects()
+    assert ix.knn(NetworkLocation(0, 0.0), k=1).entries == []
+    assert ix.update_touches == 0

@@ -1,0 +1,133 @@
+"""Unit and property tests for the ROAD baseline."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.naive import NaiveKnnIndex
+from repro.baselines.road import RoadIndex
+from repro.core.messages import Message
+from repro.roadnet.generators import grid_road_network
+from repro.roadnet.location import NetworkLocation
+
+
+def _scatter(graph, indexes, rng, objects, rounds):
+    for obj in range(objects):
+        e = rng.randrange(graph.num_edges)
+        m = Message(obj, e, rng.uniform(0, graph.edge(e).weight), 1.0)
+        for ix in indexes:
+            ix.ingest(m)
+    t = 1.0
+    for _ in range(rounds):
+        t += 1.0
+        for obj in rng.sample(range(objects), max(1, objects // 3)):
+            e = rng.randrange(graph.num_edges)
+            m = Message(obj, e, rng.uniform(0, graph.edge(e).weight), t)
+            for ix in indexes:
+                ix.ingest(m)
+    return t
+
+
+def test_matches_oracle(medium_graph):
+    rng = random.Random(2)
+    rd = RoadIndex(medium_graph, leaf_size=20, seed=1)
+    nv = NaiveKnnIndex(medium_graph)
+    t = _scatter(medium_graph, (rd, nv), rng, objects=40, rounds=4)
+    for _ in range(20):
+        e = rng.randrange(medium_graph.num_edges)
+        q = NetworkLocation(e, rng.uniform(0, medium_graph.edge(e).weight))
+        for k in (1, 5, 12):
+            got = rd.knn(q, k, t_now=t).distances()
+            want = nv.knn(q, k, t_now=t).distances()
+            assert [round(x, 9) for x in got] == [round(x, 9) for x in want]
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10**6))
+def test_matches_oracle_property(seed):
+    rng = random.Random(seed)
+    graph = grid_road_network(6, 6, seed=seed % 9)
+    rd = RoadIndex(graph, leaf_size=8 + seed % 16, seed=seed % 5)
+    nv = NaiveKnnIndex(graph)
+    t = _scatter(graph, (rd, nv), rng, objects=12, rounds=3)
+    e = rng.randrange(graph.num_edges)
+    q = NetworkLocation(e, rng.uniform(0, graph.edge(e).weight))
+    k = rng.choice((1, 4, 8))
+    got = rd.knn(q, k, t_now=t).distances()
+    want = nv.knn(q, k, t_now=t).distances()
+    assert [round(x, 9) for x in got] == [round(x, 9) for x in want]
+
+
+def test_matches_oracle_with_sparse_objects(medium_graph):
+    """Sparse objects leave most Rnets empty, exercising the shortcut
+    fly-over path hard."""
+    rng = random.Random(3)
+    rd = RoadIndex(medium_graph, leaf_size=12, seed=1)
+    nv = NaiveKnnIndex(medium_graph)
+    t = _scatter(medium_graph, (rd, nv), rng, objects=3, rounds=2)
+    for _ in range(15):
+        e = rng.randrange(medium_graph.num_edges)
+        q = NetworkLocation(e, rng.uniform(0, medium_graph.edge(e).weight))
+        got = rd.knn(q, 2, t_now=t).distances()
+        want = nv.knn(q, 2, t_now=t).distances()
+        assert [round(x, 9) for x in got] == [round(x, 9) for x in want]
+
+
+def test_shortcuts_match_restricted_dijkstra(medium_graph):
+    from repro.roadnet.dijkstra import multi_source_dijkstra
+
+    rd = RoadIndex(medium_graph, leaf_size=20, seed=1)
+    node_id, table = next(iter(rd.shortcuts.items()))
+    node = rd.tree.nodes[node_id]
+    sub, mapping = medium_graph.subgraph(node.vertices)
+    border = node.borders[0]
+    dist = multi_source_dijkstra(sub, {mapping[border]: 0.0})
+    inverse = {new: old for old, new in mapping.items()}
+    want = {
+        inverse[v]: d
+        for v, d in dist.items()
+        if inverse[v] in set(node.borders) and inverse[v] != border
+    }
+    assert dict(table[border]) == pytest.approx(want)
+
+
+def test_empty_rnets_reduce_settled_vertices(medium_graph):
+    """With no objects in a half of the network, the expansion should
+    settle fewer vertices than plain Dijkstra would."""
+    rng = random.Random(4)
+    rd = RoadIndex(medium_graph, leaf_size=12, seed=1)
+    # put all objects near vertex 0's edges
+    near = [e.id for e in medium_graph.out_edges(0)]
+    for obj, e in enumerate(near):
+        rd.ingest(Message(obj, e, 0.1, 1.0))
+    answer = rd.knn(NetworkLocation(near[0], 0.0), k=len(near), t_now=1.0)
+    assert answer.refine_settled < medium_graph.num_vertices
+
+
+def test_association_directory_counts(medium_graph):
+    rd = RoadIndex(medium_graph, leaf_size=12, seed=1)
+    rd.ingest(Message(1, 0, 0.1, 1.0))
+    leaf = rd.tree.leaf_node_of_vertex(medium_graph.edge(0).source)
+    for node in rd.tree.path_to_root(leaf):
+        assert rd.node_counts[node.id] == 1
+        assert rd.node_objects[node.id] == {1}
+
+
+def test_updates_touch_every_level(medium_graph):
+    rd = RoadIndex(medium_graph, leaf_size=12, seed=1)
+    rd.ingest(Message(1, 0, 0.1, 1.0))
+    first = rd.update_touches
+    rd.ingest(Message(1, 0, 0.2, 2.0))  # same vertex: AD re-validation
+    assert rd.update_touches > first
+    assert first >= rd.tree.depth  # touched each hierarchy level
+
+
+def test_reset_objects(medium_graph):
+    rd = RoadIndex(medium_graph, leaf_size=12, seed=1)
+    rd.ingest(Message(1, 0, 0.1, 1.0))
+    rd.reset_objects()
+    assert rd.locations == {}
+    assert all(c == 0 for c in rd.node_counts)
+    assert rd.knn(NetworkLocation(0, 0.0), k=1).entries == []

@@ -1,0 +1,127 @@
+"""Unit and property tests for the V-Tree baseline."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.naive import NaiveKnnIndex
+from repro.baselines.vtree import VTreeIndex
+from repro.core.messages import Message
+from repro.roadnet.generators import grid_road_network
+from repro.roadnet.location import NetworkLocation
+
+
+def _scatter(graph, indexes, rng, objects, rounds):
+    for obj in range(objects):
+        e = rng.randrange(graph.num_edges)
+        m = Message(obj, e, rng.uniform(0, graph.edge(e).weight), 1.0)
+        for ix in indexes:
+            ix.ingest(m)
+    t = 1.0
+    for _ in range(rounds):
+        t += 1.0
+        for obj in rng.sample(range(objects), max(1, objects // 3)):
+            e = rng.randrange(graph.num_edges)
+            m = Message(obj, e, rng.uniform(0, graph.edge(e).weight), t)
+            for ix in indexes:
+                ix.ingest(m)
+    return t
+
+
+def test_matches_oracle(medium_graph):
+    rng = random.Random(1)
+    vt = VTreeIndex(medium_graph, leaf_size=20, seed=1)
+    nv = NaiveKnnIndex(medium_graph)
+    t = _scatter(medium_graph, (vt, nv), rng, objects=40, rounds=4)
+    for _ in range(20):
+        e = rng.randrange(medium_graph.num_edges)
+        q = NetworkLocation(e, rng.uniform(0, medium_graph.edge(e).weight))
+        for k in (1, 5, 12):
+            got = vt.knn(q, k, t_now=t).distances()
+            want = nv.knn(q, k, t_now=t).distances()
+            assert [round(x, 9) for x in got] == [round(x, 9) for x in want]
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10**6))
+def test_matches_oracle_property(seed):
+    rng = random.Random(seed)
+    graph = grid_road_network(6, 6, seed=seed % 9)
+    vt = VTreeIndex(graph, leaf_size=8 + seed % 20, seed=seed % 5)
+    nv = NaiveKnnIndex(graph)
+    t = _scatter(graph, (vt, nv), rng, objects=15, rounds=3)
+    e = rng.randrange(graph.num_edges)
+    q = NetworkLocation(e, rng.uniform(0, graph.edge(e).weight))
+    k = rng.choice((1, 4, 8))
+    got = vt.knn(q, k, t_now=t).distances()
+    want = nv.knn(q, k, t_now=t).distances()
+    assert [round(x, 9) for x in got] == [round(x, 9) for x in want]
+
+
+def test_pairwise_matrices_match_restricted_dijkstra(medium_graph):
+    from repro.roadnet.dijkstra import multi_source_dijkstra
+
+    vt = VTreeIndex(medium_graph, leaf_size=20, seed=1)
+    leaf = vt.leaves[0]
+    sub, mapping = medium_graph.subgraph(leaf.vertices)
+    u = leaf.vertices[0]
+    dist = multi_source_dijkstra(sub, {mapping[u]: 0.0})
+    inverse = {new: old for old, new in mapping.items()}
+    want = {inverse[v]: d for v, d in dist.items()}
+    assert vt.pair_dist[leaf.id][u] == pytest.approx(want)
+
+
+def test_eager_updates_touch_many_entries(medium_graph):
+    """Each message triggers O(|borders|) index work — the eager cost."""
+    vt = VTreeIndex(medium_graph, leaf_size=20, seed=1)
+    vt.ingest(Message(1, 0, 0.1, 1.0))
+    first = vt.update_touches
+    vt.ingest(Message(1, 0, 0.2, 2.0))  # same leaf, still recomputes
+    assert vt.update_touches - first >= 2
+    assert first > 3  # far more than G-Grid's lazy 2-3 touches
+
+
+def test_object_vector_kept_current(medium_graph):
+    vt = VTreeIndex(medium_graph, leaf_size=20, seed=1)
+    vt.ingest(Message(1, 0, 0.1, 1.0))
+    leaf_id, vec1 = vt.object_vectors[1]
+    vt.ingest(Message(1, 0, 0.4, 2.0))
+    _, vec2 = vt.object_vectors[1]
+    for border in vec1:
+        assert vec2[border] == pytest.approx(vec1[border] + 0.3)
+
+
+def test_cross_leaf_move_updates_counts(medium_graph):
+    vt = VTreeIndex(medium_graph, leaf_size=10, seed=1)
+    edges = list(medium_graph.edges())
+    e1 = edges[0]
+    leaf1 = vt.tree.leaf_node_of_vertex(e1.source)
+    e2 = next(
+        e for e in edges if vt.tree.leaf_node_of_vertex(e.source).id != leaf1.id
+    )
+    vt.ingest(Message(1, e1.id, 0.1, 1.0))
+    assert vt.node_counts[leaf1.id] == 1
+    vt.ingest(Message(1, e2.id, 0.1, 2.0))
+    assert vt.node_counts[leaf1.id] == 0
+    assert 1 not in vt.leaf_objects[leaf1.id]
+    assert vt.node_counts[vt.tree.root.id] == 1
+
+
+def test_index_size_dominated_by_matrices(medium_graph):
+    vt = VTreeIndex(medium_graph, leaf_size=20, seed=1)
+    sizes = vt.size_bytes()
+    assert sizes["matrices"] > sizes["overlay"]
+    assert sizes["total"] >= sizes["matrices"]
+
+
+def test_reset_objects_keeps_matrices(medium_graph):
+    vt = VTreeIndex(medium_graph, leaf_size=20, seed=1)
+    vt.ingest(Message(1, 0, 0.1, 1.0))
+    matrices = vt.size_bytes()["matrices"]
+    vt.reset_objects()
+    assert vt.locations == {}
+    assert vt.size_bytes()["matrices"] == matrices
+    # still answers (with no objects)
+    assert vt.knn(NetworkLocation(0, 0.0), k=1).entries == []

@@ -1,0 +1,80 @@
+"""Unit tests for the GPU-resident V-Tree variant."""
+
+import random
+
+import pytest
+
+from repro.baselines.naive import NaiveKnnIndex
+from repro.baselines.vtree_gpu import VTreeGpuIndex
+from repro.core.messages import Message
+from repro.errors import DeviceMemoryError
+from repro.roadnet.location import NetworkLocation
+from repro.simgpu.device import CostModel, SimGpu
+
+
+def test_matches_oracle(medium_graph):
+    rng = random.Random(1)
+    vg = VTreeGpuIndex(medium_graph, leaf_size=20, seed=1)
+    nv = NaiveKnnIndex(medium_graph)
+    for obj in range(30):
+        e = rng.randrange(medium_graph.num_edges)
+        m = Message(obj, e, rng.uniform(0, medium_graph.edge(e).weight), 1.0)
+        vg.ingest(m)
+        nv.ingest(m)
+    for _ in range(10):
+        e = rng.randrange(medium_graph.num_edges)
+        q = NetworkLocation(e, rng.uniform(0, medium_graph.edge(e).weight))
+        got = vg.knn(q, 5, t_now=1.0).distances()
+        want = nv.knn(q, 5, t_now=1.0).distances()
+        assert [round(x, 9) for x in got] == [round(x, 9) for x in want]
+
+
+def test_index_shipped_to_device(medium_graph):
+    vg = VTreeGpuIndex(medium_graph, leaf_size=20, seed=1)
+    assert vg.gpu.stats.bytes_h2d >= vg.inner.size_bytes()["matrices"]
+    assert "vtree.index" in vg.gpu.memory
+
+
+def test_updates_batched_per_warp(medium_graph):
+    vg = VTreeGpuIndex(medium_graph, leaf_size=20, seed=1)
+    launches_before = vg.gpu.stats.kernel_launches
+    for i in range(31):
+        vg.ingest(Message(i, 0, 0.1, float(i)))
+    assert vg.gpu.stats.kernel_launches == launches_before  # batch not full
+    vg.ingest(Message(31, 0, 0.1, 31.0))
+    assert vg.gpu.stats.kernel_launches == launches_before + 1
+
+
+def test_query_flushes_pending(medium_graph):
+    vg = VTreeGpuIndex(medium_graph, leaf_size=20, seed=1)
+    vg.ingest(Message(1, 0, 0.1, 1.0))  # pending, not yet applied
+    answer = vg.knn(NetworkLocation(0, 0.0), k=1, t_now=1.0)
+    assert answer.entries[0].obj == 1  # flush made it visible
+
+
+def test_index_too_big_for_device_raises(medium_graph):
+    tiny = SimGpu(CostModel(device_memory_bytes=64))
+    with pytest.raises(DeviceMemoryError):
+        VTreeGpuIndex(medium_graph, leaf_size=20, seed=1, gpu=tiny)
+
+
+def test_no_cpu_touches_reported(medium_graph):
+    vg = VTreeGpuIndex(medium_graph, leaf_size=20, seed=1)
+    for i in range(40):
+        vg.ingest(Message(i, 0, 0.1, float(i)))
+    assert vg.update_touches == 0  # work shows up as GPU time instead
+    assert vg.gpu.stats.gpu_time_s > 0
+
+
+def test_size_includes_gpu_copy(medium_graph):
+    vg = VTreeGpuIndex(medium_graph, leaf_size=20, seed=1)
+    sizes = vg.size_bytes()
+    assert sizes["gpu"] == sizes["matrices"]
+    assert sizes["total"] == sizes["cpu"] + sizes["gpu"]
+
+
+def test_reset_objects(medium_graph):
+    vg = VTreeGpuIndex(medium_graph, leaf_size=20, seed=1)
+    vg.ingest(Message(1, 0, 0.1, 1.0))
+    vg.reset_objects()
+    assert vg.knn(NetworkLocation(0, 0.0), k=1).entries == []

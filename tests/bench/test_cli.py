@@ -1,0 +1,44 @@
+"""Tests for the ``python -m repro.bench`` command line."""
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+def test_list_prints_every_experiment(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+    assert "report" in out
+
+
+def test_unknown_experiment_errors(capsys):
+    assert main(["fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_single_experiment(capsys, tmp_path, monkeypatch):
+    import repro.bench.reporting as reporting
+
+    monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table II" in out
+    assert (tmp_path / "table2.json").exists()
+
+
+def test_dataset_override(capsys, tmp_path, monkeypatch):
+    import repro.bench.reporting as reporting
+
+    monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+    assert main(["lazy-vs-eager", "--dataset", "NY"]) == 0
+    assert "lazy" in capsys.readouterr().out
+
+
+def test_report_command(capsys, tmp_path, monkeypatch):
+    import repro.bench.summary as summary
+
+    monkeypatch.setattr(summary, "RESULTS_DIR", tmp_path)
+    assert main(["report"]) == 0
+    assert "report written" in capsys.readouterr().out

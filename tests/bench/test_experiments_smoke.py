@@ -1,0 +1,50 @@
+"""Smoke tests: the experiment drivers produce well-formed rows.
+
+The full grids run under ``pytest benchmarks/``; here each driver runs
+on its smallest configuration so ``pytest tests/`` alone exercises the
+whole experiment code path.
+"""
+
+import pytest
+
+from repro.bench import experiments
+
+
+def test_table2_rows():
+    rows = experiments.table2_datasets()
+    assert len(rows) == 6
+    assert all(r["E"] > r["V"] for r in rows)
+
+
+def test_fig10ab_single_dataset():
+    rows = experiments.fig10ab_scalability(("NY",))
+    assert len(rows) == 1
+    assert rows[0]["throughput_qps"] > 0
+
+
+def test_fig10cd_single_point():
+    rows = experiments.fig10cd_transfer(("NY",), (8,))
+    assert rows[0]["transfer_bytes_per_query"] > 0
+
+
+def test_fig5_single_dataset():
+    rows = experiments.fig5_datasets(("NY",))
+    algorithms = {r["algorithm"] for r in rows}
+    assert algorithms == {"G-Grid", "G-Grid (L)", "V-Tree", "V-Tree (G)", "ROAD"}
+
+
+def test_fig9_two_frequencies():
+    rows = experiments.fig9_vary_frequency("NY", (0.5, 1.0))
+    assert len(rows) == 8
+    assert all(r["amortized_s"] > 0 for r in rows)
+
+
+def test_ablation_sdist_early_exit_rows():
+    rows = experiments.ablation_sdist_early_exit("NY")
+    assert {r["early_exit"] for r in rows} == {True, False}
+
+
+def test_costmodel_rows():
+    rows = experiments.costmodel_validation("NY")
+    assert [r["k"] for r in rows] == [8, 16, 32, 64]
+    assert all(r["bound_bytes"] > 0 for r in rows)

@@ -1,0 +1,63 @@
+"""Unit tests for the benchmark harness."""
+
+import pytest
+
+from repro.bench.harness import build_index, cached_workload, run_point, scaled_objects
+from repro.errors import ConfigError
+
+
+def test_build_index_cached():
+    a = build_index("Naive", "NY")
+    b = build_index("Naive", "NY")
+    assert a is b
+
+
+def test_build_index_distinct_knobs():
+    a = build_index("G-Grid", "NY", (("delta_b", 32),))
+    b = build_index("G-Grid", "NY", (("delta_b", 64),))
+    assert a is not b
+    assert a.config.delta_b == 32 and b.config.delta_b == 64
+
+
+def test_build_index_unknown_algorithm():
+    with pytest.raises(ConfigError):
+        build_index("Quadtree", "NY")
+
+
+def test_scaled_objects_floor():
+    assert scaled_objects("NY") >= 300
+
+
+def test_cached_workload_is_shared():
+    a = cached_workload("NY", 20, 5.0, 2, 4, 1.0, 1)
+    b = cached_workload("NY", 20, 5.0, 2, 4, 1.0, 1)
+    assert a is b
+    assert a.num_queries == 2
+
+
+def test_run_point_produces_report():
+    report = run_point(
+        "Naive", "NY", num_objects=20, duration=4.0, num_queries=2, k=4
+    )
+    assert report.n_queries == 2
+    assert report.amortized_s() > 0
+
+
+def test_run_point_resets_between_runs():
+    r1 = run_point("Naive", "NY", num_objects=20, duration=4.0, num_queries=2, k=4)
+    r2 = run_point("Naive", "NY", num_objects=20, duration=4.0, num_queries=2, k=4)
+    assert r1.n_updates == r2.n_updates  # no state leaked across replays
+
+
+def test_run_point_ggrid_with_knobs():
+    report = run_point(
+        "G-Grid",
+        "NY",
+        num_objects=20,
+        duration=4.0,
+        num_queries=2,
+        k=4,
+        delta_b=16,
+        eta=3,
+    )
+    assert report.gpu_seconds > 0

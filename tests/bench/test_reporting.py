@@ -1,0 +1,38 @@
+"""Unit tests for benchmark result formatting and persistence."""
+
+import json
+
+from repro.bench.reporting import format_table, format_value, save_results
+
+
+def test_format_value_floats():
+    assert format_value(0.0) == "0"
+    assert format_value(1.5) == "1.5"
+    assert "e" in format_value(1.2e-7)
+    assert "e" in format_value(3.4e9)
+
+
+def test_format_value_non_float():
+    assert format_value(42) == "42"
+    assert format_value("x") == "x"
+
+
+def test_format_table_alignment():
+    rows = [{"a": 1, "bb": 2.5}, {"a": 100, "bb": 0.001}]
+    out = format_table(rows, "title")
+    lines = out.splitlines()
+    assert lines[0] == "title"
+    assert lines[1].startswith("a")
+    assert "bb" in lines[1]
+    assert len(lines) == 5  # title + header + rule + 2 rows
+
+
+def test_format_table_empty():
+    assert "(no rows)" in format_table([], "t")
+
+
+def test_save_results_roundtrip(tmp_path):
+    rows = [{"k": 8, "v": 1.5}]
+    path = save_results("unit_test", rows, directory=tmp_path)
+    assert path.name == "unit_test.json"
+    assert json.loads(path.read_text()) == rows

@@ -1,0 +1,59 @@
+"""Tests for the Markdown results report generator."""
+
+import json
+
+from repro.bench.summary import build_report, write_report
+
+
+def _write(tmp_path, stem, rows):
+    (tmp_path / f"{stem}.json").write_text(json.dumps(rows))
+
+
+def test_report_includes_sections(tmp_path):
+    _write(
+        tmp_path,
+        "fig9_vary_frequency",
+        [
+            {"dataset": "NY", "frequency_hz": 1.0, "algorithm": "G-Grid",
+             "amortized_s": 1e-4},
+            {"dataset": "NY", "frequency_hz": 1.0, "algorithm": "ROAD",
+             "amortized_s": 5e-4},
+        ],
+    )
+    report = build_report(tmp_path)
+    assert "## Fig. 9 — varying update frequency" in report
+    assert "| dataset |" in report
+    assert "G-Grid wins by up to 5.0x (vs ROAD)" in report
+
+
+def test_report_skips_none_amortized(tmp_path):
+    _write(
+        tmp_path,
+        "fig5_datasets",
+        [
+            {"dataset": "USA", "algorithm": "G-Grid", "amortized_s": 1e-3},
+            {"dataset": "USA", "algorithm": "V-Tree (G)", "amortized_s": None},
+        ],
+    )
+    report = build_report(tmp_path)
+    assert "None" in report  # rendered in the table
+    # no crash and no win factor against the missing algorithm
+    assert "vs V-Tree (G)" not in report
+
+
+def test_report_empty_directory(tmp_path):
+    report = build_report(tmp_path)
+    assert "No results found" in report
+
+
+def test_write_report(tmp_path):
+    _write(tmp_path, "table2_datasets", [{"dataset": "NY", "V": 132}])
+    path = write_report(tmp_path)
+    assert path.exists()
+    assert "Table II" in path.read_text()
+
+
+def test_unknown_files_ignored(tmp_path):
+    _write(tmp_path, "something_else", [{"x": 1}])
+    report = build_report(tmp_path)
+    assert "something_else" not in report

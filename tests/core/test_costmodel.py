@@ -1,0 +1,53 @@
+"""Unit tests for the Section VI closed-form cost model."""
+
+import pytest
+
+from repro.core.costmodel import (
+    candidate_ops_bound,
+    cleaning_ops_bound,
+    messages_transferred_bound,
+    refine_ops_bound,
+    refine_radius,
+    space_graph_grid,
+    space_message_lists,
+    space_object_table,
+    transfer_bytes_bound,
+)
+
+
+def test_space_formulas_linear():
+    assert space_graph_grid(100, 250) == 350
+    assert space_message_lists(2.0, 1000) == 2000.0
+    assert space_object_table(10) == 10 * space_object_table(1)
+
+
+def test_transfer_bound_scales_with_k_and_rho():
+    base = messages_transferred_bound(1.0, 1.8, 16)
+    assert messages_transferred_bound(1.0, 1.8, 32) == pytest.approx(2 * base)
+    assert messages_transferred_bound(2.0, 1.8, 16) == pytest.approx(2 * base)
+    assert transfer_bytes_bound(1.0, 1.8, 16) == pytest.approx(base * 20)
+
+
+def test_cleaning_bound_dominated_by_bucket_capacity():
+    small = cleaning_ops_bound(8, 5, 1.0, 1.8, 16)
+    large = cleaning_ops_bound(256, 5, 1.0, 1.8, 16)
+    assert large > small
+    assert large / small > 10  # O(delta_b) term dominates
+
+
+def test_candidate_bound():
+    assert candidate_ops_bound(1.8, 16, 2) == pytest.approx(57.6)
+
+
+def test_refine_radius_shrinks_with_rho():
+    wide = refine_radius(4.0, 1.4, 16)
+    narrow = refine_radius(4.0, 3.0, 16)
+    assert narrow < wide
+
+
+def test_refine_radius_never_negative():
+    assert refine_radius(1.0, 9.0, 16) == 0.0
+
+
+def test_refine_ops_grow_with_k():
+    assert refine_ops_bound(4.0, 1.8, 64) > refine_ops_bound(4.0, 1.8, 8)

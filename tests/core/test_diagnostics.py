@@ -1,0 +1,75 @@
+"""Tests for the index diagnostics module."""
+
+import json
+import random
+
+from repro.config import GGridConfig
+from repro.core.diagnostics import (
+    BacklogStats,
+    OccupancyStats,
+    PartitionQuality,
+    snapshot,
+)
+from repro.core.ggrid import GGridIndex
+from repro.core.messages import Message
+
+
+def _index(graph, messages=30):
+    rng = random.Random(6)
+    index = GGridIndex(graph, GGridConfig(eta=3, delta_b=4))
+    for i in range(messages):
+        e = rng.randrange(graph.num_edges)
+        index.ingest(Message(i % 10, e, 0.0, float(i)))
+    return index
+
+
+def test_backlog_counts_messages(medium_graph):
+    index = _index(medium_graph, messages=30)
+    stats = BacklogStats.of(index)
+    assert stats.total_messages == index.pending_messages()
+    assert stats.max_cell_backlog >= 1
+    assert stats.cells_with_backlog <= index.grid.num_cells
+    assert stats.buckets_allocated >= stats.cells_with_backlog
+
+
+def test_backlog_empty_index(medium_graph):
+    index = GGridIndex(medium_graph, GGridConfig(eta=3, delta_b=4))
+    stats = BacklogStats.of(index)
+    assert stats.total_messages == 0
+    assert stats.mean_cell_backlog == 0.0
+
+
+def test_occupancy_tracks_object_table(medium_graph):
+    index = _index(medium_graph)
+    stats = OccupancyStats.of(index)
+    assert stats.objects == index.num_objects == 10
+    assert stats.occupied_cells >= 1
+    assert stats.max_cell_objects >= 1
+    assert stats.mean_cell_objects > 0
+
+
+def test_partition_quality(medium_graph):
+    index = _index(medium_graph)
+    quality = PartitionQuality.of(index)
+    assert quality.cells == index.grid.num_cells
+    assert 0.0 < quality.internal_edge_fraction < 1.0
+    assert quality.max_cell_size <= index.config.delta_c
+
+
+def test_snapshot_json_serialisable(medium_graph):
+    index = _index(medium_graph)
+    record = snapshot(index)
+    text = json.dumps(record)
+    back = json.loads(text)
+    assert back["objects"] == 10
+    assert back["backlog_messages"] == index.pending_messages()
+    assert back["gpu_bytes"] >= 0
+
+
+def test_snapshot_reflects_cleaning(medium_graph):
+    index = _index(medium_graph)
+    before = snapshot(index)
+    index.clean_cells(set(range(index.grid.num_cells)))
+    after = snapshot(index)
+    assert after["backlog_messages"] <= before["backlog_messages"]
+    assert after["gpu_kernels"] > before["gpu_kernels"]

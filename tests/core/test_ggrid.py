@@ -1,0 +1,140 @@
+"""Unit tests for the GGridIndex facade (Algorithm 1 and bookkeeping)."""
+
+import pytest
+
+from repro.config import GGridConfig
+from repro.core.ggrid import GGridIndex
+from repro.core.messages import Message
+from repro.errors import ConfigError, QueryError, UnknownEdgeError
+from repro.roadnet.location import NetworkLocation
+
+
+@pytest.fixture
+def index(medium_graph, fast_config):
+    return GGridIndex(medium_graph, fast_config)
+
+
+def test_ingest_updates_object_table(index):
+    index.ingest(Message(7, 3, 0.25, 1.0))
+    entry = index.object_table.get(7)
+    assert entry.edge == 3 and entry.offset == 0.25 and entry.t == 1.0
+    assert entry.cell == index.grid.cell_of_edge(3)
+
+
+def test_ingest_caches_message(index):
+    index.ingest(Message(7, 3, 0.25, 1.0))
+    cell = index.grid.cell_of_edge(3)
+    assert index.lists[cell].num_messages == 1
+
+
+def test_move_appends_removal_marker(index, medium_graph):
+    grid = index.grid
+    e1 = 0
+    e2 = next(
+        e.id
+        for e in medium_graph.edges()
+        if grid.cell_of_edge(e.id) != grid.cell_of_edge(e1)
+    )
+    index.ingest(Message(7, e1, 0.1, 1.0))
+    index.ingest(Message(7, e2, 0.1, 2.0))
+    old_cell = grid.cell_of_edge(e1)
+    markers = [m for m in index.lists[old_cell].messages() if m.is_removal]
+    assert len(markers) == 1
+    assert markers[0].obj == 7 and markers[0].t == 2.0
+
+
+def test_same_cell_move_has_no_marker(index, medium_graph):
+    grid = index.grid
+    e1 = 0
+    # an edge in the same cell (possibly e1 itself)
+    index.ingest(Message(7, e1, 0.1, 1.0))
+    index.ingest(Message(7, e1, 0.5, 2.0))
+    cell = grid.cell_of_edge(e1)
+    assert not any(m.is_removal for m in index.lists[cell].messages())
+
+
+def test_ingest_rejects_markers(index):
+    with pytest.raises(QueryError):
+        index.ingest(Message(7, None, None, 1.0))
+
+
+def test_ingest_rejects_unknown_edge(index):
+    with pytest.raises(UnknownEdgeError):
+        index.ingest(Message(7, 10**9, 0.0, 1.0))
+
+
+def test_bulk_load(index):
+    index.bulk_load({1: NetworkLocation(0, 0.1), 2: NetworkLocation(1, 0.2)}, t=1.0)
+    assert index.num_objects == 2
+    assert index.messages_ingested == 2
+
+
+def test_update_touches_small_and_constant(index, medium_graph):
+    """The lazy ingest touches 2-3 entries per message, never more."""
+    for i in range(40):
+        index.ingest(Message(i % 5, i % medium_graph.num_edges, 0.0, float(i)))
+    assert index.update_touches <= 3 * 40
+
+
+def test_latest_time_tracked(index):
+    index.ingest(Message(1, 0, 0.0, 5.0))
+    index.ingest(Message(2, 0, 0.0, 3.0))
+    assert index.latest_time == 5.0
+
+
+def test_knn_default_time_is_latest(index):
+    index.ingest(Message(1, 0, 0.1, 5.0))
+    answer = index.knn(NetworkLocation(0, 0.0), k=1)
+    assert answer.entries[0].obj == 1
+
+
+def test_size_bytes_components(index):
+    sizes = index.size_bytes()
+    assert sizes["total"] == sizes["cpu"] + sizes["gpu"]
+    assert sizes["cpu"] == sizes["grid"] + sizes["object_table"] + sizes["message_lists"]
+    assert sizes["gpu"] > 0
+
+
+def test_size_grows_with_messages(index, medium_graph):
+    before = index.size_bytes()["message_lists"]
+    for i in range(50):
+        index.ingest(Message(i, i % medium_graph.num_edges, 0.0, float(i)))
+    assert index.size_bytes()["message_lists"] > before
+
+
+def test_grid_copy_transferred_at_build(medium_graph, fast_config):
+    index = GGridIndex(medium_graph, fast_config)
+    assert index.stats.bytes_h2d >= index.grid.device_nbytes()
+
+
+def test_reset_objects_keeps_grid(index, medium_graph):
+    index.ingest(Message(1, 0, 0.1, 1.0))
+    grid_before = index.grid
+    index.reset_objects()
+    assert index.num_objects == 0
+    assert index.pending_messages() == 0
+    assert index.grid is grid_before
+    # index still works after a reset
+    index.ingest(Message(2, 0, 0.2, 1.0))
+    assert index.knn(NetworkLocation(0, 0.0), k=1).entries[0].obj == 2
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        GGridConfig(delta_c=0)
+    with pytest.raises(ConfigError):
+        GGridConfig(rho=1.0)
+    with pytest.raises(ConfigError):
+        GGridConfig(eta=0)
+    with pytest.raises(ConfigError):
+        GGridConfig(t_delta=0)
+
+
+def test_config_with_override():
+    cfg = GGridConfig().with_(delta_b=64)
+    assert cfg.delta_b == 64
+    assert cfg.delta_c == GGridConfig().delta_c
+
+
+def test_bundle_size_property():
+    assert GGridConfig(eta=5).bundle_size == 32

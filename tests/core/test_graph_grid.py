@@ -1,0 +1,127 @@
+"""Unit tests for the graph grid structure (Section III-A)."""
+
+import pytest
+
+from repro.config import GGridConfig
+from repro.core.graph_grid import GraphGrid
+from repro.errors import UnknownEdgeError
+from repro.roadnet.graph import RoadNetwork
+
+
+@pytest.fixture(scope="module")
+def grid(small_graph):
+    return GraphGrid.build(small_graph, GGridConfig())
+
+
+def test_every_vertex_in_one_cell(grid, small_graph):
+    seen = sorted(
+        vid for cell in grid.cells for vid in cell.real_vertices
+    )
+    assert seen == list(range(small_graph.num_vertices))
+
+
+def test_cell_vertex_capacity(grid):
+    assert all(cell.n_v <= grid.config.delta_c for cell in grid.cells)
+
+
+def test_elements_respect_vertex_capacity(grid):
+    for cell in grid.cells:
+        for element in cell.elements:
+            assert element.n <= grid.config.delta_v
+
+
+def test_virtual_vertices_cover_all_in_edges(grid, small_graph):
+    """Every in-edge of every vertex is stored in exactly one element."""
+    stored: dict[int, int] = {}
+    for cell in grid.cells:
+        for element in cell.elements:
+            for rec in element.edges:
+                assert rec.edge_id not in stored
+                stored[rec.edge_id] = element.real_id
+    for e in small_graph.edges():
+        assert stored[e.id] == e.dest
+
+
+def test_virtual_vertex_creation():
+    """A vertex with in-degree above delta_v spawns virtual elements."""
+    g = RoadNetwork()
+    hub = g.add_vertex()
+    for i in range(5):
+        v = g.add_vertex()
+        g.add_bidirectional_edge(v, hub, 1.0)
+    grid = GraphGrid.build(g, GGridConfig(delta_c=6, delta_v=2))
+    elements = [
+        el
+        for cell in grid.cells
+        for el in cell.elements
+        if el.real_id == hub
+    ]
+    assert len(elements) == 3  # ceil(5 / 2)
+    assert sum(el.n for el in elements) == 5
+    assert [el.virtual_rank for el in elements] == [0, 1, 2]
+
+
+def test_inverted_index_routes_by_source(grid, small_graph):
+    for e in list(small_graph.edges())[:30]:
+        assert grid.source_of_edge(e.id) == e.source
+        assert grid.cell_of_edge(e.id) == grid.cell_of_vertex[e.source]
+
+
+def test_unknown_edge_raises(grid):
+    with pytest.raises(UnknownEdgeError):
+        grid.cell_of_edge(10**9)
+    with pytest.raises(UnknownEdgeError):
+        grid.source_of_edge(-1)
+
+
+def test_neighbors_symmetric(grid):
+    for z in range(grid.num_cells):
+        for n in grid.neighbors(z):
+            assert z in grid.neighbors(n)
+
+
+def test_neighbors_follow_edges(grid, small_graph):
+    for e in list(small_graph.edges())[:30]:
+        a = grid.cell_of_vertex[e.source]
+        b = grid.cell_of_vertex[e.dest]
+        if a != b:
+            assert b in grid.neighbors(a)
+
+
+def test_neighbors_of_set_excludes_set(grid):
+    cells = {0, 1}
+    ring = grid.neighbors_of_set(cells)
+    assert not (ring & cells)
+
+
+def test_vertices_and_elements_of_cells(grid):
+    cells = set(range(min(4, grid.num_cells)))
+    vertices = grid.vertices_of_cells(cells)
+    assert len(vertices) == len(set(vertices))
+    elements = grid.elements_of_cells(cells)
+    assert {el.real_id for el in elements} == set(vertices) | {
+        el.real_id for el in elements if el.n == 0
+    }
+
+
+def test_boundary_vertices_definition(grid, small_graph):
+    cells = {0, 1, 2}
+    inside = set(grid.vertices_of_cells(cells))
+    boundary = set(grid.boundary_vertices(cells))
+    for v in inside:
+        crosses = any(
+            grid.cell_of_vertex[e.dest] not in cells
+            for e in small_graph.out_edges(v)
+        )
+        assert (v in boundary) == crosses
+
+
+def test_whole_grid_has_no_boundary(grid):
+    all_cells = set(range(grid.num_cells))
+    assert grid.boundary_vertices(all_cells) == []
+
+
+def test_size_accounting_positive(grid, small_graph):
+    assert grid.size_bytes() > grid.device_nbytes() > 0
+    # CPU copy adds the inverted index over all edges
+    assert grid.size_bytes() - grid.device_nbytes() >= small_graph.num_edges * 12

@@ -1,0 +1,153 @@
+"""End-to-end correctness tests for kNN query processing (Algorithm 4).
+
+The headline property: G-Grid answers equal the brute-force Dijkstra
+oracle's distance multisets on random networks, objects and queries.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import GGridConfig
+from repro.core.ggrid import GGridIndex
+from repro.core.messages import Message
+from repro.errors import QueryError
+from repro.roadnet.dijkstra import multi_source_dijkstra
+from repro.roadnet.generators import grid_road_network
+from repro.roadnet.location import NetworkLocation, entry_costs, location_distance
+
+
+def _oracle(graph, locations, query, k):
+    dist = multi_source_dijkstra(graph, entry_costs(graph, query))
+    scored = sorted(
+        location_distance(graph, dist, query, loc) for loc in locations.values()
+    )
+    return [d for d in scored if d < float("inf")][:k]
+
+
+def _populate(graph, index, rng, objects, rounds):
+    locations = {}
+    for obj in range(objects):
+        e = rng.randrange(graph.num_edges)
+        loc = NetworkLocation(e, rng.uniform(0, graph.edge(e).weight))
+        locations[obj] = loc
+        index.ingest(Message(obj, loc.edge_id, loc.offset, 1.0))
+    t = 1.0
+    for _ in range(rounds):
+        t += 1.0
+        for obj in rng.sample(range(objects), max(1, objects // 3)):
+            e = rng.randrange(graph.num_edges)
+            loc = NetworkLocation(e, rng.uniform(0, graph.edge(e).weight))
+            locations[obj] = loc
+            index.ingest(Message(obj, loc.edge_id, loc.offset, t))
+    return locations, t
+
+
+def test_exact_answers_on_medium_graph(medium_graph, fast_config):
+    rng = random.Random(11)
+    index = GGridIndex(medium_graph, fast_config)
+    locations, t = _populate(medium_graph, index, rng, objects=50, rounds=6)
+    for _ in range(15):
+        e = rng.randrange(medium_graph.num_edges)
+        q = NetworkLocation(e, rng.uniform(0, medium_graph.edge(e).weight))
+        for k in (1, 4, 10):
+            got = index.knn(q, k, t_now=t).distances()
+            want = _oracle(medium_graph, locations, q, k)
+            assert [round(x, 9) for x in got] == [round(x, 9) for x in want]
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(0, 10**6))
+def test_exact_answers_property(seed):
+    """Property: random graph + random moves + random query == oracle."""
+    rng = random.Random(seed)
+    graph = grid_road_network(7, 7, seed=seed % 13)
+    index = GGridIndex(graph, GGridConfig(eta=3, delta_b=4))
+    locations, t = _populate(graph, index, rng, objects=20, rounds=4)
+    e = rng.randrange(graph.num_edges)
+    q = NetworkLocation(e, rng.uniform(0, graph.edge(e).weight))
+    k = rng.choice((1, 3, 7))
+    got = index.knn(q, k, t_now=t).distances()
+    want = _oracle(graph, locations, q, k)
+    assert [round(x, 9) for x in got] == [round(x, 9) for x in want]
+
+
+def test_repeated_queries_stay_exact(medium_graph, fast_config):
+    """Cleaning mutates the message lists; answers must stay exact when
+    the same region is queried repeatedly with updates in between."""
+    rng = random.Random(5)
+    index = GGridIndex(medium_graph, fast_config)
+    locations, t = _populate(medium_graph, index, rng, objects=30, rounds=2)
+    q = NetworkLocation(0, 0.1)
+    for step in range(5):
+        t += 1.0
+        obj = rng.randrange(30)
+        e = rng.randrange(medium_graph.num_edges)
+        loc = NetworkLocation(e, rng.uniform(0, medium_graph.edge(e).weight))
+        locations[obj] = loc
+        index.ingest(Message(obj, loc.edge_id, loc.offset, t))
+        got = index.knn(q, 5, t_now=t).distances()
+        want = _oracle(medium_graph, locations, q, 5)
+        assert [round(x, 9) for x in got] == [round(x, 9) for x in want]
+
+
+def test_k_larger_than_objects(medium_graph, fast_config):
+    index = GGridIndex(medium_graph, fast_config)
+    index.ingest(Message(1, 0, 0.1, 1.0))
+    index.ingest(Message(2, 1, 0.1, 1.0))
+    answer = index.knn(NetworkLocation(0, 0.0), k=10, t_now=1.0)
+    assert len(answer.entries) == 2
+    assert answer.used_fallback
+
+
+def test_query_with_no_objects(medium_graph, fast_config):
+    index = GGridIndex(medium_graph, fast_config)
+    answer = index.knn(NetworkLocation(0, 0.0), k=3, t_now=1.0)
+    assert answer.entries == []
+    assert answer.used_fallback
+
+
+def test_invalid_k_rejected(medium_graph, fast_config):
+    index = GGridIndex(medium_graph, fast_config)
+    with pytest.raises(QueryError):
+        index.knn(NetworkLocation(0, 0.0), k=0)
+
+
+def test_invalid_location_rejected(medium_graph, fast_config):
+    from repro.errors import GraphError
+
+    index = GGridIndex(medium_graph, fast_config)
+    with pytest.raises(GraphError):
+        index.knn(NetworkLocation(0, 99.0), k=1)
+
+
+def test_query_at_object_location_distance_zero(medium_graph, fast_config):
+    index = GGridIndex(medium_graph, fast_config)
+    index.ingest(Message(1, 4, 0.5, 1.0))
+    answer = index.knn(NetworkLocation(4, 0.5), k=1, t_now=1.0)
+    assert answer.entries[0].obj == 1
+    assert answer.entries[0].distance == pytest.approx(0.0)
+
+
+def test_answer_diagnostics_populated(medium_graph, fast_config):
+    rng = random.Random(7)
+    index = GGridIndex(medium_graph, fast_config)
+    _populate(medium_graph, index, rng, objects=40, rounds=3)
+    answer = index.knn(NetworkLocation(0, 0.0), k=8)
+    assert answer.cells_cleaned > 0
+    assert answer.candidates >= 8
+    assert "select" in answer.cpu_seconds
+
+
+def test_rho_affects_cells_cleaned(medium_graph):
+    rng = random.Random(9)
+    small = GGridIndex(medium_graph, GGridConfig(eta=3, delta_b=4, rho=1.2000001))
+    big = GGridIndex(medium_graph, GGridConfig(eta=3, delta_b=4, rho=3.0))
+    for index in (small, big):
+        rng2 = random.Random(9)
+        _populate(medium_graph, index, rng2, objects=40, rounds=2)
+    a = small.knn(NetworkLocation(0, 0.0), k=8)
+    b = big.knn(NetworkLocation(0, 0.0), k=8)
+    assert b.cells_cleaned >= a.cells_cleaned

@@ -1,0 +1,152 @@
+"""Unit tests for bucketed message lists and the lock protocol."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.message_list import Bucket, MessageList
+from repro.core.messages import Message
+from repro.errors import CapacityError
+
+
+def _msg(obj: int, t: float) -> Message:
+    return Message(obj, 0, 0.0, t)
+
+
+def test_append_fills_buckets_in_order():
+    lst = MessageList(capacity=3)
+    for i in range(7):
+        lst.append(_msg(i, float(i)))
+    assert lst.num_messages == 7
+    assert lst.num_buckets == 3
+    sizes = [b.n for b in lst.buckets()]
+    assert sizes == [3, 3, 1]
+
+
+def test_messages_chronological():
+    lst = MessageList(capacity=2)
+    for i in range(5):
+        lst.append(_msg(i, float(i)))
+    times = [m.t for m in lst.messages()]
+    assert times == sorted(times)
+
+
+def test_bucket_t_is_latest():
+    lst = MessageList(capacity=4)
+    for i in range(4):
+        lst.append(_msg(i, float(i)))
+    bucket = next(lst.buckets())
+    assert bucket.t == 3.0
+
+
+def test_bucket_capacity_enforced():
+    b = Bucket(capacity=1)
+    b.append(_msg(0, 0.0))
+    with pytest.raises(CapacityError):
+        b.append(_msg(1, 1.0))
+
+
+def test_invalid_capacity():
+    with pytest.raises(CapacityError):
+        MessageList(capacity=0)
+
+
+def test_lock_appends_fresh_tail():
+    lst = MessageList(capacity=2)
+    lst.append(_msg(0, 0.0))
+    lst.lock_for_cleaning()
+    assert lst.locked
+    # new messages land after the lock pointer
+    lst.append(_msg(1, 1.0))
+    live = lst.locked_buckets(t_now=10.0, t_delta=100.0)
+    assert sum(b.n for b in live) == 1  # only the pre-lock message
+
+
+def test_lock_on_empty_list():
+    lst = MessageList(capacity=2)
+    lst.lock_for_cleaning()
+    assert not lst.locked  # head == lock bucket: nothing frozen
+    assert lst.locked_buckets(0.0, 10.0) == []
+
+
+def test_stale_buckets_pruned():
+    """Buckets whose newest message is older than t_now - t_delta are
+    discarded unread (Section IV-B1)."""
+    lst = MessageList(capacity=2)
+    lst.append(_msg(0, 0.0))
+    lst.append(_msg(1, 1.0))  # bucket 1: t=1
+    lst.append(_msg(2, 50.0))  # bucket 2: t=50
+    lst.lock_for_cleaning()
+    live = lst.locked_buckets(t_now=60.0, t_delta=20.0)
+    assert len(live) == 1
+    assert live[0].t == 50.0
+
+
+def test_release_cleaned_drops_processed():
+    lst = MessageList(capacity=2)
+    for i in range(5):
+        lst.append(_msg(i, float(i)))
+    lst.lock_for_cleaning()
+    lst.append(_msg(9, 9.0))  # arrives during cleaning
+    dropped = lst.release_cleaned()
+    assert dropped == 5
+    assert not lst.locked
+    assert [m.obj for m in lst.messages()] == [9]
+
+
+def test_release_without_lock_drops_everything_before_none():
+    lst = MessageList(capacity=2)
+    lst.append(_msg(0, 0.0))
+    dropped = lst.release_cleaned()  # lock never taken: p_l is None
+    assert dropped == 1
+    assert lst.num_messages == 0
+
+
+def test_prepend_snapshot_goes_before_head():
+    lst = MessageList(capacity=2)
+    lst.lock_for_cleaning()
+    lst.append(_msg(5, 10.0))
+    lst.release_cleaned()
+    lst.prepend_snapshot([_msg(1, 1.0), _msg(2, 2.0), _msg(3, 3.0)])
+    objs = [m.obj for m in lst.messages()]
+    assert objs == [1, 2, 3, 5]
+
+
+def test_prepend_snapshot_empty_noop():
+    lst = MessageList(capacity=2)
+    lst.prepend_snapshot([])
+    assert lst.num_messages == 0
+
+
+def test_prepend_snapshot_on_empty_list_sets_tail():
+    lst = MessageList(capacity=2)
+    lst.prepend_snapshot([_msg(1, 1.0)])
+    lst.append(_msg(2, 2.0))  # must go after the snapshot
+    assert [m.obj for m in lst.messages()] == [1, 2]
+
+
+def test_size_bytes_grows_with_buckets():
+    lst = MessageList(capacity=4)
+    empty = lst.size_bytes()
+    for i in range(5):
+        lst.append(_msg(i, float(i)))
+    assert lst.size_bytes() > empty
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.floats(0.0, 100.0), min_size=0, max_size=60), st.integers(1, 8))
+def test_no_message_lost_through_lock_cycle(times, capacity):
+    """Property: lock -> clean -> release -> prepend keeps exactly the
+    snapshot plus post-lock arrivals, in order."""
+    times = sorted(times)
+    lst = MessageList(capacity=capacity)
+    for i, t in enumerate(times):
+        lst.append(_msg(i, t))
+    lst.lock_for_cleaning()
+    frozen = [m for b in lst.locked_buckets(1e9, 1e12) for m in b.messages]
+    assert len(frozen) == len(times)
+    lst.append(_msg(999, 1e9))
+    lst.release_cleaned()
+    lst.prepend_snapshot(frozen)
+    recovered = [m.obj for m in lst.messages()]
+    assert recovered == [i for i in range(len(times))] + [999]

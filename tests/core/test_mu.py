@@ -1,0 +1,145 @@
+"""Unit tests for the X-shuffle combinatorics (Section IV-D)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mu import (
+    cover_set,
+    covers,
+    lam,
+    max_exclusive_set_size,
+    mu,
+    shuffle_position,
+    x_distance,
+)
+from repro.errors import ConfigError
+
+
+def test_x_distance_paper_example():
+    """The paper's example: X(10, 1) = 2."""
+    assert x_distance(10, 1) == 2
+
+
+def test_x_distance_basic_cases():
+    assert x_distance(0, 0) == 0
+    assert x_distance(0b1010, 0b1010) == 0
+    assert x_distance(0, 0b111) == 1  # one run of 1s
+    assert x_distance(0, 0b101) == 2
+    assert x_distance(0, 0b10101) == 3
+
+
+def test_x_distance_rejects_negative():
+    with pytest.raises(ConfigError):
+        x_distance(-1, 0)
+
+
+def test_mu_matches_paper_values():
+    """Theorem 1: bundles 16, 32, 64, 128 -> mu = 2, 4, 8, 16."""
+    assert mu(4) == 2
+    assert mu(5) == 4
+    assert mu(6) == 8
+    assert mu(7) == 16
+
+
+def test_mu_small_bundles_fall_back_to_brute_force():
+    assert mu(1) == max_exclusive_set_size(1)
+    assert mu(2) == max_exclusive_set_size(2)
+    assert mu(3) == max_exclusive_set_size(3)
+
+
+def test_mu_eta4_matches_brute_force():
+    """For 16 threads the formula and exhaustive search must agree."""
+    assert mu(4) == max_exclusive_set_size(4)
+
+
+def test_mu_rejects_bad_eta():
+    with pytest.raises(ConfigError):
+        mu(0)
+
+
+def test_lam_increasing_in_small_i():
+    # the coverage bound grows while overlaps stay small
+    assert lam(5, 1) < lam(5, 2) < lam(5, 3) < lam(5, 4)
+
+
+def test_cover_set_size_lemma2():
+    """Lemma 2: |C(a)| = binom(eta+1, 2) for every thread a."""
+    for eta in (4, 5):
+        expected = math.comb(eta + 1, 2)
+        for a in (0, 3, (1 << eta) - 1):
+            assert len(cover_set(a, eta)) == expected
+
+
+def test_covers_is_symmetric():
+    for a in range(16):
+        for b in range(16):
+            assert covers(a, b) == covers(b, a)
+
+
+def test_cover_intersections_lemma3():
+    """Lemma 3: |C(a) & C(b)| is 6 when X(a,b)=2 and 0 when X(a,b)>2."""
+    eta = 5
+    checked_2 = checked_gt = 0
+    for a in range(0, 32, 3):
+        for b in range(32):
+            if a == b:
+                continue
+            xd = x_distance(a, b)
+            inter = cover_set(a, eta) & cover_set(b, eta)
+            if xd == 2:
+                assert len(inter) == 6
+                checked_2 += 1
+            elif xd > 2:
+                assert len(inter) == 0
+                checked_gt += 1
+    assert checked_2 > 0 and checked_gt > 0
+
+
+def test_triple_cover_lemma4():
+    """Lemma 4: a pairwise x-distance-2 triple covers exactly 1 common
+    thread."""
+    eta = 5
+    found = 0
+    threads = range(32)
+    for a in threads:
+        for b in range(a + 1, 32):
+            if x_distance(a, b) != 2:
+                continue
+            for c in range(b + 1, 32):
+                if x_distance(a, c) == 2 and x_distance(b, c) == 2:
+                    common = (
+                        cover_set(a, eta) & cover_set(b, eta) & cover_set(c, eta)
+                    )
+                    assert len(common) <= 1
+                    found += len(common)
+        if found > 3:
+            break
+    assert found > 0
+
+
+def test_shuffle_position_theorem2():
+    """Theorem 2: after k shuffles an unreplaced message sits at
+    alpha XOR sum 2^(eta-i)."""
+    eta = 4
+    for alpha in (0, 5, 15):
+        pos = alpha
+        acc = 0
+        for k in range(1, eta + 1):
+            acc ^= 1 << (eta - k)
+            assert shuffle_position(alpha, k, eta) == alpha ^ acc
+
+
+def test_shuffle_position_bounds():
+    with pytest.raises(ConfigError):
+        shuffle_position(0, 9, 4)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 15), st.integers(0, 15))
+def test_cover_iff_xdistance_one(a, b):
+    """Lemma 1 (property form)."""
+    if a != b:
+        assert covers(a, b) == (x_distance(a, b) == 1)

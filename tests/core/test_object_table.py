@@ -1,0 +1,78 @@
+"""Unit tests for the object table."""
+
+import pytest
+
+from repro.core.object_table import ObjectEntry, ObjectTable
+from repro.errors import UnknownObjectError
+
+
+def _entry(cell: int, edge: int = 0, offset: float = 0.0, t: float = 0.0):
+    return ObjectEntry(cell, edge, offset, t)
+
+
+def test_put_and_get():
+    ot = ObjectTable()
+    ot.put(1, _entry(cell=3, edge=7, offset=0.5, t=2.0))
+    e = ot.get(1)
+    assert (e.cell, e.edge, e.offset, e.t) == (3, 7, 0.5, 2.0)
+    assert 1 in ot and len(ot) == 1
+
+
+def test_get_unknown_raises():
+    with pytest.raises(UnknownObjectError):
+        ObjectTable().get(42)
+
+
+def test_try_get_returns_none():
+    assert ObjectTable().try_get(42) is None
+
+
+def test_cell_of():
+    ot = ObjectTable()
+    ot.put(1, _entry(cell=9))
+    assert ot.cell_of(1) == 9
+
+
+def test_move_updates_inverse_sets():
+    ot = ObjectTable()
+    ot.put(1, _entry(cell=2))
+    ot.put(1, _entry(cell=5))
+    assert ot.objects_in_cell(2) == frozenset()
+    assert ot.objects_in_cell(5) == frozenset({1})
+
+
+def test_same_cell_update_keeps_membership():
+    ot = ObjectTable()
+    ot.put(1, _entry(cell=2, t=1.0))
+    ot.put(1, _entry(cell=2, t=2.0))
+    assert ot.objects_in_cell(2) == frozenset({1})
+    assert ot.get(1).t == 2.0
+
+
+def test_remove():
+    ot = ObjectTable()
+    ot.put(1, _entry(cell=2))
+    ot.remove(1)
+    assert 1 not in ot
+    assert ot.objects_in_cell(2) == frozenset()
+
+
+def test_remove_unknown_raises():
+    with pytest.raises(UnknownObjectError):
+        ObjectTable().remove(1)
+
+
+def test_objects_snapshot_is_copy():
+    ot = ObjectTable()
+    ot.put(1, _entry(cell=2))
+    snap = ot.objects()
+    snap[99] = _entry(cell=0)
+    assert 99 not in ot
+
+
+def test_size_bytes_linear_in_objects():
+    ot = ObjectTable()
+    for i in range(10):
+        ot.put(i, _entry(cell=i))
+    assert ot.size_bytes() == 10 * ot.size_bytes() // 10
+    assert ot.size_bytes() > 0

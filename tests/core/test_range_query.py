@@ -1,0 +1,104 @@
+"""Tests for the range-query extension."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import GGridConfig
+from repro.core.ggrid import GGridIndex
+from repro.core.messages import Message
+from repro.errors import QueryError
+from repro.roadnet.dijkstra import multi_source_dijkstra
+from repro.roadnet.generators import grid_road_network
+from repro.roadnet.location import NetworkLocation, entry_costs, location_distance
+
+
+def _oracle(graph, locations, query, radius):
+    dist = multi_source_dijkstra(graph, entry_costs(graph, query))
+    hits = []
+    for obj, loc in locations.items():
+        d = location_distance(graph, dist, query, loc)
+        if d <= radius:
+            hits.append((round(d, 9), obj))
+    hits.sort()
+    return hits
+
+
+def _populate(graph, index, rng, objects=40, rounds=4):
+    locations = {}
+    t = 1.0
+    for obj in range(objects):
+        e = rng.randrange(graph.num_edges)
+        loc = NetworkLocation(e, rng.uniform(0, graph.edge(e).weight))
+        locations[obj] = loc
+        index.ingest(Message(obj, loc.edge_id, loc.offset, t))
+    for _ in range(rounds):
+        t += 1.0
+        for obj in rng.sample(range(objects), objects // 3):
+            e = rng.randrange(graph.num_edges)
+            loc = NetworkLocation(e, rng.uniform(0, graph.edge(e).weight))
+            locations[obj] = loc
+            index.ingest(Message(obj, loc.edge_id, loc.offset, t))
+    return locations, t
+
+
+def test_range_matches_oracle(medium_graph):
+    rng = random.Random(13)
+    index = GGridIndex(medium_graph, GGridConfig(eta=3, delta_b=8))
+    locations, t = _populate(medium_graph, index, rng)
+    for _ in range(12):
+        e = rng.randrange(medium_graph.num_edges)
+        q = NetworkLocation(e, rng.uniform(0, medium_graph.edge(e).weight))
+        for radius in (0.5, 2.0, 5.0):
+            answer = index.range_query(q, radius, t_now=t)
+            got = [(round(x.distance, 9), x.obj) for x in answer.entries]
+            assert got == _oracle(medium_graph, locations, q, radius)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10**6), st.floats(0.3, 6.0))
+def test_range_matches_oracle_property(seed, radius):
+    rng = random.Random(seed)
+    graph = grid_road_network(6, 6, seed=seed % 7)
+    index = GGridIndex(graph, GGridConfig(eta=3, delta_b=4))
+    locations, t = _populate(graph, index, rng, objects=15, rounds=3)
+    e = rng.randrange(graph.num_edges)
+    q = NetworkLocation(e, rng.uniform(0, graph.edge(e).weight))
+    answer = index.range_query(q, radius, t_now=t)
+    got = [(round(x.distance, 9), x.obj) for x in answer.entries]
+    assert got == _oracle(graph, locations, q, radius)
+
+
+def test_range_sorted_ascending(medium_graph):
+    rng = random.Random(14)
+    index = GGridIndex(medium_graph, GGridConfig(eta=3, delta_b=8))
+    _populate(medium_graph, index, rng)
+    answer = index.range_query(NetworkLocation(0, 0.0), 4.0)
+    dists = answer.distances()
+    assert dists == sorted(dists)
+
+
+def test_range_empty_result(medium_graph):
+    index = GGridIndex(medium_graph, GGridConfig(eta=3, delta_b=8))
+    # one far-away object, tiny radius around the query
+    index.ingest(Message(1, medium_graph.num_edges - 1, 0.0, 1.0))
+    answer = index.range_query(NetworkLocation(0, 0.0), 1e-6, t_now=1.0)
+    assert answer.entries == []
+
+
+def test_range_grows_with_radius(medium_graph):
+    rng = random.Random(15)
+    index = GGridIndex(medium_graph, GGridConfig(eta=3, delta_b=8))
+    _populate(medium_graph, index, rng)
+    small = index.range_query(NetworkLocation(0, 0.0), 1.0)
+    large = index.range_query(NetworkLocation(0, 0.0), 6.0)
+    assert len(large.entries) >= len(small.entries)
+    assert large.cells_cleaned >= small.cells_cleaned
+
+
+def test_range_rejects_bad_radius(medium_graph):
+    index = GGridIndex(medium_graph, GGridConfig(eta=3, delta_b=8))
+    with pytest.raises(QueryError):
+        index.range_query(NetworkLocation(0, 0.0), 0.0)

@@ -1,0 +1,92 @@
+"""Unit tests for the CPU refinement step (Algorithm 6)."""
+
+import pytest
+
+from repro.core.object_table import ObjectEntry, ObjectTable
+from repro.core.refine import refine_knn
+
+
+def _table(line_graph, placements):
+    """placements: {obj: (edge, offset)} on the line graph 0-1-2-3-4."""
+    ot = ObjectTable()
+    for obj, (edge, offset) in placements.items():
+        ot.put(obj, ObjectEntry(cell=0, edge=edge, offset=offset, t=1.0))
+    return ot
+
+
+def test_refinement_finds_object_outside_candidates(line_graph):
+    # object 9 sits on edge 2->3 at offset 0.5 (edge id of 2->3)
+    edge = next(e for e in line_graph.edges() if e.source == 2 and e.dest == 3)
+    ot = _table(line_graph, {9: (edge.id, 0.5)})
+    cell_of_vertex = [0] * line_graph.num_vertices
+    # candidates say the best known is 10.0; vertex 2 is unresolved at
+    # distance 1.0 from the query
+    results, settled = refine_knn(
+        line_graph,
+        ot,
+        cell_of_vertex,
+        candidates={},
+        unresolved=[(2, 1.0)],
+        k=1,
+        l_bound=10.0,
+    )
+    assert results == [(9, pytest.approx(1.5))]
+    assert settled > 0
+
+
+def test_refinement_improves_candidate_distance(line_graph):
+    edge = next(e for e in line_graph.edges() if e.source == 2 and e.dest == 3)
+    ot = _table(line_graph, {9: (edge.id, 0.5)})
+    results, _ = refine_knn(
+        line_graph,
+        ot,
+        [0] * line_graph.num_vertices,
+        candidates={9: 8.0},  # stale overestimate
+        unresolved=[(2, 1.0)],
+        k=1,
+        l_bound=8.0,
+    )
+    assert results[0][1] == pytest.approx(1.5)
+
+
+def test_zero_radius_skipped(line_graph):
+    ot = _table(line_graph, {})
+    results, settled = refine_knn(
+        line_graph,
+        ot,
+        [0] * line_graph.num_vertices,
+        candidates={1: 2.0},
+        unresolved=[(3, 5.0)],  # radius = l - 5 = 0
+        k=1,
+        l_bound=5.0,
+    )
+    assert settled == 0
+    assert results == [(1, 2.0)]
+
+
+def test_infinite_candidates_filtered(line_graph):
+    ot = _table(line_graph, {})
+    results, _ = refine_knn(
+        line_graph,
+        ot,
+        [0] * line_graph.num_vertices,
+        candidates={1: float("inf"), 2: 1.0},
+        unresolved=[],
+        k=2,
+        l_bound=float("inf"),
+    )
+    assert results == [(2, 1.0)]
+
+
+def test_result_sorted_and_truncated(line_graph):
+    ot = _table(line_graph, {})
+    results, _ = refine_knn(
+        line_graph,
+        ot,
+        [0] * line_graph.num_vertices,
+        candidates={1: 3.0, 2: 1.0, 3: 2.0},
+        unresolved=[],
+        k=2,
+        l_bound=3.0,
+    )
+    assert results == [(2, 1.0), (3, 2.0)]

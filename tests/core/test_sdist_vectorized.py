@@ -1,0 +1,102 @@
+"""Equivalence tests for the vectorised SDist backend."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import GGridConfig
+from repro.core.ggrid import GGridIndex
+from repro.core.graph_grid import GraphGrid
+from repro.core.messages import Message
+from repro.core.sdist import get_sdist_kernel, sdist_kernel
+from repro.core.sdist_vectorized import sdist_kernel_vectorized
+from repro.errors import ConfigError
+from repro.roadnet.generators import grid_road_network
+from repro.roadnet.location import NetworkLocation
+from repro.simgpu.device import SimGpu
+
+
+def _both(graph, grid, cells, seeds):
+    results = []
+    for kernel in (sdist_kernel, sdist_kernel_vectorized):
+        gpu = SimGpu()
+        elements = grid.elements_of_cells(cells)
+        vertices = grid.vertices_of_cells(cells)
+        results.append(
+            gpu.launch(
+                "sdist",
+                max(1, len(elements)),
+                kernel,
+                elements,
+                vertices,
+                seeds,
+                grid.config.delta_v,
+                True,
+            )
+        )
+    return results
+
+
+def test_backends_agree(small_graph):
+    grid = GraphGrid.build(small_graph, GGridConfig())
+    cells = set(range(min(8, grid.num_cells)))
+    seeds = {grid.vertices_of_cells(cells)[0]: 0.0}
+    lockstep, vectorized = _both(small_graph, grid, cells, seeds)
+    assert set(lockstep) == set(vectorized)
+    for v in lockstep:
+        assert lockstep[v] == pytest.approx(vectorized[v])
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10**6))
+def test_backends_agree_property(seed):
+    rng = random.Random(seed)
+    graph = grid_road_network(6, 6, seed=seed % 5)
+    grid = GraphGrid.build(graph, GGridConfig())
+    n = grid.num_cells
+    cells = set(rng.sample(range(n), rng.randrange(2, min(12, n))))
+    vertices = grid.vertices_of_cells(cells)
+    if not vertices:
+        return
+    seeds = {rng.choice(vertices): rng.uniform(0, 2.0)}
+    lockstep, vectorized = _both(graph, grid, cells, seeds)
+    assert set(lockstep) == set(vectorized)
+    for v in lockstep:
+        assert lockstep[v] == pytest.approx(vectorized[v])
+
+
+def test_get_sdist_kernel_resolution():
+    assert get_sdist_kernel("lockstep") is sdist_kernel
+    assert get_sdist_kernel("vectorized") is sdist_kernel_vectorized
+    with pytest.raises(ConfigError):
+        get_sdist_kernel("cuda")
+
+
+def test_config_rejects_unknown_backend():
+    with pytest.raises(ConfigError):
+        GGridConfig(sdist_backend="metal")
+
+
+def test_end_to_end_answers_identical(medium_graph):
+    """Full kNN answers must not depend on the backend."""
+    rng = random.Random(5)
+    answers = []
+    for backend in ("lockstep", "vectorized"):
+        index = GGridIndex(
+            medium_graph, GGridConfig(eta=3, delta_b=8, sdist_backend=backend)
+        )
+        rng2 = random.Random(5)
+        for obj in range(30):
+            e = rng2.randrange(medium_graph.num_edges)
+            index.ingest(
+                Message(obj, e, rng2.uniform(0, medium_graph.edge(e).weight), 1.0)
+            )
+        got = []
+        for _ in range(5):
+            e = rng2.randrange(medium_graph.num_edges)
+            q = NetworkLocation(e, rng2.uniform(0, medium_graph.edge(e).weight))
+            got.append([round(x, 9) for x in index.knn(q, 6, t_now=1.0).distances()])
+        answers.append(got)
+    assert answers[0] == answers[1]

@@ -1,0 +1,77 @@
+"""Unit tests for the MOTO-style trace generator."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mobility.moto import MotoGenerator
+
+
+def test_messages_time_ordered(small_graph):
+    gen = MotoGenerator(small_graph, 10, seed=1)
+    msgs = list(gen.messages(duration=5.0))
+    times = [m.t for m in msgs]
+    assert times == sorted(times)
+
+
+def test_update_frequency_respected(small_graph):
+    """At f Hz each object reports ~f*duration times, and consecutive
+    reports of one object are exactly 1/f apart."""
+    gen = MotoGenerator(small_graph, 5, update_frequency=2.0, seed=2)
+    msgs = list(gen.messages(duration=10.0))
+    per_object: dict[int, list[float]] = {}
+    for m in msgs:
+        per_object.setdefault(m.obj, []).append(m.t)
+    for times in per_object.values():
+        assert 18 <= len(times) <= 21
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(g == pytest.approx(0.5) for g in gaps)
+
+
+def test_update_contract_never_violated(small_graph):
+    """The t_delta contract: gaps never exceed the update interval."""
+    gen = MotoGenerator(small_graph, 8, update_frequency=1.0, seed=3)
+    msgs = list(gen.messages(duration=12.0))
+    last: dict[int, float] = {}
+    for m in msgs:
+        if m.obj in last:
+            assert m.t - last[m.obj] <= 1.0 + 1e-9
+        last[m.obj] = m.t
+
+
+def test_messages_are_valid_locations(small_graph):
+    gen = MotoGenerator(small_graph, 10, seed=4)
+    for m in gen.messages(duration=5.0):
+        edge = small_graph.edge(m.edge)
+        assert 0.0 <= m.offset <= edge.weight
+
+
+def test_deterministic_per_seed(small_graph):
+    a = list(MotoGenerator(small_graph, 5, seed=7).messages(3.0))
+    b = list(MotoGenerator(small_graph, 5, seed=7).messages(3.0))
+    assert a == b
+
+
+def test_initial_placements_cover_all_objects(small_graph):
+    gen = MotoGenerator(small_graph, 12, seed=5)
+    placements = gen.initial_placements()
+    assert set(placements) == set(range(12))
+    for loc in placements.values():
+        loc.validate(small_graph)
+
+
+def test_invalid_parameters(small_graph):
+    with pytest.raises(ConfigError):
+        MotoGenerator(small_graph, 0)
+    with pytest.raises(ConfigError):
+        MotoGenerator(small_graph, 1, update_frequency=0.0)
+    with pytest.raises(ConfigError):
+        MotoGenerator(small_graph, 1, speed_range=(2.0, 1.0))
+
+
+def test_objects_actually_move(small_graph):
+    gen = MotoGenerator(small_graph, 5, seed=6)
+    start = gen.initial_placements()
+    list(gen.messages(duration=10.0))
+    end = gen.current_locations()
+    moved = sum(1 for o in start if start[o] != end[o])
+    assert moved >= 4

@@ -1,0 +1,62 @@
+"""Unit tests for moving-object state."""
+
+import random
+
+import pytest
+
+from repro.mobility.objects import MovingObject
+
+
+def test_advance_within_edge(line_graph):
+    obj = MovingObject(0, edge=0, offset=0.0, speed=0.3)
+    obj.advance(line_graph, dt=1.0, rng=random.Random(0))
+    assert obj.edge == 0
+    assert obj.offset == pytest.approx(0.3)
+
+
+def test_advance_crosses_vertex(line_graph):
+    obj = MovingObject(0, edge=0, offset=0.9, speed=1.0)
+    obj.advance(line_graph, dt=0.5, rng=random.Random(0))
+    assert obj.offset == pytest.approx(0.4) or obj.offset == pytest.approx(0.4, abs=1e-9)
+    assert obj.edge != 0 or obj.offset <= 1.0
+
+
+def test_advance_prefers_not_turning_back(line_graph):
+    """At vertex 1 arriving from 0, the only forward option is 1->2."""
+    obj = MovingObject(0, edge=0, offset=0.5, speed=1.0)
+    obj.advance(line_graph, dt=1.0, rng=random.Random(0))
+    e = line_graph.edge(obj.edge)
+    assert (e.source, e.dest) == (1, 2)
+
+
+def test_advance_zero_dt_is_noop(line_graph):
+    obj = MovingObject(0, edge=0, offset=0.5, speed=1.0)
+    obj.advance(line_graph, dt=0.0, rng=random.Random(0))
+    assert obj.edge == 0 and obj.offset == 0.5
+
+
+def test_advance_long_distance_stays_valid(small_graph):
+    rng = random.Random(3)
+    obj = MovingObject(0, edge=0, offset=0.0, speed=2.0)
+    for _ in range(20):
+        obj.advance(small_graph, dt=1.0, rng=rng)
+        edge = small_graph.edge(obj.edge)
+        assert 0.0 <= obj.offset <= edge.weight
+
+
+def test_location(line_graph):
+    obj = MovingObject(0, edge=2, offset=0.25, speed=1.0)
+    loc = obj.location()
+    assert loc.edge_id == 2 and loc.offset == 0.25
+    loc.validate(line_graph)
+
+
+def test_dead_end_raises():
+    from repro.roadnet.graph import RoadNetwork
+
+    g = RoadNetwork()
+    g.add_vertices(2)
+    g.add_edge(0, 1, 1.0)  # vertex 1 has no out-edges
+    obj = MovingObject(0, edge=0, offset=0.5, speed=1.0)
+    with pytest.raises(ValueError):
+        obj.advance(g, dt=2.0, rng=random.Random(0))

@@ -1,0 +1,76 @@
+"""Tests for hotspot and rush-hour workload patterns."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mobility.patterns import RushHourGenerator, hotspot_placements
+from repro.roadnet.dijkstra import bounded_dijkstra
+
+
+def test_hotspot_placements_valid(small_graph):
+    placements = hotspot_placements(small_graph, 40, num_hotspots=2, seed=3)
+    assert len(placements) == 40
+    for loc in placements.values():
+        loc.validate(small_graph)
+
+
+def test_hotspots_concentrate_objects(small_graph):
+    """Hotspot placements occupy far fewer cells than uniform ones."""
+    from repro.config import GGridConfig
+    from repro.core.graph_grid import GraphGrid
+    from repro.mobility.workload import random_locations
+
+    grid = GraphGrid.build(small_graph, GGridConfig())
+    hot = hotspot_placements(small_graph, 60, num_hotspots=2, spread=1.5, seed=4)
+    uniform = dict(enumerate(random_locations(small_graph, 60, seed=4)))
+
+    def cells_of(placements):
+        return {grid.cell_of_edge(loc.edge_id) for loc in placements.values()}
+
+    assert len(cells_of(hot)) < len(cells_of(uniform))
+
+
+def test_hotspot_validation(small_graph):
+    with pytest.raises(ConfigError):
+        hotspot_placements(small_graph, 0)
+    with pytest.raises(ConfigError):
+        hotspot_placements(small_graph, 5, num_hotspots=0)
+    with pytest.raises(ConfigError):
+        hotspot_placements(small_graph, 5, spread=0.0)
+
+
+def test_hotspot_deterministic(small_graph):
+    a = hotspot_placements(small_graph, 20, seed=9)
+    b = hotspot_placements(small_graph, 20, seed=9)
+    assert a == b
+
+
+def test_rush_hour_burst(small_graph):
+    gen = RushHourGenerator(small_graph, 8, [(10.0, 0.5), (20.0, 4.0)], seed=2)
+    msgs = list(gen.messages())
+    early = sum(1 for m in msgs if m.t <= 10.0)
+    late = sum(1 for m in msgs if m.t > 10.0)
+    assert late > 4 * early  # 8x frequency, allow generator slack
+
+
+def test_rush_hour_time_ordered_overall(small_graph):
+    gen = RushHourGenerator(small_graph, 5, [(5.0, 1.0), (10.0, 2.0)], seed=1)
+    times = [m.t for m in gen.messages()]
+    assert times == sorted(times)
+    assert all(t <= 10.0 for t in times)
+
+
+def test_rush_hour_validation(small_graph):
+    with pytest.raises(ConfigError):
+        RushHourGenerator(small_graph, 5, [])
+    with pytest.raises(ConfigError):
+        RushHourGenerator(small_graph, 5, [(5.0, 1.0), (5.0, 2.0)])
+    with pytest.raises(ConfigError):
+        RushHourGenerator(small_graph, 5, [(5.0, 0.0)])
+
+
+def test_rush_hour_messages_valid_locations(small_graph):
+    gen = RushHourGenerator(small_graph, 5, [(8.0, 1.0)], seed=3)
+    for m in gen.messages():
+        edge = small_graph.edge(m.edge)
+        assert 0.0 <= m.offset <= edge.weight

@@ -1,0 +1,81 @@
+"""Tests for workload serialisation."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.mobility.serialize import load_workload, save_workload
+from repro.mobility.workload import make_workload
+
+
+@pytest.fixture(scope="module")
+def workload(small_graph):
+    return make_workload(
+        small_graph, num_objects=10, duration=5.0, num_queries=3, k=4, seed=2
+    )
+
+
+def test_roundtrip(workload, tmp_path):
+    path = save_workload(workload, tmp_path / "wl.jsonl")
+    back = load_workload(path)
+    assert back.initial == workload.initial
+    assert back.updates == workload.updates
+    assert back.queries == workload.queries
+
+
+def test_replay_of_loaded_workload_identical(small_graph, workload, tmp_path):
+    from repro.baselines.naive import NaiveKnnIndex
+    from repro.server.server import QueryServer
+
+    back = load_workload(save_workload(workload, tmp_path / "wl.jsonl"))
+    _, a = QueryServer(NaiveKnnIndex(small_graph)).replay(workload, collect_answers=True)
+    _, b = QueryServer(NaiveKnnIndex(small_graph)).replay(back, collect_answers=True)
+    assert [x.distances() for x in a] == [x.distances() for x in b]
+
+
+def test_missing_meta_rejected(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"kind": "place", "obj": 0, "edge": 1, "offset": 0.0}\n')
+    with pytest.raises(ReproError):
+        load_workload(path)
+
+
+def test_version_mismatch_rejected(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(json.dumps({"kind": "meta", "version": 99}) + "\n")
+    with pytest.raises(ReproError):
+        load_workload(path)
+
+
+def test_unknown_kind_rejected(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(
+        json.dumps(
+            {"kind": "meta", "version": 1, "objects": 0, "updates": 0, "queries": 0}
+        )
+        + "\n"
+        + json.dumps({"kind": "mystery"})
+        + "\n"
+    )
+    with pytest.raises(ReproError):
+        load_workload(path)
+
+
+def test_count_mismatch_rejected(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(
+        json.dumps(
+            {"kind": "meta", "version": 1, "objects": 2, "updates": 0, "queries": 0}
+        )
+        + "\n"
+    )
+    with pytest.raises(ReproError):
+        load_workload(path)
+
+
+def test_invalid_json_line(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("not json\n")
+    with pytest.raises(ReproError):
+        load_workload(path)

@@ -1,0 +1,67 @@
+"""Unit tests for workload assembly and event merging."""
+
+import pytest
+
+from repro.core.messages import Message
+from repro.errors import ConfigError
+from repro.mobility.workload import Query, Workload, make_workload, random_locations
+from repro.roadnet.location import NetworkLocation
+
+
+def test_random_locations_valid_and_deterministic(small_graph):
+    a = random_locations(small_graph, 10, seed=1)
+    b = random_locations(small_graph, 10, seed=1)
+    assert a == b
+    for loc in a:
+        loc.validate(small_graph)
+
+
+def test_make_workload_shape(small_graph):
+    wl = make_workload(small_graph, num_objects=5, duration=4.0, num_queries=4, k=3)
+    assert set(wl.initial) == set(range(5))
+    assert wl.num_queries == 4
+    assert all(q.k == 3 for q in wl.queries)
+    assert wl.num_updates >= 5 * 3  # ~f * duration per object
+
+
+def test_queries_evenly_spaced(small_graph):
+    wl = make_workload(small_graph, num_objects=3, duration=8.0, num_queries=4)
+    times = [q.t for q in wl.queries]
+    assert times == [2.0, 4.0, 6.0, 8.0]
+
+
+def test_events_merged_in_time_order(small_graph):
+    wl = make_workload(small_graph, num_objects=4, duration=5.0, num_queries=3)
+    last = -1.0
+    for kind, event in wl.events():
+        t = event.t
+        assert t >= last - 1e-12
+        last = t
+
+
+def test_events_tie_updates_first():
+    """A query at time t sees every message with timestamp <= t."""
+    wl = Workload(
+        initial={},
+        updates=[Message(1, 0, 0.0, 5.0)],
+        queries=[Query(5.0, NetworkLocation(0, 0.0), 1)],
+    )
+    kinds = [kind for kind, _ in wl.events()]
+    assert kinds == ["update", "query"]
+
+
+def test_events_exhaust_both_streams():
+    wl = Workload(
+        initial={},
+        updates=[Message(1, 0, 0.0, 1.0), Message(1, 0, 0.0, 9.0)],
+        queries=[Query(5.0, NetworkLocation(0, 0.0), 1)],
+    )
+    kinds = [kind for kind, _ in wl.events()]
+    assert kinds == ["update", "query", "update"]
+
+
+def test_make_workload_validation(small_graph):
+    with pytest.raises(ConfigError):
+        make_workload(small_graph, 5, duration=0.0, num_queries=1)
+    with pytest.raises(ConfigError):
+        make_workload(small_graph, 5, duration=1.0, num_queries=0)

@@ -1,0 +1,82 @@
+"""Unit tests for heavy-edge-matching coarsening."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition.coarsen import PartGraph, coarsen, project
+from repro.roadnet.generators import grid_road_network
+
+
+def _work(seed: int = 0, rows: int = 6, cols: int = 6) -> PartGraph:
+    return PartGraph.from_road_network(grid_road_network(rows, cols, seed=seed))
+
+
+def test_from_road_network_symmetric():
+    g = _work()
+    for u in range(g.num_vertices):
+        for v, w in g.adj[u].items():
+            assert g.adj[v][u] == w
+
+
+def test_from_road_network_counts_directed_edges():
+    graph = grid_road_network(4, 4, seed=1)
+    work = PartGraph.from_road_network(graph)
+    total = sum(sum(adj.values()) for adj in work.adj)
+    assert total == 2 * graph.num_edges  # each directed edge counted at u and v
+
+
+def test_coarsen_preserves_total_vertex_weight():
+    g = _work()
+    level = coarsen(g, random.Random(0))
+    assert level.graph.total_weight == g.total_weight
+
+
+def test_coarsen_shrinks():
+    g = _work()
+    level = coarsen(g, random.Random(0))
+    assert level.graph.num_vertices < g.num_vertices
+
+
+def test_coarse_vertices_merge_at_most_two():
+    g = _work()
+    level = coarsen(g, random.Random(1))
+    assert all(w <= 2 for w in level.graph.vertex_weight)
+
+
+def test_fine_to_coarse_total_mapping():
+    g = _work()
+    level = coarsen(g, random.Random(2))
+    assert len(level.fine_to_coarse) == g.num_vertices
+    assert set(level.fine_to_coarse) == set(range(level.graph.num_vertices))
+
+
+def test_coarse_graph_has_no_self_edges():
+    g = _work()
+    level = coarsen(g, random.Random(3))
+    for u, adj in enumerate(level.graph.adj):
+        assert u not in adj
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 1000))
+def test_coarsen_preserves_cut_structure(seed):
+    """Property: a bisection's cut on the coarse graph equals the cut of
+    its projection on the fine graph."""
+    rng = random.Random(seed)
+    g = _work(seed=seed % 50, rows=5, cols=5)
+    level = coarsen(g, rng)
+    coarse_side = [rng.randint(0, 1) for _ in range(level.graph.num_vertices)]
+    fine_side = project(level, coarse_side)
+    assert level.graph.cut_weight(coarse_side) == g.cut_weight(fine_side)
+
+
+def test_project_maps_every_vertex():
+    g = _work()
+    level = coarsen(g, random.Random(4))
+    side = [0] * level.graph.num_vertices
+    side[0] = 1
+    fine = project(level, side)
+    assert len(fine) == g.num_vertices
+    assert set(fine) <= {0, 1}

@@ -1,0 +1,79 @@
+"""Unit tests for the grid cell assignment (Section III-A)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitionError
+from repro.partition.grid_assign import assign_cells, psi_for
+from repro.roadnet.generators import grid_road_network
+
+
+def test_psi_formula_matches_paper():
+    # psi = ceil(0.5 * log2(|V| / delta_c))
+    assert psi_for(64, 1) == 3
+    assert psi_for(100, 3) == math.ceil(0.5 * math.log2(100 / 3))
+    assert psi_for(3, 3) == 0  # everything fits one cell
+
+
+def test_psi_rejects_bad_capacity():
+    with pytest.raises(PartitionError):
+        psi_for(10, 0)
+
+
+def test_every_vertex_in_exactly_one_cell(small_graph):
+    a = assign_cells(small_graph, 3, seed=1)
+    seen = [vid for cell in a.vertices_of_cell for vid in cell]
+    assert sorted(seen) == list(range(small_graph.num_vertices))
+    for vid in range(small_graph.num_vertices):
+        assert vid in a.vertices_of_cell[a.cell_of_vertex[vid]]
+
+
+def test_capacity_respected(small_graph):
+    a = assign_cells(small_graph, 3, seed=1)
+    assert a.max_cell_size() <= 3
+
+
+def test_grid_dimensions(small_graph):
+    a = assign_cells(small_graph, 3, seed=1)
+    assert a.num_cells == (1 << a.psi) ** 2
+    assert len(a.vertices_of_cell) == a.num_cells
+
+
+def test_single_cell_when_capacity_large(small_graph):
+    a = assign_cells(small_graph, small_graph.num_vertices, seed=1)
+    assert a.psi == 0
+    assert a.num_cells == 1
+    assert len(a.vertices_of_cell[0]) == small_graph.num_vertices
+
+
+def test_deterministic(small_graph):
+    a = assign_cells(small_graph, 3, seed=9)
+    b = assign_cells(small_graph, 3, seed=9)
+    assert a.cell_of_vertex == b.cell_of_vertex
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(1, 8), st.integers(0, 50))
+def test_capacity_property(capacity, seed):
+    """Property: no cell ever exceeds delta_c, for any capacity/seed."""
+    g = grid_road_network(6, 6, seed=seed % 10)
+    a = assign_cells(g, capacity, seed=seed)
+    assert a.max_cell_size() <= capacity
+    assert sorted(v for cell in a.vertices_of_cell for v in cell) == list(
+        range(g.num_vertices)
+    )
+
+
+def test_locality_cells_mostly_contiguous(small_graph):
+    """Partitioning should keep most edges inside cells or between
+    nearby cells — far better than a random assignment would."""
+    a = assign_cells(small_graph, 8, seed=1)
+    internal = sum(
+        1
+        for e in small_graph.edges()
+        if a.cell_of_vertex[e.source] == a.cell_of_vertex[e.dest]
+    )
+    assert internal / small_graph.num_edges > 0.3

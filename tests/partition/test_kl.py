@@ -1,0 +1,80 @@
+"""Unit tests for KL/FM refinement and exact rebalancing."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition.coarsen import PartGraph
+from repro.partition.kl import rebalance, refine
+from repro.roadnet.generators import grid_road_network
+
+
+def _work(seed: int = 0) -> PartGraph:
+    return PartGraph.from_road_network(grid_road_network(6, 6, seed=seed))
+
+
+def _random_side(n: int, rng: random.Random) -> list[int]:
+    side = [rng.randint(0, 1) for _ in range(n)]
+    side[0] = 0
+    side[-1] = 1
+    return side
+
+
+def test_refine_never_increases_cut():
+    g = _work()
+    rng = random.Random(1)
+    side = _random_side(g.num_vertices, rng)
+    before = g.cut_weight(side)
+    refine(g.adj, g.vertex_weight, side, (g.total_weight, g.total_weight))
+    assert g.cut_weight(side) <= before
+
+
+def test_refine_respects_weight_budget():
+    g = _work()
+    rng = random.Random(2)
+    side = _random_side(g.num_vertices, rng)
+    weight0 = sum(g.vertex_weight[u] for u in range(g.num_vertices) if side[u] == 0)
+    budget = (weight0 + 2, g.total_weight - weight0 + 2)
+    refine(g.adj, g.vertex_weight, side, budget)
+    w0 = sum(g.vertex_weight[u] for u in range(g.num_vertices) if side[u] == 0)
+    assert w0 <= budget[0]
+    assert g.total_weight - w0 <= budget[1]
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 500))
+def test_refine_cut_property(seed):
+    g = _work(seed=seed % 20)
+    rng = random.Random(seed)
+    side = _random_side(g.num_vertices, rng)
+    before = g.cut_weight(side)
+    refine(g.adj, g.vertex_weight, side, (g.total_weight, g.total_weight))
+    assert g.cut_weight(side) <= before
+
+
+def test_rebalance_hits_exact_target():
+    g = _work()
+    rng = random.Random(3)
+    side = _random_side(g.num_vertices, rng)
+    target = g.num_vertices // 2
+    rebalance(g.adj, g.vertex_weight, side, float(target))
+    assert side.count(0) == target
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 500), st.integers(1, 35))
+def test_rebalance_any_target(seed, target):
+    g = _work(seed=seed % 20)
+    rng = random.Random(seed)
+    side = _random_side(g.num_vertices, rng)
+    rebalance(g.adj, g.vertex_weight, side, float(target))
+    assert side.count(0) == target
+
+
+def test_rebalance_noop_when_balanced():
+    g = _work()
+    side = [0] * (g.num_vertices // 2) + [1] * (g.num_vertices - g.num_vertices // 2)
+    before = list(side)
+    rebalance(g.adj, g.vertex_weight, side, float(g.num_vertices // 2))
+    assert side == before

@@ -1,0 +1,70 @@
+"""Unit tests for multilevel bisection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitionError
+from repro.partition.coarsen import PartGraph
+from repro.partition.multilevel import bisect_graph
+from repro.roadnet.generators import grid_road_network
+
+
+def _work(rows=8, cols=8, seed=0) -> PartGraph:
+    return PartGraph.from_road_network(grid_road_network(rows, cols, seed=seed))
+
+
+def test_bisection_exact_half():
+    g = _work()
+    side = bisect_graph(g, seed=1)
+    assert side.count(0) == g.num_vertices // 2
+
+
+def test_bisection_custom_target():
+    g = _work()
+    side = bisect_graph(g, target_weight0=10, seed=1)
+    assert side.count(0) == 10
+
+
+def test_bisection_deterministic():
+    g = _work()
+    assert bisect_graph(g, seed=5) == bisect_graph(g, seed=5)
+
+
+def test_bisection_cut_is_reasonable():
+    """A balanced grid bisection should cut far fewer edges than random."""
+    g = _work(10, 10, seed=2)
+    side = bisect_graph(g, seed=3)
+    random_cut = g.cut_weight([i % 2 for i in range(g.num_vertices)])
+    assert g.cut_weight(side) < random_cut / 2
+
+
+def test_invalid_target_raises():
+    g = _work(4, 4)
+    with pytest.raises(PartitionError):
+        bisect_graph(g, target_weight0=-1)
+    with pytest.raises(PartitionError):
+        bisect_graph(g, target_weight0=g.total_weight + 1)
+
+
+def test_target_zero_and_full():
+    g = _work(4, 4)
+    assert bisect_graph(g, target_weight0=0).count(0) == 0
+    n = g.num_vertices
+    assert bisect_graph(g, target_weight0=n).count(0) == n
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 200))
+def test_bisection_exactness_property(seed):
+    g = _work(rows=5 + seed % 4, cols=5, seed=seed % 10)
+    target = 1 + seed % (g.num_vertices - 1)
+    side = bisect_graph(g, target_weight0=target, seed=seed)
+    assert side.count(0) == target
+
+
+def test_small_graph_bisection():
+    """Graphs below the coarsening threshold still bisect exactly."""
+    g = _work(2, 3)
+    side = bisect_graph(g, seed=0)
+    assert side.count(0) == 3

@@ -1,0 +1,84 @@
+"""Unit tests for the binary partition tree (V-Tree / ROAD substrate)."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.partition.tree import PartitionTree
+
+
+def test_leaves_partition_vertices(small_graph):
+    tree = PartitionTree(small_graph, leaf_size=10, seed=1)
+    seen = sorted(v for leaf in tree.leaves() for v in leaf.vertices)
+    assert seen == list(range(small_graph.num_vertices))
+
+
+def test_leaf_size_respected(small_graph):
+    tree = PartitionTree(small_graph, leaf_size=10, seed=1)
+    assert all(len(leaf.vertices) <= 10 for leaf in tree.leaves())
+
+
+def test_root_covers_everything(small_graph):
+    tree = PartitionTree(small_graph, leaf_size=10, seed=1)
+    assert len(tree.root.vertices) == small_graph.num_vertices
+    assert tree.root.leaf_lo == 0 and tree.root.leaf_hi == tree.num_leaves
+
+
+def test_leaf_of_vertex_consistent(small_graph):
+    tree = PartitionTree(small_graph, leaf_size=10, seed=1)
+    for vid in range(small_graph.num_vertices):
+        leaf = tree.leaf_node_of_vertex(vid)
+        assert vid in leaf.vertices
+        assert tree.contains(leaf, vid)
+
+
+def test_contains_via_leaf_interval(small_graph):
+    tree = PartitionTree(small_graph, leaf_size=10, seed=1)
+    root_left = tree.nodes[tree.root.children[0]]
+    inside = set(root_left.vertices)
+    for vid in range(small_graph.num_vertices):
+        assert tree.contains(root_left, vid) == (vid in inside)
+
+
+def test_borders_have_crossing_edges(small_graph):
+    tree = PartitionTree(small_graph, leaf_size=10, seed=1)
+    for leaf in tree.leaves():
+        inside = set(leaf.vertices)
+        for b in leaf.borders:
+            crossing = any(
+                e.dest not in inside for e in small_graph.out_edges(b)
+            ) or any(e.source not in inside for e in small_graph.in_edges(b))
+            assert crossing
+
+
+def test_non_borders_have_no_crossing_edges(small_graph):
+    tree = PartitionTree(small_graph, leaf_size=10, seed=1)
+    leaf = tree.leaves()[0]
+    inside = set(leaf.vertices)
+    interior = inside - set(leaf.borders)
+    for v in interior:
+        assert all(e.dest in inside for e in small_graph.out_edges(v))
+        assert all(e.source in inside for e in small_graph.in_edges(v))
+
+
+def test_root_has_no_borders(small_graph):
+    tree = PartitionTree(small_graph, leaf_size=10, seed=1)
+    assert tree.root.borders == []
+
+
+def test_path_to_root(small_graph):
+    tree = PartitionTree(small_graph, leaf_size=10, seed=1)
+    leaf = tree.leaves()[0]
+    path = tree.path_to_root(leaf)
+    assert path[0] is leaf and path[-1] is tree.root
+    assert all(tree.nodes[path[i].parent] is path[i + 1] for i in range(len(path) - 1))
+
+
+def test_single_leaf_tree(line_graph):
+    tree = PartitionTree(line_graph, leaf_size=100, seed=1)
+    assert tree.num_leaves == 1
+    assert tree.root.is_leaf
+
+
+def test_invalid_leaf_size(line_graph):
+    with pytest.raises(PartitionError):
+        PartitionTree(line_graph, leaf_size=0)

@@ -1,0 +1,71 @@
+"""Unit tests for Morton (Z-order) encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.partition.zcurve import z_decode, z_encode, z_neighbors
+
+
+def test_paper_example():
+    """The paper's worked example: (x=3, y=4) -> 37."""
+    assert z_encode(3, 4, 3) == 37
+
+
+def test_origin_is_zero():
+    assert z_encode(0, 0, 4) == 0
+
+
+def test_decode_paper_example():
+    assert z_decode(37, 3) == (3, 4)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 255), st.integers(0, 255))
+def test_encode_decode_roundtrip(x, y):
+    assert z_decode(z_encode(x, y, 8), 8) == (x, y)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**16 - 1))
+def test_decode_encode_roundtrip(z):
+    x, y = z_decode(z, 8)
+    assert z_encode(x, y, 8) == z
+
+
+def test_encode_is_bijection_small_grid():
+    values = {z_encode(x, y, 2) for x in range(4) for y in range(4)}
+    assert values == set(range(16))
+
+
+def test_locality_within_quadrant():
+    """All cells of one quadrant occupy one contiguous Z range."""
+    zs = sorted(z_encode(x, y, 2) for x in range(2) for y in range(2))
+    assert zs == [0, 1, 2, 3]
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(ConfigError):
+        z_encode(4, 0, 2)
+    with pytest.raises(ConfigError):
+        z_encode(0, -1, 2)
+    with pytest.raises(ConfigError):
+        z_decode(16, 2)
+
+
+def test_negative_bits_rejected():
+    with pytest.raises(ConfigError):
+        z_encode(0, 0, -1)
+
+
+def test_neighbors_interior_cell():
+    nbrs = z_neighbors(z_encode(1, 1, 2), 2)
+    assert len(nbrs) == 8
+    coords = {z_decode(z, 2) for z in nbrs}
+    assert (0, 0) in coords and (2, 2) in coords and (1, 1) not in coords
+
+
+def test_neighbors_corner_cell():
+    nbrs = z_neighbors(z_encode(0, 0, 2), 2)
+    assert len(nbrs) == 3

@@ -1,0 +1,113 @@
+"""Unit and property tests for A* and bidirectional Dijkstra."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.roadnet.astar import (
+    astar,
+    bidirectional_dijkstra,
+    euclidean_heuristic_scale,
+)
+from repro.roadnet.dijkstra import shortest_path_distance
+from repro.roadnet.generators import grid_road_network
+
+
+def test_heuristic_scale_admissible(small_graph):
+    import math
+
+    scale = euclidean_heuristic_scale(small_graph)
+    assert scale > 0
+    for e in small_graph.edges():
+        a, b = small_graph.vertex(e.source), small_graph.vertex(e.dest)
+        assert scale * math.hypot(a.x - b.x, a.y - b.y) <= e.weight + 1e-9
+
+
+def test_heuristic_scale_no_coordinates(triangle_graph):
+    # all vertices at the origin: scale collapses to 0 (plain Dijkstra)
+    assert euclidean_heuristic_scale(triangle_graph) == 0.0
+
+
+def test_astar_matches_dijkstra(small_graph):
+    rng = random.Random(1)
+    for _ in range(15):
+        s = rng.randrange(small_graph.num_vertices)
+        g = rng.randrange(small_graph.num_vertices)
+        d, _ = astar(small_graph, s, g)
+        assert d == pytest.approx(shortest_path_distance(small_graph, s, g))
+
+
+def test_astar_settles_fewer_vertices(small_graph):
+    """Goal direction must help on average across random pairs."""
+    from repro.roadnet.dijkstra import multi_source_dijkstra
+
+    rng = random.Random(2)
+    wins = total = 0
+    for _ in range(10):
+        s, g = rng.randrange(64), rng.randrange(64)
+        if s == g:
+            continue
+        _, settled = astar(small_graph, s, g)
+        dijkstra_settled = len(
+            multi_source_dijkstra(small_graph, {s: 0.0}, targets=[g])
+        )
+        wins += settled <= dijkstra_settled
+        total += 1
+    assert wins >= total * 0.6
+
+
+def test_astar_same_vertex():
+    g = grid_road_network(3, 3, seed=0)
+    assert astar(g, 4, 4) == (0.0, 0)
+
+
+def test_astar_unreachable():
+    from repro.roadnet.graph import RoadNetwork
+
+    g = RoadNetwork()
+    g.add_vertex(0, 0)
+    g.add_vertex(1, 0)
+    g.add_edge(0, 1, 1.0)
+    d, _ = astar(g, 1, 0)
+    assert d == float("inf")
+
+
+def test_bidirectional_matches_dijkstra(small_graph):
+    rng = random.Random(3)
+    for _ in range(15):
+        s = rng.randrange(small_graph.num_vertices)
+        g = rng.randrange(small_graph.num_vertices)
+        d, _ = bidirectional_dijkstra(small_graph, s, g)
+        assert d == pytest.approx(shortest_path_distance(small_graph, s, g))
+
+
+def test_bidirectional_directed_asymmetry(triangle_graph):
+    d1, _ = bidirectional_dijkstra(triangle_graph, 0, 2)
+    d2, _ = bidirectional_dijkstra(triangle_graph, 2, 1)
+    assert d1 == pytest.approx(3.0)
+    assert d2 == pytest.approx(4.0)
+
+
+def test_bidirectional_unreachable():
+    from repro.roadnet.graph import RoadNetwork
+
+    g = RoadNetwork()
+    g.add_vertices(2)
+    g.add_edge(0, 1, 1.0)
+    d, _ = bidirectional_dijkstra(g, 1, 0)
+    assert d == float("inf")
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10**6))
+def test_all_three_agree_property(seed):
+    """Property: Dijkstra, A* and bidirectional agree on random pairs."""
+    rng = random.Random(seed)
+    g = grid_road_network(5, 5, seed=seed % 17)
+    s = rng.randrange(g.num_vertices)
+    t = rng.randrange(g.num_vertices)
+    reference = shortest_path_distance(g, s, t)
+    assert astar(g, s, t)[0] == pytest.approx(reference)
+    assert bidirectional_dijkstra(g, s, t)[0] == pytest.approx(reference)

@@ -1,0 +1,101 @@
+"""Property and unit tests for Contraction Hierarchies."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.roadnet.contraction import ContractionHierarchy
+from repro.roadnet.dijkstra import shortest_path_distance
+from repro.roadnet.generators import grid_road_network, random_road_network
+
+
+@pytest.fixture(scope="module")
+def ch_small(small_graph):
+    return ContractionHierarchy(small_graph)
+
+
+def test_matches_dijkstra_exhaustive_pairs(ch_small, small_graph):
+    rng = random.Random(1)
+    for _ in range(30):
+        s = rng.randrange(small_graph.num_vertices)
+        t = rng.randrange(small_graph.num_vertices)
+        assert ch_small.distance(s, t) == pytest.approx(
+            shortest_path_distance(small_graph, s, t)
+        )
+
+
+def test_same_vertex(ch_small):
+    assert ch_small.distance(5, 5) == 0.0
+
+
+def test_unreachable():
+    from repro.roadnet.graph import RoadNetwork
+
+    g = RoadNetwork()
+    g.add_vertices(2)
+    g.add_edge(0, 1, 1.0)
+    ch = ContractionHierarchy(g)
+    assert ch.distance(1, 0) == float("inf")
+    assert ch.distance(0, 1) == pytest.approx(1.0)
+
+
+def test_directed_asymmetry(triangle_graph):
+    ch = ContractionHierarchy(triangle_graph)
+    assert ch.distance(0, 2) == pytest.approx(3.0)
+    assert ch.distance(2, 1) == pytest.approx(4.0)
+
+
+def test_ranks_are_a_permutation(ch_small, small_graph):
+    assert sorted(ch_small.rank) == list(range(small_graph.num_vertices))
+
+
+def test_search_space_smaller_than_dijkstra(small_graph, ch_small):
+    """The hierarchy must settle fewer vertices than plain Dijkstra on
+    average across random pairs."""
+    from repro.roadnet.dijkstra import multi_source_dijkstra
+
+    rng = random.Random(2)
+    ch_total = dijkstra_total = 0
+    for _ in range(12):
+        s = rng.randrange(small_graph.num_vertices)
+        t = rng.randrange(small_graph.num_vertices)
+        if s == t:
+            continue
+        _, settled = ch_small.distance_with_stats(s, t)
+        ch_total += settled
+        dijkstra_total += len(
+            multi_source_dijkstra(small_graph, {s: 0.0}, targets=[t])
+        )
+    assert ch_total < dijkstra_total
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(0, 10**6))
+def test_matches_dijkstra_property(seed):
+    rng = random.Random(seed)
+    graph = grid_road_network(5, 5, seed=seed % 19)
+    ch = ContractionHierarchy(graph)
+    for _ in range(5):
+        s = rng.randrange(graph.num_vertices)
+        t = rng.randrange(graph.num_vertices)
+        assert ch.distance(s, t) == pytest.approx(
+            shortest_path_distance(graph, s, t)
+        )
+
+
+def test_on_random_geometric_graph():
+    graph = random_road_network(30, seed=5)
+    ch = ContractionHierarchy(graph)
+    rng = random.Random(6)
+    for _ in range(10):
+        s, t = rng.randrange(30), rng.randrange(30)
+        assert ch.distance(s, t) == pytest.approx(
+            shortest_path_distance(graph, s, t)
+        )
+
+
+def test_shortcut_count_reasonable(small_graph, ch_small):
+    # a planar-ish grid should not explode in shortcuts
+    assert ch_small.shortcuts_added < 4 * small_graph.num_edges

@@ -1,0 +1,66 @@
+"""Unit tests for the named evaluation datasets."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.roadnet.datasets import (
+    DATASET_ORDER,
+    DATASET_SPECS,
+    dataset_table,
+    load_dataset,
+)
+
+
+def test_all_six_datasets_present():
+    assert set(DATASET_ORDER) == {"NY", "COL", "FLA", "CAL", "LKS", "USA"}
+    assert set(DATASET_SPECS) == set(DATASET_ORDER)
+
+
+def test_size_ordering_preserved():
+    sizes = [load_dataset(name, scale=1 / 4000).num_vertices for name in DATASET_ORDER]
+    assert sizes == sorted(sizes)
+
+
+def test_edge_ratio_matches_table2():
+    for name in ("NY", "USA"):
+        spec = DATASET_SPECS[name]
+        g = load_dataset(name, scale=1 / 1000)
+        assert g.num_edges / g.num_vertices == pytest.approx(
+            spec.edge_ratio, rel=0.25
+        )
+
+
+def test_datasets_strongly_connected():
+    for name in ("NY", "COL"):
+        assert load_dataset(name).is_strongly_connected()
+
+
+def test_load_is_cached():
+    assert load_dataset("NY") is load_dataset("NY")
+
+
+def test_case_insensitive():
+    assert load_dataset("ny") is load_dataset("NY")
+
+
+def test_unknown_dataset_raises():
+    with pytest.raises(GraphError):
+        load_dataset("MARS")
+
+
+def test_bad_scale_raises():
+    with pytest.raises(GraphError):
+        load_dataset("NY", scale=0.0)
+
+
+def test_minimum_size_floor():
+    g = load_dataset("NY", scale=1e-9)
+    assert g.num_vertices >= 100
+
+
+def test_dataset_table_rows():
+    rows = dataset_table()
+    assert [r["dataset"] for r in rows] == list(DATASET_ORDER)
+    for row in rows:
+        assert row["V"] > 0 and row["E"] > row["V"]
+        assert row["paper_V"] == DATASET_SPECS[row["dataset"]].paper_vertices

@@ -1,0 +1,115 @@
+"""Unit tests for the shortest-path primitives."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.roadnet.dijkstra import (
+    bounded_dijkstra,
+    dijkstra,
+    dijkstra_with_paths,
+    multi_source_dijkstra,
+    reconstruct_path,
+    shortest_path_distance,
+)
+from repro.roadnet.generators import grid_road_network
+
+
+def test_line_graph_distances(line_graph):
+    dist = dijkstra(line_graph, 0)
+    assert dist == {0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0, 4: 4.0}
+
+
+def test_directed_triangle_asymmetry(triangle_graph):
+    assert shortest_path_distance(triangle_graph, 0, 2) == 3.0  # 0->1->2
+    assert shortest_path_distance(triangle_graph, 2, 1) == 4.0  # 2->0->1
+
+
+def test_unreachable_is_inf():
+    from repro.roadnet.graph import RoadNetwork
+
+    g = RoadNetwork()
+    g.add_vertices(2)
+    g.add_edge(0, 1, 1.0)
+    assert shortest_path_distance(g, 1, 0) == float("inf")
+
+
+def test_same_vertex_distance_zero(line_graph):
+    assert shortest_path_distance(line_graph, 2, 2) == 0.0
+
+
+def test_targets_early_exit(line_graph):
+    dist = dijkstra(line_graph, 0, targets=[1])
+    assert dist[1] == 1.0
+    assert 4 not in dist  # search stopped before the far end
+
+
+def test_multi_source_takes_min(line_graph):
+    dist = multi_source_dijkstra(line_graph, {0: 0.0, 4: 0.0})
+    assert dist[2] == 2.0
+    assert dist[1] == 1.0 and dist[3] == 1.0
+
+
+def test_multi_source_with_offsets(line_graph):
+    dist = multi_source_dijkstra(line_graph, {0: 10.0, 4: 0.0})
+    assert dist[0] == min(10.0, 4.0)  # reachable from seed 4 via the path
+
+
+def test_bounded_dijkstra_respects_radius(line_graph):
+    dist = bounded_dijkstra(line_graph, 0, radius=2.5)
+    assert set(dist) == {0, 1, 2}
+
+
+def test_bounded_dijkstra_zero_radius(line_graph):
+    assert set(bounded_dijkstra(line_graph, 2, radius=0.0)) == {2}
+
+
+def test_paths_reconstruction(line_graph):
+    dist, parent = dijkstra_with_paths(line_graph, 0)
+    assert reconstruct_path(parent, 0, 3) == [0, 1, 2, 3]
+    assert reconstruct_path(parent, 0, 0) == [0]
+
+
+def test_reconstruct_unreached_returns_empty():
+    assert reconstruct_path({}, 0, 7) == []
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_dijkstra_matches_bellman_ford(seed):
+    """Property: Dijkstra distances equal a naive Bellman-Ford's."""
+    rng = random.Random(seed)
+    g = grid_road_network(4, 4, seed=rng.randrange(1000))
+    source = rng.randrange(g.num_vertices)
+    fast = dijkstra(g, source)
+    slow = {v.id: float("inf") for v in g.vertices()}
+    slow[source] = 0.0
+    for _ in range(g.num_vertices):
+        for e in g.edges():
+            if slow[e.source] + e.weight < slow[e.dest]:
+                slow[e.dest] = slow[e.source] + e.weight
+    for v, d in fast.items():
+        assert slow[v] == pytest.approx(d)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10**6), st.floats(0.5, 5.0))
+def test_bounded_is_restriction_of_full(seed, radius):
+    """Property: bounded search equals the full search filtered by radius."""
+    g = grid_road_network(5, 5, seed=seed % 100)
+    source = seed % g.num_vertices
+    full = dijkstra(g, source)
+    bounded = bounded_dijkstra(g, source, radius)
+    assert bounded == {v: d for v, d in full.items() if d <= radius}
+
+
+def test_triangle_inequality_holds(small_graph):
+    rng = random.Random(0)
+    for _ in range(10):
+        a, b, c = (rng.randrange(small_graph.num_vertices) for _ in range(3))
+        ab = shortest_path_distance(small_graph, a, b)
+        bc = shortest_path_distance(small_graph, b, c)
+        ac = shortest_path_distance(small_graph, a, c)
+        assert ac <= ab + bc + 1e-9

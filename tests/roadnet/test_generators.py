@@ -1,0 +1,101 @@
+"""Unit tests for the synthetic road-network generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.roadnet.generators import (
+    grid_dims_for,
+    grid_road_network,
+    random_road_network,
+)
+
+
+def test_grid_vertex_count():
+    g = grid_road_network(6, 7, seed=0)
+    assert g.num_vertices == 42
+
+
+def test_grid_is_strongly_connected():
+    assert grid_road_network(10, 10, seed=5).is_strongly_connected()
+
+
+def test_grid_edge_ratio_close_to_target():
+    g = grid_road_network(20, 20, edge_ratio=2.6, seed=2)
+    ratio = g.num_edges / g.num_vertices
+    assert 2.2 <= ratio <= 2.8
+
+
+def test_grid_deterministic_per_seed():
+    a = grid_road_network(8, 8, seed=7)
+    b = grid_road_network(8, 8, seed=7)
+    assert a.num_edges == b.num_edges
+    assert [(e.source, e.dest, e.weight) for e in a.edges()] == [
+        (e.source, e.dest, e.weight) for e in b.edges()
+    ]
+
+
+def test_grid_different_seeds_differ():
+    a = grid_road_network(8, 8, seed=1)
+    b = grid_road_network(8, 8, seed=2)
+    assert [(e.source, e.dest) for e in a.edges()] != [
+        (e.source, e.dest) for e in b.edges()
+    ]
+
+
+def test_grid_positive_weights():
+    g = grid_road_network(6, 6, seed=3)
+    assert all(e.weight > 0 for e in g.edges())
+
+
+def test_grid_rejects_degenerate_dims():
+    with pytest.raises(GraphError):
+        grid_road_network(1, 5)
+    with pytest.raises(GraphError):
+        grid_road_network(5, 1)
+
+
+def test_grid_edges_come_in_pairs():
+    """Every road is two directed edges of equal weight."""
+    g = grid_road_network(5, 5, seed=4)
+    pairs = {}
+    for e in g.edges():
+        pairs.setdefault((min(e.source, e.dest), max(e.source, e.dest)), []).append(
+            e.weight
+        )
+    for weights in pairs.values():
+        assert len(weights) == 2
+        assert weights[0] == weights[1]
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(2, 8), st.integers(2, 8), st.integers(0, 100))
+def test_grid_always_connected(rows, cols, seed):
+    assert grid_road_network(rows, cols, seed=seed).is_strongly_connected()
+
+
+def test_random_network_connected():
+    g = random_road_network(40, seed=9)
+    assert g.num_vertices == 40
+    assert g.is_strongly_connected()
+
+
+def test_random_network_rejects_tiny():
+    with pytest.raises(GraphError):
+        random_road_network(1)
+
+
+def test_grid_dims_product_close():
+    rows, cols = grid_dims_for(100)
+    assert abs(rows * cols - 100) <= 10
+
+
+def test_grid_dims_aspect():
+    rows, cols = grid_dims_for(400, aspect=0.25)
+    assert rows < cols
+
+
+def test_grid_dims_rejects_tiny():
+    with pytest.raises(GraphError):
+        grid_dims_for(2)

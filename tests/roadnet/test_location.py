@@ -1,0 +1,87 @@
+"""Unit tests for on-edge network locations and distance conventions."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.roadnet.dijkstra import multi_source_dijkstra
+from repro.roadnet.location import NetworkLocation, entry_costs, location_distance
+
+
+def test_validate_accepts_in_range(line_graph):
+    loc = NetworkLocation(0, 0.5)
+    assert loc.validate(line_graph) is loc
+
+
+def test_validate_rejects_out_of_range(line_graph):
+    with pytest.raises(GraphError):
+        NetworkLocation(0, 1.5).validate(line_graph)
+    with pytest.raises(GraphError):
+        NetworkLocation(0, -0.1).validate(line_graph)
+
+
+def test_validate_rejects_unknown_edge(line_graph):
+    with pytest.raises(GraphError):
+        NetworkLocation(999, 0.0).validate(line_graph)
+
+
+def test_clamp(line_graph):
+    assert NetworkLocation(0, 2.0).clamp(line_graph).offset == 1.0
+    assert NetworkLocation(0, -1.0).clamp(line_graph).offset == 0.0
+
+
+def test_at_source():
+    assert NetworkLocation(3, 0.0).at_source()
+    assert not NetworkLocation(3, 0.1).at_source()
+
+
+def test_xy_interpolates(line_graph):
+    # edge 0 runs from vertex 0 (0,0) to vertex 1 (1,0)
+    x, y = NetworkLocation(0, 0.5).xy(line_graph)
+    assert x == pytest.approx(0.5)
+    assert y == pytest.approx(0.0)
+
+
+def test_entry_costs_mid_edge(line_graph):
+    # edge 0: 0 -> 1, weight 1; standing halfway leaves 0.5 to the dest
+    seeds = entry_costs(line_graph, NetworkLocation(0, 0.5))
+    assert seeds == {1: 0.5}
+
+
+def test_entry_costs_at_source_vertex(line_graph):
+    seeds = entry_costs(line_graph, NetworkLocation(0, 0.0))
+    assert seeds == {1: 1.0, 0: 0.0}
+
+
+def test_location_distance_via_source(line_graph):
+    q = NetworkLocation(0, 0.0)  # at vertex 0
+    dist = multi_source_dijkstra(line_graph, entry_costs(line_graph, q))
+    # target halfway along edge 2->3 (edge id 4 is 2->3)
+    target_edge = next(
+        e for e in line_graph.edges() if e.source == 2 and e.dest == 3
+    )
+    target = NetworkLocation(target_edge.id, 0.25)
+    assert location_distance(line_graph, dist, q, target) == pytest.approx(2.25)
+
+
+def test_location_distance_same_edge_ahead(line_graph):
+    q = NetworkLocation(0, 0.2)
+    dist = multi_source_dijkstra(line_graph, entry_costs(line_graph, q))
+    target = NetworkLocation(0, 0.7)
+    assert location_distance(line_graph, dist, q, target) == pytest.approx(0.5)
+
+
+def test_location_distance_same_edge_behind_goes_around(line_graph):
+    q = NetworkLocation(0, 0.7)
+    dist = multi_source_dijkstra(line_graph, entry_costs(line_graph, q))
+    target = NetworkLocation(0, 0.2)
+    # must finish edge 0 (0.3), go back 1->0 (1.0), then 0.2 along edge 0
+    assert location_distance(line_graph, dist, q, target) == pytest.approx(1.5)
+
+
+def test_location_distance_unreachable(triangle_graph):
+    # triangle 0->1->2->0; from a location on edge 0 everything is
+    # reachable, but an empty dist map means unreachable
+    q = NetworkLocation(0, 0.5)
+    assert location_distance(triangle_graph, {}, q, NetworkLocation(1, 0.0)) == float(
+        "inf"
+    )

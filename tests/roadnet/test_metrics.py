@@ -1,0 +1,50 @@
+"""Tests for road-network statistics."""
+
+import pytest
+
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.metrics import GraphStats, degree_histogram, estimate_diameter
+
+
+def test_stats_of_small_graph(small_graph):
+    stats = GraphStats.of(small_graph)
+    assert stats.vertices == small_graph.num_vertices
+    assert stats.edges == small_graph.num_edges
+    assert stats.edge_ratio == pytest.approx(stats.edges / stats.vertices)
+    assert stats.min_out_degree >= 1
+    assert stats.max_out_degree >= stats.mean_out_degree >= stats.min_out_degree
+    assert stats.min_weight > 0
+    assert stats.strongly_connected
+
+
+def test_stats_of_empty_graph():
+    stats = GraphStats.of(RoadNetwork())
+    assert stats.vertices == 0 and stats.edges == 0
+    assert stats.total_weight == 0.0
+
+
+def test_degree_histogram_sums_to_vertices(small_graph):
+    hist = degree_histogram(small_graph)
+    assert sum(hist.values()) == small_graph.num_vertices
+    total_edges = sum(d * c for d, c in hist.items())
+    assert total_edges == small_graph.num_edges
+
+
+def test_diameter_estimate_line(line_graph):
+    # the 0-1-2-3-4 path has diameter exactly 4
+    assert estimate_diameter(line_graph, samples=3, seed=1) == pytest.approx(4.0)
+
+
+def test_diameter_lower_bounds_true_diameter(small_graph):
+    from repro.roadnet.dijkstra import dijkstra
+
+    estimate = estimate_diameter(small_graph, samples=4, seed=2)
+    true = max(
+        max(dijkstra(small_graph, v.id).values()) for v in small_graph.vertices()
+    )
+    assert estimate <= true + 1e-9
+    assert estimate >= 0.5 * true  # double sweep is usually close
+
+
+def test_diameter_empty_graph():
+    assert estimate_diameter(RoadNetwork()) == 0.0

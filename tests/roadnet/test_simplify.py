@@ -1,0 +1,112 @@
+"""Tests for degree-2 chain contraction."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.roadnet.dijkstra import shortest_path_distance
+from repro.roadnet.generators import grid_road_network
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.simplify import contract_chains
+
+
+def _chain_graph() -> RoadNetwork:
+    """junction - a - b - junction (two-way), plus a stub off each end."""
+    g = RoadNetwork()
+    j1, a, b, j2, s1, s2 = (g.add_vertex(float(i), 0.0) for i in range(6))
+    g.add_bidirectional_edge(j1, a, 1.0)
+    g.add_bidirectional_edge(a, b, 2.0)
+    g.add_bidirectional_edge(b, j2, 3.0)
+    g.add_bidirectional_edge(j1, s1, 1.0)
+    g.add_bidirectional_edge(j2, s2, 1.0)
+    return g
+
+
+def test_chain_contracted_to_single_edge():
+    """s1 - j1 - a - b - j2 - s2 is ONE chain: only the two degree-1
+    endpoints survive, joined by an edge carrying the full length."""
+    g = _chain_graph()
+    result = contract_chains(g)
+    assert result.kept == [4, 5]  # the stubs
+    s1, s2 = result.new_id[4], result.new_id[5]
+    weights = [e.weight for e in result.graph.out_edges(s1) if e.dest == s2]
+    assert weights == [pytest.approx(8.0)]  # 1 + 1 + 2 + 3 + 1
+
+
+def test_distances_preserved_between_kept():
+    g = _chain_graph()
+    result = contract_chains(g)
+    for old_u in result.kept:
+        for old_v in result.kept:
+            d_orig = shortest_path_distance(g, old_u, old_v)
+            d_simple = shortest_path_distance(
+                result.graph, result.new_id[old_u], result.new_id[old_v]
+            )
+            assert d_simple == pytest.approx(d_orig)
+
+
+def test_one_way_chain():
+    g = RoadNetwork()
+    a, t, b = g.add_vertices(3)
+    g.add_edge(a, t, 1.0)  # a -> t -> b is a one-way chain through t
+    g.add_edge(t, b, 2.0)
+    g.add_edge(b, a, 5.0)
+    # anchor a and b with stubs so they are real junctions
+    for junction in (a, b):
+        stub = g.add_vertex()
+        g.add_bidirectional_edge(junction, stub, 1.0)
+    result = contract_chains(g)
+    assert t not in result.new_id
+    assert a in result.new_id and b in result.new_id
+    d = shortest_path_distance(result.graph, result.new_id[a], result.new_id[b])
+    assert d == pytest.approx(3.0)
+
+
+def test_no_transit_vertices_is_identity_shaped():
+    g = RoadNetwork()
+    # K4: every vertex has three neighbours, so nothing is a chain
+    vs = g.add_vertices(4)
+    for i in range(4):
+        for j in range(i + 1, 4):
+            g.add_bidirectional_edge(vs[i], vs[j], 1.0)
+    result = contract_chains(g)
+    assert len(result.kept) == 4
+    assert result.graph.num_edges == 12
+
+
+def test_pure_cycle_keeps_anchor():
+    g = RoadNetwork()
+    a, b, c = g.add_vertices(3)
+    g.add_bidirectional_edge(a, b, 1.0)
+    g.add_bidirectional_edge(b, c, 1.0)
+    g.add_bidirectional_edge(a, c, 1.0)
+    result = contract_chains(g)  # a two-way triangle is all shape vertices
+    assert len(result.kept) == 1
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10**6))
+def test_distances_preserved_property(seed):
+    """Property: on random road networks, all kept-to-kept shortest
+    distances survive contraction exactly."""
+    rng = random.Random(seed)
+    g = grid_road_network(5, 5, edge_ratio=2.2, seed=seed % 23)
+    result = contract_chains(g)
+    assert result.graph.num_vertices <= g.num_vertices
+    samples = min(6, len(result.kept))
+    for _ in range(samples):
+        old_u = rng.choice(result.kept)
+        old_v = rng.choice(result.kept)
+        d_orig = shortest_path_distance(g, old_u, old_v)
+        d_simple = shortest_path_distance(
+            result.graph, result.new_id[old_u], result.new_id[old_v]
+        )
+        assert d_simple == pytest.approx(d_orig)
+
+
+def test_simplification_shrinks_sparse_grids():
+    g = grid_road_network(8, 8, edge_ratio=2.05, seed=3)
+    result = contract_chains(g)
+    assert result.graph.num_vertices < g.num_vertices

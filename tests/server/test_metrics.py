@@ -1,0 +1,75 @@
+"""Unit tests for the timing model and replay reports."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.server.metrics import QueryRecord, ReplayReport, TimingModel
+
+
+def test_cpu_seconds_scaling():
+    tm = TimingModel(python_speedup=50.0, cpu_workers=12)
+    assert tm.cpu_seconds(1.0) == pytest.approx(1 / 50)
+    assert tm.cpu_seconds(1.0, parallel_items=6) == pytest.approx(1 / 300)
+    # parallelism is capped by the worker count
+    assert tm.cpu_seconds(1.0, parallel_items=100) == pytest.approx(1 / 600)
+
+
+def test_update_seconds_from_touches():
+    tm = TimingModel(touch_cost_s=1e-7)
+    assert tm.update_seconds(1000) == pytest.approx(1e-4)
+
+
+def test_timing_model_validation():
+    with pytest.raises(ConfigError):
+        TimingModel(python_speedup=0)
+    with pytest.raises(ConfigError):
+        TimingModel(cpu_workers=0)
+    with pytest.raises(ConfigError):
+        TimingModel(touch_cost_s=0)
+
+
+def _report() -> ReplayReport:
+    report = ReplayReport(index_name="X", timing=TimingModel(query_parallelism=4))
+    report.n_updates = 100
+    report.update_touches = 1000
+    report.n_queries = 10
+    for _ in range(10):
+        report.query_records.append(
+            QueryRecord(modeled_s=0.01, wall_s=0.1, gpu_s=0.002, transfer_bytes=500)
+        )
+    return report
+
+
+def test_report_aggregates():
+    report = _report()
+    assert report.query_modeled_s == pytest.approx(0.1)
+    assert report.query_wall_s == pytest.approx(1.0)
+    assert report.transfer_bytes == 5000
+    assert report.gpu_seconds == pytest.approx(0.02)
+
+
+def test_amortized_latency_vs_overlapped():
+    report = _report()
+    latency = report.amortized_latency_s()
+    overlapped = report.amortized_s()
+    assert overlapped < latency  # parallel queries amortise better
+    # overlapping divides only the query component
+    expected = (report.update_modeled_s + 0.1 / 4) / 10
+    assert overlapped == pytest.approx(expected)
+
+
+def test_throughput_inverse_of_amortized():
+    report = _report()
+    assert report.throughput_qps() == pytest.approx(1.0 / report.amortized_s())
+
+
+def test_no_queries_raises():
+    report = ReplayReport(index_name="X")
+    with pytest.raises(ConfigError):
+        report.amortized_s()
+
+
+def test_as_dict_keys():
+    d = _report().as_dict()
+    for key in ("index", "amortized_s", "throughput_qps", "transfer_bytes"):
+        assert key in d

@@ -1,0 +1,98 @@
+"""Tests for the capacity planner."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.server.planner import CapacityPlanner, WorkloadSpec
+
+
+def _spec(**kw) -> WorkloadSpec:
+    defaults = dict(
+        num_objects=10_000, update_frequency_hz=1.0, queries_per_second=100.0, k=16
+    )
+    defaults.update(kw)
+    return WorkloadSpec(**defaults)
+
+
+def test_paper_default_workload_is_sustainable():
+    """|O| = 10^4, f = 1 Hz, 100 q/s — comfortably within one server."""
+    report = CapacityPlanner().plan(_spec())
+    assert report.sustainable
+    assert 0 < report.utilization < 1
+
+
+def test_utilization_components_positive():
+    report = CapacityPlanner().plan(_spec())
+    assert report.update_cpu_s_per_s > 0
+    assert report.query_gpu_s_per_s > 0
+    assert report.query_cpu_s_per_s > 0
+    assert report.transfer_bytes_per_s > 0
+
+
+def test_utilization_scales_with_updates():
+    planner = CapacityPlanner()
+    low = planner.plan(_spec(update_frequency_hz=0.5))
+    high = planner.plan(_spec(update_frequency_hz=5.0))
+    assert high.utilization > low.utilization
+    assert high.update_cpu_s_per_s == pytest.approx(
+        10 * low.update_cpu_s_per_s
+    )
+
+
+def test_utilization_scales_with_queries():
+    planner = CapacityPlanner()
+    low = planner.plan(_spec(queries_per_second=10.0))
+    high = planner.plan(_spec(queries_per_second=1000.0))
+    assert high.utilization > low.utilization
+
+
+def test_extreme_workload_not_sustainable():
+    report = CapacityPlanner().plan(
+        _spec(num_objects=10**9, update_frequency_hz=100.0)
+    )
+    assert not report.sustainable
+    assert report.utilization > 1
+
+
+def test_max_frequency_is_the_boundary():
+    planner = CapacityPlanner()
+    spec = _spec()
+    report = planner.plan(spec)
+    at_max = planner.plan_utilization(
+        _spec(update_frequency_hz=report.max_update_frequency_hz)
+    )
+    assert at_max == pytest.approx(1.0, rel=1e-3)
+    # above the boundary the server falls behind
+    assert (
+        planner.plan_utilization(
+            _spec(update_frequency_hz=report.max_update_frequency_hz * 1.2)
+        )
+        > 1.0
+    )
+
+
+def test_max_query_rate_headroom():
+    planner = CapacityPlanner()
+    report = planner.plan(_spec())
+    assert report.max_queries_per_second > 100.0  # current rate has headroom
+    at_max = planner.plan_utilization(
+        _spec(queries_per_second=report.max_queries_per_second)
+    )
+    assert at_max == pytest.approx(1.0, rel=1e-2)
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigError):
+        _spec(num_objects=0)
+    with pytest.raises(ConfigError):
+        _spec(update_frequency_hz=0)
+    with pytest.raises(ConfigError):
+        _spec(k=0)
+
+
+def test_bigger_k_costs_more():
+    planner = CapacityPlanner()
+    small = planner.plan(_spec(k=8))
+    big = planner.plan(_spec(k=128))
+    assert big.query_gpu_s_per_s > small.query_gpu_s_per_s
+    assert big.transfer_bytes_per_s > small.transfer_bytes_per_s

@@ -1,0 +1,59 @@
+"""Unit tests for workload replay through the query server."""
+
+import pytest
+
+from repro.baselines.naive import NaiveKnnIndex
+from repro.core.ggrid import GGridIndex
+from repro.config import GGridConfig
+from repro.mobility.workload import make_workload
+from repro.server.server import KnnIndex, QueryServer
+
+
+@pytest.fixture(scope="module")
+def workload(small_graph):
+    return make_workload(
+        small_graph, num_objects=15, duration=6.0, num_queries=4, k=3, seed=2
+    )
+
+
+def test_replay_counts(small_graph, workload):
+    server = QueryServer(NaiveKnnIndex(small_graph))
+    report, answers = server.replay(workload, collect_answers=True)
+    # initial placements count as updates too
+    assert report.n_updates == workload.num_updates + len(workload.initial)
+    assert report.n_queries == workload.num_queries
+    assert len(answers) == workload.num_queries
+
+
+def test_replay_records_touches(small_graph, workload):
+    server = QueryServer(NaiveKnnIndex(small_graph))
+    report, _ = server.replay(workload)
+    assert report.update_touches == report.n_updates  # naive: 1 touch each
+
+
+def test_replay_ggrid_accounts_gpu(small_graph, workload):
+    index = GGridIndex(small_graph, GGridConfig(eta=3, delta_b=8))
+    report, _ = server_replay(index, workload)
+    assert report.gpu_seconds > 0
+    assert report.transfer_bytes > 0
+    assert all(r.modeled_s > 0 for r in report.query_records)
+
+
+def server_replay(index: KnnIndex, workload):
+    return QueryServer(index).replay(workload)
+
+
+def test_answers_match_between_indexes(small_graph, workload):
+    ggrid = GGridIndex(small_graph, GGridConfig(eta=3, delta_b=8))
+    naive = NaiveKnnIndex(small_graph)
+    _, a = QueryServer(ggrid).replay(workload, collect_answers=True)
+    _, b = QueryServer(naive).replay(workload, collect_answers=True)
+    for x, y in zip(a, b):
+        assert [round(d, 9) for d in x.distances()] == [
+            round(d, 9) for d in y.distances()
+        ]
+
+
+def test_protocol_conformance(small_graph):
+    assert isinstance(NaiveKnnIndex(small_graph), KnnIndex)
+    assert isinstance(GGridIndex(small_graph), KnnIndex)

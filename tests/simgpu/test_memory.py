@@ -1,0 +1,90 @@
+"""Unit tests for device memory and byte-size estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.messages import Message
+from repro.errors import DeviceMemoryError
+from repro.simgpu.memory import (
+    MESSAGE_BYTES,
+    TABLE_ENTRY_BYTES,
+    DeviceMemory,
+    nbytes_of,
+)
+
+
+def test_nbytes_numpy_exact():
+    arr = np.zeros(10, dtype=np.float64)
+    assert nbytes_of(arr) == 80
+
+
+def test_nbytes_scalars():
+    assert nbytes_of(1) == 4
+    assert nbytes_of(1.5) == 4
+    assert nbytes_of(True) == 4
+    assert nbytes_of(None) == 0
+
+
+def test_nbytes_containers_sum():
+    assert nbytes_of([1, 2, 3]) == 12
+    assert nbytes_of((1.0, 2.0)) == 8
+    assert nbytes_of({1, 2}) == 8
+
+
+def test_nbytes_dict_adds_entry_overhead():
+    assert nbytes_of({"a": 1}) == TABLE_ENTRY_BYTES + 4
+
+
+def test_nbytes_message_packed():
+    assert nbytes_of(Message(1, 2, 0.5, 3.0)) == MESSAGE_BYTES
+
+
+def test_nbytes_unknown_type_raises():
+    with pytest.raises(DeviceMemoryError):
+        nbytes_of(object())
+
+
+def test_store_and_fetch():
+    mem = DeviceMemory(1024)
+    mem.store("x", [1, 2, 3])
+    assert mem.fetch("x") == [1, 2, 3]
+    assert mem.used_bytes == 12
+    assert mem.nbytes("x") == 12
+
+
+def test_store_replaces_same_name():
+    mem = DeviceMemory(1024)
+    mem.store("x", [1] * 100)
+    mem.store("x", [1])
+    assert mem.used_bytes == 4
+
+
+def test_capacity_enforced():
+    mem = DeviceMemory(16)
+    mem.store("a", [1, 2])
+    with pytest.raises(DeviceMemoryError):
+        mem.store("b", [1, 2, 3])
+    # failed allocation must not leak
+    assert "b" not in mem
+    assert mem.free_bytes == 8
+
+
+def test_fetch_unknown_raises():
+    mem = DeviceMemory(16)
+    with pytest.raises(DeviceMemoryError):
+        mem.fetch("nope")
+    with pytest.raises(DeviceMemoryError):
+        mem.nbytes("nope")
+
+
+def test_free_is_idempotent():
+    mem = DeviceMemory(16)
+    mem.store("x", [1])
+    mem.free("x")
+    mem.free("x")
+    assert mem.used_bytes == 0
+
+
+def test_invalid_capacity():
+    with pytest.raises(DeviceMemoryError):
+        DeviceMemory(0)

@@ -1,0 +1,90 @@
+"""Unit and property tests for warp vote/reduce primitives."""
+
+import operator
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KernelError
+from repro.simgpu.reduce import (
+    all_sync,
+    any_sync,
+    ballot,
+    compact,
+    inclusive_scan,
+    warp_reduce,
+    warp_reduce_max,
+    warp_reduce_min,
+    warp_reduce_sum,
+)
+
+
+def test_ballot_bitmask():
+    assert ballot([True, False, True, True]) == 0b1101
+    assert ballot([False] * 4) == 0
+    assert ballot([True] * 32) == (1 << 32) - 1
+
+
+def test_vote_any_all():
+    assert any_sync([False, True, False])
+    assert not any_sync([False, False])
+    assert all_sync([True, True])
+    assert not all_sync([True, False])
+
+
+def test_reduce_min_max_sum():
+    values = [5.0, 1.0, 9.0, 3.0]
+    assert warp_reduce_min(values) == 1.0
+    assert warp_reduce_max(values) == 9.0
+    assert warp_reduce_sum(values) == pytest.approx(18.0)
+
+
+def test_reduce_all_lanes_converge():
+    lanes = warp_reduce([4, 7, 1, 9, 2, 8, 5, 3], min)
+    assert lanes == [1] * 8
+
+
+def test_reduce_requires_power_of_two():
+    with pytest.raises(KernelError):
+        warp_reduce([1, 2, 3], min)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=5), st.integers(0, 4))
+def test_reduce_matches_builtin(seed_values, log_n):
+    n = 1 << log_n
+    rng = random.Random(sum(seed_values))
+    values = [rng.randint(-100, 100) for _ in range(n)]
+    assert warp_reduce(values, operator.add)[0] == sum(values)
+    assert warp_reduce(values, min)[0] == min(values)
+
+
+def test_inclusive_scan_sum():
+    assert inclusive_scan([1, 2, 3, 4], operator.add) == [1, 3, 6, 10]
+
+
+def test_inclusive_scan_max():
+    assert inclusive_scan([3, 1, 4, 1, 5, 9, 2, 6], max) == [3, 3, 4, 4, 5, 9, 9, 9]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10**6), st.integers(0, 4))
+def test_scan_matches_itertools(seed, log_n):
+    from itertools import accumulate
+
+    n = 1 << log_n
+    rng = random.Random(seed)
+    values = [rng.randint(-50, 50) for _ in range(n)]
+    assert inclusive_scan(values, operator.add) == list(accumulate(values))
+
+
+def test_compact():
+    assert compact([10, 20, 30, 40], [True, False, False, True]) == [10, 40]
+    assert compact([], []) == []
+
+
+def test_compact_mismatched_lengths():
+    with pytest.raises(KernelError):
+        compact([1, 2], [True])

@@ -1,0 +1,49 @@
+"""Unit tests for GPU statistics accounting."""
+
+import pytest
+
+from repro.simgpu.stats import GpuStats
+
+
+def test_snapshot_is_independent():
+    s = GpuStats(lane_ops=5)
+    snap = s.snapshot()
+    s.lane_ops = 10
+    assert snap.lane_ops == 5
+
+
+def test_diff():
+    s = GpuStats(lane_ops=10, bytes_h2d=100, kernel_time_s=1.0)
+    earlier = GpuStats(lane_ops=4, bytes_h2d=40, kernel_time_s=0.25)
+    d = s.diff(earlier)
+    assert d.lane_ops == 6
+    assert d.bytes_h2d == 60
+    assert d.kernel_time_s == pytest.approx(0.75)
+
+
+def test_merge():
+    a = GpuStats(lane_ops=1, transfer_time_s=0.5)
+    b = GpuStats(lane_ops=2, transfer_time_s=0.25)
+    a.merge(b)
+    assert a.lane_ops == 3
+    assert a.transfer_time_s == pytest.approx(0.75)
+
+
+def test_reset():
+    s = GpuStats(lane_ops=5, bytes_d2h=7, kernel_time_s=1.0)
+    s.reset()
+    assert s.lane_ops == 0 and s.bytes_d2h == 0 and s.kernel_time_s == 0.0
+
+
+def test_total_bytes_and_gpu_time():
+    s = GpuStats(
+        bytes_h2d=10, bytes_d2h=5, kernel_time_s=1.0, transfer_time_s=2.0,
+        pipelined_saved_s=0.5,
+    )
+    assert s.total_bytes == 15
+    assert s.gpu_time_s == pytest.approx(2.5)
+
+
+def test_as_dict_has_all_fields():
+    d = GpuStats().as_dict()
+    assert "lane_ops" in d and "transfer_time_s" in d and len(d) >= 10

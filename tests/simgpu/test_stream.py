@@ -1,0 +1,62 @@
+"""Unit tests for pipelined transfer streams."""
+
+import pytest
+
+from repro.simgpu.device import SimGpu
+from repro.simgpu.stream import PipelinedStream
+
+
+def _run(pipelined: bool, chunks, work_per_chunk=100000):
+    gpu = SimGpu()
+    stream = PipelinedStream(gpu, enabled=pipelined)
+
+    def process(i, chunk):
+        def kernel(ctx, data):
+            ctx.charge(work_per_chunk)
+            return sum(data)
+
+        return gpu.launch("work", 32, kernel, chunk)
+
+    results = stream.run(chunks, process)
+    return gpu, results
+
+
+def test_results_identical_with_and_without_pipelining():
+    chunks = [[1, 2], [3, 4], [5]]
+    _, on = _run(True, chunks)
+    _, off = _run(False, chunks)
+    assert on == off == [3, 7, 5]
+
+
+def test_pipelining_saves_time():
+    chunks = [list(range(100)) for _ in range(4)]
+    gpu_on, _ = _run(True, chunks)
+    gpu_off, _ = _run(False, chunks)
+    assert gpu_on.stats.pipelined_saved_s > 0
+    assert gpu_off.stats.pipelined_saved_s == 0
+    assert gpu_on.stats.gpu_time_s < gpu_off.stats.gpu_time_s
+
+
+def test_saved_time_bounded_by_overlap():
+    """The saving cannot exceed total transfer or total kernel time."""
+    chunks = [list(range(50)) for _ in range(5)]
+    gpu, _ = _run(True, chunks)
+    assert gpu.stats.pipelined_saved_s <= gpu.stats.transfer_time_s + 1e-12
+    assert gpu.stats.pipelined_saved_s <= gpu.stats.kernel_time_s + 1e-12
+
+
+def test_empty_chunks_list():
+    gpu, results = _run(True, [])
+    assert results == []
+    assert gpu.stats.pipelined_saved_s == 0
+
+
+def test_single_chunk_saves_nothing_meaningful():
+    gpu, _ = _run(True, [[1, 2, 3]])
+    # one chunk: transfer then process, no overlap possible
+    assert gpu.stats.pipelined_saved_s == pytest.approx(0.0, abs=1e-12)
+
+
+def test_chunks_freed_after_processing():
+    gpu, _ = _run(True, [[1], [2]])
+    assert gpu.memory.used_bytes == 0

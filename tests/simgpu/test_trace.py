@@ -1,0 +1,84 @@
+"""Tests for GPU timeline tracing."""
+
+import json
+
+from repro.simgpu.device import SimGpu
+from repro.simgpu.trace import GpuTrace
+
+
+def _work(gpu):
+    gpu.to_device("xs", [1, 2, 3])
+
+    def kernel(ctx, xs):
+        ctx.charge(10)
+        return sum(xs)
+
+    gpu.launch("sum", 4, kernel, gpu.fetch("xs"))
+    gpu.from_device("xs")
+
+
+def test_trace_records_events():
+    gpu = SimGpu()
+    with GpuTrace(gpu) as trace:
+        _work(gpu)
+    categories = [e.category for e in trace.events]
+    assert categories == ["h2d", "kernel", "d2h"]
+    assert all(e.duration_s > 0 for e in trace.events)
+
+
+def test_trace_totals_match_stats():
+    import pytest
+
+    gpu = SimGpu()
+    with GpuTrace(gpu) as trace:
+        _work(gpu)
+    totals = trace.total_by_category()
+    assert totals["kernel"] == pytest.approx(gpu.stats.kernel_time_s)
+    assert totals["h2d"] + totals["d2h"] == pytest.approx(gpu.stats.transfer_time_s)
+
+
+def test_trace_uninstall_stops_recording():
+    gpu = SimGpu()
+    trace = GpuTrace(gpu).install()
+    _work(gpu)
+    n = len(trace.events)
+    trace.uninstall()
+    _work(gpu)
+    assert len(trace.events) == n
+
+
+def test_top_kernels():
+    gpu = SimGpu()
+    with GpuTrace(gpu) as trace:
+        for name, ops in (("big", 1000), ("small", 1)):
+            def kernel(ctx, ops=ops):
+                ctx.charge(ops)
+            gpu.launch(name, 32, kernel)
+    top = trace.top_kernels(1)
+    assert top[0][0] == "big"
+
+
+def test_chrome_trace_export(tmp_path):
+    gpu = SimGpu()
+    with GpuTrace(gpu) as trace:
+        _work(gpu)
+    path = trace.to_chrome_trace(tmp_path / "trace.json")
+    doc = json.loads(path.read_text())
+    assert len(doc["traceEvents"]) == 3
+    assert all(ev["ph"] == "X" for ev in doc["traceEvents"])
+
+
+def test_trace_on_real_index(medium_graph):
+    from repro.config import GGridConfig
+    from repro.core.ggrid import GGridIndex
+    from repro.core.messages import Message
+    from repro.roadnet.location import NetworkLocation
+
+    index = GGridIndex(medium_graph, GGridConfig(eta=3, delta_b=8))
+    for i in range(20):
+        index.ingest(Message(i, i % medium_graph.num_edges, 0.0, float(i)))
+    with GpuTrace(index.gpu) as trace:
+        index.knn(NetworkLocation(0, 0.0), k=5, t_now=25.0)
+    names = {e.name for e in trace.events if e.category == "kernel"}
+    assert "GPU_SDist" in names
+    assert any("X_Shuffle" in n for n in names)

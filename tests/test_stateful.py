@@ -1,0 +1,163 @@
+"""Stateful fuzzing: random operation interleavings vs a model oracle.
+
+Hypothesis drives arbitrary sequences of ingest / move / remove / clean /
+kNN / range / batch operations against one G-Grid index, while a trivial
+model (a dict of latest locations) predicts the exact answers.  Any
+divergence — an object lost by the X-shuffle, a stale snapshot after
+cleaning, a marker race — fails with a minimal reproducing sequence.
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.config import GGridConfig
+from repro.core.ggrid import GGridIndex
+from repro.core.messages import Message
+from repro.roadnet.dijkstra import multi_source_dijkstra
+from repro.roadnet.generators import grid_road_network
+from repro.roadnet.location import NetworkLocation, entry_costs, location_distance
+
+_GRAPH = grid_road_network(6, 6, seed=21)
+_OBJECTS = range(12)
+
+
+class GGridMachine(RuleBasedStateMachine):
+    """The index under test plus the oracle model."""
+
+    @initialize()
+    def setup(self) -> None:
+        self.index = GGridIndex(_GRAPH, GGridConfig(eta=3, delta_b=4))
+        self.model: dict[int, NetworkLocation] = {}
+        self.clock = 0.0
+        self.rng = random.Random(99)
+
+    def _tick(self) -> float:
+        self.clock += 1.0
+        return self.clock
+
+    def _random_location(self, edge: int, frac: float) -> NetworkLocation:
+        weight = _GRAPH.edge(edge).weight
+        return NetworkLocation(edge, frac * weight)
+
+    # ------------------------------------------------------------------
+    # rules
+    # ------------------------------------------------------------------
+    @rule(
+        obj=st.sampled_from(list(_OBJECTS)),
+        edge=st.integers(0, _GRAPH.num_edges - 1),
+        frac=st.floats(0.0, 1.0),
+    )
+    def ingest(self, obj: int, edge: int, frac: float) -> None:
+        t = self._tick()
+        loc = self._random_location(edge, frac)
+        self.index.ingest(Message(obj, loc.edge_id, loc.offset, t))
+        self.model[obj] = loc
+
+    @precondition(lambda self: self.model)
+    @rule()
+    def remove(self) -> None:
+        obj = self.rng.choice(sorted(self.model))
+        t = self._tick()
+        self.index.remove_object(obj, t)
+        del self.model[obj]
+
+    @rule(fraction=st.floats(0.1, 1.0))
+    def clean_some_cells(self, fraction: float) -> None:
+        n = self.index.grid.num_cells
+        count = max(1, int(n * fraction))
+        cells = set(self.rng.sample(range(n), count))
+        self.index.clean_cells(cells, t_now=self.clock)
+
+    @precondition(lambda self: self.model)
+    @rule(
+        edge=st.integers(0, _GRAPH.num_edges - 1),
+        frac=st.floats(0.0, 1.0),
+        k=st.integers(1, 6),
+    )
+    def knn_matches_model(self, edge: int, frac: float, k: int) -> None:
+        query = self._random_location(edge, frac)
+        got = self.index.knn(query, k, t_now=self.clock).distances()
+        want = self._oracle_knn(query, k)
+        assert [round(x, 9) for x in got] == [round(x, 9) for x in want]
+
+    @precondition(lambda self: self.model)
+    @rule(
+        edge=st.integers(0, _GRAPH.num_edges - 1),
+        radius=st.floats(0.5, 4.0),
+    )
+    def range_matches_model(self, edge: int, radius: float) -> None:
+        query = self._random_location(edge, 0.0)
+        got = [
+            (round(e.distance, 9), e.obj)
+            for e in self.index.range_query(query, radius, t_now=self.clock).entries
+        ]
+        want = self._oracle_range(query, radius)
+        assert got == want
+
+    @precondition(lambda self: self.model)
+    @rule(k=st.integers(1, 4))
+    def batch_matches_model(self, k: int) -> None:
+        queries = [
+            (self._random_location(self.rng.randrange(_GRAPH.num_edges), 0.5), k)
+            for _ in range(2)
+        ]
+        answers = self.index.knn_batch(queries, t_now=self.clock)
+        for (loc, kk), answer in zip(queries, answers):
+            want = self._oracle_knn(loc, kk)
+            assert [round(x, 9) for x in answer.distances()] == [
+                round(x, 9) for x in want
+            ]
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    @invariant()
+    def object_table_matches_model(self) -> None:
+        if not hasattr(self, "index"):
+            return
+        table = self.index.object_table.objects()
+        assert set(table) == set(self.model)
+        for obj, loc in self.model.items():
+            assert table[obj].edge == loc.edge_id
+            assert abs(table[obj].offset - loc.offset) < 1e-12
+
+    @invariant()
+    def no_leaked_locks(self) -> None:
+        if not hasattr(self, "index"):
+            return
+        assert not any(m.locked for m in self.index.lists.values())
+
+    # ------------------------------------------------------------------
+    # oracle
+    # ------------------------------------------------------------------
+    def _oracle_knn(self, query: NetworkLocation, k: int) -> list[float]:
+        dist = multi_source_dijkstra(_GRAPH, entry_costs(_GRAPH, query))
+        scored = sorted(
+            location_distance(_GRAPH, dist, query, loc)
+            for loc in self.model.values()
+        )
+        return [d for d in scored if d < float("inf")][:k]
+
+    def _oracle_range(self, query, radius) -> list[tuple[float, int]]:
+        dist = multi_source_dijkstra(_GRAPH, entry_costs(_GRAPH, query))
+        hits = sorted(
+            (round(location_distance(_GRAPH, dist, query, loc), 9), obj)
+            for obj, loc in self.model.items()
+            if location_distance(_GRAPH, dist, query, loc) <= radius
+        )
+        return hits
+
+
+GGridMachine.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=25, deadline=None
+)
+TestGGridStateful = GGridMachine.TestCase
