@@ -5,9 +5,14 @@ Run any paper experiment by name without pytest:
     python -m repro.bench list
     python -m repro.bench fig5
     python -m repro.bench fig9 --dataset NY
+    python -m repro.bench fig5 --metrics-out metrics.prom
     python -m repro.bench all
 
-Result tables print to stdout and persist under ``results/``.
+Result tables print to stdout and persist under ``results/``.  With
+``--metrics-out``, a process-wide observability bundle is installed for
+the run and the metrics registry is dumped next to the results —
+Prometheus text by default, a JSON snapshot when the path ends in
+``.json``.
 """
 
 from __future__ import annotations
@@ -15,9 +20,11 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from repro.bench import experiments
 from repro.bench.reporting import format_table, save_results
+from repro.obs import Observability, configured
 
 #: experiment name -> (driver, description, accepts --dataset)
 EXPERIMENTS = {
@@ -89,6 +96,13 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="dataset override for single-dataset experiments (NY..USA)",
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="dump the metrics registry after the run "
+        "(.json -> JSON snapshot, anything else -> Prometheus text)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -102,14 +116,30 @@ def main(argv: list[str] | None = None) -> int:
         path = write_report()
         print(f"report written to {path}")
         return 0
-    if args.experiment == "all":
-        for name in EXPERIMENTS:
-            run_experiment(name, args.dataset)
-        return 0
-    if args.experiment not in EXPERIMENTS:
+    if args.experiment != "all" and args.experiment not in EXPERIMENTS:
         print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
         return 2
-    run_experiment(args.experiment, args.dataset)
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.metrics_out:
+        path = Path(args.metrics_out)
+        if not path.parent.is_dir():
+            # fail before the (potentially long) run, not after it
+            print(
+                f"--metrics-out directory {path.parent} does not exist",
+                file=sys.stderr,
+            )
+            return 2
+        with configured(Observability()) as obs:
+            for name in names:
+                run_experiment(name, args.dataset)
+        if path.suffix == ".json":
+            obs.registry.write_json(path)
+        else:
+            path.write_text(obs.registry.write_prometheus())
+        print(f"metrics written to {path}")
+    else:
+        for name in names:
+            run_experiment(name, args.dataset)
     return 0
 
 

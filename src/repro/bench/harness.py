@@ -16,6 +16,7 @@ from repro.config import GGridConfig
 from repro.core.ggrid import GGridIndex
 from repro.errors import ConfigError
 from repro.mobility.workload import Workload, make_workload
+from repro.obs import Observability
 from repro.roadnet.datasets import load_dataset
 from repro.server.metrics import ReplayReport, TimingModel
 from repro.server.server import KnnIndex, QueryServer
@@ -102,15 +103,21 @@ def run_point(
     num_queries: int = DEFAULT_QUERIES,
     seed: int = 7,
     timing: TimingModel | None = None,
+    obs: Observability | None = None,
     **knobs: float,
 ) -> ReplayReport:
-    """Run one experiment point: build (cached), reset, replay, report."""
+    """Run one experiment point: build (cached), reset, replay, report.
+
+    ``obs`` publishes the replay to an observability bundle (metrics /
+    spans / slow-query log); when omitted, the process-wide default set
+    via :func:`repro.obs.configure` applies (None = off).
+    """
     objects = num_objects if num_objects is not None else scaled_objects(dataset)
     workload = cached_workload(
         dataset, objects, duration, num_queries, k, update_frequency, seed
     )
     index = build_index(algorithm, dataset, tuple(sorted(knobs.items())))
     index.reset_objects()
-    server = QueryServer(index, timing)
+    server = QueryServer(index, timing, obs=obs)
     report, _ = server.replay(workload)
     return report

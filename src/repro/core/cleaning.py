@@ -28,6 +28,7 @@ from repro.core.message_list import MessageList
 from repro.core.messages import CellMessage, Message
 from repro.core.object_table import ObjectTable
 from repro.core.xshuffle import IntermediateTable, collect_kernel, x_shuffle_kernel
+from repro.obs.tracing import span
 from repro.simgpu.device import SimGpu
 from repro.simgpu.memory import MESSAGE_BYTES
 from repro.simgpu.stream import PipelinedStream
@@ -97,6 +98,19 @@ class MessageCleaner:
             object_table: the eager object table, used to drop objects
                 whose newest message lives in a cell outside this pass.
         """
+        with span("clean_cells") as sp:
+            result = self._clean(lists, t_now, object_table)
+            sp.set_attr("cells", len(result.cells))
+            sp.set_attr("messages", result.messages_processed)
+            sp.set_attr("buckets", result.buckets_shipped)
+        return result
+
+    def _clean(
+        self,
+        lists: dict[int, MessageList],
+        t_now: float,
+        object_table: ObjectTable,
+    ) -> CleaningResult:
         result = CleaningResult()
         config = self.config
 
@@ -204,15 +218,21 @@ class MessageCleaner:
                 self._rng,
             )
 
-        processed = self._stream.run(chunks, process, name="clean.buckets")
-        result.messages_processed += sum(processed)
+        with span("xshuffle_dedup") as sp:
+            processed = self._stream.run(chunks, process, name="clean.buckets")
+            result.messages_processed += sum(processed)
+            sp.set_attr("chunks", len(chunks))
+            sp.set_attr("messages", sum(processed))
 
         # -- step 4 (GPU side): collect the latest message per object --
-        latest = self.gpu.launch(
-            "GPU_Collect", max(1, len(table.slots)), collect_kernel, table
-        )
-        self.gpu.memory.store("clean.R", latest, nbytes=len(latest) * MESSAGE_BYTES)
-        self.gpu.from_device("clean.R")
-        self.gpu.free("clean.R")
-        self.gpu.free("clean.T")
+        with span("collect"):
+            latest = self.gpu.launch(
+                "GPU_Collect", max(1, len(table.slots)), collect_kernel, table
+            )
+            self.gpu.memory.store(
+                "clean.R", latest, nbytes=len(latest) * MESSAGE_BYTES
+            )
+            self.gpu.from_device("clean.R")
+            self.gpu.free("clean.R")
+            self.gpu.free("clean.T")
         return latest

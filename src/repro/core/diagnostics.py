@@ -46,9 +46,11 @@ class OccupancyStats:
 
     @staticmethod
     def of(index: GGridIndex) -> "OccupancyStats":
+        # iterate only occupied cells (via the object table's inverse
+        # map) — a snapshot must not cost O(grid cells) on sparse grids
         counts = [
             len(index.object_table.objects_in_cell(z))
-            for z in range(index.grid.num_cells)
+            for z in index.object_table.occupied_cells()
         ]
         occupied = [c for c in counts if c]
         return OccupancyStats(

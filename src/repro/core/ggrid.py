@@ -33,6 +33,7 @@ from repro.core.message_list import MessageList
 from repro.core.messages import Message
 from repro.core.object_table import ObjectEntry, ObjectTable
 from repro.errors import QueryError
+from repro.obs.tracing import span
 from repro.roadnet.graph import RoadNetwork
 from repro.roadnet.location import NetworkLocation
 from repro.simgpu.device import SimGpu
@@ -91,21 +92,24 @@ class GGridIndex:
         """
         if message.is_removal:
             raise QueryError("clients send location updates, not removal markers")
-        cell = self.grid.cell_of_edge(message.edge)
-        self._list_of(cell).append(message)
-        touches = 2  # the cached message + the object-table put
-        previous = self.object_table.try_get(message.obj)
-        if previous is not None and previous.cell != cell:
-            marker = Message(message.obj, None, None, message.t)
-            self._list_of(previous.cell).append(marker)
-            touches += 1
-        self.object_table.put(
-            message.obj,
-            ObjectEntry(cell, message.edge, message.offset, message.t),
-        )
-        self.messages_ingested += 1
-        self.update_touches += touches
-        self.latest_time = max(self.latest_time, message.t)
+        # span() is a shared no-op unless a tracer is active — the lazy
+        # ingest hot path must stay allocation-free when untraced
+        with span("ingest"):
+            cell = self.grid.cell_of_edge(message.edge)
+            self._list_of(cell).append(message)
+            touches = 2  # the cached message + the object-table put
+            previous = self.object_table.try_get(message.obj)
+            if previous is not None and previous.cell != cell:
+                marker = Message(message.obj, None, None, message.t)
+                self._list_of(previous.cell).append(marker)
+                touches += 1
+            self.object_table.put(
+                message.obj,
+                ObjectEntry(cell, message.edge, message.offset, message.t),
+            )
+            self.messages_ingested += 1
+            self.update_touches += touches
+            self.latest_time = max(self.latest_time, message.t)
 
     def bulk_load(self, placements: Mapping[int, NetworkLocation], t: float) -> None:
         """Ingest an initial placement for many objects at time ``t``."""

@@ -33,6 +33,7 @@ from repro.core.object_table import ObjectTable
 from repro.core.refine import refine_knn
 from repro.core.sdist import first_k_kernel, get_sdist_kernel, unresolved_kernel
 from repro.errors import QueryError
+from repro.obs.tracing import span
 from repro.roadnet.dijkstra import multi_source_dijkstra
 from repro.roadnet.graph import RoadNetwork
 from repro.roadnet.location import NetworkLocation, entry_costs, location_distance
@@ -64,6 +65,10 @@ class KnnAnswer:
         used_fallback: True when the exact-Dijkstra fallback answered.
         cpu_seconds: measured wall time of the CPU-side phases, keyed by
             phase name (``select``, ``refine``).
+        gpu_phase_s: simulated GPU seconds attributed to each device
+            phase (``clean_cells``, ``sdist``, ``first_k``,
+            ``unresolved``) — the per-phase breakdown the observability
+            layer reports.
     """
 
     entries: list[KnnResultEntry] = field(default_factory=list)
@@ -73,6 +78,7 @@ class KnnAnswer:
     refine_settled: int = 0
     used_fallback: bool = False
     cpu_seconds: dict[str, float] = field(default_factory=dict)
+    gpu_phase_s: dict[str, float] = field(default_factory=dict)
 
     def objects(self) -> list[int]:
         return [e.obj for e in self.entries]
@@ -117,11 +123,16 @@ class KnnProcessor:
         answer = KnnAnswer()
 
         # -- phase 1: select candidate cells, cleaning lazily (lines 1-4)
-        t0 = time.perf_counter()
-        cells, occupants = self._select_candidates(location, k, t_now, answer)
-        answer.cpu_seconds["select"] = time.perf_counter() - t0
-        answer.cells_cleaned = len(cells)
-        answer.candidates = len(occupants)
+        with span("select_candidates") as sp:
+            t0 = time.perf_counter()
+            gpu_before = self.gpu.stats.gpu_time_s
+            cells, occupants = self._select_candidates(location, k, t_now, answer)
+            answer.gpu_phase_s["clean_cells"] = self.gpu.stats.gpu_time_s - gpu_before
+            answer.cpu_seconds["select"] = time.perf_counter() - t0
+            answer.cells_cleaned = len(cells)
+            answer.candidates = len(occupants)
+            sp.set_attr("cells", len(cells))
+            sp.set_attr("candidates", len(occupants))
 
         return self._finish_query(location, k, cells, occupants, answer)
 
@@ -139,24 +150,27 @@ class KnnProcessor:
             return self._fallback(location, k, answer)
 
         candidates, unresolved, l_bound = self._gpu_candidates(
-            location, k, cells, occupants
+            location, k, cells, occupants, answer
         )
         if l_bound == _INF:
             return self._fallback(location, k, answer)
         answer.unresolved = len(unresolved)
 
-        t0 = time.perf_counter()
-        results, settled = refine_knn(
-            self.graph,
-            self.object_table,
-            self.grid.cell_of_vertex,
-            candidates,
-            unresolved,
-            k,
-            l_bound,
-        )
-        answer.cpu_seconds["refine"] = time.perf_counter() - t0
-        answer.refine_settled = settled
+        with span("refine") as sp:
+            t0 = time.perf_counter()
+            results, settled = refine_knn(
+                self.graph,
+                self.object_table,
+                self.grid.cell_of_vertex,
+                candidates,
+                unresolved,
+                k,
+                l_bound,
+            )
+            answer.cpu_seconds["refine"] = time.perf_counter() - t0
+            answer.refine_settled = settled
+            sp.set_attr("unresolved", len(unresolved))
+            sp.set_attr("settled", settled)
         answer.entries = [KnnResultEntry(o, d) for o, d in results]
         if len(answer.entries) < k:
             return self._fallback(location, k, answer)
@@ -287,52 +301,68 @@ class KnnProcessor:
         k: int,
         cells: set[int],
         occupants: dict[int, tuple[int, CleanedLocation]],
+        answer: KnnAnswer,
     ) -> tuple[dict[int, float], list[tuple[int, float]], float]:
         """Run GPU_SDist / GPU_First_k / GPU_Unresolved (lines 5-9)."""
-        vertices = self.grid.vertices_of_cells(cells)
-        elements = self.grid.elements_of_cells(cells)
-        seeds = entry_costs(self.graph, location)
-        dist = self.gpu.launch(
-            "GPU_SDist",
-            max(1, len(elements)),
-            get_sdist_kernel(self.config.sdist_backend),
-            elements,
-            vertices,
-            seeds,
-            self.config.delta_v,
-            self.config.sdist_early_exit,
-        )
-
-        object_distances: dict[int, float] = {}
-        for obj, (_, loc) in occupants.items():
-            target = NetworkLocation(loc.edge, loc.offset)
-            object_distances[obj] = location_distance(
-                self.graph, dist, location, target
+        stats = self.gpu.stats
+        with span("sdist") as sp:
+            before = stats.kernel_time_s
+            vertices = self.grid.vertices_of_cells(cells)
+            elements = self.grid.elements_of_cells(cells)
+            seeds = entry_costs(self.graph, location)
+            dist = self.gpu.launch(
+                "GPU_SDist",
+                max(1, len(elements)),
+                get_sdist_kernel(self.config.sdist_backend),
+                elements,
+                vertices,
+                seeds,
+                self.config.delta_v,
+                self.config.sdist_early_exit,
             )
-        ranked = self.gpu.launch(
-            "GPU_First_k",
-            max(1, len(object_distances)),
-            first_k_kernel,
-            object_distances,
-            k,
-        )
-        l_bound = ranked[k - 1][1] if len(ranked) >= k else _INF
+            answer.gpu_phase_s["sdist"] = stats.kernel_time_s - before
+            sp.set_attr("elements", len(elements))
+            sp.set_attr("sim_s", answer.gpu_phase_s["sdist"])
 
-        boundary = self.grid.boundary_vertices(cells)
-        unresolved = self.gpu.launch(
-            "GPU_Unresolved",
-            max(1, len(boundary)),
-            unresolved_kernel,
-            boundary,
-            dist,
-            l_bound,
-        )
+        with span("first_k") as sp:
+            before = stats.kernel_time_s
+            object_distances: dict[int, float] = {}
+            for obj, (_, loc) in occupants.items():
+                target = NetworkLocation(loc.edge, loc.offset)
+                object_distances[obj] = location_distance(
+                    self.graph, dist, location, target
+                )
+            ranked = self.gpu.launch(
+                "GPU_First_k",
+                max(1, len(object_distances)),
+                first_k_kernel,
+                object_distances,
+                k,
+            )
+            l_bound = ranked[k - 1][1] if len(ranked) >= k else _INF
+            answer.gpu_phase_s["first_k"] = stats.kernel_time_s - before
+            sp.set_attr("candidates", len(object_distances))
+
+        with span("unresolved") as sp:
+            before = stats.kernel_time_s
+            boundary = self.grid.boundary_vertices(cells)
+            unresolved = self.gpu.launch(
+                "GPU_Unresolved",
+                max(1, len(boundary)),
+                unresolved_kernel,
+                boundary,
+                dist,
+                l_bound,
+            )
+            answer.gpu_phase_s["unresolved"] = stats.kernel_time_s - before
+            sp.set_attr("boundary", len(boundary))
 
         # candidate + unresolved sets travel back to the CPU
-        payload = len(ranked) * MESSAGE_BYTES + len(unresolved) * 8
-        self.gpu.memory.store("knn.candidates", ranked, nbytes=payload)
-        self.gpu.from_device("knn.candidates")
-        self.gpu.free("knn.candidates")
+        with span("candidates_d2h"):
+            payload = len(ranked) * MESSAGE_BYTES + len(unresolved) * 8
+            self.gpu.memory.store("knn.candidates", ranked, nbytes=payload)
+            self.gpu.from_device("knn.candidates")
+            self.gpu.free("knn.candidates")
 
         candidates = {obj: d for obj, d in ranked}
         return candidates, unresolved, l_bound
@@ -344,16 +374,19 @@ class KnnProcessor:
         self, location: NetworkLocation, k: int, answer: KnnAnswer
     ) -> KnnAnswer:
         """Exact one-shot Dijkstra answer for degenerate cases."""
-        t0 = time.perf_counter()
-        dist = multi_source_dijkstra(self.graph, entry_costs(self.graph, location))
-        scored: list[tuple[int, float]] = []
-        for obj, entry in self.object_table.objects().items():
-            target = NetworkLocation(entry.edge, entry.offset)
-            d = location_distance(self.graph, dist, location, target)
-            if d < _INF:
-                scored.append((obj, d))
-        scored.sort(key=lambda kv: (kv[1], kv[0]))
-        answer.entries = [KnnResultEntry(o, d) for o, d in scored[:k]]
-        answer.used_fallback = True
-        answer.cpu_seconds["fallback"] = time.perf_counter() - t0
+        with span("fallback"):
+            t0 = time.perf_counter()
+            dist = multi_source_dijkstra(
+                self.graph, entry_costs(self.graph, location)
+            )
+            scored: list[tuple[int, float]] = []
+            for obj, entry in self.object_table.objects().items():
+                target = NetworkLocation(entry.edge, entry.offset)
+                d = location_distance(self.graph, dist, location, target)
+                if d < _INF:
+                    scored.append((obj, d))
+            scored.sort(key=lambda kv: (kv[1], kv[0]))
+            answer.entries = [KnnResultEntry(o, d) for o, d in scored[:k]]
+            answer.used_fallback = True
+            answer.cpu_seconds["fallback"] = time.perf_counter() - t0
         return answer

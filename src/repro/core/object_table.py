@@ -79,6 +79,16 @@ class ObjectTable:
         """Objects whose latest location lies in ``cell``."""
         return frozenset(self._cell_objects.get(cell, ()))
 
+    def occupied_cells(self) -> list[int]:
+        """Cells currently holding at least one object.
+
+        O(occupied cells), independent of the grid size — diagnostics
+        iterate this instead of scanning every cell id.  (The inverse
+        map may retain empty sets for cells all of whose objects moved
+        away; those are filtered here.)
+        """
+        return [cell for cell, objs in self._cell_objects.items() if objs]
+
     def objects(self) -> dict[int, ObjectEntry]:
         """A snapshot copy of all entries (test/diagnostic use)."""
         return dict(self._entries)

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.object_table import ObjectTable
+from repro.obs.tracing import span
 from repro.roadnet.dijkstra import multi_source_dijkstra
 from repro.roadnet.graph import RoadNetwork
 
@@ -64,7 +65,10 @@ def refine_knn(
         radius = l_bound - d_qu
         if radius <= 0:
             continue
-        dist_u = multi_source_dijkstra(graph, {u: 0.0}, radius=radius)
+        with span("refine_dijkstra") as sp:
+            dist_u = multi_source_dijkstra(graph, {u: 0.0}, radius=radius)
+            sp.set_attr("vertex", u)
+            sp.set_attr("settled", len(dist_u))
         settled_total += len(dist_u)
         touched_cells = {cell_of_vertex[w] for w in dist_u}
         for cell in touched_cells:

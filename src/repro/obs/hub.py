@@ -1,0 +1,76 @@
+"""The Observability bundle and the process-wide opt-in default.
+
+:class:`Observability` groups the three instruments — metrics registry,
+tracer, slow-query log — that :class:`~repro.server.server.QueryServer`
+and the benchmark CLI publish to.  Observability is strictly opt-in:
+nothing is collected unless a bundle is passed to the server (or
+installed process-wide with :func:`configure`, which is how
+``python -m repro.bench --metrics-out`` reaches the servers the
+experiment drivers construct deep inside the harness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from contextlib import contextmanager
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.tracing import Tracer
+
+
+@dataclass
+class Observability:
+    """One bundle of instruments, shared by everything a server does.
+
+    Attributes:
+        registry: counter/gauge/histogram families (always present).
+        tracer: span recorder; ``None`` disables span collection (the
+            default for long replays — spans accumulate per query).
+        slow_queries: top-N retained slow queries.
+    """
+
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    tracer: Tracer | None = None
+    slow_queries: SlowQueryLog = field(default_factory=SlowQueryLog)
+
+    @classmethod
+    def with_tracing(cls, slow_capacity: int = 10) -> "Observability":
+        """A fully armed bundle (metrics + spans + slow log)."""
+        return cls(
+            registry=MetricsRegistry(),
+            tracer=Tracer(),
+            slow_queries=SlowQueryLog(capacity=slow_capacity),
+        )
+
+
+#: Process-wide default used by servers constructed without an explicit
+#: bundle.  ``None`` (the initial state) means observability is off.
+_DEFAULT: Observability | None = None
+
+
+def configure(obs: Observability | None) -> Observability | None:
+    """Install (or clear, with ``None``) the process-wide default.
+
+    Returns the previous default so callers can restore it.
+    """
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = obs
+    return previous
+
+
+def default_observability() -> Observability | None:
+    return _DEFAULT
+
+
+@contextmanager
+def configured(obs: Observability) -> Iterator[Observability]:
+    """Scoped :func:`configure` that restores the previous default."""
+    previous = configure(obs)
+    try:
+        yield obs
+    finally:
+        configure(previous)

@@ -1,0 +1,347 @@
+"""A dependency-free metrics registry with Prometheus/JSON exposition.
+
+The paper's evaluation is one long argument about *where time goes* —
+lazy caching vs. cleaning cost (Section IV), kernel time vs. PCIe
+transfer volume (Section V) — so the serving layer needs first-class
+counters, gauges and histograms rather than ad-hoc attributes scattered
+over reports.  This module provides the three Prometheus metric kinds
+with labeled families, a text-exposition writer compatible with the
+`Prometheus exposition format`_ and a JSON snapshot writer for offline
+diffing.  Everything is pure Python and allocation-light: a metric
+child is resolved once and then updated by attribute mutation only.
+
+.. _Prometheus exposition format:
+   https://prometheus.io/docs/instrumenting/exposition_formats/
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import deque
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.errors import ConfigError
+
+_INF = float("inf")
+
+
+def log_scale_buckets(
+    lo: float = 1e-6, hi: float = 100.0, per_decade: int = 4
+) -> tuple[float, ...]:
+    """Fixed log-scale bucket bounds from ``lo`` to ``hi`` (seconds).
+
+    The defaults span microseconds to minutes with ``per_decade`` bounds
+    per decade — wide enough for both simulated kernel times (~1e-5 s)
+    and modelled end-to-end query latencies (~1e-2 s).
+    """
+    if lo <= 0 or hi <= lo:
+        raise ConfigError(f"invalid bucket range [{lo}, {hi}]")
+    if per_decade < 1:
+        raise ConfigError(f"per_decade must be >= 1, got {per_decade}")
+    decades = math.log10(hi / lo)
+    n = int(round(decades * per_decade))
+    bounds = [lo * 10 ** (i / per_decade) for i in range(n + 1)]
+    return tuple(bounds)
+
+
+#: Default latency buckets shared by every duration histogram, so
+#: percentiles from different phases are directly comparable.
+LATENCY_BUCKETS: tuple[float, ...] = log_scale_buckets()
+
+
+class Counter:
+    """A monotonically increasing count (one labeled child)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigError(f"counters only increase, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (one labeled child)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram with quantile estimation.
+
+    Buckets are *upper bounds* (``le`` in Prometheus terms) plus an
+    implicit ``+Inf``.  Quantiles are estimated by linear interpolation
+    inside the bucket containing the target rank — the standard
+    ``histogram_quantile`` estimate, exact enough for the log-scale
+    latency buckets this repo reports.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, buckets: Iterable[float] | None = None) -> None:
+        bounds = tuple(sorted(buckets if buckets is not None else LATENCY_BUCKETS))
+        if not bounds:
+            raise ConfigError("histogram needs at least one bucket bound")
+        if any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ConfigError("bucket bounds must be strictly increasing")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # final slot is +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:  # first bound >= value
+            mid = (lo + hi) // 2
+            if self.bounds[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.counts[lo] += 1
+
+    def quantile(self, q: float) -> float:
+        """Estimated value at quantile ``q`` in [0, 1] (0.0 when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            cumulative += n
+            if cumulative >= rank and n:
+                if i == len(self.bounds):  # the +Inf bucket
+                    return self.bounds[-1]
+                lower = self.bounds[i - 1] if i else 0.0
+                upper = self.bounds[i]
+                frac = (rank - (cumulative - n)) / n
+                return lower + (upper - lower) * max(0.0, min(1.0, frac))
+        return self.bounds[-1]
+
+    def percentiles(self) -> dict[str, float]:
+        """The p50/p95/p99 summary every report in this repo uses."""
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """One named metric and its labeled children.
+
+    ``labels(**values)`` resolves (creating on first use) the child for
+    one label combination; families declared without label names act as
+    their own single child via :meth:`default`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        labelnames: tuple[str, ...] = (),
+        buckets: Iterable[float] | None = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._buckets = tuple(buckets) if buckets is not None else None
+        self._children: dict[tuple[str, ...], Counter | Gauge | Histogram] = {}
+
+    def _make(self) -> Counter | Gauge | Histogram:
+        if self.kind == "histogram":
+            return Histogram(self._buckets)
+        return _KINDS[self.kind]()
+
+    def labels(self, **values: str):
+        if set(values) != set(self.labelnames):
+            raise ConfigError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(values)}"
+            )
+        key = tuple(str(values[n]) for n in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = self._make()
+        return child
+
+    def default(self):
+        """The unlabeled child (families declared with no label names)."""
+        if self.labelnames:
+            raise ConfigError(f"metric {self.name!r} requires labels")
+        return self.labels()
+
+    def children(self) -> Mapping[tuple[str, ...], Counter | Gauge | Histogram]:
+        return self._children
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labelset(names: tuple[str, ...], values: tuple[str, ...]) -> str:
+    if not names:
+        return ""
+    inner = ",".join(f'{n}="{_escape(v)}"' for n, v in zip(names, values))
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    if value == _INF:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class MetricsRegistry:
+    """Holds every metric family plus a bounded ring of warning events.
+
+    Families are created idempotently — ``registry.counter("x")`` twice
+    returns the same family — so instrumentation sites anywhere in the
+    codebase can resolve their metrics without coordinating creation
+    order.  Re-declaring a name with a different kind or label set is a
+    :class:`~repro.errors.ConfigError` (it would corrupt the exposition).
+    """
+
+    def __init__(self, max_warnings: int = 64) -> None:
+        self._families: dict[str, MetricFamily] = {}
+        self.warnings: deque[str] = deque(maxlen=max_warnings)
+        self._warn_counter = self.counter(
+            "repro_warnings_total",
+            help="Warning events emitted through the registry.",
+            labelnames=("source",),
+        )
+
+    # -- family creation ----------------------------------------------
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: tuple[str, ...],
+        buckets: Iterable[float] | None = None,
+    ) -> MetricFamily:
+        family = self._families.get(name)
+        if family is not None:
+            if family.kind != kind or family.labelnames != tuple(labelnames):
+                raise ConfigError(
+                    f"metric {name!r} already registered as {family.kind} "
+                    f"with labels {family.labelnames}"
+                )
+            return family
+        family = MetricFamily(name, kind, help, tuple(labelnames), buckets)
+        self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
+    ) -> MetricFamily:
+        return self._family(name, "counter", help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
+    ) -> MetricFamily:
+        return self._family(name, "gauge", help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: tuple[str, ...] = (),
+        buckets: Iterable[float] | None = None,
+    ) -> MetricFamily:
+        return self._family(name, "histogram", help, labelnames, buckets)
+
+    def families(self) -> Mapping[str, MetricFamily]:
+        return self._families
+
+    # -- warnings ------------------------------------------------------
+    def warn(self, source: str, message: str) -> None:
+        """Record a one-line warning event (never prints)."""
+        self._warn_counter.labels(source=source).inc()
+        self.warnings.append(f"[{source}] {message}")
+
+    # -- exposition ----------------------------------------------------
+    def write_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        lines: list[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            if not family.children():
+                continue
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for key, child in sorted(family.children().items()):
+                labels = _labelset(family.labelnames, key)
+                if isinstance(child, Histogram):
+                    cumulative = 0
+                    for bound, n in zip(
+                        (*child.bounds, _INF), child.counts
+                    ):
+                        cumulative += n
+                        le = _labelset(
+                            (*family.labelnames, "le"), (*key, _fmt(bound))
+                        )
+                        lines.append(f"{name}_bucket{le} {cumulative}")
+                    lines.append(f"{name}_sum{labels} {repr(child.sum)}")
+                    lines.append(f"{name}_count{labels} {child.count}")
+                else:
+                    lines.append(f"{name}{labels} {_fmt(child.value)}")
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> dict[str, object]:
+        """A JSON-serialisable dump of every family and warning."""
+        out: dict[str, object] = {"warnings": list(self.warnings)}
+        metrics: dict[str, object] = {}
+        for name, family in self._families.items():
+            children = []
+            for key, child in family.children().items():
+                labels = dict(zip(family.labelnames, key))
+                if isinstance(child, Histogram):
+                    children.append(
+                        {
+                            "labels": labels,
+                            "sum": child.sum,
+                            "count": child.count,
+                            "buckets": dict(
+                                zip(map(_fmt, (*child.bounds, _INF)), child.counts)
+                            ),
+                            **child.percentiles(),
+                        }
+                    )
+                else:
+                    children.append({"labels": labels, "value": child.value})
+            metrics[name] = {"type": family.kind, "values": children}
+        out["metrics"] = metrics
+        return out
+
+    def write_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.snapshot(), indent=2))
+        return path

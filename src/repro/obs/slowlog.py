@@ -1,0 +1,91 @@
+"""A bounded top-N slow-query log with per-phase breakdowns.
+
+Aggregates (histograms, percentiles) say the p99 moved; the slow-query
+log says *which* queries sit in that tail and what they spent their
+time on — the cold-cell first-query latency spikes the maintenance
+policies exist to bound (``repro.server.maintenance``) show up here as
+entries dominated by the ``clean_cells`` phase with large backlog
+attributes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class SlowQuery:
+    """One retained slow query: its latency, phase split and context."""
+
+    seq: int
+    modeled_s: float
+    wall_s: float
+    phases: Mapping[str, float]
+    attrs: Mapping[str, Any]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "modeled_s": self.modeled_s,
+            "wall_s": self.wall_s,
+            "phases": dict(self.phases),
+            **dict(self.attrs),
+        }
+
+
+@dataclass
+class SlowQueryLog:
+    """Keeps the ``capacity`` slowest queries seen, by modelled latency."""
+
+    capacity: int = 10
+    _heap: list[tuple[float, int, SlowQuery]] = field(default_factory=list)
+    _seq: "itertools.count[int]" = field(default_factory=itertools.count)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ConfigError(f"capacity must be >= 1, got {self.capacity}")
+
+    def record(
+        self,
+        modeled_s: float,
+        wall_s: float = 0.0,
+        phases: Mapping[str, float] | None = None,
+        **attrs: Any,
+    ) -> None:
+        """Offer one query; it is retained only if it makes the top N."""
+        seq = next(self._seq)
+        if len(self._heap) >= self.capacity and modeled_s <= self._heap[0][0]:
+            return
+        entry = SlowQuery(
+            seq=seq,
+            modeled_s=modeled_s,
+            wall_s=wall_s,
+            phases=dict(phases or {}),
+            attrs=attrs,
+        )
+        if len(self._heap) < self.capacity:
+            heapq.heappush(self._heap, (modeled_s, seq, entry))
+        else:
+            heapq.heapreplace(self._heap, (modeled_s, seq, entry))
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def entries(self) -> list[SlowQuery]:
+        """Retained queries, slowest first."""
+        return [e for _, _, e in sorted(self._heap, key=lambda t: -t[0])]
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        return [e.as_dict() for e in self.entries()]
+
+    def worst_phase(self) -> str | None:
+        """The phase dominating the single slowest query (None if empty)."""
+        entries = self.entries()
+        if not entries or not entries[0].phases:
+            return None
+        return max(entries[0].phases.items(), key=lambda kv: kv[1])[0]

@@ -1,0 +1,241 @@
+"""Query-lifecycle spans and a merged CPU+GPU Chrome-trace exporter.
+
+A :class:`Tracer` records wall-clock :class:`Span`\\ s with parent/child
+nesting — ``ingest``, ``clean_cells``, ``sdist``, ``xshuffle_dedup``,
+``refine`` and friends — while the existing
+:class:`~repro.simgpu.trace.GpuTrace` records simulated kernel and
+transfer events.  :func:`write_chrome_trace` merges both into one
+Chrome-trace JSON (two process tracks: ``cpu`` and ``gpu (simulated)``)
+loadable in Perfetto / ``chrome://tracing``, which is how one answers
+"why was *this* query slow?".
+
+Instrumentation sites in the hot paths use the module-level
+:func:`span` function, which is a single global read plus a shared
+no-op context manager when no tracer is active — zero allocations, so
+the library pays nothing when observability is off.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.errors import ConfigError
+from repro.simgpu.trace import GpuTrace
+
+
+@dataclass(slots=True)
+class Span:
+    """One timed section of work, possibly nested inside a parent."""
+
+    name: str
+    start_s: float
+    end_s: float = 0.0
+    depth: int = 0
+    parent: "Span | None" = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return max(0.0, self.end_s - self.start_s)
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+
+class _NullSpan:
+    """Shared do-nothing span used when no tracer is active."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def set_attr(self, key: str, value: Any) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+#: The tracer instrumentation sites publish to (None = tracing off).
+_ACTIVE: "Tracer | None" = None
+
+
+def current_tracer() -> "Tracer | None":
+    return _ACTIVE
+
+
+def span(name: str, attrs: dict[str, Any] | None = None):
+    """Open a span on the active tracer, or a shared no-op when none.
+
+    Call with ``attrs=None`` on hot paths: the inactive case then costs
+    one global read and allocates nothing.
+    """
+    if _ACTIVE is None:
+        return NULL_SPAN
+    return _ACTIVE.span(name, attrs)
+
+
+class _SpanHandle:
+    """Context manager pairing one Span with its tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span_: Span) -> None:
+        self._tracer = tracer
+        self._span = span_
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, *exc: object) -> None:
+        self._tracer._pop(self._span)
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self._span.attrs[key] = value
+
+
+class Tracer:
+    """Records a tree of wall-clock spans relative to its creation.
+
+    Example:
+        >>> tracer = Tracer()
+        >>> with tracer.span("query", {"k": 4}):
+        ...     with tracer.span("sdist"):
+        ...         pass
+        >>> [s.name for s in tracer.spans], tracer.spans[1].depth
+        (['query', 'sdist'], 1)
+    """
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._epoch = clock()
+        self.spans: list[Span] = []  # completed-or-open, in start order
+        self._stack: list[Span] = []
+
+    # -- recording -----------------------------------------------------
+    def span(self, name: str, attrs: dict[str, Any] | None = None) -> _SpanHandle:
+        s = Span(name=name, start_s=self._clock() - self._epoch)
+        if attrs:
+            s.attrs.update(attrs)
+        return _SpanHandle(self, s)
+
+    def _push(self, s: Span) -> None:
+        if self._stack:
+            s.parent = self._stack[-1]
+            s.depth = s.parent.depth + 1
+        self._stack.append(s)
+        self.spans.append(s)
+
+    def _pop(self, s: Span) -> None:
+        if not self._stack or self._stack[-1] is not s:
+            raise ConfigError(f"span {s.name!r} closed out of order")
+        s.end_s = self._clock() - self._epoch
+        self._stack.pop()
+
+    @contextmanager
+    def activate(self) -> Iterator["Tracer"]:
+        """Make this tracer the target of module-level :func:`span`."""
+        global _ACTIVE
+        previous = _ACTIVE
+        _ACTIVE = self
+        try:
+            yield self
+        finally:
+            _ACTIVE = previous
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self._stack.clear()
+        self._epoch = self._clock()
+
+    # -- reporting -----------------------------------------------------
+    def total_by_name(self) -> dict[str, float]:
+        totals: dict[str, float] = {}
+        for s in self.spans:
+            totals[s.name] = totals.get(s.name, 0.0) + s.duration_s
+        return totals
+
+    def to_chrome_events(self, pid: int = 1) -> list[dict[str, Any]]:
+        """Complete-duration (``ph: X``) events, microsecond timestamps."""
+        return [
+            {
+                "name": s.name,
+                "cat": "cpu",
+                "ph": "X",
+                "ts": s.start_s * 1e6,
+                "dur": s.duration_s * 1e6,
+                "pid": pid,
+                "tid": 0,
+                "args": {k: _jsonable(v) for k, v in s.attrs.items()},
+            }
+            for s in self.spans
+        ]
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+_GPU_PID = 0
+_CPU_PID = 1
+
+
+def write_chrome_trace(
+    path: str | Path,
+    tracer: Tracer | None = None,
+    gpu_trace: GpuTrace | None = None,
+) -> Path:
+    """Write one merged Chrome-trace JSON for a traced query (or run).
+
+    CPU spans land on the ``cpu`` process track (wall-clock time) and
+    GPU kernel/transfer events on the ``gpu (simulated)`` track
+    (simulated time); both tracks start at 0 so the phase *structure*
+    lines up even though the clocks differ (DESIGN.md §2 explains why
+    simulated and wall time cannot share an axis).
+    """
+    if tracer is None and gpu_trace is None:
+        raise ConfigError("need a tracer and/or a gpu trace to export")
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _CPU_PID,
+            "args": {"name": "cpu"},
+        },
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _GPU_PID,
+            "args": {"name": "gpu (simulated)"},
+        },
+    ]
+    if tracer is not None:
+        events.extend(tracer.to_chrome_events(pid=_CPU_PID))
+    if gpu_trace is not None:
+        events.extend(
+            {
+                "name": e.name,
+                "cat": e.category,
+                "ph": "X",
+                "ts": e.start_s * 1e6,
+                "dur": e.duration_s * 1e6,
+                "pid": _GPU_PID,
+                "tid": {"kernel": 0, "h2d": 1, "d2h": 2}.get(e.category, 3),
+                "args": {k: _jsonable(v) for k, v in e.detail.items()},
+            }
+            for e in gpu_trace.events
+        )
+    path = Path(path)
+    path.write_text(json.dumps({"traceEvents": events}))
+    return path

@@ -24,6 +24,18 @@ from typing import Protocol, runtime_checkable
 
 from repro.core.ggrid import GGridIndex
 from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry
+
+
+def _maintenance_counter(registry: MetricsRegistry | None, policy: str):
+    """Resolve the shared cells-cleaned counter for one policy label."""
+    if registry is None:
+        return None
+    return registry.counter(
+        "repro_maintenance_cells_cleaned_total",
+        help="Cells cleaned by background maintenance policies.",
+        labelnames=("policy",),
+    ).labels(policy=policy)
 
 
 @runtime_checkable
@@ -49,7 +61,12 @@ class PeriodicCleaning:
     the sweep amortises across updates instead of stalling one of them.
     """
 
-    def __init__(self, interval: float, slice_cells: int = 16) -> None:
+    def __init__(
+        self,
+        interval: float,
+        slice_cells: int = 16,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         if interval <= 0:
             raise ConfigError(f"interval must be positive, got {interval}")
         if slice_cells < 1:
@@ -60,6 +77,7 @@ class PeriodicCleaning:
         self._cursor = 0
         self.cells_cleaned = 0
         self.sweeps = 0
+        self._counter = _maintenance_counter(registry, "periodic")
 
     def on_update(self, index: GGridIndex, t_now: float) -> None:
         if t_now < self._next_due:
@@ -70,6 +88,8 @@ class PeriodicCleaning:
         }
         index.clean_cells(cells, t_now=t_now)
         self.cells_cleaned += len(cells)
+        if self._counter is not None:
+            self._counter.inc(len(cells))
         self._cursor = (self._cursor + self.slice_cells) % num_cells
         if self._cursor < self.slice_cells:  # wrapped: one sweep done
             self.sweeps += 1
@@ -86,11 +106,14 @@ class BacklogCleaning:
     ``max_backlog`` messages per touched cell.
     """
 
-    def __init__(self, max_backlog: int) -> None:
+    def __init__(
+        self, max_backlog: int, registry: MetricsRegistry | None = None
+    ) -> None:
         if max_backlog < 1:
             raise ConfigError(f"max_backlog must be >= 1, got {max_backlog}")
         self.max_backlog = max_backlog
         self.cells_cleaned = 0
+        self._counter = _maintenance_counter(registry, "backlog")
 
     def on_update(self, index: GGridIndex, t_now: float) -> None:
         over = {
@@ -101,6 +124,8 @@ class BacklogCleaning:
         if over:
             index.clean_cells(over, t_now=t_now)
             self.cells_cleaned += len(over)
+            if self._counter is not None:
+                self._counter.inc(len(over))
 
 
 def max_backlog_cells(index: GGridIndex) -> int:

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
+from repro.obs.metrics import Histogram
 
 
 @dataclass(frozen=True)
@@ -66,13 +67,19 @@ class TimingModel:
 
 @dataclass
 class QueryRecord:
-    """Timing of one replayed query."""
+    """Timing of one replayed query.
+
+    ``phase_s`` holds the per-phase modelled-seconds split (CPU phases
+    after the :class:`TimingModel` conversion plus simulated GPU phases)
+    the report's per-phase percentiles are computed from.
+    """
 
     modeled_s: float
     wall_s: float
     gpu_s: float
     transfer_bytes: int
     used_fallback: bool = False
+    phase_s: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -117,6 +124,35 @@ class ReplayReport:
     def transfer_bytes(self) -> int:
         return sum(r.transfer_bytes for r in self.query_records)
 
+    @property
+    def fallback_queries(self) -> int:
+        """Queries answered by the exact-Dijkstra fallback path."""
+        return sum(1 for r in self.query_records if r.used_fallback)
+
+    def latency_histogram(self) -> Histogram:
+        """Modelled per-query latencies in the shared log-scale buckets."""
+        hist = Histogram()
+        for r in self.query_records:
+            hist.observe(r.modeled_s)
+        return hist
+
+    def latency_percentiles(self) -> dict[str, float]:
+        """p50/p95/p99 of modelled query latency (0.0s when no queries)."""
+        return self.latency_histogram().percentiles()
+
+    def phase_percentiles(self) -> dict[str, dict[str, float]]:
+        """Per-phase p50/p95/p99 over the queries that ran each phase."""
+        histograms: dict[str, Histogram] = {}
+        for r in self.query_records:
+            for phase, seconds in r.phase_s.items():
+                hist = histograms.get(phase)
+                if hist is None:
+                    hist = histograms[phase] = Histogram()
+                hist.observe(seconds)
+        return {
+            phase: histograms[phase].percentiles() for phase in sorted(histograms)
+        }
+
     def amortized_latency_s(self) -> float:
         """G-Grid (L) style: ``(T_u + T_q) / n_q`` with queries serial."""
         if not self.n_queries:
@@ -135,7 +171,8 @@ class ReplayReport:
         """Modelled queries per second at full overlap."""
         return self.n_queries / max(self.amortized_s() * self.n_queries, 1e-12)
 
-    def as_dict(self) -> dict[str, float]:
+    def as_dict(self) -> dict[str, object]:
+        percentiles = self.latency_percentiles()
         return {
             "index": self.index_name,
             "n_updates": self.n_updates,
@@ -144,9 +181,14 @@ class ReplayReport:
             "amortized_latency_s": self.amortized_latency_s(),
             "update_modeled_s": self.update_modeled_s,
             "query_modeled_s": self.query_modeled_s,
+            "query_p50_s": percentiles["p50"],
+            "query_p95_s": percentiles["p95"],
+            "query_p99_s": percentiles["p99"],
             "gpu_s": self.gpu_seconds,
             "transfer_bytes": self.transfer_bytes,
             "throughput_qps": self.throughput_qps(),
             "update_wall_s": self.update_wall_s,
             "query_wall_s": self.query_wall_s,
+            "fallback_queries": self.fallback_queries,
+            "phases": self.phase_percentiles(),
         }

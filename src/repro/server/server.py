@@ -5,6 +5,15 @@ ingests object location updates and answers kNN queries against whichever
 index backs it.  :meth:`QueryServer.replay` feeds a time-ordered workload
 through the index, timing updates and queries separately, and produces
 the :class:`~repro.server.metrics.ReplayReport` the benchmarks print.
+
+When given an :class:`~repro.obs.Observability` bundle (explicitly or
+via :func:`repro.obs.configure`), the server additionally publishes the
+full query lifecycle to it: ingest/query counters and per-phase latency
+histograms into the metrics registry, each query's span tree into the
+tracer, and the slowest queries (with their phase splits and cell
+attributes) into the slow-query log.  With no bundle attached the
+instrumentation costs nothing — no extra kernel launches and no
+per-message allocations.
 """
 
 from __future__ import annotations
@@ -15,6 +24,8 @@ from typing import Protocol, runtime_checkable
 from repro.core.knn import KnnAnswer
 from repro.core.messages import Message
 from repro.mobility.workload import Query, Workload
+from repro.obs.hub import Observability, default_observability
+from repro.obs.metrics import log_scale_buckets
 from repro.roadnet.location import NetworkLocation
 from repro.server.metrics import QueryRecord, ReplayReport, TimingModel
 from repro.simgpu.device import SimGpu
@@ -39,6 +50,64 @@ class KnnIndex(Protocol):
     def reset_objects(self) -> None: ...
 
 
+class ServerInstruments:
+    """Metric handles the server hot paths publish to, resolved once.
+
+    The metric names here (``repro_*``) are the public contract
+    documented in README.md §Observability; dashboards and tests key on
+    them.
+    """
+
+    def __init__(self, obs: Observability) -> None:
+        self.obs = obs
+        registry = obs.registry
+        self.ingest_messages = registry.counter(
+            "repro_ingest_messages_total",
+            help="Location updates ingested by the server.",
+        ).default()
+        self.queries = registry.counter(
+            "repro_queries_total", help="kNN queries answered."
+        ).default()
+        self.fallbacks = registry.counter(
+            "repro_query_fallback_total",
+            help="Queries answered by the exact-Dijkstra fallback path.",
+        ).default()
+        self.query_seconds = registry.histogram(
+            "repro_query_modeled_seconds",
+            help="Modelled end-to-end latency per query.",
+        ).default()
+        self.phase_seconds = registry.histogram(
+            "repro_phase_seconds",
+            help="Modelled/simulated seconds per lifecycle phase "
+            "(ingest, clean_cells, sdist, refine, gpu_kernel, ...).",
+            labelnames=("phase",),
+        )
+        self.cells_cleaned = registry.counter(
+            "repro_query_cells_cleaned_total",
+            help="Candidate cells cleaned on behalf of queries.",
+        ).default()
+        self.candidates = registry.histogram(
+            "repro_query_candidates",
+            help="GPU candidate-set size per query.",
+            buckets=log_scale_buckets(1.0, 1e6, 1),
+        ).default()
+        self.gpu_kernel_seconds = registry.counter(
+            "repro_gpu_kernel_seconds_total",
+            help="Simulated GPU kernel seconds.",
+        ).default()
+        self.gpu_transfer_bytes = registry.counter(
+            "repro_gpu_transfer_bytes_total",
+            help="Host<->device bytes moved (both directions).",
+        ).default()
+        self.objects = registry.gauge(
+            "repro_objects", help="Live objects in the index."
+        ).default()
+        self.backlog = registry.gauge(
+            "repro_backlog_messages",
+            help="Cached (uncleaned) messages across all cells.",
+        ).default()
+
+
 class QueryServer:
     """Drives one index through updates and queries with full accounting."""
 
@@ -47,6 +116,7 @@ class QueryServer:
         index: KnnIndex,
         timing: TimingModel | None = None,
         maintenance: "object | None" = None,
+        obs: Observability | None = None,
     ) -> None:
         """Args:
             index: any :class:`KnnIndex` implementation.
@@ -55,10 +125,15 @@ class QueryServer:
                 :mod:`repro.server.maintenance`); invoked after every
                 update, only meaningful for indexes exposing
                 ``clean_cells`` (G-Grid).
+            obs: observability bundle to publish to; defaults to the
+                process-wide bundle installed with
+                :func:`repro.obs.configure` (None = observability off).
         """
         self.index = index
         self.timing = timing or TimingModel()
         self.maintenance = maintenance
+        self.obs = obs if obs is not None else default_observability()
+        self._inst = ServerInstruments(self.obs) if self.obs is not None else None
 
     @property
     def _gpu(self) -> SimGpu | None:
@@ -76,20 +151,36 @@ class QueryServer:
         self.index.ingest(message)
         if self.maintenance is not None:
             self.maintenance.on_update(self.index, message.t)
-        report.update_wall_s += time.perf_counter() - t0
+        wall = time.perf_counter() - t0
+        report.update_wall_s += wall
         report.update_touches += (
             getattr(self.index, "update_touches", 0) - touches_before
         )
+        gpu_s = 0.0
         if gpu and before is not None:
-            report.update_gpu_s += gpu.stats.diff(before).gpu_time_s
+            gpu_s = gpu.stats.diff(before).gpu_time_s
+            report.update_gpu_s += gpu_s
         report.n_updates += 1
+        inst = self._inst
+        if inst is not None:
+            inst.ingest_messages.inc()
+            inst.phase_seconds.labels(phase="ingest").observe(wall)
+            if gpu_s:
+                inst.gpu_kernel_seconds.inc(gpu_s)
 
     def query(self, q: Query, report: ReplayReport) -> KnnAnswer:
         """Answer one query, charging its cost to the report."""
         gpu = self._gpu
         before = gpu.stats.snapshot() if gpu else None
+        tracer = self.obs.tracer if self.obs is not None else None
         t0 = time.perf_counter()
-        answer = self.index.knn(q.location, q.k, t_now=q.t)
+        if tracer is not None:
+            with tracer.activate(), tracer.span("query", {"k": q.k, "t": q.t}) as sp:
+                answer = self.index.knn(q.location, q.k, t_now=q.t)
+                sp.set_attr("cells_cleaned", answer.cells_cleaned)
+                sp.set_attr("candidates", answer.candidates)
+        else:
+            answer = self.index.knn(q.location, q.k, t_now=q.t)
         wall = time.perf_counter() - t0
         gpu_s = 0.0
         transfer = 0
@@ -97,6 +188,7 @@ class QueryServer:
             delta = gpu.stats.diff(before)
             gpu_s = delta.gpu_time_s
             transfer = delta.total_bytes
+        phases: dict[str, float] = dict(answer.gpu_phase_s)
         modeled = gpu_s
         for phase, seconds in answer.cpu_seconds.items():
             if phase == "refine":
@@ -105,7 +197,9 @@ class QueryServer:
                 items = max(1, answer.candidates)
             else:
                 items = 1
-            modeled += self.timing.cpu_seconds(seconds, parallel_items=items)
+            phase_modeled = self.timing.cpu_seconds(seconds, parallel_items=items)
+            phases[phase] = phases.get(phase, 0.0) + phase_modeled
+            modeled += phase_modeled
         report.query_records.append(
             QueryRecord(
                 modeled_s=modeled,
@@ -113,10 +207,58 @@ class QueryServer:
                 gpu_s=gpu_s,
                 transfer_bytes=transfer,
                 used_fallback=answer.used_fallback,
+                phase_s=phases,
             )
         )
         report.n_queries += 1
+        inst = self._inst
+        if inst is not None:
+            self._publish_query(inst, answer, modeled, wall, gpu_s, transfer, phases)
         return answer
+
+    def _publish_query(
+        self,
+        inst: ServerInstruments,
+        answer: KnnAnswer,
+        modeled: float,
+        wall: float,
+        gpu_s: float,
+        transfer: int,
+        phases: dict[str, float],
+    ) -> None:
+        inst.queries.inc()
+        inst.query_seconds.observe(modeled)
+        for phase, seconds in phases.items():
+            inst.phase_seconds.labels(phase=phase).observe(seconds)
+        if gpu_s:
+            inst.phase_seconds.labels(phase="gpu_kernel").observe(gpu_s)
+            inst.gpu_kernel_seconds.inc(gpu_s)
+        if transfer:
+            inst.gpu_transfer_bytes.inc(transfer)
+        inst.cells_cleaned.inc(answer.cells_cleaned)
+        inst.candidates.observe(max(1, answer.candidates))
+        if answer.used_fallback:
+            inst.fallbacks.inc()
+            inst.obs.registry.warn(
+                "query_server",
+                f"query fell back to the exact-Dijkstra path on "
+                f"{self.index.name!r} (candidates={answer.candidates})",
+            )
+        inst.obs.slow_queries.record(
+            modeled,
+            wall_s=wall,
+            phases=phases,
+            cells_cleaned=answer.cells_cleaned,
+            candidates=answer.candidates,
+            unresolved=answer.unresolved,
+            used_fallback=answer.used_fallback,
+        )
+        objects = getattr(self.index, "num_objects", None)
+        if objects is not None:
+            inst.objects.set(objects)
+        pending = getattr(self.index, "pending_messages", None)
+        if callable(pending):
+            inst.backlog.set(pending())
 
     # ------------------------------------------------------------------
     # workload replay

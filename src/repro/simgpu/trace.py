@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro.errors import ConfigError
 from repro.simgpu.device import SimGpu
 
 
@@ -44,9 +45,22 @@ class GpuTrace:
     # installation
     # ------------------------------------------------------------------
     def install(self) -> "GpuTrace":
-        """Start recording (idempotent)."""
+        """Start recording.
+
+        Idempotent for the same trace; installing a *second* trace on a
+        device that already has one raises
+        :class:`~repro.errors.ConfigError` — silently double-wrapping
+        the entry points would double-count every event and leave the
+        device broken after one trace uninstalls.
+        """
         if self._installed:
             return self
+        owner = getattr(self.gpu, "_trace_owner", None)
+        if owner is not None and owner is not self:
+            raise ConfigError(
+                "a GpuTrace is already installed on this SimGpu; "
+                "uninstall it before attaching another"
+            )
         self._orig_launch = self.gpu.launch
         self._orig_to_device = self.gpu.to_device
         self._orig_from_device = self.gpu.from_device
@@ -79,16 +93,18 @@ class GpuTrace:
         self.gpu.launch = launch  # type: ignore[method-assign]
         self.gpu.to_device = to_device  # type: ignore[method-assign]
         self.gpu.from_device = from_device  # type: ignore[method-assign]
+        self.gpu._trace_owner = self  # type: ignore[attr-defined]
         self._installed = True
         return self
 
     def uninstall(self) -> None:
-        """Stop recording and restore the device's methods."""
+        """Stop recording and restore the device's methods (idempotent)."""
         if not self._installed:
             return
         self.gpu.launch = self._orig_launch  # type: ignore[method-assign]
         self.gpu.to_device = self._orig_to_device  # type: ignore[method-assign]
         self.gpu.from_device = self._orig_from_device  # type: ignore[method-assign]
+        self.gpu._trace_owner = None  # type: ignore[attr-defined]
         self._installed = False
 
     def __enter__(self) -> "GpuTrace":

@@ -1,6 +1,5 @@
 """Tests for the ``python -m repro.bench`` command line."""
 
-import pytest
 
 from repro.bench.__main__ import EXPERIMENTS, main
 
@@ -34,6 +33,47 @@ def test_dataset_override(capsys, tmp_path, monkeypatch):
     monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
     assert main(["lazy-vs-eager", "--dataset", "NY"]) == 0
     assert "lazy" in capsys.readouterr().out
+
+
+def test_metrics_out_writes_prometheus_dump(capsys, tmp_path, monkeypatch):
+    import repro.bench.reporting as reporting
+    from repro.obs.hub import default_observability
+
+    monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+    out_path = tmp_path / "metrics.prom"
+    assert (
+        main(
+            ["lazy-vs-eager", "--dataset", "NY", "--metrics-out", str(out_path)]
+        )
+        == 0
+    )
+    assert f"metrics written to {out_path}" in capsys.readouterr().out
+    text = out_path.read_text()
+    # the experiment's replays were captured by the process-wide bundle
+    assert "repro_ingest_messages_total" in text
+    assert "repro_queries_total" in text
+    # and the bundle was uninstalled afterwards
+    assert default_observability() is None
+
+
+def test_metrics_out_json_snapshot(capsys, tmp_path, monkeypatch):
+    import json
+
+    import repro.bench.reporting as reporting
+
+    monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+    out_path = tmp_path / "metrics.json"
+    assert main(["table2", "--metrics-out", str(out_path)]) == 0
+    doc = json.loads(out_path.read_text())
+    assert set(doc) == {"warnings", "metrics"}
+
+
+def test_metrics_out_bad_directory_fails_fast(capsys, tmp_path):
+    missing = tmp_path / "no" / "such" / "metrics.prom"
+    assert main(["table2", "--metrics-out", str(missing)]) == 2
+    captured = capsys.readouterr()
+    assert "does not exist" in captured.err
+    assert "Table II" not in captured.out  # rejected before running anything
 
 
 def test_report_command(capsys, tmp_path, monkeypatch):

@@ -7,7 +7,6 @@ cells — lazy and eager agree.
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -48,6 +48,49 @@ def test_occupancy_tracks_object_table(medium_graph):
     assert stats.mean_cell_objects > 0
 
 
+def test_occupancy_scans_only_occupied_cells(medium_graph):
+    """Regression: the snapshot must not probe every grid cell (it used
+    to iterate ``range(grid.num_cells)``, O(grid) on sparse grids)."""
+    index = _index(medium_graph)
+    table = index.object_table
+    occupied = set(table.occupied_cells())
+    assert 1 <= len(occupied) < index.grid.num_cells  # sparse, so it matters
+
+    queried: list[int] = []
+    original = table.objects_in_cell
+
+    def counting(cell):
+        queried.append(cell)
+        return original(cell)
+
+    table.objects_in_cell = counting  # instance attribute shadows the method
+    try:
+        stats = OccupancyStats.of(index)
+    finally:
+        del table.objects_in_cell
+    assert stats.objects == index.num_objects
+    assert set(queried) == occupied
+    assert len(queried) == len(occupied)
+
+
+def test_occupied_cells_filters_vacated_cells(medium_graph):
+    from repro.roadnet.location import NetworkLocation
+
+    index = GGridIndex(medium_graph, GGridConfig(eta=3, delta_b=4))
+    index.bulk_load({1: NetworkLocation(0, 0.0)}, t=0.0)
+    (cell,) = index.object_table.occupied_cells()
+    # move the object somewhere else and materialise the move
+    far_edge = medium_graph.num_edges - 1
+    index.ingest(Message(1, far_edge, 0.0, t=1.0))
+    index.clean_cells(set(range(index.grid.num_cells)))
+    occupied = index.object_table.occupied_cells()
+    new_cell = index.grid.cell_of_edge(far_edge)
+    if new_cell != cell:  # the retained-empty-set case
+        assert occupied == [new_cell]
+    stats = OccupancyStats.of(index)
+    assert stats.occupied_cells == 1
+
+
 def test_partition_quality(medium_graph):
     index = _index(medium_graph)
     quality = PartitionQuality.of(index)

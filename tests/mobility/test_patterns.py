@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.mobility.patterns import RushHourGenerator, hotspot_placements
-from repro.roadnet.dijkstra import bounded_dijkstra
 
 
 def test_hotspot_placements_valid(small_graph):

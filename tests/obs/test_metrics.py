@@ -1,0 +1,234 @@
+"""Unit tests for the metrics registry and its exposition formats."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log_scale_buckets,
+)
+
+
+# ----------------------------------------------------------------------
+# bucket generation
+# ----------------------------------------------------------------------
+def test_log_buckets_span_and_spacing():
+    bounds = log_scale_buckets(1e-6, 100.0, per_decade=4)
+    assert bounds[0] == pytest.approx(1e-6)
+    assert bounds[-1] == pytest.approx(100.0)
+    # 8 decades x 4 per decade, plus the lower bound itself
+    assert len(bounds) == 33
+    ratios = [b / a for a, b in zip(bounds, bounds[1:])]
+    assert all(r == pytest.approx(10 ** 0.25) for r in ratios)
+
+
+def test_log_buckets_validation():
+    with pytest.raises(ConfigError):
+        log_scale_buckets(0.0, 1.0)
+    with pytest.raises(ConfigError):
+        log_scale_buckets(1.0, 1.0)
+    with pytest.raises(ConfigError):
+        log_scale_buckets(1e-6, 1.0, per_decade=0)
+
+
+def test_default_latency_buckets_are_shared():
+    assert LATENCY_BUCKETS == log_scale_buckets()
+    assert Histogram().bounds == LATENCY_BUCKETS
+
+
+# ----------------------------------------------------------------------
+# the three metric kinds
+# ----------------------------------------------------------------------
+def test_counter_increments_and_rejects_negative():
+    c = Counter()
+    c.inc()
+    c.inc(2.5)
+    assert c.value == pytest.approx(3.5)
+    with pytest.raises(ConfigError):
+        c.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    g = Gauge()
+    g.set(10)
+    g.inc(5)
+    g.dec(12)
+    assert g.value == pytest.approx(3.0)
+
+
+def test_histogram_counts_and_sum():
+    h = Histogram(buckets=[1.0, 2.0, 4.0])
+    for v in (0.5, 1.5, 3.0, 100.0):
+        h.observe(v)
+    assert h.count == 4
+    assert h.sum == pytest.approx(105.0)
+    # per-bucket (non-cumulative) placement, final slot is +Inf
+    assert h.counts == [1, 1, 1, 1]
+
+
+def test_histogram_boundary_value_lands_in_le_bucket():
+    h = Histogram(buckets=[1.0, 2.0])
+    h.observe(1.0)  # le="1.0" means <= 1.0
+    assert h.counts == [1, 0, 0]
+
+
+def test_histogram_validation():
+    with pytest.raises(ConfigError):
+        Histogram(buckets=[])
+    with pytest.raises(ConfigError):
+        Histogram(buckets=[1.0, 1.0, 2.0])
+
+
+def test_quantile_empty_histogram_is_zero():
+    h = Histogram()
+    assert h.quantile(0.5) == 0.0
+    assert h.percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+def test_quantile_singleton_brackets_the_value():
+    h = Histogram(buckets=[1.0, 2.0, 4.0])
+    h.observe(1.5)
+    for q in (0.5, 0.95, 0.99):
+        assert 1.0 <= h.quantile(q) <= 2.0
+
+
+def test_quantile_interpolates_within_bucket():
+    h = Histogram(buckets=[0.0, 1.0])
+    for _ in range(100):
+        h.observe(0.5)  # all mass in the (0, 1] bucket
+    assert h.quantile(0.5) == pytest.approx(0.5, abs=0.01)
+
+
+def test_quantile_overflow_bucket_clamps_to_top_bound():
+    h = Histogram(buckets=[1.0, 2.0])
+    h.observe(1e9)
+    assert h.quantile(0.99) == pytest.approx(2.0)
+
+
+def test_quantile_ordering_and_range_check():
+    h = Histogram()
+    for i in range(1, 101):
+        h.observe(i / 1000)
+    assert h.quantile(0.5) <= h.quantile(0.95) <= h.quantile(0.99)
+    with pytest.raises(ConfigError):
+        h.quantile(1.5)
+
+
+# ----------------------------------------------------------------------
+# families and the registry
+# ----------------------------------------------------------------------
+def test_family_same_labels_same_child():
+    reg = MetricsRegistry()
+    fam = reg.counter("hits_total", labelnames=("route",))
+    a = fam.labels(route="/knn")
+    a.inc(3)
+    assert fam.labels(route="/knn") is a
+    assert fam.labels(route="/other").value == 0
+
+
+def test_family_label_validation():
+    reg = MetricsRegistry()
+    fam = reg.counter("hits_total", labelnames=("route",))
+    with pytest.raises(ConfigError):
+        fam.labels(verb="GET")
+    with pytest.raises(ConfigError):
+        fam.labels()
+    with pytest.raises(ConfigError):
+        fam.default()  # labeled family has no unlabeled child
+
+
+def test_registry_families_are_idempotent():
+    reg = MetricsRegistry()
+    assert reg.counter("x_total") is reg.counter("x_total")
+
+
+def test_registry_rejects_kind_and_label_conflicts():
+    reg = MetricsRegistry()
+    reg.counter("x_total")
+    with pytest.raises(ConfigError):
+        reg.gauge("x_total")
+    reg.histogram("lat_seconds", labelnames=("phase",))
+    with pytest.raises(ConfigError):
+        reg.histogram("lat_seconds", labelnames=("stage",))
+
+
+def test_warn_counts_by_source_and_bounds_ring():
+    reg = MetricsRegistry(max_warnings=3)
+    for i in range(5):
+        reg.warn("gpu", f"event {i}")
+    reg.warn("server", "other")
+    fam = reg.families()["repro_warnings_total"]
+    assert fam.labels(source="gpu").value == 5
+    assert fam.labels(source="server").value == 1
+    assert len(reg.warnings) == 3  # ring keeps only the newest
+    assert reg.warnings[-1] == "[server] other"
+    assert all("[" in w for w in reg.warnings)
+
+
+# ----------------------------------------------------------------------
+# exposition
+# ----------------------------------------------------------------------
+def test_prometheus_text_format():
+    reg = MetricsRegistry()
+    reg.counter("req_total", help="Requests.", labelnames=("verb",)).labels(
+        verb="GET"
+    ).inc(7)
+    reg.gauge("depth").default().set(3)
+    h = reg.histogram("lat_seconds", buckets=[1.0, 2.0]).default()
+    h.observe(0.5)
+    h.observe(5.0)
+    text = reg.write_prometheus()
+    assert "# HELP req_total Requests." in text
+    assert "# TYPE req_total counter" in text
+    assert 'req_total{verb="GET"} 7' in text
+    assert "depth 3" in text
+    # histogram buckets are cumulative and end at +Inf
+    assert 'lat_seconds_bucket{le="1"} 1' in text
+    assert 'lat_seconds_bucket{le="2"} 1' in text
+    assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+    assert "lat_seconds_count 2" in text
+    assert "lat_seconds_sum 5.5" in text
+
+
+def test_prometheus_skips_childless_families():
+    reg = MetricsRegistry()
+    reg.counter("never_touched_total", help="no children yet")
+    assert "never_touched_total" not in reg.write_prometheus()
+
+
+def test_prometheus_escapes_label_values():
+    reg = MetricsRegistry()
+    reg.counter("x_total", labelnames=("path",)).labels(path='a"b\\c').inc()
+    text = reg.write_prometheus()
+    assert 'path="a\\"b\\\\c"' in text
+
+
+def test_snapshot_includes_percentiles_and_warnings():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat_seconds").default()
+    for _ in range(10):
+        h.observe(0.01)
+    reg.warn("test", "hello")
+    snap = reg.snapshot()
+    assert snap["warnings"] == ["[test] hello"]
+    values = snap["metrics"]["lat_seconds"]["values"]
+    assert values[0]["count"] == 10
+    for key in ("p50", "p95", "p99"):
+        assert values[0][key] > 0
+
+
+def test_write_json_round_trips(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("x_total").default().inc(2)
+    path = reg.write_json(tmp_path / "metrics.json")
+    doc = json.loads(path.read_text())
+    assert doc["metrics"]["x_total"]["type"] == "counter"
+    assert doc["metrics"]["x_total"]["values"][0]["value"] == 2
+    assert not math.isnan(doc["metrics"]["x_total"]["values"][0]["value"])

@@ -1,0 +1,75 @@
+"""Unit tests for the top-N slow-query log."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.slowlog import SlowQueryLog
+
+
+def test_capacity_validation():
+    with pytest.raises(ConfigError):
+        SlowQueryLog(capacity=0)
+
+
+def test_keeps_only_the_slowest_n():
+    log = SlowQueryLog(capacity=3)
+    for ms in (5.0, 1.0, 9.0, 2.0, 7.0, 3.0):
+        log.record(ms)
+    assert len(log) == 3
+    assert [e.modeled_s for e in log.entries()] == [9.0, 7.0, 5.0]
+
+
+def test_fast_query_rejected_without_allocation():
+    log = SlowQueryLog(capacity=2)
+    log.record(5.0)
+    log.record(6.0)
+    before = log.entries()
+    log.record(0.001)  # faster than everything retained
+    assert log.entries() == before
+
+
+def test_record_keeps_phases_and_attrs():
+    log = SlowQueryLog(capacity=2)
+    log.record(
+        0.5,
+        wall_s=1.5,
+        phases={"clean_cells": 0.4, "refine": 0.1},
+        candidates=33,
+        used_fallback=False,
+    )
+    (entry,) = log.entries()
+    d = entry.as_dict()
+    assert d["modeled_s"] == 0.5
+    assert d["wall_s"] == 1.5
+    assert d["phases"] == {"clean_cells": 0.4, "refine": 0.1}
+    assert d["candidates"] == 33
+    assert d["used_fallback"] is False
+
+
+def test_as_dicts_slowest_first():
+    log = SlowQueryLog(capacity=5)
+    for ms in (0.1, 0.3, 0.2):
+        log.record(ms)
+    assert [d["modeled_s"] for d in log.as_dicts()] == [0.3, 0.2, 0.1]
+
+
+def test_ties_are_kept_distinct():
+    log = SlowQueryLog(capacity=3)
+    for _ in range(3):
+        log.record(1.0)
+    assert len(log) == 3
+    assert len({e.seq for e in log.entries()}) == 3
+
+
+def test_worst_phase():
+    log = SlowQueryLog(capacity=3)
+    assert log.worst_phase() is None
+    log.record(0.1, phases={"sdist": 0.09, "refine": 0.01})
+    log.record(0.9, phases={"clean_cells": 0.8, "sdist": 0.1})
+    assert log.worst_phase() == "clean_cells"  # of the slowest entry
+
+
+def test_worst_phase_without_phase_split():
+    log = SlowQueryLog()
+    log.record(1.0)
+    assert log.worst_phase() is None

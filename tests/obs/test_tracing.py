@@ -1,0 +1,176 @@
+"""Unit tests for the span tracer and the merged Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.tracing import (
+    NULL_SPAN,
+    Tracer,
+    current_tracer,
+    span,
+    write_chrome_trace,
+)
+from repro.simgpu.device import SimGpu
+from repro.simgpu.trace import GpuTrace
+
+
+def _fake_clock(times):
+    it = iter(times)
+    return lambda: next(it)
+
+
+# ----------------------------------------------------------------------
+# span recording
+# ----------------------------------------------------------------------
+def test_nesting_sets_depth_and_parent():
+    tracer = Tracer()
+    with tracer.span("query") as q:
+        with tracer.span("clean_cells") as c:
+            with tracer.span("xshuffle_dedup") as x:
+                pass
+        with tracer.span("refine") as r:
+            pass
+    assert [s.name for s in tracer.spans] == [
+        "query",
+        "clean_cells",
+        "xshuffle_dedup",
+        "refine",
+    ]
+    assert (q.depth, c.depth, x.depth, r.depth) == (0, 1, 2, 1)
+    assert c.parent is q and x.parent is c and r.parent is q
+    assert q.parent is None
+
+
+def test_span_durations_from_injected_clock():
+    # epoch=0; spans: outer [1, 6], inner [2, 4]
+    tracer = Tracer(clock=_fake_clock([0.0, 1.0, 2.0, 4.0, 6.0]))
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    outer, inner = tracer.spans
+    assert (outer.start_s, outer.end_s) == (1.0, 6.0)
+    assert inner.duration_s == pytest.approx(2.0)
+    assert outer.duration_s == pytest.approx(5.0)
+
+
+def test_span_attrs_initial_and_set_attr():
+    tracer = Tracer()
+    with tracer.span("query", {"k": 4}) as s:
+        s.set_attr("candidates", 17)
+    assert s.attrs == {"k": 4, "candidates": 17}
+
+
+def test_out_of_order_close_raises():
+    tracer = Tracer()
+    a = tracer.span("a")
+    b = tracer.span("b")
+    a.__enter__()
+    b.__enter__()
+    with pytest.raises(ConfigError):
+        a.__exit__(None, None, None)
+
+
+def test_clear_resets_spans_and_stack():
+    tracer = Tracer()
+    with tracer.span("x"):
+        pass
+    tracer.clear()
+    assert tracer.spans == []
+    with tracer.span("y"):
+        pass
+    assert tracer.spans[0].depth == 0
+
+
+def test_total_by_name_accumulates():
+    tracer = Tracer(clock=_fake_clock([0.0, 0.0, 1.0, 2.0, 5.0]))
+    with tracer.span("refine"):
+        pass
+    with tracer.span("refine"):
+        pass
+    assert tracer.total_by_name()["refine"] == pytest.approx(4.0)
+
+
+# ----------------------------------------------------------------------
+# the module-level span() hook
+# ----------------------------------------------------------------------
+def test_module_span_is_shared_noop_when_inactive():
+    assert current_tracer() is None
+    # identity: the inactive path allocates nothing per call
+    assert span("ingest") is NULL_SPAN
+    assert span("ingest") is span("clean_cells")
+    with span("ingest") as s:
+        s.set_attr("messages", 5)  # silently dropped
+
+
+def test_activate_routes_module_span_and_restores():
+    tracer = Tracer()
+    with tracer.activate():
+        assert current_tracer() is tracer
+        with span("ingest", {"messages": 3}):
+            pass
+    assert current_tracer() is None
+    assert span("after") is NULL_SPAN
+    assert [s.name for s in tracer.spans] == ["ingest"]
+    assert tracer.spans[0].attrs == {"messages": 3}
+
+
+def test_activate_nests_and_restores_previous():
+    outer, inner = Tracer(), Tracer()
+    with outer.activate():
+        with inner.activate():
+            assert current_tracer() is inner
+        assert current_tracer() is outer
+    assert current_tracer() is None
+
+
+# ----------------------------------------------------------------------
+# Chrome-trace export
+# ----------------------------------------------------------------------
+def test_to_chrome_events_shape():
+    tracer = Tracer(clock=_fake_clock([0.0, 0.5, 1.5]))
+    with tracer.span("query", {"k": 2, "loc": object()}):
+        pass
+    (ev,) = tracer.to_chrome_events(pid=7)
+    assert ev["ph"] == "X"
+    assert ev["pid"] == 7
+    assert ev["ts"] == pytest.approx(0.5e6)
+    assert ev["dur"] == pytest.approx(1.0e6)
+    assert ev["args"]["k"] == 2
+    assert isinstance(ev["args"]["loc"], str)  # non-JSON attrs stringified
+
+
+def test_write_chrome_trace_requires_a_source(tmp_path):
+    with pytest.raises(ConfigError):
+        write_chrome_trace(tmp_path / "t.json")
+
+
+def test_write_chrome_trace_cpu_only(tmp_path):
+    tracer = Tracer()
+    with tracer.span("query"):
+        pass
+    doc = json.loads(write_chrome_trace(tmp_path / "t.json", tracer).read_text())
+    names = {e["name"] for e in doc["traceEvents"]}
+    assert "query" in names and "process_name" in names
+
+
+def test_write_chrome_trace_merges_cpu_and_gpu(tmp_path):
+    gpu = SimGpu()
+    tracer = Tracer()
+    with GpuTrace(gpu) as gpu_trace:
+        with tracer.span("query"):
+            gpu.to_device("xs", [1, 2, 3])
+            gpu.launch("GPU_SDist", 4, lambda ctx, xs: ctx.charge(5), gpu.fetch("xs"))
+            gpu.from_device("xs")
+    path = write_chrome_trace(tmp_path / "merged.json", tracer, gpu_trace)
+    doc = json.loads(path.read_text())
+    events = doc["traceEvents"]
+    # both process tracks are named for Perfetto
+    meta = {e["pid"]: e["args"]["name"] for e in events if e["ph"] == "M"}
+    assert meta == {0: "gpu (simulated)", 1: "cpu"}
+    cpu = [e for e in events if e["ph"] == "X" and e["pid"] == 1]
+    gpu_evs = [e for e in events if e["ph"] == "X" and e["pid"] == 0]
+    assert {e["name"] for e in cpu} == {"query"}
+    assert {e["name"] for e in gpu_evs} >= {"GPU_SDist", "xs"}
+    assert all(e["dur"] >= 0 for e in events if e["ph"] == "X")

@@ -86,6 +86,20 @@ def test_policy_validation():
         BacklogCleaning(0)
 
 
+def test_policies_publish_cells_cleaned_metric(medium_graph, workload):
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    periodic = PeriodicCleaning(interval=4.0, slice_cells=8, registry=registry)
+    _replay(medium_graph, workload, periodic)
+    backlog = BacklogCleaning(2, registry=registry)  # shares one family
+    _replay(medium_graph, workload, backlog)
+
+    fam = registry.families()["repro_maintenance_cells_cleaned_total"]
+    assert fam.labels(policy="periodic").value == periodic.cells_cleaned > 0
+    assert fam.labels(policy="backlog").value == backlog.cells_cleaned > 0
+
+
 def test_no_maintenance_is_noop(medium_graph, workload):
     index, _, _ = _replay(medium_graph, workload, None)
     index2, _, _ = _replay(medium_graph, workload, NoMaintenance())

@@ -67,9 +67,82 @@ def test_no_queries_raises():
     report = ReplayReport(index_name="X")
     with pytest.raises(ConfigError):
         report.amortized_s()
+    with pytest.raises(ConfigError):
+        report.amortized_latency_s()
+    with pytest.raises(ConfigError):
+        report.throughput_qps()  # derived from amortized_s, same guard
+    with pytest.raises(ConfigError):
+        report.as_dict()
+
+
+def test_throughput_consistent_with_amortized():
+    report = _report()
+    # throughput is 1 / amortised seconds-per-query, by construction
+    assert report.throughput_qps() * report.amortized_s() == pytest.approx(1.0)
 
 
 def test_as_dict_keys():
     d = _report().as_dict()
     for key in ("index", "amortized_s", "throughput_qps", "transfer_bytes"):
         assert key in d
+
+
+def test_percentiles_empty_report_are_zero():
+    report = ReplayReport(index_name="X")
+    assert report.latency_percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+    assert report.phase_percentiles() == {}
+
+
+def test_percentiles_singleton_bracket_the_value():
+    report = ReplayReport(index_name="X")
+    report.n_queries = 1
+    report.query_records.append(
+        QueryRecord(modeled_s=0.01, wall_s=0.1, gpu_s=0.0, transfer_bytes=0)
+    )
+    p = report.latency_percentiles()
+    # all quantiles interpolate inside the single occupied log bucket
+    assert 0.005 < p["p50"] <= p["p95"] <= p["p99"] < 0.02
+
+
+def test_as_dict_percentiles_ordered():
+    report = _report()
+    # spread the latencies so the percentiles separate
+    for i, record in enumerate(report.query_records):
+        record.modeled_s = 0.001 * (i + 1)
+    d = report.as_dict()
+    assert 0 < d["query_p50_s"] <= d["query_p95_s"] <= d["query_p99_s"]
+
+
+def test_phase_percentiles_group_by_phase():
+    report = ReplayReport(index_name="X")
+    report.n_queries = 2
+    report.query_records.append(
+        QueryRecord(
+            modeled_s=0.01,
+            wall_s=0.0,
+            gpu_s=0.0,
+            transfer_bytes=0,
+            phase_s={"sdist": 0.004, "refine": 0.006},
+        )
+    )
+    report.query_records.append(
+        QueryRecord(
+            modeled_s=0.02,
+            wall_s=0.0,
+            gpu_s=0.0,
+            transfer_bytes=0,
+            phase_s={"sdist": 0.02},
+        )
+    )
+    phases = report.phase_percentiles()
+    assert set(phases) == {"refine", "sdist"}
+    assert phases["sdist"]["p95"] >= phases["sdist"]["p50"] > 0
+
+
+def test_fallback_queries_counted():
+    report = _report()
+    assert report.fallback_queries == 0
+    report.query_records[0].used_fallback = True
+    report.query_records[3].used_fallback = True
+    assert report.fallback_queries == 2
+    assert report.as_dict()["fallback_queries"] == 2

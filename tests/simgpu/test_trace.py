@@ -2,6 +2,9 @@
 
 import json
 
+import pytest
+
+from repro.errors import ConfigError
 from repro.simgpu.device import SimGpu
 from repro.simgpu.trace import GpuTrace
 
@@ -27,8 +30,6 @@ def test_trace_records_events():
 
 
 def test_trace_totals_match_stats():
-    import pytest
-
     gpu = SimGpu()
     with GpuTrace(gpu) as trace:
         _work(gpu)
@@ -45,6 +46,61 @@ def test_trace_uninstall_stops_recording():
     trace.uninstall()
     _work(gpu)
     assert len(trace.events) == n
+
+
+def test_install_is_idempotent_for_same_trace():
+    gpu = SimGpu()
+    trace = GpuTrace(gpu)
+    assert trace.install() is trace
+    assert trace.install() is trace  # no double wrap
+    _work(gpu)
+    assert [e.category for e in trace.events] == ["h2d", "kernel", "d2h"]
+    trace.uninstall()
+
+
+def test_second_trace_on_same_device_raises():
+    gpu = SimGpu()
+    first = GpuTrace(gpu).install()
+    second = GpuTrace(gpu)
+    with pytest.raises(ConfigError):
+        second.install()
+    # the refused trace recorded nothing and the first still works
+    _work(gpu)
+    assert second.events == []
+    assert len(first.events) == 3
+    first.uninstall()
+
+
+def test_uninstall_is_idempotent_and_releases_ownership():
+    gpu = SimGpu()
+    orig_launch = gpu.launch
+    first = GpuTrace(gpu).install()
+    first.uninstall()
+    first.uninstall()  # no-op, must not corrupt the device
+    assert gpu.launch == orig_launch
+    # a fresh trace may now attach
+    with GpuTrace(gpu) as second:
+        _work(gpu)
+    assert len(second.events) == 3
+    assert gpu.launch == orig_launch
+
+
+def test_same_trace_can_reenter_after_uninstall():
+    gpu = SimGpu()
+    trace = GpuTrace(gpu)
+    with trace:
+        _work(gpu)
+    with trace:
+        _work(gpu)
+    assert len(trace.events) == 6
+
+
+def test_nested_context_with_second_trace_raises():
+    gpu = SimGpu()
+    with GpuTrace(gpu):
+        with pytest.raises(ConfigError):
+            with GpuTrace(gpu):
+                pass  # pragma: no cover
 
 
 def test_top_kernels():

@@ -12,6 +12,8 @@ import repro.core.ggrid
 import repro.core.message_list
 import repro.mobility.moto
 import repro.mobility.patterns
+import repro.obs
+import repro.obs.tracing
 import repro.persistence
 import repro.roadnet.contraction
 import repro.roadnet.graph
@@ -23,6 +25,8 @@ MODULES = [
     repro.core.message_list,
     repro.mobility.moto,
     repro.mobility.patterns,
+    repro.obs,
+    repro.obs.tracing,
     repro.persistence,
     repro.roadnet.contraction,
     repro.simgpu.device,

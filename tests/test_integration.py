@@ -5,7 +5,6 @@ implementation and asserts all five return identical distance multisets —
 the strongest end-to-end statement the library can make.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
