@@ -298,9 +298,7 @@ class _EagerGGrid(GGridIndex):
     def ingest(self, message: Message) -> None:  # noqa: D102 - see class
         super().ingest(message)
         cell = self.grid.cell_of_edge(message.edge)
-        self.cleaner.clean(
-            {cell: self._list_of(cell)}, message.t, self.object_table
-        )
+        self._resilient_clean({cell: self._list_of(cell)}, message.t)
 
 
 def ablation_lazy_vs_eager(dataset: str = "NY") -> list[dict[str, Any]]:
@@ -481,6 +479,43 @@ def costmodel_validation(dataset: str = "FLA") -> list[dict[str, Any]]:
                 "measured_bytes_per_query": per_query_bytes,
                 "bound_bytes": transfer_bytes_bound(f_delta, rho, k),
                 "bound_messages": messages_transferred_bound(f_delta, rho, k),
+            }
+        )
+    return rows
+
+
+def chaos_resilience(dataset: str = "NY") -> list[dict[str, Any]]:
+    """Resilience: every chaos profile vs the fault-free baseline.
+
+    One row per named profile (see :data:`repro.chaos.PROFILES`): fault
+    counts, how far each query degraded, what the retries/backpressure
+    cost — and the oracle column ``answers_match``, which must read
+    ``True`` on every row (degradation trades latency, not correctness).
+    Capacity-pressure profiles run with small buckets so the backlog cap
+    is actually reachable within the replay.
+    """
+    from repro.chaos import PROFILES, FaultPlan
+    from repro.chaos.harness import run_chaos_replay
+    from repro.config import GGridConfig
+
+    rows = []
+    for profile in PROFILES:
+        plan = FaultPlan.from_profile(profile, seed=7)
+        config = (
+            GGridConfig(delta_b=4) if plan.max_buckets_per_cell is not None else None
+        )
+        outcome = run_chaos_replay(plan, dataset, config=config)
+        rows.append(
+            {
+                "profile": profile,
+                "faults": outcome.total_faults,
+                "answers_match": outcome.answers_match,
+                "retries": outcome.chaos.total_retries,
+                "degraded": outcome.chaos.degraded_queries,
+                "backpressured": outcome.chaos.updates_backpressured,
+                "breaker_trips": outcome.breaker_trips,
+                "amortized_s": outcome.chaos.amortized_s(),
+                "baseline_amortized_s": outcome.baseline.amortized_s(),
             }
         )
     return rows

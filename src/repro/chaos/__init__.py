@@ -1,0 +1,47 @@
+"""Seeded fault injection for the simulated device (the chaos harness).
+
+The package splits cleanly into:
+
+* :mod:`repro.chaos.plan` — :class:`~repro.chaos.plan.FaultPlan`, the
+  frozen, seeded description of *what* fails and how often, plus the
+  named profiles behind ``--chaos``;
+* :mod:`repro.chaos.injector` — :class:`~repro.chaos.injector.FaultInjector`,
+  the stateful hook that makes a concrete
+  :class:`~repro.simgpu.device.SimGpu` actually fail;
+* :mod:`repro.chaos.hub` — the process-wide opt-in
+  (:func:`~repro.chaos.hub.configure_chaos` /
+  :func:`~repro.chaos.hub.chaos_context`), mirroring :mod:`repro.obs`;
+* :mod:`repro.chaos.harness` — chaos-vs-baseline replays with the
+  exactness oracle (imported lazily: the harness needs the index, and
+  the index needs this package for its chaos sync).
+
+What *survives* the injected faults is not in this package: the
+degradation ladder lives in :class:`~repro.core.ggrid.GGridIndex` and
+its policies in :mod:`repro.resilience`.
+"""
+
+from repro.chaos.hub import chaos_context, configure_chaos, default_fault_plan
+from repro.chaos.injector import FaultInjector
+from repro.chaos.plan import FAULT_KINDS, PROFILES, FaultPlan
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "PROFILES",
+    "FAULT_KINDS",
+    "configure_chaos",
+    "default_fault_plan",
+    "chaos_context",
+    "ChaosReport",
+    "run_chaos_replay",
+]
+
+
+def __getattr__(name: str):
+    # lazy: harness -> core.ggrid -> chaos (this package); importing it
+    # eagerly here would make the cycle real
+    if name in ("ChaosReport", "run_chaos_replay"):
+        from repro.chaos import harness
+
+        return getattr(harness, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,47 @@
+"""Process-wide chaos opt-in, mirroring :mod:`repro.obs.hub`.
+
+Chaos is strictly opt-in: nothing is injected unless a
+:class:`~repro.chaos.plan.FaultPlan` is installed here (or an injector
+is wired to a device by hand).  The hub exists for the same reason the
+observability hub does — ``python -m repro.bench --chaos mixed`` must
+reach the :class:`~repro.core.ggrid.GGridIndex` instances the experiment
+drivers construct deep inside the harness.  The index checks the default
+plan at construction and at :meth:`~repro.core.ggrid.GGridIndex.reset_objects`
+(see ``GGridIndex._sync_chaos``) and installs/uninstalls its own
+injector to match.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.chaos.plan import FaultPlan
+
+#: Process-wide default plan.  ``None`` (the initial state) = chaos off.
+_DEFAULT: FaultPlan | None = None
+
+
+def configure_chaos(plan: FaultPlan | None) -> FaultPlan | None:
+    """Install (or clear, with ``None``) the process-wide fault plan.
+
+    Returns the previous plan so callers can restore it.
+    """
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = plan
+    return previous
+
+
+def default_fault_plan() -> FaultPlan | None:
+    return _DEFAULT
+
+
+@contextmanager
+def chaos_context(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Scoped :func:`configure_chaos` that restores the previous plan."""
+    previous = configure_chaos(plan)
+    try:
+        yield plan
+    finally:
+        configure_chaos(previous)

@@ -1,0 +1,136 @@
+"""The stateful side of chaos: deciding *which* operations fail.
+
+A :class:`FaultInjector` executes a :class:`~repro.chaos.plan.FaultPlan`
+against one :class:`~repro.simgpu.device.SimGpu`.  It installs itself via
+the device's hook points (``install_fault_hook``) and from then on every
+kernel launch, host<->device transfer and device allocation rolls the
+injector's private, plan-seeded RNG; a losing roll raises the matching
+:class:`~repro.errors.GpuError` subclass with ``"injected"`` in the
+message.  The RNG is consumed in device-operation order, which is
+deterministic for a serial replay — so the same plan over the same
+workload fails the exact same operations every run.
+
+The injector also counts what it did (by kind) and mirrors the counts
+into the process-wide observability bundle as
+``repro_faults_injected_total{kind=...}`` when one is configured.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.chaos.plan import KIND_KERNEL, KIND_OOM, KIND_TRANSFER, FaultPlan
+from repro.errors import ConfigError, DeviceMemoryError, KernelError, TransferError
+from repro.obs.hub import default_observability
+from repro.simgpu.device import SimGpu
+
+#: Mixed into the plan seed so injector rolls never correlate with the
+#: index's own seeded RNG streams (write races, partitioning).
+_SEED_SALT = 0xC4A05
+
+
+class FaultInjector:
+    """Seeded fault source for one simulated device.
+
+    Use as a context manager (or call :meth:`install`/:meth:`uninstall`)
+    around the workload that should suffer::
+
+        with FaultInjector(plan, index.gpu):
+            server.replay(trace)
+    """
+
+    def __init__(self, plan: FaultPlan, device: SimGpu) -> None:
+        self.plan = plan
+        self.device = device
+        self._rng = random.Random(plan.seed ^ _SEED_SALT)
+        self.counts: dict[str, int] = {
+            KIND_KERNEL: 0,
+            KIND_TRANSFER: 0,
+            KIND_OOM: 0,
+        }
+        self.rolls = 0
+        self.installed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        """Attach to the device's fault hooks.
+
+        Raises:
+            ConfigError: another hook is already installed.
+        """
+        if self.installed:
+            raise ConfigError("fault injector already installed")
+        self.device.install_fault_hook(self)
+        self.installed = True
+
+    def uninstall(self) -> None:
+        """Detach from the device (idempotent)."""
+        if self.installed:
+            self.device.uninstall_fault_hook()
+            self.installed = False
+
+    def __enter__(self) -> "FaultInjector":
+        self.install()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.uninstall()
+
+    # ------------------------------------------------------------------
+    # hook points (called by SimGpu / DeviceMemory)
+    # ------------------------------------------------------------------
+    def on_kernel(self, name: str, n_threads: int) -> None:
+        if self.plan.kernel_filter and name not in self.plan.kernel_filter:
+            return
+        if self._roll(self.plan.kernel_fault_rate):
+            self._record(KIND_KERNEL)
+            raise KernelError(
+                f"injected fault: kernel {name!r} ({n_threads} threads) "
+                f"failed to launch"
+            )
+
+    def on_transfer(self, direction: str, name: str, nbytes: int) -> None:
+        if self._roll(self.plan.transfer_fault_rate):
+            self._record(KIND_TRANSFER)
+            raise TransferError(
+                f"injected fault: {direction} transfer of {name!r} "
+                f"({nbytes} bytes) failed"
+            )
+
+    def on_alloc(self, name: str, nbytes: int) -> None:
+        if self._roll(self.plan.oom_rate):
+            self._record(KIND_OOM)
+            raise DeviceMemoryError(
+                f"injected fault: device out of memory allocating "
+                f"{name!r} ({nbytes} bytes)"
+            )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    @property
+    def total_faults(self) -> int:
+        return sum(self.counts.values())
+
+    def _roll(self, rate: float) -> bool:
+        if rate <= 0.0:
+            return False
+        if (
+            self.plan.max_faults is not None
+            and self.total_faults >= self.plan.max_faults
+        ):
+            return False
+        self.rolls += 1
+        return self._rng.random() < rate
+
+    def _record(self, kind: str) -> None:
+        self.counts[kind] += 1
+        obs = default_observability()
+        if obs is not None:
+            obs.registry.counter(
+                "repro_faults_injected_total",
+                "Faults injected by the chaos harness, by kind.",
+                labelnames=("kind",),
+            ).labels(kind=kind).inc()

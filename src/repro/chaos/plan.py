@@ -1,0 +1,125 @@
+"""Deterministic fault schedules.
+
+A :class:`FaultPlan` is the *what and how often* of chaos testing: per
+operation-class fault probabilities plus message-list capacity pressure,
+all driven by one seed so any replay under the plan is exactly
+reproducible.  Plans are frozen value objects; the stateful side — which
+concrete launch/transfer/allocation actually fails — lives in
+:class:`~repro.chaos.injector.FaultInjector`.
+
+Named profiles cover the interesting regimes::
+
+    FaultPlan.from_profile("mixed", seed=7)
+
+=========== ==========================================================
+profile     what it injects
+=========== ==========================================================
+kernels     transient kernel failures (~15% of launches)
+transfers   host<->device transfer errors (~15% of transfers)
+oom         device-OOM on ~10% of allocations
+capacity    message-list backlog capped at 2 buckets per cell
+mixed       all of the above at moderate rates (the acceptance profile)
+blackout    every launch and transfer fails — the device is gone;
+            exercises the circuit breaker and the CPU rungs end to end
+=========== ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+#: Fault kinds an injector counts and publishes (metric label values).
+KIND_KERNEL = "kernel"
+KIND_TRANSFER = "transfer"
+KIND_OOM = "oom"
+
+FAULT_KINDS: tuple[str, ...] = (KIND_KERNEL, KIND_TRANSFER, KIND_OOM)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, reproducible failure schedule.
+
+    Attributes:
+        seed: RNG seed; the same plan over the same replay injects the
+            exact same faults.
+        kernel_fault_rate: probability a kernel launch fails with a
+            (transient) :class:`~repro.errors.KernelError`.
+        transfer_fault_rate: probability a host<->device transfer fails
+            with a :class:`~repro.errors.TransferError`.
+        oom_rate: probability a device allocation fails with a
+            :class:`~repro.errors.DeviceMemoryError`.
+        kernel_filter: restrict kernel faults to these kernel names
+            (empty = all kernels).
+        max_faults: stop injecting after this many faults (``None`` =
+            unbounded) — models a transient outage that heals.
+        max_buckets_per_cell: capacity pressure — cap every cell's
+            message-list backlog at this many buckets so ingest hits
+            :class:`~repro.errors.CapacityError` backpressure.
+    """
+
+    seed: int = 0
+    kernel_fault_rate: float = 0.0
+    transfer_fault_rate: float = 0.0
+    oom_rate: float = 0.0
+    kernel_filter: tuple[str, ...] = ()
+    max_faults: int | None = None
+    max_buckets_per_cell: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("kernel_fault_rate", "transfer_fault_rate", "oom_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {rate}")
+        if self.max_faults is not None and self.max_faults < 0:
+            raise ConfigError(f"max_faults must be >= 0, got {self.max_faults}")
+        if self.max_buckets_per_cell is not None and self.max_buckets_per_cell < 1:
+            raise ConfigError(
+                f"max_buckets_per_cell must be >= 1, "
+                f"got {self.max_buckets_per_cell}"
+            )
+
+    @property
+    def injects_device_faults(self) -> bool:
+        """True when the plan needs a device-side injector at all."""
+        return (
+            self.kernel_fault_rate > 0
+            or self.transfer_fault_rate > 0
+            or self.oom_rate > 0
+        )
+
+    def with_(self, **overrides: object) -> "FaultPlan":
+        """A copy with the given fields replaced."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_profile(cls, name: str, seed: int = 0) -> "FaultPlan":
+        """Resolve a named chaos profile (see the module table).
+
+        Raises:
+            ConfigError: unknown profile name.
+        """
+        kwargs = PROFILES.get(name)
+        if kwargs is None:
+            raise ConfigError(
+                f"unknown chaos profile {name!r}; known: {', '.join(sorted(PROFILES))}"
+            )
+        return cls(seed=seed, **kwargs)
+
+
+#: Named profiles for ``FaultPlan.from_profile`` and ``--chaos``.
+PROFILES: dict[str, dict] = {
+    "kernels": {"kernel_fault_rate": 0.15},
+    "transfers": {"transfer_fault_rate": 0.15},
+    "oom": {"oom_rate": 0.10},
+    "capacity": {"max_buckets_per_cell": 2},
+    "mixed": {
+        "kernel_fault_rate": 0.10,
+        "transfer_fault_rate": 0.10,
+        "oom_rate": 0.05,
+        "max_buckets_per_cell": 3,
+    },
+    "blackout": {"kernel_fault_rate": 1.0, "transfer_fault_rate": 1.0},
+}

@@ -39,6 +39,11 @@ class GGridConfig:
         sdist_backend: ``"lockstep"`` (faithful per-element kernel) or
             ``"vectorized"`` (numpy formulation, identical results,
             faster host simulation).
+        max_buckets_per_cell: optional cap on a cell's message-list
+            backlog; reaching it makes ingest force an in-line cleaning
+            of the cell (backpressure) instead of growing the list.
+            ``None`` (default) is unbounded — the paper's behaviour.
+            Chaos profiles shrink this to exercise capacity pressure.
         seed: base RNG seed for partitioning and simulated write races.
         gpu: simulated-device cost model.
     """
@@ -54,6 +59,7 @@ class GGridConfig:
     pipelined_transfers: bool = True
     sdist_early_exit: bool = True
     sdist_backend: str = "lockstep"
+    max_buckets_per_cell: int | None = None
     seed: int = 0
     gpu: CostModel = field(default_factory=CostModel)
 
@@ -79,6 +85,11 @@ class GGridConfig:
         if self.sdist_backend not in ("lockstep", "vectorized"):
             raise ConfigError(
                 f"unknown sdist backend {self.sdist_backend!r}"
+            )
+        if self.max_buckets_per_cell is not None and self.max_buckets_per_cell < 1:
+            raise ConfigError(
+                f"max_buckets_per_cell must be >= 1, "
+                f"got {self.max_buckets_per_cell}"
             )
 
     @property

@@ -89,6 +89,7 @@ class MessageCleaner:
         lists: dict[int, MessageList],
         t_now: float,
         object_table: ObjectTable,
+        use_gpu: bool = True,
     ) -> CleaningResult:
         """Clean the given cells' message lists; see the module docstring.
 
@@ -97,9 +98,14 @@ class MessageCleaner:
             t_now: current time (prunes buckets older than ``t_delta``).
             object_table: the eager object table, used to drop objects
                 whose newest message lives in a cell outside this pass.
+            use_gpu: run steps 2-4 on the device (the paper's pipeline).
+                ``False`` deduplicates on the host instead — the
+                degraded-mode rung used when the device is faulting; the
+                result (and the compacted lists) are identical, only the
+                X-shuffle/transfer machinery is bypassed.
         """
         with span("clean_cells") as sp:
-            result = self._clean(lists, t_now, object_table)
+            result = self._clean(lists, t_now, object_table, use_gpu)
             sp.set_attr("cells", len(result.cells))
             sp.set_attr("messages", result.messages_processed)
             sp.set_attr("buckets", result.buckets_shipped)
@@ -110,6 +116,7 @@ class MessageCleaner:
         lists: dict[int, MessageList],
         t_now: float,
         object_table: ObjectTable,
+        use_gpu: bool = True,
     ) -> CleaningResult:
         result = CleaningResult()
         config = self.config
@@ -135,7 +142,10 @@ class MessageCleaner:
         result.buckets_shipped = len(tagged_buckets)
 
         try:
-            latest = self._run_gpu_pipeline(tagged_buckets, result)
+            if use_gpu:
+                latest = self._run_gpu_pipeline(tagged_buckets, result)
+            else:
+                latest = self._dedup_host(tagged_buckets, result)
         except Exception:
             # fault during the GPU phase: put every frozen bucket back —
             # cached updates must survive any cleaning failure
@@ -181,6 +191,31 @@ class MessageCleaner:
             ]
             mlist.prepend_snapshot(snapshot)
         return result
+
+    def _dedup_host(
+        self,
+        tagged_buckets: list[list[CellMessage]],
+        result: CleaningResult,
+    ) -> dict[int, CellMessage]:
+        """Degraded-mode steps 2-4 on the host: per-object latest message.
+
+        Semantically identical to X-shuffle + collect (which keep the
+        message with the greatest :attr:`CellMessage.sort_key` per
+        object, removal markers losing timestamp ties) without touching
+        the device.  Used by the resilience ladder when the GPU is
+        faulting; the wall time it costs is charged through the normal
+        CPU-phase measurement of the caller.
+        """
+        latest: dict[int, CellMessage] = {}
+        with span("dedup_host") as sp:
+            for bucket in tagged_buckets:
+                result.messages_processed += len(bucket)
+                for m in bucket:
+                    prev = latest.get(m.obj)
+                    if prev is None or prev.sort_key < m.sort_key:
+                        latest[m.obj] = m
+            sp.set_attr("messages", result.messages_processed)
+        return latest
 
     def _run_gpu_pipeline(
         self,

@@ -23,8 +23,10 @@ Example:
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Callable, Mapping
 
+from repro.chaos.hub import default_fault_plan
+from repro.chaos.injector import FaultInjector
 from repro.config import GGridConfig
 from repro.core.cleaning import CleaningResult, MessageCleaner
 from repro.core.graph_grid import GraphGrid
@@ -32,10 +34,15 @@ from repro.core.knn import KnnAnswer, KnnProcessor
 from repro.core.message_list import MessageList
 from repro.core.messages import Message
 from repro.core.object_table import ObjectEntry, ObjectTable
-from repro.errors import QueryError
+from repro.errors import CapacityError, GpuError, QueryError
 from repro.obs.tracing import span
 from repro.roadnet.graph import RoadNetwork
 from repro.roadnet.location import NetworkLocation
+from repro.resilience import (
+    RUNG_CPU_SDIST,
+    RUNG_DIJKSTRA,
+    ResiliencePolicy,
+)
 from repro.simgpu.device import SimGpu
 from repro.simgpu.stats import GpuStats
 
@@ -50,6 +57,7 @@ class GGridIndex:
         graph: RoadNetwork,
         config: GGridConfig | None = None,
         gpu: SimGpu | None = None,
+        resilience: ResiliencePolicy | None = None,
     ) -> None:
         """Build the index: partition the network into the graph grid and
         ship the GPU-resident copy to the device (a one-time transfer
@@ -70,10 +78,20 @@ class GGridIndex:
             self.cleaner,
             self.gpu,
             self.config,
+            list_factory=self._list_of,
         )
         self.messages_ingested = 0
         self.update_touches = 0  # index entries touched per update (lazy: few)
         self.latest_time = 0.0
+        # -- resilience state (see repro.resilience / DESIGN.md) --
+        self.resilience = resilience or ResiliencePolicy()
+        self.breaker = self.resilience.make_breaker()
+        self.backpressure_cleanings = 0  # ingests that forced an in-line clean
+        self.resilience_backoff_s = 0.0  # modelled update-side retry backoff
+        self.max_buckets_per_cell = self.config.max_buckets_per_cell
+        self._injector: FaultInjector | None = None
+        self._chaos_plan = None
+        self._sync_chaos()
 
     # ------------------------------------------------------------------
     # updates (Algorithm 1)
@@ -96,12 +114,12 @@ class GGridIndex:
         # ingest hot path must stay allocation-free when untraced
         with span("ingest"):
             cell = self.grid.cell_of_edge(message.edge)
-            self._list_of(cell).append(message)
+            self._append_with_backpressure(cell, message)
             touches = 2  # the cached message + the object-table put
             previous = self.object_table.try_get(message.obj)
             if previous is not None and previous.cell != cell:
                 marker = Message(message.obj, None, None, message.t)
-                self._list_of(previous.cell).append(marker)
+                self._append_with_backpressure(previous.cell, marker)
                 touches += 1
             self.object_table.put(
                 message.obj,
@@ -135,9 +153,36 @@ class GGridIndex:
     def _list_of(self, cell: int) -> MessageList:
         mlist = self.lists.get(cell)
         if mlist is None:
-            mlist = MessageList(self.config.delta_b)
+            mlist = MessageList(
+                self.config.delta_b,
+                cell=cell,
+                max_buckets=self.max_buckets_per_cell,
+            )
             self.lists[cell] = mlist
         return mlist
+
+    def _append_with_backpressure(self, cell: int, message: Message) -> None:
+        """Append to a cell's list, compacting in line when it is full.
+
+        An uncapped list (the default) never raises; under capacity
+        pressure (``max_buckets_per_cell``, e.g. a chaos profile) a full
+        backlog triggers a forced in-line cleaning of that one cell —
+        the update pays the compaction instead of failing — and the
+        append is retried against the compacted list.  Only if the cell
+        still cannot hold one more message (live objects genuinely
+        exceed its capacity) does the :class:`~repro.errors.CapacityError`
+        propagate.
+        """
+        mlist = self._list_of(cell)
+        try:
+            mlist.append(message)
+        except CapacityError:
+            if not self.resilience.enabled:
+                raise
+            self.backpressure_cleanings += 1
+            now = max(self.latest_time, message.t)
+            self._resilient_clean({cell: mlist}, now)
+            mlist.append(message)
 
     # ------------------------------------------------------------------
     # queries (Algorithm 4)
@@ -146,9 +191,23 @@ class GGridIndex:
         self, location: NetworkLocation, k: int, t_now: float | None = None
     ) -> KnnAnswer:
         """The k nearest objects to ``location`` at time ``t_now``
-        (defaults to the newest ingested timestamp)."""
+        (defaults to the newest ingested timestamp).
+
+        When the device faults mid-query the resilience ladder takes
+        over (see :mod:`repro.resilience`): the GPU phase is
+        retried with exponential backoff charged to modelled time, then
+        the query degrades to the host-executed SDist path and, as a
+        last resort, to an exact Dijkstra sweep.  Every rung returns the
+        same exact answer; :attr:`KnnAnswer.degraded_rung`,
+        :attr:`KnnAnswer.retries` and :attr:`KnnAnswer.backoff_s` record
+        what it cost.  Non-device errors propagate unchanged.
+        """
         now = self.latest_time if t_now is None else t_now
-        return self._processor.query(location, k, now)
+        return self._run_resilient(
+            now,
+            lambda use_gpu: self._processor.query(location, k, now, use_gpu=use_gpu),
+            lambda: self._processor.exact_query(location, k),
+        )
 
     def knn_batch(
         self,
@@ -161,9 +220,114 @@ class GGridIndex:
         deduplicated once for the whole batch — the paper's multi-query
         parallelism (the *G-Grid* vs *G-Grid (L)* gap in Fig. 5).
         Answers are identical to issuing each query individually.
+        Device faults degrade the whole batch down the same ladder as
+        :meth:`knn`; retry backoff is charged once, on the first answer.
         """
         now = self.latest_time if t_now is None else t_now
-        return self._processor.query_batch(queries, now)
+        return self._run_resilient(
+            now,
+            lambda use_gpu: self._processor.query_batch(
+                queries, now, use_gpu=use_gpu
+            ),
+            lambda: [self._processor.exact_query(loc, k) for loc, k in queries],
+        )
+
+    def _run_resilient(
+        self,
+        now: float,
+        attempt: Callable[[bool], KnnAnswer | list[KnnAnswer]],
+        exact: Callable[[], KnnAnswer | list[KnnAnswer]],
+    ):
+        """Run a query callable down the degradation ladder.
+
+        ``attempt(use_gpu)`` runs the normal processor path;
+        ``exact()`` is the rung-3 Dijkstra fallback.  Only
+        :class:`~repro.errors.GpuError` (and subclasses — the simulated
+        device's failure modes) triggers degradation; anything else is a
+        bug and propagates.  Whole-query retry is safe: a faulted
+        cleaning rolls its locks back (cached updates survive), and a
+        fault after cleaning leaves only compacted lists behind, which
+        re-clean to the identical result.
+        """
+        policy = self.resilience
+        if not policy.enabled:
+            return attempt(True)
+        retries = 0
+        backoff_s = 0.0
+        if self.breaker.allow_gpu(now):
+            while True:
+                try:
+                    result = attempt(True)
+                    self.breaker.record_success(now)
+                    return self._tag(result, None, retries, backoff_s)
+                except GpuError:
+                    self.breaker.record_failure(now)
+                    if retries >= policy.retry.max_retries:
+                        break
+                    if not self.breaker.allow_gpu(now):
+                        break  # breaker tripped open mid-retry
+                    backoff_s += policy.retry.backoff_s(retries)
+                    retries += 1
+        # -- rung 2: vectorised SDist + dedup on the host, same answers --
+        try:
+            result = attempt(False)
+            return self._tag(result, RUNG_CPU_SDIST, retries, backoff_s)
+        except GpuError:  # pragma: no cover - rung 2 touches no device
+            pass
+        # -- rung 3: exact Dijkstra over the eager object table --
+        return self._tag(exact(), RUNG_DIJKSTRA, retries, backoff_s)
+
+    def _tag(
+        self,
+        result: KnnAnswer | list[KnnAnswer],
+        rung: str | None,
+        retries: int,
+        backoff_s: float,
+    ):
+        """Stamp ladder outcome onto the answer(s).
+
+        Batch retry backoff is charged once — to the first answer — so a
+        replay summing per-query backoff never double-counts it.
+        """
+        answers = result if isinstance(result, list) else [result]
+        if rung is not None:
+            for a in answers:
+                a.degraded_rung = rung
+        if answers:
+            answers[0].retries = retries
+            answers[0].backoff_s = backoff_s
+        return result
+
+    def _resilient_clean(
+        self, lists: dict[int, MessageList], now: float
+    ) -> CleaningResult:
+        """Update-side ladder: clean on the device, degrade to the host.
+
+        Mirrors :meth:`_run_resilient` for cleanings that happen outside
+        a query (backpressure compaction, maintenance policies).  Backoff
+        here has no answer to ride on, so it accumulates in
+        :attr:`resilience_backoff_s` for the server to charge to update
+        time.
+        """
+        policy = self.resilience
+        if not policy.enabled:
+            return self.cleaner.clean(lists, now, self.object_table)
+        retries = 0
+        if self.breaker.allow_gpu(now):
+            while True:
+                try:
+                    result = self.cleaner.clean(lists, now, self.object_table)
+                    self.breaker.record_success(now)
+                    return result
+                except GpuError:
+                    self.breaker.record_failure(now)
+                    if retries >= policy.retry.max_retries:
+                        break
+                    if not self.breaker.allow_gpu(now):
+                        break
+                    self.resilience_backoff_s += policy.retry.backoff_s(retries)
+                    retries += 1
+        return self.cleaner.clean(lists, now, self.object_table, use_gpu=False)
 
     def range_query(
         self,
@@ -196,7 +360,10 @@ class GGridIndex:
     def reset_objects(self) -> None:
         """Drop all object state (locations, cached messages, counters),
         keeping the built graph grid.  Benchmark replays use this to
-        reuse one expensive build across independent runs."""
+        reuse one expensive build across independent runs — which is why
+        the chaos wiring is re-synchronised here: a cached index built
+        under a fault plan must shed its injector when the plan is gone
+        (and vice versa)."""
         self.object_table = ObjectTable()
         self.lists.clear()
         self._processor.object_table = self.object_table
@@ -204,6 +371,34 @@ class GGridIndex:
         self.update_touches = 0
         self.latest_time = 0.0
         self.gpu.stats.reset()
+        self.breaker.reset()
+        self.backpressure_cleanings = 0
+        self.resilience_backoff_s = 0.0
+        self._sync_chaos()
+
+    def _sync_chaos(self) -> None:
+        """Match this index's fault wiring to the process-wide plan.
+
+        Called at construction and on :meth:`reset_objects`.  Keyed on
+        plan identity: with no configured plan this is one attribute
+        compare and an early return, so the non-chaos path stays free of
+        injection machinery.
+        """
+        plan = default_fault_plan()
+        if plan is self._chaos_plan:
+            return
+        if self._injector is not None:
+            self._injector.uninstall()
+            self._injector = None
+        self._chaos_plan = plan
+        self.max_buckets_per_cell = self.config.max_buckets_per_cell
+        if plan is None:
+            return
+        if plan.max_buckets_per_cell is not None:
+            self.max_buckets_per_cell = plan.max_buckets_per_cell
+        if plan.injects_device_faults:
+            self._injector = FaultInjector(plan, self.gpu)
+            self._injector.install()
 
     # ------------------------------------------------------------------
     # introspection
@@ -211,6 +406,11 @@ class GGridIndex:
     @property
     def num_objects(self) -> int:
         return len(self.object_table)
+
+    @property
+    def fault_injector(self) -> FaultInjector | None:
+        """The installed chaos injector, if a fault plan is active."""
+        return self._injector
 
     @property
     def stats(self) -> GpuStats:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.config import GGridConfig
 from repro.core.cleaning import CleanedLocation, MessageCleaner
@@ -38,6 +39,7 @@ from repro.roadnet.dijkstra import multi_source_dijkstra
 from repro.roadnet.graph import RoadNetwork
 from repro.roadnet.location import NetworkLocation, entry_costs, location_distance
 from repro.simgpu.device import SimGpu
+from repro.simgpu.kernel import HostContext
 from repro.simgpu.memory import MESSAGE_BYTES
 
 _INF = float("inf")
@@ -69,6 +71,11 @@ class KnnAnswer:
             phase (``clean_cells``, ``sdist``, ``first_k``,
             ``unresolved``) — the per-phase breakdown the observability
             layer reports.
+        degraded_rung: resilience rung that produced the answer
+            (``"gpu_retry"``, ``"cpu_sdist"`` or ``"dijkstra"``);
+            ``None`` for the healthy GPU path.  Every rung is exact.
+        retries: GPU attempts retried before this answer.
+        backoff_s: modelled backoff seconds charged for those retries.
     """
 
     entries: list[KnnResultEntry] = field(default_factory=list)
@@ -79,6 +86,9 @@ class KnnAnswer:
     used_fallback: bool = False
     cpu_seconds: dict[str, float] = field(default_factory=dict)
     gpu_phase_s: dict[str, float] = field(default_factory=dict)
+    degraded_rung: str | None = None
+    retries: int = 0
+    backoff_s: float = 0.0
 
     def objects(self) -> list[int]:
         return [e.obj for e in self.entries]
@@ -99,6 +109,7 @@ class KnnProcessor:
         cleaner: MessageCleaner,
         gpu: SimGpu,
         config: GGridConfig,
+        list_factory: Callable[[int], MessageList] | None = None,
     ) -> None:
         self.graph = graph
         self.grid = grid
@@ -107,12 +118,26 @@ class KnnProcessor:
         self.cleaner = cleaner
         self.gpu = gpu
         self.config = config
+        # the owning index shares its list factory so capacity caps
+        # (chaos backpressure) apply no matter which side creates a list
+        self.list_factory = list_factory
 
     # ------------------------------------------------------------------
     # public entry point
     # ------------------------------------------------------------------
-    def query(self, location: NetworkLocation, k: int, t_now: float) -> KnnAnswer:
+    def query(
+        self,
+        location: NetworkLocation,
+        k: int,
+        t_now: float,
+        use_gpu: bool = True,
+    ) -> KnnAnswer:
         """Answer a kNN query issued at ``location`` at time ``t_now``.
+
+        ``use_gpu=False`` is the degraded rung: cleaning deduplicates on
+        the host and phase 2 executes the vectorised SDist/First-k/
+        Unresolved kernels as plain CPU code, never touching the device.
+        Answers are identical either way.
 
         Raises:
             QueryError: for ``k <= 0`` or a location off the network.
@@ -126,7 +151,9 @@ class KnnProcessor:
         with span("select_candidates") as sp:
             t0 = time.perf_counter()
             gpu_before = self.gpu.stats.gpu_time_s
-            cells, occupants = self._select_candidates(location, k, t_now, answer)
+            cells, occupants = self._select_candidates(
+                location, k, t_now, answer, use_gpu
+            )
             answer.gpu_phase_s["clean_cells"] = self.gpu.stats.gpu_time_s - gpu_before
             answer.cpu_seconds["select"] = time.perf_counter() - t0
             answer.cells_cleaned = len(cells)
@@ -134,7 +161,20 @@ class KnnProcessor:
             sp.set_attr("cells", len(cells))
             sp.set_attr("candidates", len(occupants))
 
-        return self._finish_query(location, k, cells, occupants, answer)
+        return self._finish_query(location, k, cells, occupants, answer, use_gpu)
+
+    def exact_query(self, location: NetworkLocation, k: int) -> KnnAnswer:
+        """The last resilience rung: one exact Dijkstra sweep from the
+        query against the (eagerly maintained) object table, bypassing
+        every index structure and the device entirely.
+
+        Raises:
+            QueryError: for ``k <= 0`` or a location off the network.
+        """
+        if k <= 0:
+            raise QueryError(f"k must be positive, got {k}")
+        location.validate(self.graph)
+        return self._fallback(location, k, KnnAnswer())
 
     def _finish_query(
         self,
@@ -143,15 +183,21 @@ class KnnProcessor:
         cells: set[int],
         occupants: dict[int, tuple[int, CleanedLocation]],
         answer: KnnAnswer,
+        use_gpu: bool = True,
     ) -> KnnAnswer:
         """Phases 2-3 (shared by single and batched queries): GPU
         candidate set (lines 5-9), then CPU refinement (Algorithm 6)."""
         if len(occupants) < k:
             return self._fallback(location, k, answer)
 
-        candidates, unresolved, l_bound = self._gpu_candidates(
-            location, k, cells, occupants, answer
-        )
+        if use_gpu:
+            candidates, unresolved, l_bound = self._gpu_candidates(
+                location, k, cells, occupants, answer
+            )
+        else:
+            candidates, unresolved, l_bound = self._host_candidates(
+                location, k, cells, occupants, answer
+            )
         if l_bound == _INF:
             return self._fallback(location, k, answer)
         answer.unresolved = len(unresolved)
@@ -180,7 +226,10 @@ class KnnProcessor:
     # batched queries
     # ------------------------------------------------------------------
     def query_batch(
-        self, queries: list[tuple[NetworkLocation, int]], t_now: float
+        self,
+        queries: list[tuple[NetworkLocation, int]],
+        t_now: float,
+        use_gpu: bool = True,
     ) -> list[KnnAnswer]:
         """Answer several concurrent queries, sharing the GPU cleaning.
 
@@ -206,7 +255,10 @@ class KnnProcessor:
             if not todo:
                 return
             result = self.cleaner.clean(
-                {c: self._list_of(c) for c in todo}, t_now, self.object_table
+                {c: self._list_of(c) for c in todo},
+                t_now,
+                self.object_table,
+                use_gpu=use_gpu,
             )
             for cell in todo:
                 cleaned[cell] = result.occupants.get(cell, {})
@@ -253,7 +305,9 @@ class KnnProcessor:
             }
             answer.cells_cleaned = len(cells)
             answer.candidates = len(occupants)
-            answers.append(self._finish_query(location, k, cells, occupants, answer))
+            answers.append(
+                self._finish_query(location, k, cells, occupants, answer, use_gpu)
+            )
         return answers
 
     # ------------------------------------------------------------------
@@ -265,6 +319,7 @@ class KnnProcessor:
         k: int,
         t_now: float,
         answer: KnnAnswer,
+        use_gpu: bool = True,
     ) -> tuple[set[int], dict[int, tuple[int, CleanedLocation]]]:
         """Expand cell rings until ``rho * k`` candidate objects are found."""
         target = self.config.rho * k
@@ -274,7 +329,10 @@ class KnnProcessor:
         occupants: dict[int, tuple[int, CleanedLocation]] = {}
         while True:
             result = self.cleaner.clean(
-                {c: self._list_of(c) for c in frontier}, t_now, self.object_table
+                {c: self._list_of(c) for c in frontier},
+                t_now,
+                self.object_table,
+                use_gpu=use_gpu,
             )
             occupants.update(result.all_objects())
             cells |= frontier
@@ -286,9 +344,11 @@ class KnnProcessor:
         return cells, occupants
 
     def _list_of(self, cell: int) -> MessageList:
+        if self.list_factory is not None:
+            return self.list_factory(cell)
         mlist = self.lists.get(cell)
         if mlist is None:
-            mlist = MessageList(self.config.delta_b)
+            mlist = MessageList(self.config.delta_b, cell=cell)
             self.lists[cell] = mlist
         return mlist
 
@@ -360,9 +420,64 @@ class KnnProcessor:
         # candidate + unresolved sets travel back to the CPU
         with span("candidates_d2h"):
             payload = len(ranked) * MESSAGE_BYTES + len(unresolved) * 8
-            self.gpu.memory.store("knn.candidates", ranked, nbytes=payload)
-            self.gpu.from_device("knn.candidates")
-            self.gpu.free("knn.candidates")
+            try:
+                self.gpu.memory.store("knn.candidates", ranked, nbytes=payload)
+                self.gpu.from_device("knn.candidates")
+            finally:
+                # a faulting transfer must not leak the staging allocation
+                self.gpu.free("knn.candidates")
+
+        candidates = {obj: d for obj, d in ranked}
+        return candidates, unresolved, l_bound
+
+    def _host_candidates(
+        self,
+        location: NetworkLocation,
+        k: int,
+        cells: set[int],
+        occupants: dict[int, tuple[int, CleanedLocation]],
+        answer: KnnAnswer,
+    ) -> tuple[dict[int, float], list[tuple[int, float]], float]:
+        """Phase 2 without the device: the degraded ``cpu_sdist`` rung.
+
+        Runs the *same* kernel functions — the vectorised SDist backend
+        plus First-k and Unresolved — as plain host code through a
+        :class:`~repro.simgpu.kernel.HostContext`.  Results are
+        bit-identical to :meth:`_gpu_candidates` (property-tested for
+        the SDist backends); no launches, transfers or allocations touch
+        the simulated device, so a faulting GPU cannot interfere.
+        """
+        from repro.core.sdist_vectorized import sdist_kernel_vectorized
+
+        ctx = HostContext("cpu_sdist")
+        with span("sdist_cpu") as sp:
+            t0 = time.perf_counter()
+            vertices = self.grid.vertices_of_cells(cells)
+            elements = self.grid.elements_of_cells(cells)
+            seeds = entry_costs(self.graph, location)
+            dist = sdist_kernel_vectorized(
+                ctx,
+                elements,
+                vertices,
+                seeds,
+                self.config.delta_v,
+                self.config.sdist_early_exit,
+            )
+
+            object_distances: dict[int, float] = {}
+            for obj, (_, loc) in occupants.items():
+                target = NetworkLocation(loc.edge, loc.offset)
+                object_distances[obj] = location_distance(
+                    self.graph, dist, location, target
+                )
+            ranked = first_k_kernel(ctx, object_distances, k)
+            l_bound = ranked[k - 1][1] if len(ranked) >= k else _INF
+
+            boundary = self.grid.boundary_vertices(cells)
+            unresolved = unresolved_kernel(ctx, boundary, dist, l_bound)
+            answer.cpu_seconds["sdist_cpu"] = time.perf_counter() - t0
+            sp.set_attr("elements", len(elements))
+            sp.set_attr("candidates", len(object_distances))
 
         candidates = {obj: d for obj, d in ranked}
         return candidates, unresolved, l_bound

@@ -23,12 +23,14 @@ class Bucket:
     """A fixed-capacity message bucket: ``<A_m, n, t, p_n>``.
 
     ``t`` is the timestamp of the *latest* message in the bucket; since
-    messages arrive in order it is the last one's timestamp.
+    messages arrive in order it is the last one's timestamp.  ``cell``
+    is carried for diagnostics only (overflow errors name the cell).
     """
 
     capacity: int
     messages: list[Message] = field(default_factory=list)
     next: "Bucket | None" = None
+    cell: int | None = None
 
     @property
     def n(self) -> int:
@@ -45,7 +47,11 @@ class Bucket:
 
     def append(self, message: Message) -> None:
         if self.full:
-            raise CapacityError(f"bucket full at capacity {self.capacity}")
+            where = "unassigned" if self.cell is None else str(self.cell)
+            raise CapacityError(
+                f"bucket full at capacity {self.capacity} "
+                f"(cell={where}, n={self.n})"
+            )
         self.messages.append(message)
 
     def device_nbytes(self) -> int:
@@ -64,10 +70,28 @@ class MessageList:
         (5, 3)
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        cell: int | None = None,
+        max_buckets: int | None = None,
+    ) -> None:
+        """Args:
+            capacity: messages per bucket (``delta_b``).
+            cell: owning cell id, carried into overflow diagnostics.
+            max_buckets: optional backlog cap — :meth:`append` refuses to
+                open a bucket beyond this many, raising
+                :class:`~repro.errors.CapacityError` so the caller can
+                force an in-line cleaning (backpressure) instead of
+                growing without bound.  ``None`` (default) is unbounded.
+        """
         if capacity < 1:
             raise CapacityError(f"bucket capacity must be >= 1, got {capacity}")
+        if max_buckets is not None and max_buckets < 1:
+            raise CapacityError(f"max_buckets must be >= 1, got {max_buckets}")
         self.capacity = capacity
+        self.cell = cell
+        self.max_buckets = max_buckets
         self._head: Bucket | None = None
         self._tail: Bucket | None = None
         self._lock: Bucket | None = None  # p_l: cleaning frontier
@@ -76,9 +100,23 @@ class MessageList:
     # ingest path
     # ------------------------------------------------------------------
     def append(self, message: Message) -> None:
-        """Append a message at the tail, opening a new bucket when full."""
+        """Append a message at the tail, opening a new bucket when full.
+
+        Raises:
+            CapacityError: opening a new bucket would exceed
+                ``max_buckets``; the message names the cell and the
+                backlog depth so chaos-test failures are diagnosable.
+        """
         if self._tail is None or self._tail.full:
-            bucket = Bucket(self.capacity)
+            if self.max_buckets is not None and self.num_buckets >= self.max_buckets:
+                where = "unassigned" if self.cell is None else str(self.cell)
+                raise CapacityError(
+                    f"message list overflow in cell {where}: backlog depth "
+                    f"{self.num_buckets} buckets / {self.num_messages} messages "
+                    f"at max_buckets={self.max_buckets}; clean the cell to "
+                    f"compact before appending"
+                )
+            bucket = Bucket(self.capacity, cell=self.cell)
             if self._tail is None:
                 self._head = self._tail = bucket
             else:
@@ -98,7 +136,7 @@ class MessageList:
         """Freeze the current contents: append a fresh (empty) tail bucket
         and point ``p_l`` at it.  Everything before ``p_l`` belongs to the
         cleaner; new messages land in / after the fresh bucket."""
-        fresh = Bucket(self.capacity)
+        fresh = Bucket(self.capacity, cell=self.cell)
         if self._tail is None:
             self._head = self._tail = fresh
         else:
@@ -163,7 +201,11 @@ class MessageList:
             return
         buckets: list[Bucket] = []
         for start in range(0, len(messages), self.capacity):
-            bucket = Bucket(self.capacity, list(messages[start : start + self.capacity]))
+            bucket = Bucket(
+                self.capacity,
+                list(messages[start : start + self.capacity]),
+                cell=self.cell,
+            )
             buckets.append(bucket)
         for earlier, later in zip(buckets, buckets[1:]):
             earlier.next = later

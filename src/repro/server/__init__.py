@@ -12,6 +12,7 @@ simulated GPU time into the modelled times the benchmarks report (see
 DESIGN.md §2 for the calibration rationale).
 """
 
+from repro.resilience import CircuitBreaker, ResiliencePolicy, RetryPolicy
 from repro.server.maintenance import (
     BacklogCleaning,
     MaintenancePolicy,
@@ -30,4 +31,7 @@ __all__ = [
     "NoMaintenance",
     "PeriodicCleaning",
     "BacklogCleaning",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "ResiliencePolicy",
 ]

@@ -80,6 +80,11 @@ class QueryRecord:
     transfer_bytes: int
     used_fallback: bool = False
     phase_s: dict[str, float] = field(default_factory=dict)
+    #: resilience outcome: which ladder rung answered (None = healthy
+    #: GPU path), device retries spent, and modelled backoff charged
+    degraded_rung: str | None = None
+    retries: int = 0
+    backoff_s: float = 0.0
 
 
 @dataclass
@@ -96,6 +101,11 @@ class ReplayReport:
     update_wall_s: float = 0.0
     update_gpu_s: float = 0.0
     update_touches: int = 0
+    #: updates that hit message-list capacity and forced an in-line
+    #: cleaning (backpressure) instead of failing
+    updates_backpressured: int = 0
+    #: modelled retry backoff charged to the update path
+    update_backoff_s: float = 0.0
     query_records: list[QueryRecord] = field(default_factory=list)
     timing: TimingModel = field(default_factory=TimingModel)
 
@@ -105,7 +115,9 @@ class ReplayReport:
     @property
     def update_modeled_s(self) -> float:
         return (
-            self.timing.update_seconds(self.update_touches) + self.update_gpu_s
+            self.timing.update_seconds(self.update_touches)
+            + self.update_gpu_s
+            + self.update_backoff_s
         )
 
     @property
@@ -128,6 +140,35 @@ class ReplayReport:
     def fallback_queries(self) -> int:
         """Queries answered by the exact-Dijkstra fallback path."""
         return sum(1 for r in self.query_records if r.used_fallback)
+
+    # -- resilience outcomes -------------------------------------------
+    @property
+    def retried_queries(self) -> int:
+        """Queries that needed at least one device retry."""
+        return sum(1 for r in self.query_records if r.retries)
+
+    @property
+    def total_retries(self) -> int:
+        """Device retries spent across the whole replay's queries."""
+        return sum(r.retries for r in self.query_records)
+
+    @property
+    def degraded_queries(self) -> int:
+        """Queries answered below the healthy GPU rung."""
+        return sum(1 for r in self.query_records if r.degraded_rung)
+
+    @property
+    def query_backoff_s(self) -> float:
+        """Modelled retry backoff charged to the query path."""
+        return sum(r.backoff_s for r in self.query_records)
+
+    def degraded_by_rung(self) -> dict[str, int]:
+        """Query counts per degradation rung (empty when all healthy)."""
+        counts: dict[str, int] = {}
+        for r in self.query_records:
+            if r.degraded_rung:
+                counts[r.degraded_rung] = counts.get(r.degraded_rung, 0) + 1
+        return counts
 
     def latency_histogram(self) -> Histogram:
         """Modelled per-query latencies in the shared log-scale buckets."""
@@ -190,5 +231,12 @@ class ReplayReport:
             "update_wall_s": self.update_wall_s,
             "query_wall_s": self.query_wall_s,
             "fallback_queries": self.fallback_queries,
+            "retried_queries": self.retried_queries,
+            "total_retries": self.total_retries,
+            "degraded_queries": self.degraded_queries,
+            "degraded_by_rung": self.degraded_by_rung(),
+            "query_backoff_s": self.query_backoff_s,
+            "updates_backpressured": self.updates_backpressured,
+            "update_backoff_s": self.update_backoff_s,
             "phases": self.phase_percentiles(),
         }

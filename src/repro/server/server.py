@@ -23,6 +23,7 @@ from typing import Protocol, runtime_checkable
 
 from repro.core.knn import KnnAnswer
 from repro.core.messages import Message
+from repro.errors import QueryError
 from repro.mobility.workload import Query, Workload
 from repro.obs.hub import Observability, default_observability
 from repro.obs.metrics import log_scale_buckets
@@ -106,6 +107,24 @@ class ServerInstruments:
             "repro_backlog_messages",
             help="Cached (uncleaned) messages across all cells.",
         ).default()
+        # -- resilience (the chaos/degradation contract, README §Resilience) --
+        self.retries = registry.counter(
+            "repro_retries_total",
+            help="Device retries spent by the resilience ladder.",
+        ).default()
+        self.degraded = registry.counter(
+            "repro_degraded_queries_total",
+            help="Queries answered below the healthy GPU rung, by rung.",
+            labelnames=("rung",),
+        )
+        self.breaker_state = registry.gauge(
+            "repro_breaker_state",
+            help="Circuit-breaker state: 0=closed, 1=half-open, 2=open.",
+        ).default()
+        self.backpressure = registry.counter(
+            "repro_backpressure_cleanings_total",
+            help="Updates that forced an in-line cleaning at capacity.",
+        ).default()
 
 
 class QueryServer:
@@ -134,6 +153,8 @@ class QueryServer:
         self.maintenance = maintenance
         self.obs = obs if obs is not None else default_observability()
         self._inst = ServerInstruments(self.obs) if self.obs is not None else None
+        #: cumulative fallback count, for the rate-limited warning
+        self._fallback_count = 0
 
     @property
     def _gpu(self) -> SimGpu | None:
@@ -147,6 +168,8 @@ class QueryServer:
         gpu = self._gpu
         before = gpu.stats.snapshot() if gpu else None
         touches_before = getattr(self.index, "update_touches", 0)
+        bp_before = getattr(self.index, "backpressure_cleanings", 0)
+        backoff_before = getattr(self.index, "resilience_backoff_s", 0.0)
         t0 = time.perf_counter()
         self.index.ingest(message)
         if self.maintenance is not None:
@@ -156,6 +179,14 @@ class QueryServer:
         report.update_touches += (
             getattr(self.index, "update_touches", 0) - touches_before
         )
+        backpressured = (
+            getattr(self.index, "backpressure_cleanings", 0) - bp_before
+        )
+        backoff_s = (
+            getattr(self.index, "resilience_backoff_s", 0.0) - backoff_before
+        )
+        report.updates_backpressured += backpressured
+        report.update_backoff_s += backoff_s
         gpu_s = 0.0
         if gpu and before is not None:
             gpu_s = gpu.stats.diff(before).gpu_time_s
@@ -167,6 +198,11 @@ class QueryServer:
             inst.phase_seconds.labels(phase="ingest").observe(wall)
             if gpu_s:
                 inst.gpu_kernel_seconds.inc(gpu_s)
+            if backpressured:
+                inst.backpressure.inc(backpressured)
+            breaker = getattr(self.index, "breaker", None)
+            if breaker is not None:
+                inst.breaker_state.set(breaker.state_code)
 
     def query(self, q: Query, report: ReplayReport) -> KnnAnswer:
         """Answer one query, charging its cost to the report."""
@@ -200,6 +236,12 @@ class QueryServer:
             phase_modeled = self.timing.cpu_seconds(seconds, parallel_items=items)
             phases[phase] = phases.get(phase, 0.0) + phase_modeled
             modeled += phase_modeled
+        # retry backoff is already in modelled seconds — charged as-is,
+        # not divided by python_speedup (nothing was measured, it is a
+        # policy-chosen delay)
+        if answer.backoff_s:
+            phases["backoff"] = phases.get("backoff", 0.0) + answer.backoff_s
+            modeled += answer.backoff_s
         report.query_records.append(
             QueryRecord(
                 modeled_s=modeled,
@@ -208,6 +250,9 @@ class QueryServer:
                 transfer_bytes=transfer,
                 used_fallback=answer.used_fallback,
                 phase_s=phases,
+                degraded_rung=answer.degraded_rung,
+                retries=answer.retries,
+                backoff_s=answer.backoff_s,
             )
         )
         report.n_queries += 1
@@ -237,13 +282,27 @@ class QueryServer:
             inst.gpu_transfer_bytes.inc(transfer)
         inst.cells_cleaned.inc(answer.cells_cleaned)
         inst.candidates.observe(max(1, answer.candidates))
+        if answer.retries:
+            inst.retries.inc(answer.retries)
+        if answer.degraded_rung:
+            inst.degraded.labels(rung=answer.degraded_rung).inc()
+        breaker = getattr(self.index, "breaker", None)
+        if breaker is not None:
+            inst.breaker_state.set(breaker.state_code)
         if answer.used_fallback:
             inst.fallbacks.inc()
-            inst.obs.registry.warn(
-                "query_server",
-                f"query fell back to the exact-Dijkstra path on "
-                f"{self.index.name!r} (candidates={answer.candidates})",
-            )
+            self._fallback_count += 1
+            # rate-limited: on a workload where every query falls back, a
+            # per-query warning would bury the registry's bounded warning
+            # buffer in duplicates — warn on the first and every 100th,
+            # carrying the cumulative count
+            if self._fallback_count == 1 or self._fallback_count % 100 == 0:
+                inst.obs.registry.warn(
+                    "query_server",
+                    f"{self._fallback_count} queries fell back to the "
+                    f"exact-Dijkstra path on {self.index.name!r} "
+                    f"(latest: candidates={answer.candidates})",
+                )
         inst.obs.slow_queries.record(
             modeled,
             wall_s=wall,
@@ -281,10 +340,18 @@ class QueryServer:
             self.update(Message(obj, loc.edge_id, loc.offset, 0.0), report)
         for kind, event in workload.events():
             if kind == "update":
-                assert isinstance(event, Message)
+                if not isinstance(event, Message):
+                    raise QueryError(
+                        f"workload produced an update event that is not a "
+                        f"Message: {type(event).__name__}"
+                    )
                 self.update(event, report)
             else:
-                assert isinstance(event, Query)
+                if not isinstance(event, Query):
+                    raise QueryError(
+                        f"workload produced a query event that is not a "
+                        f"Query: {type(event).__name__}"
+                    )
                 answer = self.query(event, report)
                 if collect_answers:
                     answers.append(answer)

@@ -20,7 +20,7 @@ import math
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.errors import KernelError, TransferError
+from repro.errors import ConfigError, KernelError, TransferError
 from repro.simgpu.kernel import KernelContext
 from repro.simgpu.memory import DeviceMemory, nbytes_of
 from repro.simgpu.stats import GpuStats
@@ -101,6 +101,37 @@ class SimGpu:
         self.cost_model = cost_model or CostModel()
         self.memory = DeviceMemory(self.cost_model.device_memory_bytes)
         self.stats = GpuStats()
+        # Optional fault-injection hook (see repro.chaos).  None on the
+        # hot path: launches and transfers pay one attribute check only.
+        self.fault_hook: "object | None" = None
+
+    # ------------------------------------------------------------------
+    # fault injection (repro.chaos)
+    # ------------------------------------------------------------------
+    def install_fault_hook(self, hook: object) -> None:
+        """Attach a fault-injection hook to this device.
+
+        The hook is consulted before every kernel launch
+        (``on_kernel(name, n_threads)``), host<->device transfer
+        (``on_transfer(direction, name, nbytes)``) and — via
+        :attr:`DeviceMemory.alloc_hook` — allocation
+        (``on_alloc(name, nbytes)``); raising from a hook simulates the
+        corresponding device fault.
+
+        Raises:
+            ConfigError: a hook is already installed (two injectors
+                fighting over one device would make fault schedules
+                non-reproducible).
+        """
+        if self.fault_hook is not None:
+            raise ConfigError("a fault hook is already installed on this device")
+        self.fault_hook = hook
+        self.memory.alloc_hook = getattr(hook, "on_alloc", None)
+
+    def uninstall_fault_hook(self) -> None:
+        """Detach the fault-injection hook (idempotent)."""
+        self.fault_hook = None
+        self.memory.alloc_hook = None
 
     # ------------------------------------------------------------------
     # transfers
@@ -110,6 +141,8 @@ class SimGpu:
         size = nbytes_of(data) if nbytes is None else nbytes
         if size < 0:
             raise TransferError(f"negative transfer size {size}")
+        if self.fault_hook is not None:
+            self.fault_hook.on_transfer("h2d", name, size)
         self.memory.store(name, data, size)
         self.stats.bytes_h2d += size
         self.stats.transfers_h2d += 1
@@ -118,6 +151,8 @@ class SimGpu:
 
     def from_device(self, name: str, nbytes: int | None = None) -> Any:
         """Copy the allocation ``name`` device -> host and return it."""
+        if self.fault_hook is not None:
+            self.fault_hook.on_transfer("d2h", name, self.memory.nbytes(name))
         data = self.memory.fetch(name)
         size = self.memory.nbytes(name) if nbytes is None else nbytes
         self.stats.bytes_d2h += size
@@ -156,6 +191,8 @@ class SimGpu:
             raise KernelError(
                 f"kernel {kernel_name!r} launched with {n_threads} threads"
             )
+        if self.fault_hook is not None:
+            self.fault_hook.on_kernel(kernel_name, n_threads)
         ctx = KernelContext(self, kernel_name, n_threads)
         self.stats.kernel_launches += 1
         self.stats.kernel_time_s += self.cost_model.kernel_launch_time_s

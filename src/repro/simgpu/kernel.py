@@ -90,3 +90,40 @@ class KernelContext:
     @property
     def warp_size(self) -> int:
         return self.device.cost_model.warp_size
+
+
+class HostContext:
+    """A no-device kernel context for degraded-mode host execution.
+
+    The resilience ladder (see :mod:`repro.resilience`) runs the
+    same lockstep kernel functions on the CPU when the device is
+    faulting.  Work charging is a no-op — host execution is paid for in
+    measured wall time, not simulated device time — and no
+    :class:`~repro.simgpu.device.SimGpu` state is touched, so a host run
+    can never trip the fault injector.
+    """
+
+    __slots__ = ("name", "n_threads", "warp_size")
+
+    def __init__(self, name: str = "host", n_threads: int = 1, warp_size: int = 32):
+        self.name = name
+        self.n_threads = n_threads
+        self.warp_size = warp_size
+
+    def charge(self, ops_per_thread: float, n_threads: int | None = None) -> None:
+        pass
+
+    def charge_mem(self, ops_per_thread: float, n_threads: int | None = None) -> None:
+        pass
+
+    def charge_atomic(self, writes: int) -> None:
+        pass
+
+    def charge_shuffle(self, bundle_size: int, n_threads: int | None = None) -> None:
+        pass
+
+    def sync_threads(self) -> None:
+        pass
+
+    def shuffle_xor(self, values: Sequence[T], lane_mask: int) -> list[T]:
+        return warp_mod.shuffle_xor(values, lane_mask)

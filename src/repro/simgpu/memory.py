@@ -65,6 +65,10 @@ class DeviceMemory:
             raise DeviceMemoryError(f"capacity must be positive, got {capacity_bytes}")
         self.capacity_bytes = capacity_bytes
         self._allocations: dict[str, DeviceAllocation] = {}
+        # Optional fault hook called as ``alloc_hook(name, nbytes)`` before
+        # every store; raising DeviceMemoryError simulates device OOM.
+        # Installed via SimGpu.install_fault_hook (see repro.chaos).
+        self.alloc_hook: "object | None" = None
 
     @property
     def used_bytes(self) -> int:
@@ -81,6 +85,8 @@ class DeviceMemory:
             DeviceMemoryError: when the allocation would exceed capacity.
         """
         size = nbytes_of(data) if nbytes is None else nbytes
+        if self.alloc_hook is not None:
+            self.alloc_hook(name, size)
         existing = self._allocations.get(name)
         projected = self.used_bytes - (existing.nbytes if existing else 0) + size
         if projected > self.capacity_bytes:

@@ -60,9 +60,14 @@ class PipelinedStream:
             self.device.to_device(alloc, chunk, nbytes=size)
             t_cost = stats.transfer_time_s - before_t
             before_k = stats.kernel_time_s
-            results.append(process(i, self.device.fetch(alloc)))
+            try:
+                results.append(process(i, self.device.fetch(alloc)))
+            finally:
+                # a faulting kernel must not leak its chunk allocation —
+                # under repeated (injected) faults the leaks would OOM
+                # the device and mask the original failure
+                self.device.free(alloc)
             k_cost = stats.kernel_time_s - before_k
-            self.device.free(alloc)
 
             transfer_done += t_cost
             process_done = max(transfer_done, process_done) + k_cost

@@ -82,3 +82,31 @@ def test_report_command(capsys, tmp_path, monkeypatch):
     monkeypatch.setattr(summary, "RESULTS_DIR", tmp_path)
     assert main(["report"]) == 0
     assert "report written" in capsys.readouterr().out
+
+
+def test_chaos_flag_installs_plan_for_the_run(capsys, tmp_path, monkeypatch):
+    import repro.bench.__main__ as cli
+    import repro.bench.reporting as reporting
+    from repro.chaos import default_fault_plan
+
+    monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+    seen = {}
+
+    def probe():
+        seen["plan"] = default_fault_plan()
+        return [{"ok": True}]
+
+    monkeypatch.setitem(cli.EXPERIMENTS, "table2", (probe, "probe", False))
+    assert main(["table2", "--chaos", "mixed", "--chaos-seed", "9"]) == 0
+    out = capsys.readouterr().out
+    assert "chaos" in out
+    plan = seen["plan"]
+    assert plan is not None and plan.seed == 9
+    assert plan.kernel_fault_rate > 0
+    # the plan is scoped to the run, not left installed
+    assert default_fault_plan() is None
+
+
+def test_chaos_unknown_profile_fails_fast(capsys):
+    assert main(["table2", "--chaos", "nope"]) == 2
+    assert "unknown chaos profile" in capsys.readouterr().err

@@ -48,3 +48,17 @@ def test_costmodel_rows():
     rows = experiments.costmodel_validation("NY")
     assert [r["k"] for r in rows] == [8, 16, 32, 64]
     assert all(r["bound_bytes"] > 0 for r in rows)
+
+
+@pytest.mark.chaos
+def test_chaos_resilience_rows():
+    rows = experiments.chaos_resilience("NY")
+    assert {r["profile"] for r in rows} == {
+        "kernels", "transfers", "oom", "capacity", "mixed", "blackout",
+    }
+    # the exactness oracle holds on every profile
+    assert all(r["answers_match"] for r in rows)
+    # and the harness actually hurt something somewhere
+    assert any(r["faults"] > 0 for r in rows)
+    assert any(r["degraded"] > 0 for r in rows)
+    assert any(r["backpressured"] > 0 for r in rows)

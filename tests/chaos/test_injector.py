@@ -1,0 +1,140 @@
+"""FaultInjector: deterministic, counted, cleanly installable."""
+
+import pytest
+
+from repro.chaos import FaultInjector, FaultPlan
+from repro.errors import (
+    ConfigError,
+    DeviceMemoryError,
+    GpuError,
+    KernelError,
+    TransferError,
+)
+from repro.obs import Observability, configured
+from repro.simgpu.device import SimGpu
+
+pytestmark = pytest.mark.chaos
+
+
+def _noop_kernel(ctx):
+    return 0
+
+
+def _drive(gpu, ops=200):
+    """A fixed device workload: launches, transfers and allocations."""
+    failures = []
+    stored: set[str] = set()
+    for i in range(ops):
+        try:
+            if i % 3 == 0:
+                gpu.launch(f"k{i}", 4, _noop_kernel)
+            elif i % 3 == 1:
+                gpu.to_device(f"buf{i}", [i], nbytes=64)
+                stored.add(f"buf{i}")
+            else:
+                name = f"buf{i - 1}"
+                if name in stored:
+                    gpu.from_device(name)
+                    gpu.free(name)
+        except GpuError as exc:
+            failures.append((i, type(exc).__name__, str(exc)))
+    return failures
+
+
+def test_injected_faults_are_typed_marked_and_counted():
+    plan = FaultPlan(
+        seed=5, kernel_fault_rate=0.3, transfer_fault_rate=0.3, oom_rate=0.2
+    )
+    gpu = SimGpu()
+    with FaultInjector(plan, gpu) as inj:
+        failures = _drive(gpu)
+    assert failures, "a 30% fault rate over 200 ops must fire"
+    assert all("injected" in msg for (_, _, msg) in failures)
+    assert inj.total_faults == len(failures)
+    kinds = {name for (_, name, _) in failures}
+    assert kinds <= {"KernelError", "TransferError", "DeviceMemoryError"}
+
+
+def test_same_seed_same_fault_schedule():
+    plan = FaultPlan(seed=9, kernel_fault_rate=0.25, transfer_fault_rate=0.25)
+
+    def run():
+        gpu = SimGpu()
+        with FaultInjector(plan, gpu) as inj:
+            return _drive(gpu), dict(inj.counts)
+
+    first, counts_a = run()
+    second, counts_b = run()
+    assert first == second
+    assert counts_a == counts_b
+
+
+def test_different_seed_different_schedule():
+    gpu_a, gpu_b = SimGpu(), SimGpu()
+    with FaultInjector(FaultPlan(seed=1, kernel_fault_rate=0.3), gpu_a):
+        a = _drive(gpu_a)
+    with FaultInjector(FaultPlan(seed=2, kernel_fault_rate=0.3), gpu_b):
+        b = _drive(gpu_b)
+    assert a != b
+
+
+def test_kernel_filter_restricts_targets():
+    plan = FaultPlan(seed=0, kernel_fault_rate=1.0, kernel_filter=("victim",))
+    gpu = SimGpu()
+    with FaultInjector(plan, gpu):
+        gpu.launch("innocent", 4, _noop_kernel)  # never faults
+        with pytest.raises(KernelError, match="injected"):
+            gpu.launch("victim", 4, _noop_kernel)
+
+
+def test_max_faults_heals_the_outage():
+    plan = FaultPlan(seed=0, transfer_fault_rate=1.0, max_faults=2)
+    gpu = SimGpu()
+    with FaultInjector(plan, gpu) as inj:
+        for _ in range(2):
+            with pytest.raises(TransferError):
+                gpu.to_device("x", None, nbytes=8)
+        gpu.to_device("x", None, nbytes=8)  # outage over
+    assert inj.total_faults == 2
+
+
+def test_oom_faults_fire_on_allocation():
+    plan = FaultPlan(seed=0, oom_rate=1.0)
+    gpu = SimGpu()
+    with FaultInjector(plan, gpu):
+        with pytest.raises(DeviceMemoryError, match="injected"):
+            gpu.memory.store("x", None, nbytes=8)
+
+
+def test_uninstall_restores_clean_device():
+    gpu = SimGpu()
+    inj = FaultInjector(FaultPlan(seed=0, kernel_fault_rate=1.0), gpu)
+    inj.install()
+    with pytest.raises(KernelError):
+        gpu.launch("k", 1, _noop_kernel)
+    inj.uninstall()
+    inj.uninstall()  # idempotent
+    assert gpu.fault_hook is None
+    assert gpu.memory.alloc_hook is None
+    gpu.launch("k", 1, _noop_kernel)  # healthy again
+
+
+def test_double_install_rejected():
+    gpu = SimGpu()
+    plan = FaultPlan(seed=0, kernel_fault_rate=0.5)
+    with FaultInjector(plan, gpu):
+        with pytest.raises(ConfigError):
+            FaultInjector(plan, gpu).install()
+
+
+def test_faults_publish_to_configured_observability():
+    plan = FaultPlan(seed=3, kernel_fault_rate=1.0)
+    gpu = SimGpu()
+    with configured(Observability()) as obs:
+        with FaultInjector(plan, gpu) as inj:
+            for _ in range(3):
+                with pytest.raises(KernelError):
+                    gpu.launch("k", 1, _noop_kernel)
+        fam = obs.registry.families()["repro_faults_injected_total"]
+        assert fam.labels(kind="kernel").value == 3
+    assert inj.counts["kernel"] == 3

@@ -1,0 +1,150 @@
+"""The degradation ladder on a live index: exact at every rung."""
+
+import random
+
+import pytest
+
+from repro.chaos import FaultPlan, chaos_context
+from repro.config import GGridConfig
+from repro.core.ggrid import GGridIndex
+from repro.core.messages import Message
+from repro.errors import CapacityError, GpuError
+from repro.resilience import BREAKER_OPEN, ResiliencePolicy, RetryPolicy
+from repro.roadnet.location import NetworkLocation
+
+pytestmark = pytest.mark.chaos
+
+_CONFIG = GGridConfig(eta=3, delta_b=8)
+
+
+def _populate(graph, index, seed=11, objects=30, t=1.0):
+    rng = random.Random(seed)
+    for obj in range(objects):
+        e = rng.randrange(graph.num_edges)
+        index.ingest(Message(obj, e, rng.uniform(0, graph.edge(e).weight), t))
+
+
+def _oracle_distances(graph, queries, seed=11, objects=30):
+    index = GGridIndex(graph, _CONFIG)
+    _populate(graph, index, seed, objects)
+    return [
+        [round(d, 9) for d in index.knn(q, k, t_now=2.0).distances()]
+        for q, k in queries
+    ]
+
+
+_QUERIES = [(NetworkLocation(0, 0.0), 5), (NetworkLocation(9, 0.2), 8)]
+
+
+def test_blackout_degrades_to_cpu_and_stays_exact(small_graph):
+    want = _oracle_distances(small_graph, _QUERIES)
+    with chaos_context(FaultPlan.from_profile("blackout", seed=1)):
+        index = GGridIndex(small_graph, _CONFIG)
+        _populate(small_graph, index)
+        for (query, k), expected in zip(_QUERIES, want):
+            answer = index.knn(query, k, t_now=2.0)
+            assert answer.degraded_rung == "cpu_sdist"
+            assert [round(d, 9) for d in answer.distances()] == expected
+    assert index.fault_injector.total_faults > 0
+
+
+def test_transient_fault_is_retried_on_the_gpu_rung(small_graph):
+    want = _oracle_distances(small_graph, _QUERIES[:1])
+    plan = FaultPlan(seed=1, kernel_fault_rate=1.0, max_faults=1)
+    with chaos_context(plan):
+        index = GGridIndex(small_graph, _CONFIG)
+        _populate(small_graph, index)
+        query, k = _QUERIES[0]
+        answer = index.knn(query, k, t_now=2.0)
+    assert answer.retries == 1
+    assert answer.degraded_rung is None  # the retry landed on the GPU
+    assert answer.backoff_s > 0.0
+    assert [round(d, 9) for d in answer.distances()] == want[0]
+
+
+def test_breaker_opens_under_sustained_faults_and_sheds_gpu_load(small_graph):
+    policy = ResiliencePolicy(
+        retry=RetryPolicy(max_retries=1),
+        breaker_failure_threshold=2,
+        breaker_reset_s=1e9,  # never half-opens within this test
+    )
+    with chaos_context(FaultPlan.from_profile("blackout", seed=1)):
+        index = GGridIndex(small_graph, _CONFIG, resilience=policy)
+        _populate(small_graph, index)
+        first = index.knn(*_QUERIES[0], t_now=2.0)
+        assert first.degraded_rung == "cpu_sdist"
+        assert index.breaker.state == BREAKER_OPEN
+        rolls_when_open = index.fault_injector.rolls
+        # breaker open: later queries go straight to the CPU rung
+        # without touching the device at all
+        second = index.knn(*_QUERIES[1], t_now=3.0)
+        assert second.degraded_rung == "cpu_sdist"
+        assert second.retries == 0
+        assert index.fault_injector.rolls == rolls_when_open
+
+
+def test_disabled_resilience_propagates_device_faults(small_graph):
+    with chaos_context(FaultPlan.from_profile("blackout", seed=1)):
+        index = GGridIndex(
+            small_graph, _CONFIG, resilience=ResiliencePolicy(enabled=False)
+        )
+        _populate(small_graph, index)
+        with pytest.raises(GpuError, match="injected"):
+            index.knn(*_QUERIES[0], t_now=2.0)
+
+
+def test_backpressure_compacts_instead_of_failing(small_graph):
+    config = GGridConfig(eta=3, delta_b=4)
+    with chaos_context(FaultPlan(seed=0, max_buckets_per_cell=1)):
+        index = GGridIndex(small_graph, config)
+        # hammer one edge: every message lands in the same cell, so the
+        # one-bucket cap forces in-line cleanings
+        for i in range(40):
+            index.ingest(Message(0, 0, 0.1, float(i + 1)))
+        assert index.backpressure_cleanings > 0
+        assert index.lists[index.grid.cell_of_edge(0)].num_buckets <= 2
+        answer = index.knn(NetworkLocation(0, 0.0), 1, t_now=41.0)
+        assert answer.objects() == [0]
+
+
+def test_backpressure_disabled_resilience_surfaces_capacity_error(small_graph):
+    config = GGridConfig(eta=3, delta_b=4)
+    with chaos_context(FaultPlan(seed=0, max_buckets_per_cell=1)):
+        index = GGridIndex(
+            small_graph, config, resilience=ResiliencePolicy(enabled=False)
+        )
+        with pytest.raises(CapacityError, match="cell"):
+            for i in range(40):
+                index.ingest(Message(0, 0, 0.1, float(i + 1)))
+
+
+def test_chaos_sync_installs_and_removes_injector(small_graph):
+    plan = FaultPlan.from_profile("kernels", seed=2)
+    with chaos_context(plan):
+        index = GGridIndex(small_graph, _CONFIG)
+        assert index.fault_injector is not None
+        assert index.gpu.fault_hook is index.fault_injector
+    # plan gone: the next reset (what the bench harness does between
+    # runs on a cached index) must shed the injector
+    index.reset_objects()
+    assert index.fault_injector is None
+    assert index.gpu.fault_hook is None
+
+
+def test_no_chaos_means_no_hook_and_identical_device_work(small_graph):
+    index = GGridIndex(small_graph, _CONFIG)
+    assert index.fault_injector is None
+    assert index.gpu.fault_hook is None
+    _populate(small_graph, index)
+    bare = GGridIndex(
+        small_graph, _CONFIG, resilience=ResiliencePolicy(enabled=False)
+    )
+    _populate(small_graph, bare)
+    a = index.knn(*_QUERIES[0], t_now=2.0)
+    b = bare.knn(*_QUERIES[0], t_now=2.0)
+    # the ladder adds zero kernel launches and zero simulated seconds
+    # on the healthy path
+    assert index.gpu.stats.kernel_launches == bare.gpu.stats.kernel_launches
+    assert index.gpu.stats.kernel_time_s == bare.gpu.stats.kernel_time_s
+    assert a.retries == 0 and a.backoff_s == 0.0 and a.degraded_rung is None
+    assert a.distances() == b.distances()

@@ -1,0 +1,54 @@
+"""FaultPlan validation and profile resolution."""
+
+import pytest
+
+from repro.chaos import FAULT_KINDS, PROFILES, FaultPlan
+from repro.errors import ConfigError
+
+pytestmark = pytest.mark.chaos
+
+
+def test_default_plan_injects_nothing():
+    plan = FaultPlan()
+    assert not plan.injects_device_faults
+    assert plan.max_buckets_per_cell is None
+
+
+@pytest.mark.parametrize("name", sorted(PROFILES))
+def test_every_profile_resolves(name):
+    plan = FaultPlan.from_profile(name, seed=42)
+    assert plan.seed == 42
+    assert plan.injects_device_faults or plan.max_buckets_per_cell is not None
+
+
+def test_unknown_profile_lists_known_names():
+    with pytest.raises(ConfigError, match="mixed"):
+        FaultPlan.from_profile("nope")
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("kernel_fault_rate", -0.1),
+        ("kernel_fault_rate", 1.5),
+        ("transfer_fault_rate", 2.0),
+        ("oom_rate", -1.0),
+        ("max_faults", -1),
+        ("max_buckets_per_cell", 0),
+    ],
+)
+def test_validation_rejects_out_of_range(field, value):
+    with pytest.raises(ConfigError):
+        FaultPlan(**{field: value})
+
+
+def test_with_override_keeps_frozen_semantics():
+    plan = FaultPlan.from_profile("kernels", seed=1)
+    bumped = plan.with_(max_faults=3)
+    assert bumped.max_faults == 3
+    assert plan.max_faults is None  # original untouched
+    assert bumped.kernel_fault_rate == plan.kernel_fault_rate
+
+
+def test_fault_kinds_cover_profiles():
+    assert set(FAULT_KINDS) == {"kernel", "transfer", "oom"}

@@ -1,0 +1,125 @@
+"""Whole-replay chaos acceptance: complete, exact, deterministic.
+
+These are the tentpole's contract tests: a seeded chaos replay finishes
+with zero uncaught exceptions, every kNN answer equals the fault-free
+answer, the fault/degradation counters are actually exercised, and the
+same chaos seed reproduces the identical report.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import FaultPlan, chaos_context
+from repro.chaos.harness import run_chaos_replay
+from repro.config import GGridConfig
+from repro.core.ggrid import GGridIndex
+from repro.core.messages import Message
+from repro.roadnet.generators import grid_road_network
+from repro.roadnet.location import NetworkLocation
+
+pytestmark = pytest.mark.chaos
+
+#: Small replay shape shared by the acceptance tests (seconds matter:
+#: every test here replays the workload at least twice).
+_REPLAY = dict(num_objects=40, duration=15.0, num_queries=6, workload_seed=7)
+
+
+def test_mixed_profile_completes_exact_and_exercised():
+    outcome = run_chaos_replay(FaultPlan.from_profile("mixed", seed=3), **_REPLAY)
+    assert outcome.answers_match, f"mismatched queries: {outcome.mismatches}"
+    assert outcome.total_faults > 0
+    assert outcome.chaos.total_retries > 0
+    assert outcome.chaos.degraded_queries > 0
+    assert outcome.chaos.n_queries == outcome.baseline.n_queries
+    # degradation shows up in the modelled amortised time, not answers
+    assert outcome.chaos.query_backoff_s > 0.0
+
+
+def test_capacity_profile_backpressures_instead_of_failing():
+    plan = FaultPlan.from_profile("capacity", seed=1)
+    outcome = run_chaos_replay(
+        plan, config=GGridConfig(delta_b=4), **_REPLAY
+    )
+    assert outcome.answers_match
+    assert outcome.chaos.updates_backpressured > 0
+
+
+def test_blackout_profile_survives_on_cpu_rungs():
+    outcome = run_chaos_replay(FaultPlan.from_profile("blackout", seed=2), **_REPLAY)
+    assert outcome.answers_match
+    assert outcome.chaos.degraded_queries == outcome.chaos.n_queries
+    assert outcome.breaker_trips > 0
+
+
+def test_same_chaos_seed_identical_report():
+    plan = FaultPlan.from_profile("mixed", seed=5)
+    first = run_chaos_replay(plan, **_REPLAY)
+    second = run_chaos_replay(plan, **_REPLAY)
+    assert first.as_dict() == second.as_dict()
+    assert first.total_faults > 0  # the determinism claim is non-vacuous
+
+
+def test_different_chaos_seed_different_schedule():
+    a = run_chaos_replay(FaultPlan.from_profile("mixed", seed=5), **_REPLAY)
+    b = run_chaos_replay(FaultPlan.from_profile("mixed", seed=6), **_REPLAY)
+    assert a.as_dict() != b.as_dict()
+
+
+# ----------------------------------------------------------------------
+# property: ANY fault schedule yields fault-free answers
+# ----------------------------------------------------------------------
+_GRAPH = grid_road_network(6, 6, seed=4)
+_CONFIG = GGridConfig(eta=3, delta_b=8)
+
+
+def _answers(index, k, t_now):
+    queries = [NetworkLocation(0, 0.0), NetworkLocation(11, 0.3)]
+    return [
+        [round(d, 9) for d in index.knn(q, k, t_now=t_now).distances()]
+        for q in queries
+    ]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    chaos_seed=st.integers(0, 10_000),
+    kernel_rate=st.floats(0.0, 1.0),
+    transfer_rate=st.floats(0.0, 1.0),
+    oom_rate=st.floats(0.0, 0.5),
+    objects_seed=st.integers(0, 100),
+)
+def test_knn_under_any_fault_schedule_is_exact(
+    chaos_seed, kernel_rate, transfer_rate, oom_rate, objects_seed
+):
+    rng = random.Random(objects_seed)
+    messages = [
+        Message(
+            obj,
+            (e := rng.randrange(_GRAPH.num_edges)),
+            rng.uniform(0, _GRAPH.edge(e).weight),
+            1.0,
+        )
+        for obj in range(15)
+    ]
+
+    oracle = GGridIndex(_GRAPH, _CONFIG)
+    for m in messages:
+        oracle.ingest(m)
+    want = _answers(oracle, k=5, t_now=2.0)
+
+    plan = FaultPlan(
+        seed=chaos_seed,
+        kernel_fault_rate=kernel_rate,
+        transfer_fault_rate=transfer_rate,
+        oom_rate=oom_rate,
+    )
+    with chaos_context(plan):
+        chaotic = GGridIndex(_GRAPH, _CONFIG)
+        for m in messages:
+            chaotic.ingest(m)
+        got = _answers(chaotic, k=5, t_now=2.0)
+
+    assert got == want

@@ -1,0 +1,100 @@
+"""RetryPolicy and CircuitBreaker unit behaviour."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+
+pytestmark = pytest.mark.chaos
+
+
+def test_backoff_is_exponential():
+    policy = RetryPolicy(max_retries=3, backoff_base_s=1e-3, backoff_factor=4.0)
+    assert policy.backoff_s(0) == pytest.approx(1e-3)
+    assert policy.backoff_s(1) == pytest.approx(4e-3)
+    assert policy.backoff_s(2) == pytest.approx(16e-3)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"max_retries": -1},
+        {"backoff_base_s": -0.1},
+        {"backoff_factor": 0.5},
+    ],
+)
+def test_retry_policy_validation(kwargs):
+    with pytest.raises(ConfigError):
+        RetryPolicy(**kwargs)
+
+
+def test_breaker_trips_after_threshold():
+    b = CircuitBreaker(failure_threshold=3, reset_timeout_s=10.0)
+    assert b.state == BREAKER_CLOSED and b.state_code == 0
+    for t in (1.0, 2.0):
+        b.record_failure(t)
+        assert b.allow_gpu(t)
+    b.record_failure(3.0)  # third consecutive failure: trip
+    assert b.state == BREAKER_OPEN and b.state_code == 2
+    assert b.trips == 1
+    assert not b.allow_gpu(4.0)  # still inside the timeout
+
+
+def test_breaker_half_opens_then_closes_on_probe_success():
+    b = CircuitBreaker(failure_threshold=1, reset_timeout_s=10.0)
+    b.record_failure(0.0)
+    assert b.state == BREAKER_OPEN
+    assert b.allow_gpu(10.0)  # timeout elapsed: this call is the probe
+    assert b.state == BREAKER_HALF_OPEN and b.state_code == 1
+    b.record_success(10.0)
+    assert b.state == BREAKER_CLOSED
+    assert b.consecutive_failures == 0
+
+
+def test_breaker_failed_probe_reopens_and_restarts_timeout():
+    b = CircuitBreaker(failure_threshold=1, reset_timeout_s=10.0)
+    b.record_failure(0.0)
+    assert b.allow_gpu(10.0)  # probe
+    b.record_failure(10.0)  # probe failed
+    assert b.state == BREAKER_OPEN
+    assert b.trips == 2
+    assert not b.allow_gpu(15.0)  # timeout restarted at t=10
+    assert b.allow_gpu(20.0)
+
+
+def test_breaker_success_resets_failure_streak():
+    b = CircuitBreaker(failure_threshold=2, reset_timeout_s=10.0)
+    b.record_failure(0.0)
+    b.record_success(1.0)
+    b.record_failure(2.0)  # streak restarted: not a trip
+    assert b.state == BREAKER_CLOSED
+
+
+def test_breaker_reset_restores_pristine_state():
+    b = CircuitBreaker(failure_threshold=1, reset_timeout_s=10.0)
+    b.record_failure(5.0)
+    b.reset()
+    assert b.state == BREAKER_CLOSED
+    assert b.trips == 0
+    assert b.allow_gpu(0.0)
+
+
+def test_breaker_validation():
+    with pytest.raises(ConfigError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ConfigError):
+        CircuitBreaker(reset_timeout_s=0.0)
+
+
+def test_policy_builds_breaker_from_knobs():
+    policy = ResiliencePolicy(breaker_failure_threshold=7, breaker_reset_s=3.0)
+    breaker = policy.make_breaker()
+    assert breaker.failure_threshold == 7
+    assert breaker.reset_timeout_s == 3.0

@@ -1,0 +1,163 @@
+"""Server-side resilience: event validation, rate-limited warnings,
+degradation accounting and the resilience metric families."""
+
+import random
+
+import pytest
+
+from repro.chaos import FaultPlan, chaos_context
+from repro.config import GGridConfig
+from repro.core.ggrid import GGridIndex
+from repro.core.knn import KnnAnswer
+from repro.core.messages import Message
+from repro.errors import QueryError
+from repro.mobility.workload import Query, Workload
+from repro.obs import Observability, configured
+from repro.roadnet.location import NetworkLocation
+from repro.server import QueryServer
+from repro.server.metrics import ReplayReport
+
+pytestmark = pytest.mark.chaos
+
+_CONFIG = GGridConfig(eta=3, delta_b=8)
+
+
+def _workload(graph, objects=25, queries=4, seed=13):
+    rng = random.Random(seed)
+    initial = {}
+    updates = []
+    for obj in range(objects):
+        e = rng.randrange(graph.num_edges)
+        initial[obj] = NetworkLocation(e, rng.uniform(0, graph.edge(e).weight))
+        e2 = rng.randrange(graph.num_edges)
+        updates.append(
+            Message(obj, e2, rng.uniform(0, graph.edge(e2).weight), 1.0 + obj * 0.01)
+        )
+    qs = [
+        Query(2.0 + i, NetworkLocation(i, 0.0), 5) for i in range(queries)
+    ]
+    return Workload(initial=initial, updates=updates, queries=qs)
+
+
+# ----------------------------------------------------------------------
+# satellite: replay rejects malformed workloads with QueryError
+# ----------------------------------------------------------------------
+class _BadEventWorkload:
+    initial: dict = {}
+
+    def __init__(self, kind):
+        self._kind = kind
+
+    def events(self):
+        yield self._kind, object()
+
+
+@pytest.mark.parametrize("kind", ["update", "query"])
+def test_replay_raises_query_error_on_foreign_events(small_graph, kind):
+    server = QueryServer(GGridIndex(small_graph, _CONFIG))
+    with pytest.raises(QueryError, match=kind):
+        server.replay(_BadEventWorkload(kind))
+
+
+# ----------------------------------------------------------------------
+# satellite: fallback warning is rate-limited
+# ----------------------------------------------------------------------
+class _FallbackIndex:
+    """Minimal index whose every answer is a fallback."""
+
+    name = "fallback-stub"
+
+    def ingest(self, message):
+        pass
+
+    def bulk_load(self, placements, t):
+        pass
+
+    def knn(self, location, k, t_now=None):
+        return KnnAnswer(used_fallback=True)
+
+    def size_bytes(self):
+        return {}
+
+    def reset_objects(self):
+        pass
+
+
+def test_fallback_warning_rate_limited_with_cumulative_count():
+    obs = Observability()
+    server = QueryServer(_FallbackIndex(), obs=obs)
+    report = ReplayReport(index_name="fallback-stub")
+    for i in range(250):
+        server.query(Query(float(i), NetworkLocation(0, 0.0), 1), report)
+    warnings = [w for w in obs.registry.warnings if "fell back" in w]
+    # 250 fallbacks -> warnings at #1, #100 and #200 only
+    assert len(warnings) == 3
+    assert any("100 queries fell back" in w for w in warnings)
+    # but the counter sees every single one
+    fam = obs.registry.families()["repro_query_fallback_total"]
+    assert fam.default().value == 250
+
+
+# ----------------------------------------------------------------------
+# degradation accounting end to end
+# ----------------------------------------------------------------------
+def test_degraded_replay_records_and_metrics(small_graph):
+    # configured(): the injector publishes its fault counter through the
+    # process-wide bundle, like the bench CLI sets up
+    with configured(Observability()) as obs:
+        with chaos_context(FaultPlan.from_profile("blackout", seed=1)):
+            index = GGridIndex(small_graph, _CONFIG)
+            server = QueryServer(index, obs=obs)
+            report, _ = server.replay(_workload(small_graph))
+
+    assert report.degraded_queries == report.n_queries
+    assert report.degraded_by_rung() == {"cpu_sdist": report.n_queries}
+    assert report.total_retries > 0
+    assert report.query_backoff_s > 0.0
+    summary = report.as_dict()
+    assert summary["degraded_queries"] == report.n_queries
+    assert summary["total_retries"] == report.total_retries
+
+    # backoff is charged into the modelled time of the retried queries
+    retried = [r for r in report.query_records if r.retries]
+    assert retried
+    for record in retried:
+        assert record.phase_s["backoff"] == pytest.approx(record.backoff_s)
+        assert record.modeled_s >= record.backoff_s
+
+    fams = obs.registry.families()
+    assert fams["repro_retries_total"].default().value == report.total_retries
+    degraded = fams["repro_degraded_queries_total"]
+    assert degraded.labels(rung="cpu_sdist").value == report.n_queries
+    assert fams["repro_breaker_state"].default().value == index.breaker.state_code
+    injected = fams["repro_faults_injected_total"]
+    # blackout fails the very first device op per attempt (the h2d
+    # bucket transfer), so the transfer label is the one guaranteed hot
+    assert injected.labels(kind="transfer").value > 0
+
+
+def test_backpressure_charged_to_update_path(small_graph):
+    obs = Observability()
+    plan = FaultPlan(seed=0, max_buckets_per_cell=1)
+    with chaos_context(plan):
+        index = GGridIndex(small_graph, GGridConfig(eta=3, delta_b=4))
+        server = QueryServer(index, obs=obs)
+        report = ReplayReport(index_name=index.name)
+        for i in range(40):
+            server.update(Message(0, 0, 0.1, float(i + 1)), report)
+
+    assert report.updates_backpressured > 0
+    assert report.updates_backpressured == index.backpressure_cleanings
+    fam = obs.registry.families()["repro_backpressure_cleanings_total"]
+    assert fam.default().value == report.updates_backpressured
+
+
+def test_healthy_replay_reports_zero_resilience_activity(small_graph):
+    index = GGridIndex(small_graph, _CONFIG)
+    server = QueryServer(index)
+    report, _ = server.replay(_workload(small_graph))
+    assert report.degraded_queries == 0
+    assert report.total_retries == 0
+    assert report.query_backoff_s == 0.0
+    assert report.updates_backpressured == 0
+    assert report.update_backoff_s == 0.0
