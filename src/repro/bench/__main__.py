@@ -8,6 +8,8 @@ Run any paper experiment by name without pytest:
     python -m repro.bench fig5 --metrics-out metrics.prom
     python -m repro.bench fig5 --chaos mixed --chaos-seed 7
     python -m repro.bench chaos
+    python -m repro.bench batch
+    python -m repro.bench fig5 --batch-size 8
     python -m repro.bench all
 
 Result tables print to stdout and persist under ``results/``.  With
@@ -63,6 +65,11 @@ EXPERIMENTS = {
     "batched-queries": (
         experiments.ablation_batched_queries,
         "Ablation: batched queries",
+        True,
+    ),
+    "batch": (
+        experiments.batch_scaling,
+        "Batch engine: epoch batching vs sequential (64 queries)",
         True,
     ),
     "costmodel": (
@@ -128,6 +135,15 @@ def main(argv: list[str] | None = None) -> int:
         default=0,
         help="seed for the --chaos fault schedule (default 0)",
     )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="execute queries in epochs of up to N through the batched "
+        "engine (DESIGN.md §10); answers are identical, shared GPU "
+        "work is deduplicated (default: sequential)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -160,6 +176,17 @@ def main(argv: list[str] | None = None) -> int:
                 f"(seed {args.chaos_seed}) for this run\n"
             )
             stack.enter_context(chaos_context(plan))
+        if args.batch_size is not None:
+            from repro.errors import ConfigError
+            from repro.server import BatchPolicy, batch_context
+
+            try:
+                policy = BatchPolicy(args.batch_size)
+            except ConfigError as exc:
+                print(str(exc), file=sys.stderr)
+                return 2
+            print(f"batching: epochs of up to {args.batch_size} queries\n")
+            stack.enter_context(batch_context(policy))
         if args.metrics_out:
             path = Path(args.metrics_out)
             if not path.parent.is_dir():

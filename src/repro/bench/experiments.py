@@ -400,6 +400,66 @@ def ablation_batched_queries(dataset: str = "FLA") -> list[dict[str, Any]]:
     return rows
 
 
+def batch_scaling(dataset: str = "NY") -> list[dict[str, Any]]:
+    """Batched execution engine (DESIGN.md §10): epoch batching vs
+    sequential execution on an overlapping 64-query workload.
+
+    All 64 queries arrive after the last update, so every batch size
+    replays the identical event stream and the conformance guarantee
+    applies: per-query answers must be byte-identical across batch
+    sizes (the ``answers_match`` column).  The dedup columns show what
+    batching saves — kernel launches, cell cleanings and host<->device
+    transfers — while the modelled work stays the same.
+    """
+    from repro.bench.harness import cached_workload
+    from repro.mobility.workload import Query, Workload, random_locations
+    from repro.server import BatchPolicy, QueryServer
+
+    graph = load_dataset(dataset)
+    base = cached_workload(dataset, scaled_objects(dataset), 20.0, 1, 16, 1.0, 7)
+    locations = random_locations(graph, 64, seed=11)
+    queries = [Query(21.0, loc, 16) for loc in locations]
+    workload = Workload(base.initial, base.updates, queries)
+
+    rows: list[dict[str, Any]] = []
+    baseline_answers: list[list[tuple[int, float]]] | None = None
+    baseline_row: dict[str, Any] | None = None
+    for batch_size in (1, 8, 64):
+        index = build_index("G-Grid", dataset)
+        index.reset_objects()
+        server = QueryServer(index, batch=BatchPolicy(batch_size))
+        report, answers = server.replay(workload, collect_answers=True)
+        key = [[(e.obj, e.distance) for e in a.entries] for a in answers]
+        stats = index.stats
+        row: dict[str, Any] = {
+            "batch_size": batch_size,
+            "kernel_launches": stats.kernel_launches,
+            "cells_cleaned": index.cleaner.cells_cleaned_total,
+            "cleaning_passes": index.cleaner.cleanings_total,
+            "transfers": stats.transfers_h2d + stats.transfers_d2h,
+            "transfer_bytes": stats.total_bytes,
+            "batched_launches": stats.batched_launches,
+            "batched_jobs": stats.batched_jobs,
+            "cells_deduped": report.batch_cells_deduped,
+            "amortized_s": report.amortized_s(),
+        }
+        if baseline_answers is None:
+            baseline_answers, baseline_row = key, row
+            row["answers_match"] = True
+            row["launch_reduction"] = 1.0
+            row["cleaning_reduction"] = 1.0
+        else:
+            row["answers_match"] = key == baseline_answers
+            row["launch_reduction"] = baseline_row["kernel_launches"] / max(
+                1, row["kernel_launches"]
+            )
+            row["cleaning_reduction"] = baseline_row["cells_cleaned"] / max(
+                1, row["cells_cleaned"]
+            )
+        rows.append(row)
+    return rows
+
+
 def accuracy_vs_frequency(dataset: str = "FLA") -> list[dict[str, Any]]:
     """Section II quantified: "A smaller t_delta produces more accurate
     results but also brings a higher update workload."

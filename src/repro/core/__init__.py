@@ -11,12 +11,13 @@ Public surface:
 
 from repro.config import GGridConfig
 from repro.core.ggrid import GGridIndex
-from repro.core.knn import KnnAnswer, KnnResultEntry
+from repro.core.knn import BatchExecStats, KnnAnswer, KnnResultEntry
 from repro.core.messages import Message
 from repro.core.mu import mu
 from repro.core.range_query import RangeAnswer
 
 __all__ = [
+    "BatchExecStats",
     "GGridConfig",
     "GGridIndex",
     "Message",

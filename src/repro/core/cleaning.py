@@ -83,6 +83,12 @@ class MessageCleaner:
         self.config = config
         self._rng = random.Random(config.seed ^ 0x5EED)
         self._stream = PipelinedStream(gpu, enabled=config.pipelined_transfers)
+        #: lifetime counters the batching cost tests and the ``batch``
+        #: experiment compare: cleaning passes completed and cells
+        #: cleaned across them (a cell re-cleaned by a later pass counts
+        #: again — that repetition is exactly what epoch batching dedups)
+        self.cleanings_total = 0
+        self.cells_cleaned_total = 0
 
     def clean(
         self,
@@ -109,6 +115,8 @@ class MessageCleaner:
             sp.set_attr("cells", len(result.cells))
             sp.set_attr("messages", result.messages_processed)
             sp.set_attr("buckets", result.buckets_shipped)
+        self.cleanings_total += 1
+        self.cells_cleaned_total += len(result.cells)
         return result
 
     def _clean(

@@ -30,7 +30,7 @@ from repro.chaos.injector import FaultInjector
 from repro.config import GGridConfig
 from repro.core.cleaning import CleaningResult, MessageCleaner
 from repro.core.graph_grid import GraphGrid
-from repro.core.knn import KnnAnswer, KnnProcessor
+from repro.core.knn import BatchExecStats, KnnAnswer, KnnProcessor
 from repro.core.message_list import MessageList
 from repro.core.messages import Message
 from repro.core.object_table import ObjectEntry, ObjectTable
@@ -42,6 +42,7 @@ from repro.resilience import (
     RUNG_CPU_SDIST,
     RUNG_DIJKSTRA,
     ResiliencePolicy,
+    tag_ladder_outcome,
 )
 from repro.simgpu.device import SimGpu
 from repro.simgpu.stats import GpuStats
@@ -213,23 +214,38 @@ class GGridIndex:
         self,
         queries: list[tuple[NetworkLocation, int]],
         t_now: float | None = None,
+        exec_stats: BatchExecStats | None = None,
     ) -> list[KnnAnswer]:
-        """Answer several concurrent queries with shared GPU cleaning.
+        """Answer an epoch batch of queries with a shared GPU pipeline.
 
         Overlapping candidate regions are shipped to the device and
         deduplicated once for the whole batch — the paper's multi-query
-        parallelism (the *G-Grid* vs *G-Grid (L)* gap in Fig. 5).
-        Answers are identical to issuing each query individually.
-        Device faults degrade the whole batch down the same ladder as
-        :meth:`knn`; retry backoff is charged once, on the first answer.
+        parallelism (the *G-Grid* vs *G-Grid (L)* gap in Fig. 5) — and
+        the surviving queries' candidate kernels run as fused per-batch
+        launches with one shared device-to-host transfer.  Answers are
+        identical to issuing each query individually.  Device faults
+        degrade the whole batch down the same ladder as :meth:`knn`;
+        retry backoff is charged once, on the first answer.  When
+        ``exec_stats`` is given it is filled with the batch's
+        work-sharing accounting (reset on every ladder attempt, so it
+        reflects the attempt that produced the answers).
         """
         now = self.latest_time if t_now is None else t_now
+
+        def exact() -> list[KnnAnswer]:
+            answers = [self._processor.exact_query(loc, k) for loc, k in queries]
+            if exec_stats is not None:
+                exec_stats.reset()
+                exec_stats.queries = len(answers)
+                exec_stats.fallbacks = len(answers)
+            return answers
+
         return self._run_resilient(
             now,
             lambda use_gpu: self._processor.query_batch(
-                queries, now, use_gpu=use_gpu
+                queries, now, use_gpu=use_gpu, exec_stats=exec_stats
             ),
-            lambda: [self._processor.exact_query(loc, k) for loc, k in queries],
+            exact,
         )
 
     def _run_resilient(
@@ -259,7 +275,7 @@ class GGridIndex:
                 try:
                     result = attempt(True)
                     self.breaker.record_success(now)
-                    return self._tag(result, None, retries, backoff_s)
+                    return tag_ladder_outcome(result, None, retries, backoff_s)
                 except GpuError:
                     self.breaker.record_failure(now)
                     if retries >= policy.retry.max_retries:
@@ -271,32 +287,11 @@ class GGridIndex:
         # -- rung 2: vectorised SDist + dedup on the host, same answers --
         try:
             result = attempt(False)
-            return self._tag(result, RUNG_CPU_SDIST, retries, backoff_s)
+            return tag_ladder_outcome(result, RUNG_CPU_SDIST, retries, backoff_s)
         except GpuError:  # pragma: no cover - rung 2 touches no device
             pass
         # -- rung 3: exact Dijkstra over the eager object table --
-        return self._tag(exact(), RUNG_DIJKSTRA, retries, backoff_s)
-
-    def _tag(
-        self,
-        result: KnnAnswer | list[KnnAnswer],
-        rung: str | None,
-        retries: int,
-        backoff_s: float,
-    ):
-        """Stamp ladder outcome onto the answer(s).
-
-        Batch retry backoff is charged once — to the first answer — so a
-        replay summing per-query backoff never double-counts it.
-        """
-        answers = result if isinstance(result, list) else [result]
-        if rung is not None:
-            for a in answers:
-                a.degraded_rung = rung
-        if answers:
-            answers[0].retries = retries
-            answers[0].backoff_s = backoff_s
-        return result
+        return tag_ladder_outcome(exact(), RUNG_DIJKSTRA, retries, backoff_s)
 
     def _resilient_clean(
         self, lists: dict[int, MessageList], now: float
@@ -351,11 +346,14 @@ class GGridIndex:
         return _range_query(self._processor, location, radius, now)
 
     def clean_cells(self, cells: set[int], t_now: float | None = None) -> CleaningResult:
-        """Force-clean specific cells (maintenance / test hook)."""
+        """Force-clean specific cells (maintenance / test hook).
+
+        Device faults propagate to the caller after rolling back — a
+        maintenance pass that cannot run is skipped, not silently
+        degraded; nothing is lost and no list stays locked.
+        """
         now = self.latest_time if t_now is None else t_now
-        return self.cleaner.clean(
-            {c: self._list_of(c) for c in cells}, now, self.object_table
-        )
+        return self.cleaner.clean({c: self._list_of(c) for c in cells}, now, self.object_table)
 
     def reset_objects(self) -> None:
         """Drop all object state (locations, cached messages, counters),
@@ -371,6 +369,8 @@ class GGridIndex:
         self.update_touches = 0
         self.latest_time = 0.0
         self.gpu.stats.reset()
+        self.cleaner.cleanings_total = 0
+        self.cleaner.cells_cleaned_total = 0
         self.breaker.reset()
         self.backpressure_cleanings = 0
         self.resilience_backoff_s = 0.0

@@ -32,7 +32,14 @@ from repro.core.graph_grid import GraphGrid
 from repro.core.message_list import MessageList
 from repro.core.object_table import ObjectTable
 from repro.core.refine import refine_knn
-from repro.core.sdist import first_k_kernel, get_sdist_kernel, unresolved_kernel
+from repro.core.sdist import (
+    first_k_batch_kernel,
+    first_k_kernel,
+    get_sdist_kernel,
+    sdist_batch_kernel,
+    unresolved_batch_kernel,
+    unresolved_kernel,
+)
 from repro.errors import QueryError
 from repro.obs.tracing import span
 from repro.roadnet.dijkstra import multi_source_dijkstra
@@ -95,6 +102,44 @@ class KnnAnswer:
 
     def distances(self) -> list[float]:
         return [e.distance for e in self.entries]
+
+
+@dataclass
+class BatchExecStats:
+    """Work-sharing accounting for one epoch batch.
+
+    Filled in by :meth:`KnnProcessor.query_batch` when the caller passes
+    an instance; the server's batch engine and the cost-accounting
+    conformance tests read it to prove the dedup actually happened.
+
+    Attributes:
+        queries: queries executed in the batch.
+        rounds: shared ring-expansion rounds (each is one cleaning pass
+            over the union frontier).
+        cells_cleaned: distinct cells cleaned once for the whole epoch.
+        cell_requests: sum over queries of the candidate cells each
+            needed — what sequential execution would have cleaned.
+        fallbacks: queries answered by the exact-Dijkstra fallback.
+    """
+
+    queries: int = 0
+    rounds: int = 0
+    cells_cleaned: int = 0
+    cell_requests: int = 0
+    fallbacks: int = 0
+
+    @property
+    def cells_deduped(self) -> int:
+        """Cell cleanings avoided versus issuing each query alone."""
+        return max(0, self.cell_requests - self.cells_cleaned)
+
+    def reset(self) -> None:
+        """Zero all counters (resilience retries re-run the batch)."""
+        self.queries = 0
+        self.rounds = 0
+        self.cells_cleaned = 0
+        self.cell_requests = 0
+        self.fallbacks = 0
 
 
 class KnnProcessor:
@@ -198,6 +243,18 @@ class KnnProcessor:
             candidates, unresolved, l_bound = self._host_candidates(
                 location, k, cells, occupants, answer
             )
+        return self._refine_answer(location, k, candidates, unresolved, l_bound, answer)
+
+    def _refine_answer(
+        self,
+        location: NetworkLocation,
+        k: int,
+        candidates: dict[int, float],
+        unresolved: list[tuple[int, float]],
+        l_bound: float,
+        answer: KnnAnswer,
+    ) -> KnnAnswer:
+        """Phase 3 (Algorithm 6) on one query's candidate set."""
         if l_bound == _INF:
             return self._fallback(location, k, answer)
         answer.unresolved = len(unresolved)
@@ -230,25 +287,41 @@ class KnnProcessor:
         queries: list[tuple[NetworkLocation, int]],
         t_now: float,
         use_gpu: bool = True,
+        exec_stats: BatchExecStats | None = None,
     ) -> list[KnnAnswer]:
-        """Answer several concurrent queries, sharing the GPU cleaning.
+        """Answer an epoch batch of concurrent queries, sharing the GPU.
 
         This is the mechanism behind the paper's *G-Grid* vs *G-Grid (L)*
-        gap (Fig. 5): in every expansion round the candidate-cell
-        frontiers of all in-flight queries are unioned and cleaned in one
-        GPU pipeline, so overlapping regions are shipped and deduplicated
-        once instead of once per query.  Phases 2-3 then run per query on
-        the shared cleaning results.
+        gap (Fig. 5), extended across the whole pipeline:
+
+        - **phase 1** — in every expansion round the candidate-cell
+          frontiers of all in-flight queries are unioned and cleaned in
+          one GPU pipeline, so overlapping regions are shipped and
+          deduplicated once instead of once per query;
+        - **phase 2** — the surviving queries' SDist / First-k /
+          Unresolved work is fused into one batched launch per kernel
+          (each job still charged at its own thread count, so modelled
+          work is identical) and the candidate sets travel back in one
+          shared device-to-host transfer;
+        - **phase 3** — CPU refinement fans back out per query.
 
         Returns one :class:`KnnAnswer` per query, identical to what
-        :meth:`query` would return for each individually.
+        :meth:`query` would return for each individually.  When
+        ``exec_stats`` is given it is reset and filled with the batch's
+        work-sharing accounting.
         """
         for location, k in queries:
             if k <= 0:
                 raise QueryError(f"k must be positive, got {k}")
             location.validate(self.graph)
+        if exec_stats is not None:
+            exec_stats.reset()
+            exec_stats.queries = len(queries)
+        if not queries:
+            return []
 
         cleaned: dict[int, dict[int, CleanedLocation]] = {}
+        rounds = 0
 
         def clean_shared(frontier: set[int]) -> None:
             todo = frontier - cleaned.keys()
@@ -265,6 +338,8 @@ class KnnProcessor:
 
         # phase 1, batched: expand every query's ring against the shared
         # cleaned-cell cache, one GPU pipeline per round
+        t0 = time.perf_counter()
+        clean_before = self.gpu.stats.gpu_time_s
         states = []
         for location, k in queries:
             c_q = self.grid.cell_of_edge(location.edge_id)
@@ -281,6 +356,7 @@ class KnnProcessor:
                 if not state["done"]:
                     union_frontier |= state["frontier"]
             clean_shared(union_frontier)
+            rounds += 1
             for (location, k), state in zip(queries, states):
                 if state["done"]:
                     continue
@@ -292,11 +368,22 @@ class KnnProcessor:
                 state["frontier"] = self.grid.neighbors_of_set(state["cells"])
                 if not state["frontier"]:
                     state["done"] = True
+        clean_share = (self.gpu.stats.gpu_time_s - clean_before) / len(queries)
+        select_share = (time.perf_counter() - t0) / len(queries)
 
-        # phases 2-3 per query, against the shared cleaning results
-        answers = []
-        for (location, k), state in zip(queries, states):
-            answer = KnnAnswer()
+        if exec_stats is not None:
+            exec_stats.rounds = rounds
+            exec_stats.cells_cleaned = len(cleaned)
+            exec_stats.cell_requests = sum(len(s["cells"]) for s in states)
+
+        # phase 2, fused: degenerate queries drop to the fallback, the
+        # rest become jobs of the per-batch kernel launches
+        answers: list[KnnAnswer] = [KnnAnswer() for _ in queries]
+        jobs: list[
+            tuple[int, NetworkLocation, int, set[int], dict[int, tuple[int, CleanedLocation]]]
+        ] = []
+        for i, ((location, k), state) in enumerate(zip(queries, states)):
+            answer = answers[i]
             cells = state["cells"]
             occupants = {
                 obj: (cell, loc)
@@ -305,9 +392,36 @@ class KnnProcessor:
             }
             answer.cells_cleaned = len(cells)
             answer.candidates = len(occupants)
-            answers.append(
-                self._finish_query(location, k, cells, occupants, answer, use_gpu)
-            )
+            answer.gpu_phase_s["clean_cells"] = clean_share
+            answer.cpu_seconds["select"] = select_share
+            if len(occupants) < k:
+                answers[i] = self._fallback(location, k, answer)
+            else:
+                jobs.append((i, location, k, cells, occupants))
+
+        if jobs:
+            if use_gpu and len(jobs) == 1:
+                # nothing to fuse: run the sequential kernels so a batch
+                # of one is counter-for-counter identical to query()
+                i, location, k, cells, occupants = jobs[0]
+                phase2 = [self._gpu_candidates(location, k, cells, occupants, answers[i])]
+            elif use_gpu:
+                phase2 = self._gpu_candidates_batch(jobs, answers)
+            else:
+                phase2 = [
+                    self._host_candidates(location, k, cells, occupants, answers[i])
+                    for i, location, k, cells, occupants in jobs
+                ]
+            # phase 3: CPU refinement fans back out per query
+            for (i, location, k, _, _), (candidates, unresolved, l_bound) in zip(
+                jobs, phase2
+            ):
+                answers[i] = self._refine_answer(
+                    location, k, candidates, unresolved, l_bound, answers[i]
+                )
+
+        if exec_stats is not None:
+            exec_stats.fallbacks = sum(1 for a in answers if a.used_fallback)
         return answers
 
     # ------------------------------------------------------------------
@@ -429,6 +543,120 @@ class KnnProcessor:
 
         candidates = {obj: d for obj, d in ranked}
         return candidates, unresolved, l_bound
+
+    def _gpu_candidates_batch(
+        self,
+        jobs: list[
+            tuple[int, NetworkLocation, int, set[int], dict[int, tuple[int, CleanedLocation]]]
+        ],
+        answers: list[KnnAnswer],
+    ) -> list[tuple[dict[int, float], list[tuple[int, float]], float]]:
+        """Phase 2 for an epoch batch: one fused launch per kernel.
+
+        Each job charges its work at its own thread count (via
+        :class:`~repro.simgpu.kernel.JobContext`), so the modelled kernel
+        time equals the sum of the per-query launches it replaces — the
+        batch saves launch overheads and transfer latencies, never
+        modelled work.  Kernel time is attributed to each participating
+        answer as an equal share; the candidate and unresolved sets of
+        all jobs return to the host in one staging transfer.
+        """
+        stats = self.gpu.stats
+        n_jobs = len(jobs)
+        indices = [i for i, *_ in jobs]
+
+        with span("sdist_batch") as sp:
+            before = stats.kernel_time_s
+            sdist_jobs = []
+            for _, location, _, cells, _ in jobs:
+                sdist_jobs.append(
+                    (
+                        self.grid.elements_of_cells(cells),
+                        self.grid.vertices_of_cells(cells),
+                        entry_costs(self.graph, location),
+                    )
+                )
+            dists = self.gpu.launch_batched(
+                "GPU_SDist_Batch",
+                max(1, sum(len(elements) for elements, _, _ in sdist_jobs)),
+                n_jobs,
+                sdist_batch_kernel,
+                sdist_jobs,
+                get_sdist_kernel(self.config.sdist_backend),
+                self.config.delta_v,
+                self.config.sdist_early_exit,
+            )
+            share = (stats.kernel_time_s - before) / n_jobs
+            for i in indices:
+                answers[i].gpu_phase_s["sdist"] = share
+            sp.set_attr("jobs", n_jobs)
+            sp.set_attr("elements", sum(len(e) for e, _, _ in sdist_jobs))
+
+        with span("first_k_batch") as sp:
+            before = stats.kernel_time_s
+            fk_jobs = []
+            for (_, location, k, _, occupants), dist in zip(jobs, dists):
+                object_distances: dict[int, float] = {}
+                for obj, (_, loc) in occupants.items():
+                    target = NetworkLocation(loc.edge, loc.offset)
+                    object_distances[obj] = location_distance(
+                        self.graph, dist, location, target
+                    )
+                fk_jobs.append((object_distances, k))
+            ranked_lists = self.gpu.launch_batched(
+                "GPU_First_k_Batch",
+                max(1, sum(len(od) for od, _ in fk_jobs)),
+                n_jobs,
+                first_k_batch_kernel,
+                fk_jobs,
+            )
+            share = (stats.kernel_time_s - before) / n_jobs
+            for i in indices:
+                answers[i].gpu_phase_s["first_k"] = share
+            sp.set_attr("jobs", n_jobs)
+            sp.set_attr("candidates", sum(len(od) for od, _ in fk_jobs))
+
+        with span("unresolved_batch") as sp:
+            before = stats.kernel_time_s
+            bounds = []
+            un_jobs = []
+            for (_, _, k, cells, _), dist, ranked in zip(jobs, dists, ranked_lists):
+                l_bound = ranked[k - 1][1] if len(ranked) >= k else _INF
+                bounds.append(l_bound)
+                un_jobs.append((self.grid.boundary_vertices(cells), dist, l_bound))
+            unresolved_lists = self.gpu.launch_batched(
+                "GPU_Unresolved_Batch",
+                max(1, sum(len(b) for b, _, _ in un_jobs)),
+                n_jobs,
+                unresolved_batch_kernel,
+                un_jobs,
+            )
+            share = (stats.kernel_time_s - before) / n_jobs
+            for i in indices:
+                answers[i].gpu_phase_s["unresolved"] = share
+            sp.set_attr("jobs", n_jobs)
+            sp.set_attr("boundary", sum(len(b) for b, _, _ in un_jobs))
+
+        # the whole batch's candidate + unresolved sets travel back to
+        # the CPU in one shared staging transfer
+        with span("candidates_d2h"):
+            payload = sum(
+                len(ranked) * MESSAGE_BYTES + len(unresolved) * 8
+                for ranked, unresolved in zip(ranked_lists, unresolved_lists)
+            )
+            try:
+                self.gpu.memory.store("knn.candidates", ranked_lists, nbytes=payload)
+                self.gpu.from_device("knn.candidates")
+            finally:
+                # a faulting transfer must not leak the staging allocation
+                self.gpu.free("knn.candidates")
+
+        return [
+            ({obj: d for obj, d in ranked}, unresolved, l_bound)
+            for ranked, unresolved, l_bound in zip(
+                ranked_lists, unresolved_lists, bounds
+            )
+        ]
 
     def _host_candidates(
         self,

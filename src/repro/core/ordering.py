@@ -1,0 +1,40 @@
+"""The canonical kNN result order: ``(distance, object id)``.
+
+Every component that ranks objects by network distance — ``GPU_First_k``,
+the CPU refinement, the exact-Dijkstra fallback, range queries and the
+test oracles — must break distance ties the same way, or "batched ==
+sequential == oracle" comparisons are ill-defined: two objects at exactly
+the same distance (common with co-located objects or symmetric grids)
+could legally appear in either order and a byte-identical assertion would
+flap.
+
+The documented total order is **ascending distance, then ascending object
+id**.  It is deterministic, independent of dict/set iteration order, and
+stable across the single-query, batched and degraded execution paths.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+_INF = float("inf")
+
+
+def result_sort_key(item: tuple[int, float]) -> tuple[float, int]:
+    """Sort key for one ``(obj, distance)`` pair: distance, then id."""
+    obj, distance = item
+    return (distance, obj)
+
+
+def rank_results(
+    items: Iterable[tuple[int, float]], k: int | None = None
+) -> list[tuple[int, float]]:
+    """Sort ``(obj, distance)`` pairs into the canonical order.
+
+    Infinite distances (unreachable objects) are dropped; when ``k`` is
+    given the list is truncated to the k best.
+    """
+    ranked = sorted(
+        (item for item in items if item[1] < _INF), key=result_sort_key
+    )
+    return ranked if k is None else ranked[:k]

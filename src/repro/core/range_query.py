@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.core.cleaning import CleanedLocation
 from repro.core.knn import KnnProcessor, KnnResultEntry
+from repro.core.ordering import rank_results
 from repro.core.sdist import get_sdist_kernel
 from repro.errors import QueryError
 from repro.roadnet.location import NetworkLocation, entry_costs, location_distance
@@ -117,7 +118,7 @@ def range_query(
         target = NetworkLocation(loc.edge, loc.offset)
         d = location_distance(processor.graph, dist, location, target)
         if d <= radius:
-            scored.append((d, obj))
-    scored.sort()
-    answer.entries = [KnnResultEntry(obj, d) for d, obj in scored]
+            scored.append((obj, d))
+    # canonical result order (distance, then object id) — repro.core.ordering
+    answer.entries = [KnnResultEntry(obj, d) for obj, d in rank_results(scored)]
     return answer

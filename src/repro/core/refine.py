@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.object_table import ObjectTable
+from repro.core.ordering import rank_results
 from repro.obs.tracing import span
 from repro.roadnet.dijkstra import multi_source_dijkstra
 from repro.roadnet.graph import RoadNetwork
@@ -81,6 +82,6 @@ def refine_knn(
                 d_obj = d_qu + d_src + entry.offset
                 if d_obj < best.get(obj, _INF):
                     best[obj] = d_obj
-    ranked = sorted(best.items(), key=lambda kv: (kv[1], kv[0]))
-    finite = [(obj, d) for obj, d in ranked if d < _INF]
-    return finite[:k], settled_total
+    # canonical result order (distance, then object id) — see
+    # repro.core.ordering for why every ranking path must agree on ties
+    return rank_results(best.items(), k), settled_total

@@ -21,7 +21,8 @@ from __future__ import annotations
 from typing import Mapping
 
 from repro.core.graph_grid import GridVertexElement
-from repro.simgpu.kernel import KernelContext
+from repro.core.ordering import result_sort_key
+from repro.simgpu.kernel import JobContext, KernelContext
 
 _INF = float("inf")
 
@@ -111,12 +112,14 @@ def first_k_kernel(
     passed in); a parallel bitonic-style sort picks the k smallest.  The
     simulated cost is the parallel sort depth ``O(log^2 |M|)``.
 
-    Returns ``(obj, distance)`` pairs sorted ascending, ties by id.
+    Returns ``(obj, distance)`` pairs in the canonical result order
+    (ascending distance, ties broken by ascending object id — see
+    :mod:`repro.core.ordering`).
     """
     n = max(1, len(object_distances))
     depth = max(1, n.bit_length())
     ctx.charge(1 + depth * depth)  # distance eval + bitonic sort stages
-    ranked = sorted(object_distances.items(), key=lambda kv: (kv[1], kv[0]))
+    ranked = sorted(object_distances.items(), key=result_sort_key)
     return ranked[:k]
 
 
@@ -140,3 +143,73 @@ def unresolved_kernel(
         if d < l_bound:
             result.append((v, d))
     return result
+
+
+# ----------------------------------------------------------------------
+# fused batch kernels (the epoch-batched execution engine)
+# ----------------------------------------------------------------------
+# Each ``*_batch_kernel`` runs one job per in-flight query inside a
+# single launch: the queries' thread blocks execute side by side, so a
+# batch of Q queries pays one launch overhead (and one D2H staging
+# round-trip, handled by the caller) instead of Q.  Every job charges its
+# work through a :class:`~repro.simgpu.kernel.JobContext` with that job's
+# own thread count, which makes the fused launch's simulated kernel time
+# exactly the sum of the per-query launches it replaces — batching saves
+# fixed overheads, never modelled work.  Results are job-ordered and
+# bit-identical to running each per-query kernel individually.
+
+
+def sdist_batch_kernel(
+    ctx: KernelContext,
+    jobs: list[tuple[list[GridVertexElement], list[int], Mapping[int, float]]],
+    kernel,
+    delta_v: int,
+    early_exit: bool = True,
+) -> list[dict[int, float]]:
+    """``GPU_SDist_Batch``: per-query restricted distances, one launch.
+
+    Args:
+        ctx: the fused launch's context.
+        jobs: per query, its ``(elements, vertices, seeds)`` triple — the
+            same arguments the per-query :func:`sdist_kernel` takes.
+        kernel: the configured SDist backend (lockstep or vectorized).
+        delta_v: vertex capacity (shared by all jobs; a config constant).
+        early_exit: stop each job when a round changes nothing.
+
+    Returns one ``{vertex: distance}`` map per job, in job order.
+    """
+    results = []
+    for elements, vertices, seeds in jobs:
+        sub = JobContext(ctx, max(1, len(elements)))
+        results.append(kernel(sub, elements, vertices, seeds, delta_v, early_exit))
+    return results
+
+
+def first_k_batch_kernel(
+    ctx: KernelContext,
+    jobs: list[tuple[dict[int, float], int]],
+) -> list[list[tuple[int, float]]]:
+    """``GPU_First_k_Batch``: per-query candidate ranking, one launch.
+
+    ``jobs`` holds one ``(object_distances, k)`` pair per query; returns
+    each query's ranked candidates in the canonical result order.
+    """
+    return [
+        first_k_kernel(JobContext(ctx, max(1, len(object_distances))), object_distances, k)
+        for object_distances, k in jobs
+    ]
+
+
+def unresolved_batch_kernel(
+    ctx: KernelContext,
+    jobs: list[tuple[list[int], Mapping[int, float], float]],
+) -> list[list[tuple[int, float]]]:
+    """``GPU_Unresolved_Batch``: per-query boundary checks, one launch.
+
+    ``jobs`` holds one ``(boundary_vertices, dist, l_bound)`` triple per
+    query; returns each query's unresolved ``(vertex, distance)`` pairs.
+    """
+    return [
+        unresolved_kernel(JobContext(ctx, max(1, len(boundary))), boundary, dist, l_bound)
+        for boundary, dist, l_bound in jobs
+    ]

@@ -36,6 +36,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    linear_buckets,
     log_scale_buckets,
 )
 from repro.obs.slowlog import SlowQuery, SlowQueryLog
@@ -58,6 +59,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "LATENCY_BUCKETS",
+    "linear_buckets",
     "log_scale_buckets",
     "SlowQuery",
     "SlowQueryLog",

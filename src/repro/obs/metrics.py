@@ -46,6 +46,19 @@ def log_scale_buckets(
     return tuple(bounds)
 
 
+def linear_buckets(lo: float, width: float, count: int) -> tuple[float, ...]:
+    """``count`` evenly spaced bucket bounds starting at ``lo``.
+
+    The natural shape for small bounded integers (batch sizes, retry
+    counts) where log-scale buckets would waste resolution.
+    """
+    if width <= 0:
+        raise ConfigError(f"width must be positive, got {width}")
+    if count < 1:
+        raise ConfigError(f"count must be >= 1, got {count}")
+    return tuple(lo + i * width for i in range(count))
+
+
 #: Default latency buckets shared by every duration histogram, so
 #: percentiles from different phases are directly comparable.
 LATENCY_BUCKETS: tuple[float, ...] = log_scale_buckets()

@@ -13,6 +13,12 @@ DESIGN.md §2 for the calibration rationale).
 """
 
 from repro.resilience import CircuitBreaker, ResiliencePolicy, RetryPolicy
+from repro.server.batching import (
+    BatchPolicy,
+    batch_context,
+    configure_batching,
+    default_batch_policy,
+)
 from repro.server.maintenance import (
     BacklogCleaning,
     MaintenancePolicy,
@@ -23,6 +29,10 @@ from repro.server.metrics import ReplayReport, TimingModel
 from repro.server.server import KnnIndex, QueryServer
 
 __all__ = [
+    "BatchPolicy",
+    "batch_context",
+    "configure_batching",
+    "default_batch_policy",
     "KnnIndex",
     "QueryServer",
     "TimingModel",

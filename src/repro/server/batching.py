@@ -1,0 +1,83 @@
+"""Epoch batching policy for the query server, and its process-wide hub.
+
+The batched execution engine (DESIGN.md §10) groups *consecutive*
+concurrent queries into an **epoch**: the server accumulates up to
+``batch_size`` queries, then executes them as one
+:meth:`~repro.core.ggrid.GGridIndex.knn_batch` call — one deduplicated
+cleaning pass over the union of touched cells, fused per-batch candidate
+kernels, one shared device-to-host transfer — and fans the answers back
+out per query.  Any update event flushes the pending epoch first, so the
+index's message state at execution time is exactly what sequential
+replay would have seen.
+
+All queries of an epoch execute at ``t_epoch = max(q.t for q in epoch)``
+— the arrival time of the epoch's last member, the moment a real server
+would close the batch.  With updates always flushing ahead of the batch,
+a batched replay returns byte-identical per-query answers to sequential
+replay (proved by the conformance suite in ``tests/conformance/``).
+
+The hub mirrors :mod:`repro.chaos.hub`: a process-wide default policy
+that ``python -m repro.bench --batch-size N`` can install so it reaches
+the :class:`~repro.server.server.QueryServer` instances the experiment
+drivers construct deep inside the harness.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """How the server groups queries into execution epochs.
+
+    Attributes:
+        batch_size: maximum queries per epoch.  ``1`` (the default) is
+            sequential execution — every query is its own epoch and the
+            engine is bypassed entirely.
+    """
+
+    batch_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ConfigError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.batch_size > 1
+
+
+#: Process-wide default policy.  ``None`` = sequential execution.
+_DEFAULT: BatchPolicy | None = None
+
+
+def configure_batching(policy: BatchPolicy | None) -> BatchPolicy | None:
+    """Install (or clear, with ``None``) the process-wide batch policy.
+
+    Returns the previous policy so callers can restore it.
+    """
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = policy
+    return previous
+
+
+def default_batch_policy() -> BatchPolicy | None:
+    return _DEFAULT
+
+
+@contextmanager
+def batch_context(policy: BatchPolicy) -> Iterator[BatchPolicy]:
+    """Scoped :func:`configure_batching` that restores the previous policy."""
+    previous = configure_batching(policy)
+    try:
+        yield policy
+    finally:
+        configure_batching(previous)

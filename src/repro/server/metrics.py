@@ -107,6 +107,10 @@ class ReplayReport:
     #: modelled retry backoff charged to the update path
     update_backoff_s: float = 0.0
     query_records: list[QueryRecord] = field(default_factory=list)
+    #: epochs executed by the batch engine (0 on sequential replays)
+    n_batches: int = 0
+    #: cell cleanings avoided by epoch dedup versus sequential execution
+    batch_cells_deduped: int = 0
     timing: TimingModel = field(default_factory=TimingModel)
 
     # ------------------------------------------------------------------
@@ -238,5 +242,7 @@ class ReplayReport:
             "query_backoff_s": self.query_backoff_s,
             "updates_backpressured": self.updates_backpressured,
             "update_backoff_s": self.update_backoff_s,
+            "n_batches": self.n_batches,
+            "batch_cells_deduped": self.batch_cells_deduped,
             "phases": self.phase_percentiles(),
         }

@@ -21,13 +21,14 @@ from __future__ import annotations
 import time
 from typing import Protocol, runtime_checkable
 
-from repro.core.knn import KnnAnswer
+from repro.core.knn import BatchExecStats, KnnAnswer
 from repro.core.messages import Message
 from repro.errors import QueryError
 from repro.mobility.workload import Query, Workload
 from repro.obs.hub import Observability, default_observability
-from repro.obs.metrics import log_scale_buckets
+from repro.obs.metrics import linear_buckets, log_scale_buckets
 from repro.roadnet.location import NetworkLocation
+from repro.server.batching import BatchPolicy, default_batch_policy
 from repro.server.metrics import QueryRecord, ReplayReport, TimingModel
 from repro.simgpu.device import SimGpu
 
@@ -125,6 +126,24 @@ class ServerInstruments:
             "repro_backpressure_cleanings_total",
             help="Updates that forced an in-line cleaning at capacity.",
         ).default()
+        # -- batched execution (DESIGN.md §10) --
+        self.batches = registry.counter(
+            "repro_batches_total",
+            help="Query epochs executed by the batch engine.",
+        ).default()
+        self.batch_size = registry.histogram(
+            "repro_batch_size",
+            help="Queries per executed epoch.",
+            buckets=linear_buckets(1.0, 1.0, 65),
+        ).default()
+        self.batch_cells_cleaned = registry.counter(
+            "repro_batch_cells_cleaned_total",
+            help="Distinct cells cleaned once per epoch by the batch engine.",
+        ).default()
+        self.batch_cells_deduped = registry.counter(
+            "repro_batch_cells_deduped_total",
+            help="Cell cleanings avoided by epoch dedup vs sequential execution.",
+        ).default()
 
 
 class QueryServer:
@@ -136,6 +155,7 @@ class QueryServer:
         timing: TimingModel | None = None,
         maintenance: "object | None" = None,
         obs: Observability | None = None,
+        batch: BatchPolicy | None = None,
     ) -> None:
         """Args:
             index: any :class:`KnnIndex` implementation.
@@ -147,12 +167,19 @@ class QueryServer:
             obs: observability bundle to publish to; defaults to the
                 process-wide bundle installed with
                 :func:`repro.obs.configure` (None = observability off).
+            batch: epoch batching policy (DESIGN.md §10); defaults to
+                the process-wide policy installed with
+                :func:`repro.server.batching.configure_batching`, else
+                sequential execution.
         """
         self.index = index
         self.timing = timing or TimingModel()
         self.maintenance = maintenance
         self.obs = obs if obs is not None else default_observability()
         self._inst = ServerInstruments(self.obs) if self.obs is not None else None
+        self.batch = batch if batch is not None else (
+            default_batch_policy() or BatchPolicy()
+        )
         #: cumulative fallback count, for the rate-limited warning
         self._fallback_count = 0
 
@@ -224,6 +251,77 @@ class QueryServer:
             delta = gpu.stats.diff(before)
             gpu_s = delta.gpu_time_s
             transfer = delta.total_bytes
+        self._record_answer(answer, wall, gpu_s, transfer, report)
+        return answer
+
+    def query_batch(self, queries: list[Query], report: ReplayReport) -> list[KnnAnswer]:
+        """Execute one epoch of queries, charging its cost to the report.
+
+        All queries run at ``t_epoch = max(q.t)`` through the index's
+        batched engine (one deduplicated cleaning pass, fused candidate
+        kernels, one shared transfer); per-query answers are identical
+        to sequential execution.  The epoch's GPU time and wall time are
+        attributed to the queries as equal shares (transfer bytes get
+        their division remainder on the first query, so totals are
+        exact).  Single-query epochs — and indexes without ``knn_batch``
+        — go through :meth:`query` unchanged.
+        """
+        if not queries:
+            return []
+        n = len(queries)
+        report.n_batches += 1
+        inst = self._inst
+        if inst is not None:
+            inst.batches.inc()
+            inst.batch_size.observe(n)
+        index_batch = getattr(self.index, "knn_batch", None)
+        if n == 1 or index_batch is None:
+            return [self.query(q, report) for q in queries]
+
+        gpu = self._gpu
+        before = gpu.stats.snapshot() if gpu else None
+        t_epoch = max(q.t for q in queries)
+        exec_stats = BatchExecStats()
+        batch_queries = [(q.location, q.k) for q in queries]
+        tracer = self.obs.tracer if self.obs is not None else None
+        t0 = time.perf_counter()
+        if tracer is not None:
+            with tracer.activate(), tracer.span(
+                "batch", {"queries": n, "t": t_epoch}
+            ) as sp:
+                answers = index_batch(
+                    batch_queries, t_now=t_epoch, exec_stats=exec_stats
+                )
+                sp.set_attr("cells_cleaned", exec_stats.cells_cleaned)
+                sp.set_attr("cells_deduped", exec_stats.cells_deduped)
+        else:
+            answers = index_batch(batch_queries, t_now=t_epoch, exec_stats=exec_stats)
+        wall = time.perf_counter() - t0
+
+        gpu_share = 0.0
+        transfer_share = transfer_rem = 0
+        if gpu and before is not None:
+            delta = gpu.stats.diff(before)
+            gpu_share = delta.gpu_time_s / n
+            transfer_share, transfer_rem = divmod(delta.total_bytes, n)
+        report.batch_cells_deduped += exec_stats.cells_deduped
+        if inst is not None:
+            inst.batch_cells_cleaned.inc(exec_stats.cells_cleaned)
+            inst.batch_cells_deduped.inc(exec_stats.cells_deduped)
+        for i, answer in enumerate(answers):
+            transfer = transfer_share + (transfer_rem if i == 0 else 0)
+            self._record_answer(answer, wall / n, gpu_share, transfer, report)
+        return answers
+
+    def _record_answer(
+        self,
+        answer: KnnAnswer,
+        wall: float,
+        gpu_s: float,
+        transfer: int,
+        report: ReplayReport,
+    ) -> None:
+        """Convert one answer's costs to modelled time and record it."""
         phases: dict[str, float] = dict(answer.gpu_phase_s)
         modeled = gpu_s
         for phase, seconds in answer.cpu_seconds.items():
@@ -259,7 +357,6 @@ class QueryServer:
         inst = self._inst
         if inst is not None:
             self._publish_query(inst, answer, modeled, wall, gpu_s, transfer, phases)
-        return answer
 
     def _publish_query(
         self,
@@ -330,12 +427,28 @@ class QueryServer:
         The initial bulk load counts as updates — the paper's amortised
         metric charges *all* index maintenance to the queries it serves.
 
+        With an enabled :class:`~repro.server.batching.BatchPolicy`
+        (``batch_size > 1``) consecutive queries accumulate into epochs
+        of up to ``batch_size``; any update event flushes the pending
+        epoch first, so the index state every query observes — and hence
+        every answer — is identical to sequential replay.
+
         Returns:
             The report and, when ``collect_answers``, the per-query
             answers (for correctness cross-checks).
         """
         report = ReplayReport(index_name=self.index.name, timing=self.timing)
         answers: list[KnnAnswer] = []
+        batching = self.batch.enabled and hasattr(self.index, "knn_batch")
+        pending: list[Query] = []
+
+        def flush() -> None:
+            if pending:
+                got = self.query_batch(pending, report)
+                if collect_answers:
+                    answers.extend(got)
+                pending.clear()
+
         for obj, loc in workload.initial.items():
             self.update(Message(obj, loc.edge_id, loc.offset, 0.0), report)
         for kind, event in workload.events():
@@ -345,6 +458,7 @@ class QueryServer:
                         f"workload produced an update event that is not a "
                         f"Message: {type(event).__name__}"
                     )
+                flush()  # updates close the current epoch
                 self.update(event, report)
             else:
                 if not isinstance(event, Query):
@@ -352,7 +466,13 @@ class QueryServer:
                         f"workload produced a query event that is not a "
                         f"Query: {type(event).__name__}"
                     )
-                answer = self.query(event, report)
-                if collect_answers:
-                    answers.append(answer)
+                if batching:
+                    pending.append(event)
+                    if len(pending) >= self.batch.batch_size:
+                        flush()
+                else:
+                    answer = self.query(event, report)
+                    if collect_answers:
+                        answers.append(answer)
+        flush()
         return report, answers

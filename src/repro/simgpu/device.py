@@ -203,3 +203,32 @@ class SimGpu:
         self.stats.sync_count += ctx.sync_count
         self.stats.atomic_ops += ctx.atomic_ops
         return result
+
+    def launch_batched(
+        self,
+        kernel_name: str,
+        n_threads: int,
+        jobs: int,
+        fn: Callable[..., Any],
+        *args: Any,
+    ) -> Any:
+        """Run a fused batch kernel carrying ``jobs`` per-query jobs.
+
+        Identical to :meth:`launch` (one launch overhead, one fault-hook
+        consultation) plus batch accounting: ``batched_launches`` and
+        ``batched_jobs`` record how many per-query launches the fusion
+        replaced.  The kernel itself is responsible for charging each
+        job's work at that job's thread count (see
+        :class:`~repro.simgpu.kernel.JobContext`).
+
+        Raises:
+            KernelError: non-positive thread or job count.
+        """
+        if jobs <= 0:
+            raise KernelError(
+                f"batched kernel {kernel_name!r} launched with {jobs} jobs"
+            )
+        result = self.launch(kernel_name, n_threads, fn, *args)
+        self.stats.batched_launches += 1
+        self.stats.batched_jobs += jobs
+        return result

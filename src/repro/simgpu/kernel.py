@@ -92,6 +92,53 @@ class KernelContext:
         return self.device.cost_model.warp_size
 
 
+class JobContext:
+    """A per-job view of a fused batch launch's context.
+
+    Batched kernels (``GPU_SDist_Batch`` & friends, see
+    :mod:`repro.core.sdist`) run several queries' jobs inside one launch.
+    Each job wraps the launch context in a ``JobContext`` carrying that
+    job's own thread count, so the fused launch charges exactly the lane
+    operations, barriers and simulated time the per-query launches would
+    have — what the batch saves is launch overheads and transfer
+    latencies, never silently discounted kernel work.
+    """
+
+    __slots__ = ("_ctx", "n_threads")
+
+    def __init__(self, ctx: "KernelContext | HostContext", n_threads: int) -> None:
+        self._ctx = ctx
+        self.n_threads = max(1, n_threads)
+
+    def charge(self, ops_per_thread: float, n_threads: int | None = None) -> None:
+        self._ctx.charge(
+            ops_per_thread, self.n_threads if n_threads is None else n_threads
+        )
+
+    def charge_mem(self, ops_per_thread: float, n_threads: int | None = None) -> None:
+        self._ctx.charge_mem(
+            ops_per_thread, self.n_threads if n_threads is None else n_threads
+        )
+
+    def charge_atomic(self, writes: int) -> None:
+        self._ctx.charge_atomic(writes)
+
+    def charge_shuffle(self, bundle_size: int, n_threads: int | None = None) -> None:
+        self._ctx.charge_shuffle(
+            bundle_size, self.n_threads if n_threads is None else n_threads
+        )
+
+    def sync_threads(self) -> None:
+        self._ctx.sync_threads()
+
+    def shuffle_xor(self, values: Sequence[T], lane_mask: int) -> list[T]:
+        return self._ctx.shuffle_xor(values, lane_mask)
+
+    @property
+    def warp_size(self) -> int:
+        return self._ctx.warp_size
+
+
 class HostContext:
     """A no-device kernel context for degraded-mode host execution.
 

@@ -18,6 +18,11 @@ class GpuStats:
 
     Attributes:
         kernel_launches: number of kernels launched.
+        batched_launches: launches that fused multiple per-query jobs
+            into one kernel (a subset of ``kernel_launches``).
+        batched_jobs: per-query jobs carried by those fused launches;
+            ``batched_jobs - batched_launches`` is the number of launch
+            overheads the batch engine saved.
         lane_ops: total per-lane operations charged by kernels.
         shuffle_ops: warp shuffle instructions executed (per lane).
         sync_count: ``sync_threads`` barriers executed.
@@ -34,6 +39,8 @@ class GpuStats:
     """
 
     kernel_launches: int = 0
+    batched_launches: int = 0
+    batched_jobs: int = 0
     lane_ops: int = 0
     shuffle_ops: int = 0
     sync_count: int = 0

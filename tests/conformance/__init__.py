@@ -1,0 +1,7 @@
+"""Oracle-backed conformance suite for the batched execution engine.
+
+Asserts, for randomized graphs and workloads, that batched execution,
+sequential execution and a brute-force pure-python oracle all agree —
+including ties, ``k > |objects|`` and empty-cell expansions — and that
+batching strictly reduces GPU work without changing any answer.
+"""

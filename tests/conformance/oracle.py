@@ -1,0 +1,101 @@
+"""A brute-force pure-python oracle for kNN and range queries.
+
+Deliberately independent of the library's search code: its own
+binary-heap Dijkstra over the raw road network and its own
+location-to-location distance rule, mirroring only the *conventions*
+documented in :mod:`repro.roadnet.location`:
+
+* leaving a location ``<e, d>`` costs ``e.weight - d`` to reach
+  ``dest(e)`` (offset 0 also stands on ``source(e)`` at cost 0);
+* reaching an object at ``<e', d'>`` costs ``dist(source(e')) + d'``,
+  with the same-edge shortcut ``d' - d`` when the object lies ahead on
+  the query's own edge.
+
+Results come back in the canonical order the library documents in
+:mod:`repro.core.ordering`: ascending distance, ties broken by ascending
+object id.  The conformance tests assert that sequential and batched
+index execution both reproduce these answers.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Mapping
+
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.location import NetworkLocation
+
+_INF = float("inf")
+
+
+def oracle_vertex_distances(
+    graph: RoadNetwork, query: NetworkLocation
+) -> dict[int, float]:
+    """Shortest distance from ``query`` to every reachable vertex."""
+    edge = graph.edge(query.edge_id)
+    dist: dict[int, float] = {}
+    heap: list[tuple[float, int]] = []
+
+    def relax(vertex: int, d: float) -> None:
+        if d < dist.get(vertex, _INF):
+            dist[vertex] = d
+            heapq.heappush(heap, (d, vertex))
+
+    relax(edge.dest, edge.weight - query.offset)
+    if query.offset == 0.0:
+        relax(edge.source, 0.0)
+    while heap:
+        d, vertex = heapq.heappop(heap)
+        if d > dist.get(vertex, _INF):
+            continue
+        for out in graph.out_edges(vertex):
+            relax(out.dest, d + out.weight)
+    return dist
+
+
+def oracle_location_distance(
+    graph: RoadNetwork,
+    dist: Mapping[int, float],
+    query: NetworkLocation,
+    target: NetworkLocation,
+) -> float:
+    """Distance from ``query`` to ``target`` given the vertex distances."""
+    source = graph.edge(target.edge_id).source
+    via_source = dist.get(source, _INF) + target.offset
+    if target.edge_id == query.edge_id and target.offset >= query.offset:
+        return min(via_source, target.offset - query.offset)
+    return via_source
+
+
+def oracle_knn(
+    graph: RoadNetwork,
+    objects: Mapping[int, NetworkLocation],
+    query: NetworkLocation,
+    k: int,
+) -> list[tuple[int, float]]:
+    """The true k nearest objects in canonical ``(distance, id)`` order."""
+    dist = oracle_vertex_distances(graph, query)
+    scored = [
+        (obj, d)
+        for obj, loc in objects.items()
+        if (d := oracle_location_distance(graph, dist, query, loc)) < _INF
+    ]
+    scored.sort(key=lambda kv: (kv[1], kv[0]))
+    return scored[:k]
+
+
+def oracle_range(
+    graph: RoadNetwork,
+    objects: Mapping[int, NetworkLocation],
+    query: NetworkLocation,
+    radius: float,
+) -> list[tuple[int, float]]:
+    """All objects within ``radius``, in canonical ``(distance, id)`` order."""
+    dist = oracle_vertex_distances(graph, query)
+    hits = [
+        (obj, d)
+        for obj, loc in objects.items()
+        if (d := oracle_location_distance(graph, dist, query, loc)) <= radius
+    ]
+    hits.sort(key=lambda kv: (kv[1], kv[0]))
+    return hits

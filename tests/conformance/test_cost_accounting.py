@@ -1,0 +1,137 @@
+"""Cost-accounting regressions: batching must save real, counted work.
+
+The simulated GPU's deterministic counters let the engine's economics be
+asserted exactly: an overlapping epoch must do strictly fewer kernel
+launches, host<->device transfers and cell cleanings than sequential
+execution of the same queries — and a batch of one must cost *exactly*
+the same as a single query, counter for counter.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import GGridConfig
+from repro.core import BatchExecStats, GGridIndex
+from repro.core.messages import Message
+from repro.roadnet.generators import grid_road_network
+
+from tests.conftest import random_location
+
+pytestmark = pytest.mark.conformance
+
+_GRAPH = grid_road_network(12, 12, seed=13)
+
+
+def _loaded_index(n_objects=80, seed=5):
+    rng = random.Random(seed)
+    index = GGridIndex(_GRAPH, GGridConfig(eta=3, delta_b=8))
+    for obj in range(n_objects):
+        loc = random_location(_GRAPH, rng)
+        index.ingest(Message(obj, loc.edge_id, loc.offset, 1.0))
+    return index
+
+
+def _overlapping_queries(k=4):
+    """16 queries drawn from 4 locations — heavy candidate-cell overlap."""
+    rng = random.Random(9)
+    anchors = [random_location(_GRAPH, rng) for _ in range(4)]
+    return [(anchors[i % 4], k) for i in range(16)]
+
+
+def _entries(answers):
+    return [[(e.obj, e.distance) for e in a.entries] for a in answers]
+
+
+def test_batched_strictly_cheaper_than_sequential():
+    queries = _overlapping_queries()
+
+    sequential = _loaded_index()
+    seq_before = sequential.stats.snapshot()
+    seq_answers = [sequential.knn(loc, k) for loc, k in queries]
+    seq = sequential.stats.diff(seq_before)
+    seq_cells = sequential.cleaner.cells_cleaned_total
+    seq_passes = sequential.cleaner.cleanings_total
+
+    batched = _loaded_index()
+    stats = BatchExecStats()
+    bat_before = batched.stats.snapshot()
+    bat_answers = batched.knn_batch(queries, exec_stats=stats)
+    bat = batched.stats.diff(bat_before)
+
+    assert _entries(bat_answers) == _entries(seq_answers)
+    assert bat.kernel_launches < seq.kernel_launches
+    assert bat.transfers_h2d + bat.transfers_d2h < seq.transfers_h2d + seq.transfers_d2h
+    assert bat.total_bytes < seq.total_bytes
+    assert batched.cleaner.cells_cleaned_total < seq_cells
+    assert batched.cleaner.cleanings_total < seq_passes
+    assert stats.cells_deduped > 0
+    # what the epoch deduplicated is exactly the per-query demand gap
+    assert stats.cell_requests == sum(a.cells_cleaned for a in bat_answers)
+    assert stats.cells_cleaned == batched.cleaner.cells_cleaned_total
+
+
+def test_batch_of_one_costs_exactly_the_same():
+    query = (_overlapping_queries()[0][0], 4)
+
+    single = _loaded_index()
+    single_answer = single.knn(*query)
+
+    batched = _loaded_index()
+    stats = BatchExecStats()
+    [batch_answer] = batched.knn_batch([query], exec_stats=stats)
+
+    assert [(e.obj, e.distance) for e in batch_answer.entries] == [
+        (e.obj, e.distance) for e in single_answer.entries
+    ]
+    # every counter — launches, bytes, simulated seconds — must agree
+    assert batched.stats.as_dict() == single.stats.as_dict()
+    assert batched.cleaner.cells_cleaned_total == single.cleaner.cells_cleaned_total
+    assert batched.cleaner.cleanings_total == single.cleaner.cleanings_total
+    assert stats.queries == 1
+    assert stats.cells_deduped == 0
+
+
+def test_fused_launch_accounting():
+    """One multi-query epoch: three fused launches carry all the jobs."""
+    queries = _overlapping_queries()
+    index = _loaded_index()
+    before = index.stats.snapshot()
+    passes_before = index.cleaner.cleanings_total
+    answers = index.knn_batch(queries)
+    delta = index.stats.diff(before)
+    cleaning_passes = index.cleaner.cleanings_total - passes_before
+
+    jobs = sum(1 for a in answers if not a.used_fallback)
+    assert jobs > 1
+    # SDist + First-k + Unresolved, one fused launch each
+    assert delta.batched_launches == 3
+    assert delta.batched_jobs == 3 * jobs
+    # beyond the cleaning pipeline's own readbacks, the candidate sets
+    # of the whole epoch came back in one shared transfer
+    assert delta.transfers_d2h == cleaning_passes + 1
+
+
+def test_modelled_work_is_preserved():
+    """Fusion saves overheads, never modelled work: the lane/shuffle op
+    counts of a batch equal those of sequential execution."""
+    queries = _overlapping_queries()
+
+    sequential = _loaded_index()
+    seq_before = sequential.stats.snapshot()
+    for loc, k in queries:
+        sequential.knn(loc, k)
+    seq = sequential.stats.diff(seq_before)
+
+    batched = _loaded_index()
+    bat_before = batched.stats.snapshot()
+    batched.knn_batch(queries)
+    bat = batched.stats.diff(bat_before)
+
+    # phase-2 work per query is identical; phase-1 work *shrinks* because
+    # deduplicated cells are shipped and shuffled once, so the batch can
+    # only do less, never more
+    assert bat.lane_ops <= seq.lane_ops
+    assert bat.shuffle_ops <= seq.shuffle_ops

@@ -1,0 +1,161 @@
+"""Batched == sequential == oracle, on randomized graphs and workloads.
+
+Sequential-vs-batched comparisons are **exact** (same floats, same
+order): the batched engine recombines the very same kernel results, so
+any drift is a bug.  Index-vs-oracle comparisons round to 9 decimals and
+compare tie groups as id *sets*: the oracle's heap Dijkstra may sum edge
+weights in a different order, and near-ties a femtometre apart must not
+flip an assertion that is really about correctness.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import GGridConfig
+from repro.core import GGridIndex
+from repro.core.messages import Message
+from repro.roadnet.generators import grid_road_network
+from repro.roadnet.location import NetworkLocation
+
+from tests.conformance.oracle import oracle_knn, oracle_range
+from tests.conftest import random_location
+
+pytestmark = pytest.mark.conformance
+
+BATCH_SIZES = (1, 8, 64)
+
+
+def build_index(graph, placements, config=None, t=1.0):
+    index = GGridIndex(graph, config or GGridConfig(eta=3, delta_b=8))
+    for obj, loc in placements.items():
+        index.ingest(Message(obj, loc.edge_id, loc.offset, t))
+    return index
+
+
+def entries_of(answer):
+    return [(e.obj, e.distance) for e in answer.entries]
+
+
+def tie_groups(pairs):
+    """Object-id sets keyed by rounded distance."""
+    groups: dict[float, set[int]] = {}
+    for obj, d in pairs:
+        groups.setdefault(round(d, 9), set()).add(obj)
+    return groups
+
+
+def assert_matches_oracle(got, want):
+    assert [round(d, 9) for _, d in got] == [round(d, 9) for _, d in want]
+    assert tie_groups(got) == tie_groups(want)
+
+
+def run_batched(graph, placements, queries, batch_size, config=None):
+    """Fresh identical index, queries executed in epochs of batch_size."""
+    index = build_index(graph, placements, config)
+    answers = []
+    for start in range(0, len(queries), batch_size):
+        answers.extend(index.knn_batch(queries[start : start + batch_size]))
+    return answers
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_batched_matches_sequential_and_oracle(seed):
+    rng = random.Random(seed)
+    graph = grid_road_network(8, 8, seed=seed + 10)
+    placements = {obj: random_location(graph, rng) for obj in range(40)}
+    queries = [
+        (random_location(graph, rng), rng.choice((1, 3, 5, 16)))
+        for _ in range(16)
+    ]
+
+    sequential = build_index(graph, placements)
+    seq_answers = [sequential.knn(loc, k) for loc, k in queries]
+    seq_entries = [entries_of(a) for a in seq_answers]
+
+    for (loc, k), got in zip(queries, seq_entries):
+        assert_matches_oracle(got, oracle_knn(graph, placements, loc, k))
+
+    for batch_size in BATCH_SIZES:
+        batched = run_batched(graph, placements, queries, batch_size)
+        assert [entries_of(a) for a in batched] == seq_entries
+
+
+def test_colocated_objects_tie_on_id():
+    graph = grid_road_network(8, 8, seed=4)
+    spot = NetworkLocation(5, 0.25 * graph.edge(5).weight)
+    rng = random.Random(3)
+    placements = {obj: spot for obj in (9, 2, 7, 4)}  # shuffled insertion
+    placements.update({obj: random_location(graph, rng) for obj in range(20, 28)})
+    query = (NetworkLocation(0, 0.0), 6)
+
+    sequential = build_index(graph, placements)
+    got = entries_of(sequential.knn(*query))
+    assert_matches_oracle(got, oracle_knn(graph, placements, *query))
+    # co-located objects share one distance; ids must come back ascending
+    tied = [obj for obj, d in got if d == got[0][1]] if got else []
+    assert tied == sorted(tied)
+
+    for batch_size in BATCH_SIZES:
+        batched = run_batched(graph, placements, [query], batch_size)
+        assert entries_of(batched[0]) == got
+
+
+def test_k_exceeds_object_count():
+    graph = grid_road_network(8, 8, seed=5)
+    rng = random.Random(6)
+    placements = {obj: random_location(graph, rng) for obj in range(3)}
+    query = (random_location(graph, rng), 8)
+
+    sequential = build_index(graph, placements)
+    answer = sequential.knn(*query)
+    assert answer.used_fallback
+    got = entries_of(answer)
+    assert_matches_oracle(got, oracle_knn(graph, placements, *query))
+    assert len(got) == 3  # everything reachable, never padding
+
+    for batch_size in BATCH_SIZES:
+        batched = run_batched(graph, placements, [query], batch_size)
+        assert batched[0].used_fallback
+        assert entries_of(batched[0]) == got
+
+
+def test_expansion_over_empty_cells():
+    """Objects cluster in one corner; a far query must expand rings of
+    empty cells before finding them — batched and sequential alike."""
+    graph = grid_road_network(8, 8, seed=7)
+    rng = random.Random(8)
+    corner_edges = [e.id for e in graph.edges() if e.source < 8][:6]
+    placements = {
+        obj: NetworkLocation(edge, 0.5 * graph.edge(edge).weight)
+        for obj, edge in enumerate(corner_edges)
+    }
+    far_edge = max(e.id for e in graph.edges())
+    queries = [
+        (NetworkLocation(far_edge, 0.0), 2),
+        (NetworkLocation(far_edge, 0.0), 4),
+        (random_location(graph, rng), 3),
+    ]
+
+    sequential = build_index(graph, placements)
+    seq_entries = [entries_of(sequential.knn(loc, k)) for loc, k in queries]
+    for (loc, k), got in zip(queries, seq_entries):
+        assert_matches_oracle(got, oracle_knn(graph, placements, loc, k))
+
+    for batch_size in BATCH_SIZES:
+        batched = run_batched(graph, placements, queries, batch_size)
+        assert [entries_of(a) for a in batched] == seq_entries
+
+
+def test_range_query_matches_oracle():
+    graph = grid_road_network(8, 8, seed=9)
+    rng = random.Random(10)
+    placements = {obj: random_location(graph, rng) for obj in range(30)}
+    index = build_index(graph, placements)
+    for radius in (0.5, 2.0, 5.0):
+        query = random_location(graph, rng)
+        got = entries_of(index.range_query(query, radius))
+        want = oracle_range(graph, placements, query, radius)
+        assert_matches_oracle(got, want)

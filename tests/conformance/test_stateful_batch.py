@@ -1,0 +1,147 @@
+"""Stateful conformance: batched queries stay oracle-exact under
+arbitrary interleavings of ingest / removal / maintenance cleaning —
+and under chaos fault profiles, where the resilience ladder must keep
+every batched answer exact while the device misbehaves.
+
+Hypothesis drives the operation sequence; a dict of latest locations is
+the model.  Every batched query epoch is checked against the
+brute-force oracle, so any divergence — a stale shared cleaning, a
+fallback answering from a half-cleaned snapshot, a fault eating a
+message — fails with a minimal reproducing sequence.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.chaos import FaultPlan
+from repro.chaos.hub import configure_chaos
+from repro.config import GGridConfig
+from repro.core.ggrid import GGridIndex
+from repro.core.messages import Message
+from repro.errors import GpuError
+from repro.roadnet.generators import grid_road_network
+from repro.roadnet.location import NetworkLocation
+
+from tests.conformance.oracle import oracle_knn
+
+pytestmark = pytest.mark.conformance
+
+_GRAPH = grid_road_network(6, 6, seed=33)
+_OBJECTS = range(10)
+
+
+def _tie_groups(pairs):
+    groups: dict[float, set[int]] = {}
+    for obj, d in pairs:
+        groups.setdefault(round(d, 9), set()).add(obj)
+    return groups
+
+
+class BatchConformanceMachine(RuleBasedStateMachine):
+    """One G-Grid index under an optional chaos profile, plus the model."""
+
+    @initialize(profile=st.sampled_from([None, "kernels", "mixed"]))
+    def setup(self, profile: str | None) -> None:
+        plan = FaultPlan.from_profile(profile, seed=17) if profile else None
+        self._previous_plan = configure_chaos(plan)
+        self.index = GGridIndex(_GRAPH, GGridConfig(eta=3, delta_b=4))
+        self.model: dict[int, NetworkLocation] = {}
+        self.clock = 0.0
+        self.rng = random.Random(7)
+
+    def teardown(self) -> None:
+        if hasattr(self, "_previous_plan"):
+            configure_chaos(self._previous_plan)
+
+    def _tick(self) -> float:
+        self.clock += 1.0
+        return self.clock
+
+    def _location(self, edge: int, frac: float) -> NetworkLocation:
+        return NetworkLocation(edge, frac * _GRAPH.edge(edge).weight)
+
+    # ------------------------------------------------------------------
+    # rules
+    # ------------------------------------------------------------------
+    @rule(
+        obj=st.sampled_from(list(_OBJECTS)),
+        edge=st.integers(0, _GRAPH.num_edges - 1),
+        frac=st.floats(0.0, 1.0),
+    )
+    def ingest(self, obj: int, edge: int, frac: float) -> None:
+        t = self._tick()
+        loc = self._location(edge, frac)
+        self.index.ingest(Message(obj, loc.edge_id, loc.offset, t))
+        self.model[obj] = loc
+
+    @precondition(lambda self: self.model)
+    @rule()
+    def remove(self) -> None:
+        obj = self.rng.choice(sorted(self.model))
+        self.index.remove_object(obj, self._tick())
+        del self.model[obj]
+
+    @rule(fraction=st.floats(0.1, 0.8))
+    def maintenance_clean(self, fraction: float) -> None:
+        n = self.index.grid.num_cells
+        cells = set(self.rng.sample(range(n), max(1, int(n * fraction))))
+        try:
+            self.index.clean_cells(cells, t_now=self.clock)
+        except GpuError:
+            # maintenance cleaning aborts on device faults after rolling
+            # back; the invariants below prove nothing was lost or locked
+            pass
+
+    @precondition(lambda self: self.model)
+    @rule(size=st.integers(1, 5), k=st.integers(1, 6))
+    def batch_matches_oracle(self, size: int, k: int) -> None:
+        queries = [
+            (
+                self._location(
+                    self.rng.randrange(_GRAPH.num_edges), self.rng.random()
+                ),
+                k,
+            )
+            for _ in range(size)
+        ]
+        answers = self.index.knn_batch(queries, t_now=self.clock)
+        for (loc, kk), answer in zip(queries, answers):
+            got = [(e.obj, e.distance) for e in answer.entries]
+            want = oracle_knn(_GRAPH, self.model, loc, kk)
+            assert [round(d, 9) for _, d in got] == [
+                round(d, 9) for _, d in want
+            ]
+            assert _tie_groups(got) == _tie_groups(want)
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    @invariant()
+    def no_leaked_locks(self) -> None:
+        if not hasattr(self, "index"):
+            return
+        assert not any(m.locked for m in self.index.lists.values())
+
+    @invariant()
+    def object_table_matches_model(self) -> None:
+        if not hasattr(self, "index"):
+            return
+        assert set(self.index.object_table.objects()) == set(self.model)
+
+
+BatchConformanceMachine.TestCase.settings = settings(
+    max_examples=10, stateful_step_count=20, deadline=None
+)
+TestBatchConformance = BatchConformanceMachine.TestCase
