@@ -9,6 +9,7 @@ Run any paper experiment by name without pytest:
     python -m repro.bench fig5 --chaos mixed --chaos-seed 7
     python -m repro.bench chaos
     python -m repro.bench batch
+    python -m repro.bench recovery
     python -m repro.bench fig5 --batch-size 8
     python -m repro.bench all
 
@@ -85,6 +86,11 @@ EXPERIMENTS = {
     "chaos": (
         experiments.chaos_resilience,
         "Resilience: chaos profiles vs fault-free baseline",
+        True,
+    ),
+    "recovery": (
+        experiments.recovery_curve,
+        "Recovery: snapshot interval vs crash-recovery time",
         True,
     ),
 }

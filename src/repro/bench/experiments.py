@@ -544,6 +544,78 @@ def costmodel_validation(dataset: str = "FLA") -> list[dict[str, Any]]:
     return rows
 
 
+def recovery_curve(dataset: str = "NY") -> list[dict[str, Any]]:
+    """Recovery: snapshot interval vs crash-recovery time (DESIGN.md §11).
+
+    Replays one update stream through a durable index under different
+    background snapshot intervals, then "crashes" (drops the in-memory
+    index) and times :func:`repro.persist.recover`.  One row per
+    interval: how much WAL the run wrote, how many snapshots the policy
+    cut, how many records recovery had to replay past the newest
+    watermark, and the recovery wall time — the curve that justifies
+    paying for compaction (``every_records=0`` is the no-snapshot
+    baseline, which must replay the entire log).
+    """
+    import shutil
+    import tempfile
+    import time as _time
+
+    from repro.config import GGridConfig
+    from repro.mobility.workload import make_workload
+    from repro.persist import DurabilityManager, SnapshotPolicy, recover
+    from repro.roadnet.datasets import load_dataset
+
+    graph = load_dataset(dataset)
+    config = GGridConfig(delta_b=32)
+    workload = make_workload(
+        graph,
+        num_objects=400,
+        duration=15.0,
+        num_queries=1,  # updates are what recovery replays; queries unused
+        k=8,
+        update_frequency=1.0,
+        seed=11,
+    )
+    messages = [
+        Message(obj, loc.edge_id, loc.offset, 0.0)
+        for obj, loc in workload.initial.items()
+    ] + list(workload.updates)
+
+    rows = []
+    for every_records in (0, 2000, 1000, 500, 250, 100):
+        directory = tempfile.mkdtemp(prefix="repro-recovery-")
+        try:
+            manager = DurabilityManager(
+                directory,
+                snapshot_policy=SnapshotPolicy(every_records=every_records),
+                fsync_every=256,
+            )
+            index = GGridIndex(graph, config)
+            for message in messages:
+                manager.log_ingest(message)
+                index.ingest(message)
+                manager.maybe_snapshot(index)
+            manager.close()
+            del index  # the crash: only the durable state survives
+            started = _time.perf_counter()
+            # graph/config feed the no-snapshot (WAL-only) baseline row
+            _, report = recover(directory, graph=graph, config=config)
+            recovery_s = _time.perf_counter() - started
+            rows.append(
+                {
+                    "snapshot_every": every_records,
+                    "wal_records": len(messages),
+                    "wal_mb": manager.wal.bytes_appended / 2**20,
+                    "snapshots": manager.snapshots.snapshots_written,
+                    "replayed": report.records_replayed,
+                    "recovery_s": recovery_s,
+                }
+            )
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+    return rows
+
+
 def chaos_resilience(dataset: str = "NY") -> list[dict[str, Any]]:
     """Resilience: every chaos profile vs the fault-free baseline.
 

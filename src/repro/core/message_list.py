@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
-from repro.errors import CapacityError
+from repro.errors import CapacityError, CleaningLockError
 from repro.core.messages import Message
 from repro.simgpu.memory import MESSAGE_BYTES
 
@@ -22,9 +22,13 @@ from repro.simgpu.memory import MESSAGE_BYTES
 class Bucket:
     """A fixed-capacity message bucket: ``<A_m, n, t, p_n>``.
 
-    ``t`` is the timestamp of the *latest* message in the bucket; since
-    messages arrive in order it is the last one's timestamp.  ``cell``
-    is carried for diagnostics only (overflow errors name the cell).
+    ``t`` is the timestamp of the *latest* message in the bucket — the
+    maximum over all messages, not the last one's.  Removal markers and
+    skewed client clocks can append out of order, and ``t`` feeds the
+    whole-bucket stale-pruning of :meth:`MessageList.locked_buckets`:
+    taking the last message's timestamp would let a bucket holding a
+    fresh message be discarded as wholly obsolete.  ``cell`` is carried
+    for diagnostics only (overflow errors name the cell).
     """
 
     capacity: int
@@ -38,8 +42,8 @@ class Bucket:
 
     @property
     def t(self) -> float:
-        """Latest message time; ``-inf`` for an empty bucket."""
-        return self.messages[-1].t if self.messages else float("-inf")
+        """Latest message time (max over the bucket); ``-inf`` if empty."""
+        return max(m.t for m in self.messages) if self.messages else float("-inf")
 
     @property
     def full(self) -> bool:
@@ -129,13 +133,31 @@ class MessageList:
     # ------------------------------------------------------------------
     @property
     def locked(self) -> bool:
-        """True while a cleaning pass owns the buckets before ``p_l``."""
-        return self._lock is not None and self._lock is not self._head
+        """True while a cleaning pass owns this list (``p_l`` is set).
+
+        A lock taken on an empty list freezes nothing, but the list is
+        still owned by that pass — a second ``lock_for_cleaning`` must
+        not steal it, so emptiness does not clear this flag.
+        """
+        return self._lock is not None
 
     def lock_for_cleaning(self) -> None:
         """Freeze the current contents: append a fresh (empty) tail bucket
         and point ``p_l`` at it.  Everything before ``p_l`` belongs to the
-        cleaner; new messages land in / after the fresh bucket."""
+        cleaner; new messages land in / after the fresh bucket.
+
+        Raises:
+            CleaningLockError: the list is already locked.  Re-locking
+                would advance ``p_l`` past messages appended after the
+                first lock, and the eventual ``release_cleaned`` would
+                destroy them without any cleaner ever seeing them.
+        """
+        if self._lock is not None:
+            where = "unassigned" if self.cell is None else str(self.cell)
+            raise CleaningLockError(
+                f"message list of cell {where} is already locked for "
+                f"cleaning; release or abort the in-flight pass first"
+            )
         fresh = Bucket(self.capacity, cell=self.cell)
         if self._tail is None:
             self._head = self._tail = fresh
@@ -175,7 +197,18 @@ class MessageList:
         Returns the number of messages discarded.  The list head moves to
         ``p_l`` (the bucket that was fresh at lock time) and the lock
         clears.
+
+        Raises:
+            CleaningLockError: no cleaning lock is held.  Releasing an
+                unlocked list would walk to the null lock pointer and
+                destroy every cached message.
         """
+        if self._lock is None:
+            where = "unassigned" if self.cell is None else str(self.cell)
+            raise CleaningLockError(
+                f"release_cleaned on cell {where} without an in-flight "
+                f"cleaning lock"
+            )
         dropped = 0
         node = self._head
         while node is not None and node is not self._lock:
@@ -196,6 +229,12 @@ class MessageList:
         new content of the list, ahead of anything that arrived after the
         cleaning lock.  ``messages`` must be in chronological order (their
         timestamps precede any post-lock message by construction).
+
+        On a *locked* list the snapshot is inserted at the lock frontier
+        — between the frozen region and ``p_l`` — and ``p_l`` is moved
+        back onto the first snapshot bucket.  Inserting before ``p_l``
+        without moving it would put the snapshot inside the region a
+        later ``release_cleaned`` discards, silently dropping it.
         """
         if not messages:
             return
@@ -209,6 +248,21 @@ class MessageList:
             buckets.append(bucket)
         for earlier, later in zip(buckets, buckets[1:]):
             earlier.next = later
+        if self._lock is not None:
+            # find the predecessor of p_l, splice the snapshot in just
+            # before it and repoint p_l so the snapshot survives release
+            prev = None
+            node = self._head
+            while node is not self._lock:
+                prev = node
+                node = node.next
+            buckets[-1].next = self._lock
+            if prev is None:
+                self._head = buckets[0]
+            else:
+                prev.next = buckets[0]
+            self._lock = buckets[0]
+            return
         buckets[-1].next = self._head
         self._head = buckets[0]
         if self._tail is None:

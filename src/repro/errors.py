@@ -36,6 +36,20 @@ class CapacityError(IndexError_):
     """Raised when a fixed-capacity array (cell/vertex/bucket) overflows."""
 
 
+class CleaningLockError(IndexError_):
+    """Raised when the message-list cleaning lock protocol is violated.
+
+    Locking a list that is already frozen for an in-flight cleaning pass
+    would silently advance ``p_l`` past messages the first cleaner never
+    saw, and a later ``release_cleaned`` would destroy them — so nested
+    locks fail loudly instead.
+    """
+
+
+class PersistenceError(ReproError):
+    """Raised for WAL / snapshot / recovery failures (``repro.persist``)."""
+
+
 class UnknownObjectError(IndexError_):
     """Raised when an operation references an object id never ingested."""
 

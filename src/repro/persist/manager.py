@@ -1,0 +1,164 @@
+"""The durability front-door: one directory, WAL + snapshots + policy.
+
+:class:`DurabilityManager` owns the on-disk layout
+
+.. code-block:: text
+
+    <directory>/
+        wal/        wal-00000001.seg, wal-00000002.seg, ...
+        snapshots/  snapshot-000000000120.json, ...
+
+and the background snapshot policy: the serving path calls
+:meth:`log_ingest` / :meth:`log_remove` before applying each update and
+:meth:`maybe_snapshot` after, and the manager decides when enough
+records (or enough event time) have accumulated to cut a new compacted
+snapshot.  Snapshots are preceded by a WAL fsync barrier so a
+snapshot's watermark never runs ahead of the durable log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.ggrid import GGridIndex
+from repro.core.messages import Message
+from repro.errors import PersistenceError
+from repro.obs.hub import Observability, default_observability
+from repro.persist.recovery import (
+    SNAPSHOT_SUBDIR,
+    WAL_SUBDIR,
+    RecoveryReport,
+    recover,
+)
+from repro.persist.snapshot import SnapshotStore
+from repro.persist.wal import WalAppend, WriteAheadLog
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotPolicy:
+    """When the manager cuts a background snapshot.
+
+    Attributes:
+        every_records: snapshot once this many WAL records accumulate
+            past the previous snapshot's watermark (``0`` disables the
+            record trigger).
+        every_seconds: snapshot once event time (message timestamps)
+            advances this far past the previous snapshot (``0.0``
+            disables the time trigger).
+    """
+
+    every_records: int = 0
+    every_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.every_records < 0:
+            raise PersistenceError(
+                f"every_records must be >= 0, got {self.every_records}"
+            )
+        if self.every_seconds < 0:
+            raise PersistenceError(
+                f"every_seconds must be >= 0, got {self.every_seconds}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.every_records > 0 or self.every_seconds > 0
+
+
+class DurabilityManager:
+    """WAL + snapshot store + snapshot policy over one directory."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        max_segment_bytes: int = 4 << 20,
+        fsync_every: int = 64,
+        snapshot_policy: SnapshotPolicy | None = None,
+        keep_snapshots: int = 3,
+        obs: Observability | None = None,
+    ) -> None:
+        self.directory = Path(directory)
+        obs = obs if obs is not None else default_observability()
+        registry = obs.registry if obs is not None else None
+        self.wal = WriteAheadLog(
+            self.directory / WAL_SUBDIR,
+            max_segment_bytes=max_segment_bytes,
+            fsync_every=fsync_every,
+            registry=registry,
+        )
+        self.snapshots = SnapshotStore(
+            self.directory / SNAPSHOT_SUBDIR,
+            keep=keep_snapshots,
+            registry=registry,
+        )
+        self.policy = snapshot_policy or SnapshotPolicy()
+        self._obs = obs
+        # resume the policy cursors from what is already on disk, so a
+        # restarted server does not immediately re-snapshot
+        loaded, _ = self.snapshots.newest_valid(max_watermark=self.wal.last_lsn)
+        self._last_snapshot_lsn = loaded.watermark if loaded is not None else 0
+        self._last_snapshot_t = (
+            float(loaded.body["latest_time"]) if loaded is not None else 0.0
+        )
+        self._latest_event_t = self._last_snapshot_t
+
+    # ------------------------------------------------------------------
+    # the update-path hooks
+    # ------------------------------------------------------------------
+    def log_ingest(self, message: Message) -> WalAppend:
+        """Append one location update to the WAL (call before applying)."""
+        self._latest_event_t = max(self._latest_event_t, message.t)
+        return self.wal.append_ingest(message)
+
+    def log_remove(self, obj: int, t: float) -> WalAppend:
+        """Append one object removal to the WAL (call before applying)."""
+        self._latest_event_t = max(self._latest_event_t, t)
+        return self.wal.append_remove(obj, t)
+
+    def maybe_snapshot(self, index: GGridIndex) -> Path | None:
+        """Cut a snapshot if the policy says one is due."""
+        policy = self.policy
+        if not policy.enabled:
+            return None
+        due = False
+        if policy.every_records:
+            due = self.wal.last_lsn - self._last_snapshot_lsn >= policy.every_records
+        if not due and policy.every_seconds:
+            due = self._latest_event_t - self._last_snapshot_t >= policy.every_seconds
+        if not due:
+            return None
+        return self.snapshot(index)
+
+    def snapshot(self, index: GGridIndex) -> Path:
+        """Cut a compacted snapshot at the current WAL watermark now.
+
+        The WAL is fsynced first: the watermark must name records that
+        are already durable, or a crash between snapshot and sync could
+        leave a snapshot ahead of the log (which recovery would then
+        rightly refuse to use).
+        """
+        self.wal.sync()
+        watermark = self.wal.last_lsn
+        path = self.snapshots.write(index, watermark)
+        self._last_snapshot_lsn = watermark
+        self._last_snapshot_t = self._latest_event_t
+        return path
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def recover(self, graph=None, config=None) -> tuple[GGridIndex, RecoveryReport]:
+        """Recover an index from this manager's directory (see
+        :func:`repro.persist.recovery.recover`)."""
+        return recover(self.directory, graph=graph, config=config, obs=self._obs)
+
+    def close(self) -> None:
+        self.wal.close()
+
+    def __enter__(self) -> "DurabilityManager":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

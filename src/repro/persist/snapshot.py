@@ -1,0 +1,173 @@
+"""Versioned, CRC-wrapped compacted snapshots with a WAL watermark.
+
+A snapshot is the full :func:`repro.persistence.index_state` body — the
+graph, config, object table *and* the per-cell compacted message
+backlogs — wrapped in an envelope carrying a CRC over the canonical
+body serialization and the WAL watermark (the LSN of the last record
+the snapshot reflects).  Recovery loads the newest snapshot whose CRC
+validates *and* whose watermark does not run ahead of the surviving
+WAL: a crash can lose un-synced WAL tail bytes, and a snapshot that
+reflects records the log no longer holds would resurrect updates the
+durable history says never happened.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.core.ggrid import GGridIndex
+from repro.errors import PersistenceError, ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.persistence import SNAPSHOT_VERSION, index_state
+
+_SNAPSHOT_GLOB = "snapshot-*.json"
+
+
+def _canonical(body: dict[str, Any]) -> bytes:
+    """The byte string the envelope CRC covers (stable across round trips)."""
+    return json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+@dataclass(frozen=True, slots=True)
+class LoadedSnapshot:
+    """One validated snapshot: its state body, watermark and origin."""
+
+    body: dict[str, Any]
+    watermark: int
+    path: Path
+
+
+class SnapshotStore:
+    """Writes and selects compacted snapshots in one directory.
+
+    Args:
+        directory: snapshot directory (created if missing).
+        keep: retained snapshot files; older ones are pruned after a
+            successful write (several are kept so a corrupt newest file
+            degrades recovery to an older snapshot plus more WAL replay,
+            never to data loss).
+        registry: optional metrics registry; publishes
+            ``repro_snapshots_total`` and ``repro_snapshot_bytes_total``.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        keep: int = 3,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if keep < 1:
+            raise PersistenceError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+        self.snapshots_written = 0
+        self._snapshots = None
+        self._bytes = None
+        if registry is not None:
+            self._snapshots = registry.counter(
+                "repro_snapshots_total",
+                help="Compacted snapshots written.",
+            ).default()
+            self._bytes = registry.counter(
+                "repro_snapshot_bytes_total",
+                help="Bytes written as compacted snapshots.",
+            ).default()
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def write(self, index: GGridIndex, watermark: int) -> Path:
+        """Persist ``index`` as the snapshot covering WAL LSNs <= watermark.
+
+        The envelope is written to a temporary file first and renamed
+        into place, so a crash mid-write leaves either the old set of
+        snapshots or the old set plus one complete new file — never a
+        half-written newest snapshot that shadows a good older one.
+        """
+        body = index_state(index)
+        payload = _canonical(body)
+        envelope = {
+            "crc": zlib.crc32(payload),
+            "watermark": int(watermark),
+            "body": body,
+        }
+        path = self.directory / f"snapshot-{int(watermark):012d}.json"
+        tmp = path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(envelope, fh)
+        tmp.replace(path)
+        self.snapshots_written += 1
+        if self._snapshots is not None:
+            self._snapshots.inc()
+            self._bytes.inc(path.stat().st_size)
+        self._prune()
+        return path
+
+    def _prune(self) -> None:
+        files = self.paths()
+        for stale in files[: max(0, len(files) - self.keep)]:
+            stale.unlink()
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def paths(self) -> list[Path]:
+        """Snapshot files, oldest watermark first."""
+        return sorted(self.directory.glob(_SNAPSHOT_GLOB))
+
+    def load(self, path: Path) -> LoadedSnapshot:
+        """Validate and load one snapshot file.
+
+        Raises:
+            PersistenceError: unreadable, CRC-mismatched or wrong-version
+                snapshots.
+        """
+        try:
+            with open(path, encoding="utf-8") as fh:
+                envelope = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise PersistenceError(f"unreadable snapshot {path}: {exc}") from exc
+        try:
+            crc = int(envelope["crc"])
+            watermark = int(envelope["watermark"])
+            body = envelope["body"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PersistenceError(f"malformed snapshot envelope {path}") from exc
+        if not isinstance(body, dict):
+            raise PersistenceError(f"malformed snapshot envelope {path}")
+        if zlib.crc32(_canonical(body)) != crc:
+            raise PersistenceError(f"snapshot {path} failed its CRC check")
+        if body.get("version") != SNAPSHOT_VERSION:
+            raise PersistenceError(
+                f"snapshot {path} has version {body.get('version')!r}, "
+                f"expected {SNAPSHOT_VERSION}"
+            )
+        return LoadedSnapshot(body, watermark, path)
+
+    def newest_valid(
+        self, max_watermark: int | None = None
+    ) -> tuple[LoadedSnapshot | None, int]:
+        """The newest loadable snapshot (and how many were rejected).
+
+        Args:
+            max_watermark: when given, snapshots whose watermark exceeds
+                it are skipped — they reflect WAL records the surviving
+                log no longer contains (see the module docstring).
+        """
+        rejected = 0
+        for path in reversed(self.paths()):
+            try:
+                snapshot = self.load(path)
+            except ReproError:
+                rejected += 1
+                continue
+            if max_watermark is not None and snapshot.watermark > max_watermark:
+                rejected += 1
+                continue
+            return snapshot, rejected
+        return None, rejected

@@ -21,6 +21,8 @@ from __future__ import annotations
 import time
 from typing import Protocol, runtime_checkable
 
+from pathlib import Path
+
 from repro.core.knn import BatchExecStats, KnnAnswer
 from repro.core.messages import Message
 from repro.errors import QueryError
@@ -156,6 +158,7 @@ class QueryServer:
         maintenance: "object | None" = None,
         obs: Observability | None = None,
         batch: BatchPolicy | None = None,
+        durability: "object | None" = None,
     ) -> None:
         """Args:
             index: any :class:`KnnIndex` implementation.
@@ -171,6 +174,11 @@ class QueryServer:
                 the process-wide policy installed with
                 :func:`repro.server.batching.configure_batching`, else
                 sequential execution.
+            durability: optional
+                :class:`~repro.persist.manager.DurabilityManager`
+                (DESIGN.md §11): every update is WAL-logged before it is
+                applied and the manager's snapshot policy runs after,
+                so a process death recovers via :meth:`recover`.
         """
         self.index = index
         self.timing = timing or TimingModel()
@@ -180,8 +188,51 @@ class QueryServer:
         self.batch = batch if batch is not None else (
             default_batch_policy() or BatchPolicy()
         )
+        self.durability = durability
         #: cumulative fallback count, for the rate-limited warning
         self._fallback_count = 0
+
+    @classmethod
+    def recover(
+        cls,
+        directory: str | Path,
+        *,
+        graph: "object | None" = None,
+        config: "object | None" = None,
+        timing: TimingModel | None = None,
+        maintenance: "object | None" = None,
+        obs: Observability | None = None,
+        batch: BatchPolicy | None = None,
+        **durability_kwargs: object,
+    ) -> "QueryServer":
+        """Rebuild a server from a durability directory after a crash.
+
+        Runs :func:`repro.persist.recovery.recover` (newest valid
+        snapshot + WAL replay past its watermark), then attaches a fresh
+        :class:`~repro.persist.manager.DurabilityManager` that resumes
+        the same log — its writer trims any torn tail and continues the
+        LSN sequence — so the recovered server is durable again from
+        the first post-recovery update.  The recovery report is exposed
+        as ``server.recovery_report``.
+        """
+        from repro.persist.manager import DurabilityManager
+        from repro.persist.recovery import recover as _recover
+
+        resolved_obs = obs if obs is not None else default_observability()
+        index, report = _recover(
+            directory, graph=graph, config=config, obs=resolved_obs
+        )
+        manager = DurabilityManager(directory, obs=resolved_obs, **durability_kwargs)
+        server = cls(
+            index,
+            timing=timing,
+            maintenance=maintenance,
+            obs=obs,
+            batch=batch,
+            durability=manager,
+        )
+        server.recovery_report = report
+        return server
 
     @property
     def _gpu(self) -> SimGpu | None:
@@ -198,9 +249,15 @@ class QueryServer:
         bp_before = getattr(self.index, "backpressure_cleanings", 0)
         backoff_before = getattr(self.index, "resilience_backoff_s", 0.0)
         t0 = time.perf_counter()
+        if self.durability is not None:
+            # write-ahead: the update is durable the moment it is logged,
+            # so recovery replays it even if we die before applying it
+            self.durability.log_ingest(message)
         self.index.ingest(message)
         if self.maintenance is not None:
             self.maintenance.on_update(self.index, message.t)
+        if self.durability is not None:
+            self.durability.maybe_snapshot(self.index)
         wall = time.perf_counter() - t0
         report.update_wall_s += wall
         report.update_touches += (
@@ -230,6 +287,24 @@ class QueryServer:
             breaker = getattr(self.index, "breaker", None)
             if breaker is not None:
                 inst.breaker_state.set(breaker.state_code)
+
+    def remove_object(self, obj: int, t: float) -> None:
+        """Deregister an object durably (WAL-logged when durability is on).
+
+        Raises:
+            QueryError: the backing index does not support removal.
+            UnknownObjectError: the object was never ingested.
+        """
+        remove = getattr(self.index, "remove_object", None)
+        if remove is None:
+            raise QueryError(
+                f"index {self.index.name!r} does not support object removal"
+            )
+        if self.durability is not None:
+            self.durability.log_remove(obj, t)
+        remove(obj, t)
+        if self.durability is not None:
+            self.durability.maybe_snapshot(self.index)
 
     def query(self, q: Query, report: ReplayReport) -> KnnAnswer:
         """Answer one query, charging its cost to the report."""

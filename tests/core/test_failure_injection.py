@@ -113,6 +113,36 @@ def test_queries_after_fault_match_oracle(medium_graph, monkeypatch):
     assert [round(x, 9) for x in got] == [round(x, 9) for x in want]
 
 
+def test_backpressure_on_cell_locked_for_cleaning(medium_graph):
+    """Capacity pressure on a cell whose list is locked by an in-flight
+    cleaning pass: the forced in-line compaction must not steal the lock
+    (the cleaner skips locked lists), so the CapacityError propagates —
+    and crucially nothing is lost and the first pass's lock is intact."""
+    config = GGridConfig(eta=3, delta_b=2, max_buckets_per_cell=2)
+    index = GGridIndex(medium_graph, config)
+    cell = index.grid.cell_of_edge(0)
+    for i in range(4):  # fill the cell to its 2-bucket cap
+        index.ingest(Message(i, 0, 0.1, 1.0 + i))
+    mlist = index.lists[cell]
+    mlist.lock_for_cleaning()  # an in-flight pass owns the backlog
+    for i in range(4, 6):  # fill the post-lock bucket too
+        index.ingest(Message(i, 0, 0.1, 5.0 + i))
+
+    from repro.errors import CapacityError
+
+    pending = mlist.num_messages
+    with pytest.raises(CapacityError):
+        index.ingest(Message(9, 0, 0.2, 20.0))
+    assert mlist.locked  # the in-flight pass still owns its lock
+    assert mlist.num_messages == pending  # nothing lost, nothing snuck in
+    assert 9 not in index.object_table  # the failed update never landed
+
+    # once the pass completes, backpressure compaction works again
+    mlist.release_cleaned()
+    index.ingest(Message(9, 0, 0.2, 20.0))
+    assert 9 in index.object_table
+
+
 def test_unlock_abort_restores_buckets():
     from repro.core.message_list import MessageList
 

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.core.message_list import Bucket, MessageList
 from repro.core.messages import Message
-from repro.errors import CapacityError
+from repro.errors import CapacityError, CleaningLockError
 
 
 def _msg(obj: int, t: float) -> Message:
@@ -65,8 +65,9 @@ def test_lock_appends_fresh_tail():
 def test_lock_on_empty_list():
     lst = MessageList(capacity=2)
     lst.lock_for_cleaning()
-    assert not lst.locked  # head == lock bucket: nothing frozen
+    assert lst.locked  # the pass owns the list even with nothing frozen
     assert lst.locked_buckets(0.0, 10.0) == []
+    assert lst.release_cleaned() == 0
 
 
 def test_stale_buckets_pruned():
@@ -94,12 +95,90 @@ def test_release_cleaned_drops_processed():
     assert [m.obj for m in lst.messages()] == [9]
 
 
-def test_release_without_lock_drops_everything_before_none():
+def test_release_without_lock_rejected():
+    """Releasing with p_l unset used to walk to the null pointer and
+    destroy every cached message; now it is a protocol violation."""
     lst = MessageList(capacity=2)
     lst.append(_msg(0, 0.0))
-    dropped = lst.release_cleaned()  # lock never taken: p_l is None
-    assert dropped == 1
-    assert lst.num_messages == 0
+    with pytest.raises(CleaningLockError):
+        lst.release_cleaned()  # lock never taken: p_l is None
+    assert lst.num_messages == 1
+
+
+def test_bucket_t_is_max_not_last():
+    """Regression: removal markers and skewed client clocks append out
+    of order; ``Bucket.t`` must be the max so stale-pruning never
+    discards a bucket that still holds a fresh message."""
+    lst = MessageList(capacity=3)
+    lst.append(_msg(1, 10.0))
+    lst.append(_msg(2, 5.0))  # skewed clock: older timestamp arrives later
+    lst.append(Message(1, None, None, 1.0))  # removal marker, older still
+    bucket = next(lst.buckets())
+    assert bucket.t == 10.0  # not 1.0, the last message's timestamp
+    lst.lock_for_cleaning()
+    # cutoff 7.0: the bucket holds a fresh message (t=10) and must ship
+    live = lst.locked_buckets(t_now=12.0, t_delta=5.0)
+    assert len(live) == 1
+
+
+def test_nested_lock_rejected_and_first_lock_intact():
+    """Regression: a second ``lock_for_cleaning`` silently advanced
+    ``p_l`` past post-lock arrivals, and ``release_cleaned`` then
+    destroyed messages no cleaner ever saw."""
+    lst = MessageList(capacity=2)
+    for i in range(3):
+        lst.append(_msg(i, float(i)))
+    lst.lock_for_cleaning()
+    lst.append(_msg(7, 7.0))  # arrives during the cleaning pass
+    with pytest.raises(CleaningLockError):
+        lst.lock_for_cleaning()
+    # the in-flight pass is undisturbed: release drops exactly the
+    # frozen messages and the post-lock arrival survives
+    assert lst.release_cleaned() == 3
+    assert [m.obj for m in lst.messages()] == [7]
+
+
+def test_prepend_snapshot_on_locked_list_survives_release():
+    """Regression: prepending a compacted snapshot onto a locked list
+    inserted it before ``p_l``, so the following ``release_cleaned``
+    discarded the snapshot (verified: list ended up empty)."""
+    lst = MessageList(capacity=2)
+    for i in range(4):
+        lst.append(_msg(i, float(i)))
+    lst.lock_for_cleaning()
+    lst.append(_msg(9, 9.0))  # post-lock arrival
+    # a compacted snapshot lands while the lock is still held
+    lst.prepend_snapshot([_msg(100, 3.5), _msg(101, 3.6)])
+    dropped = lst.release_cleaned()
+    assert dropped == 4  # only the frozen pre-lock messages
+    assert [m.obj for m in lst.messages()] == [100, 101, 9]
+
+
+def test_prepend_snapshot_on_locked_empty_list_survives_release():
+    lst = MessageList(capacity=2)
+    lst.lock_for_cleaning()
+    lst.prepend_snapshot([_msg(1, 1.0)])
+    assert lst.release_cleaned() == 0
+    assert [m.obj for m in lst.messages()] == [1]
+
+
+def test_prepend_snapshot_after_fault_abort_relock():
+    """The fault-abort path: a cleaning pass dies (unlock_abort), a
+    retry re-locks, and its compacted snapshot must survive the retry's
+    release even though it is prepended while the lock is held."""
+    lst = MessageList(capacity=2)
+    for i in range(3):
+        lst.append(_msg(i, float(i)))
+    lst.lock_for_cleaning()
+    lst.unlock_abort()  # GPU fault: frozen buckets rejoin the live list
+    assert lst.num_messages == 3
+    lst.lock_for_cleaning()  # the retry
+    frozen = [m for b in lst.locked_buckets(1e9, 1e12) for m in b.messages]
+    assert len(frozen) == 3
+    lst.append(_msg(9, 9.0))  # arrives mid-retry
+    lst.prepend_snapshot([_msg(2, 2.0)])  # compacted result, lock held
+    lst.release_cleaned()
+    assert [m.obj for m in lst.messages()] == [2, 9]
 
 
 def test_prepend_snapshot_goes_before_head():

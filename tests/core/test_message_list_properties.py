@@ -1,0 +1,91 @@
+"""Stateful property test of the message-list cleaning-lock protocol.
+
+A model list of object ids shadows a real :class:`MessageList` through
+random sequences of append / lock / release / abort / prepend_snapshot.
+The property: no message is ever lost or duplicated except through an
+explicit ``release_cleaned``, which drops *exactly* the messages frozen
+by the matching ``lock_for_cleaning`` — regardless of how snapshots,
+post-lock appends and aborted passes interleave.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.message_list import MessageList
+from repro.core.messages import Message
+from repro.errors import CleaningLockError
+
+
+def _msg(obj: int, t: float) -> Message:
+    return Message(obj, 0, 0.0, t)
+
+
+class LockProtocolMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.lst = MessageList(capacity=3)
+        self.model: list[int] = []  # expected ids, in list order
+        self.frozen: list[int] | None = None  # ids owned by an in-flight pass
+        self.counter = 0
+
+    def _next_ids(self, n: int) -> list[int]:
+        ids = list(range(self.counter, self.counter + n))
+        self.counter += n
+        return ids
+
+    @rule()
+    def append(self):
+        (i,) = self._next_ids(1)
+        self.lst.append(_msg(i, float(i)))
+        self.model.append(i)
+
+    @rule()
+    def lock(self):
+        if self.frozen is not None:
+            with pytest.raises(CleaningLockError):
+                self.lst.lock_for_cleaning()
+        else:
+            self.lst.lock_for_cleaning()
+            self.frozen = list(self.model)
+
+    @rule()
+    def release(self):
+        if self.frozen is None:
+            with pytest.raises(CleaningLockError):
+                self.lst.release_cleaned()
+        else:
+            dropped = self.lst.release_cleaned()
+            # release drops exactly the frozen messages, nothing else
+            assert dropped == len(self.frozen)
+            assert self.model[: len(self.frozen)] == self.frozen
+            self.model = self.model[len(self.frozen) :]
+            self.frozen = None
+
+    @rule()
+    def abort(self):
+        self.lst.unlock_abort()  # frozen buckets rejoin the live list
+        self.frozen = None
+
+    @rule(n=st.integers(1, 5))
+    def prepend(self, n):
+        ids = self._next_ids(n)
+        self.lst.prepend_snapshot([_msg(i, -1.0) for i in ids])
+        if self.frozen is None:
+            self.model = ids + self.model  # before the head
+        else:
+            # at the lock frontier: after the frozen region, so a later
+            # release keeps the snapshot while dropping the frozen part
+            cut = len(self.frozen)
+            self.model = self.model[:cut] + ids + self.model[cut:]
+
+    @invariant()
+    def real_list_matches_model(self):
+        assert [m.obj for m in self.lst.messages()] == self.model
+
+
+LockProtocolMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)
+TestLockProtocol = LockProtocolMachine.TestCase

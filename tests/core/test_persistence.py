@@ -63,6 +63,47 @@ def test_config_to_dict_subset():
     assert "gpu" not in d  # the cost model is environment, not state
 
 
+def test_restore_preserves_chronology_with_reversed_ids(medium_graph, tmp_path):
+    """Regression: ``load_index`` used to re-ingest the object table
+    sorted by object id.  With ids descending while timestamps ascend,
+    the replayed lists were anti-chronological, so ``Bucket.t`` (when it
+    was last-message) claimed buckets holding fresh messages were stale
+    and the first cleaning silently expired live objects."""
+    index = GGridIndex(medium_graph, GGridConfig(eta=3, delta_b=4, t_delta=10.0))
+    for i in range(8):
+        # object ids descend (8..1) while time ascends (1..8)
+        index.ingest(Message(8 - i, 0, 0.1 * i, 1.0 + i))
+    restored = load_index(save_index(index, tmp_path / "snap.json"))
+
+    cell = restored.grid.cell_of_edge(0)
+    times = [m.t for m in restored.lists[cell].messages()]
+    assert times == sorted(times)  # chronological invariant survives
+
+    # t_now=12: objects with t >= 2 are within contract; a clean must
+    # keep them (the old replay dropped everything in "stale" buckets)
+    restored.clean_cells({cell}, t_now=12.0)
+    for obj in range(1, 8):  # t = 2..8, all live
+        assert obj in restored.object_table
+    answer = restored.knn(NetworkLocation(0, 0.0), k=7, t_now=12.0)
+    assert sorted(answer.objects()) == list(range(1, 8))
+
+
+def test_restore_preserves_pending_backlog(medium_graph, tmp_path):
+    """The snapshot persists the compacted message state: backlogs (and
+    removal markers) survive a save/load byte-for-byte, so recovery does
+    not owe a re-cleaning of updates that were already cached."""
+    index = _populated(medium_graph)
+    index.ingest(Message(0, 1, 0.0, 2.0))  # cross-cell move: removal marker
+    restored = load_index(save_index(index, tmp_path / "snap.json"))
+    assert restored.pending_messages() == index.pending_messages()
+    for cell, mlist in index.lists.items():
+        got = restored.lists[cell].messages()
+        want = mlist.messages()
+        assert [(m.obj, m.edge, m.offset, m.t) for m in got] == [
+            (m.obj, m.edge, m.offset, m.t) for m in want
+        ]
+
+
 def test_remove_object(medium_graph):
     index = _populated(medium_graph)
     index.remove_object(3, t=5.0)

@@ -1,0 +1,156 @@
+"""Recovery-path tests: snapshot selection, WAL replay, reporting."""
+
+import random
+
+import pytest
+
+from repro.config import GGridConfig
+from repro.core.ggrid import GGridIndex
+from repro.core.messages import Message
+from repro.errors import PersistenceError
+from repro.obs import Observability
+from repro.persist import DurabilityManager, SnapshotPolicy, recover
+from repro.roadnet.location import NetworkLocation
+
+pytestmark = pytest.mark.persist
+
+_CONFIG = GGridConfig(eta=3, delta_b=8)
+
+
+def _stream(graph, n, seed=7, objects=10):
+    rng = random.Random(seed)
+    out = []
+    for i in range(n):
+        e = rng.randrange(graph.num_edges)
+        obj = rng.randrange(objects)
+        out.append(Message(obj, e, rng.uniform(0, graph.edge(e).weight), float(i + 1)))
+    return out
+
+
+def _run(manager, graph, messages):
+    index = GGridIndex(graph, _CONFIG)
+    for m in messages:
+        manager.log_ingest(m)
+        index.ingest(m)
+        manager.maybe_snapshot(index)
+    return index
+
+
+def test_recover_snapshot_plus_tail(medium_graph, tmp_path):
+    messages = _stream(medium_graph, 100)
+    with DurabilityManager(
+        tmp_path, snapshot_policy=SnapshotPolicy(every_records=30)
+    ) as manager:
+        live = _run(manager, medium_graph, messages)
+
+    recovered, report = recover(tmp_path)
+    assert report.snapshot_watermark == 90
+    assert report.records_skipped == 90
+    assert report.records_replayed == 10
+    assert not report.torn_tail
+    assert report.last_lsn == 100
+    q = NetworkLocation(0, 0.1)
+    assert recovered.knn(q, 5, t_now=100.0).distances() == pytest.approx(
+        live.knn(q, 5, t_now=100.0).distances()
+    )
+
+
+def test_recover_without_snapshot_needs_graph(medium_graph, tmp_path):
+    messages = _stream(medium_graph, 20)
+    with DurabilityManager(tmp_path) as manager:  # no snapshot policy
+        _run(manager, medium_graph, messages)
+
+    with pytest.raises(PersistenceError, match="no usable snapshot"):
+        recover(tmp_path)
+
+    recovered, report = recover(tmp_path, graph=medium_graph, config=_CONFIG)
+    assert report.snapshot_path is None
+    assert report.records_replayed == 20
+    assert recovered.num_objects > 0
+
+
+def test_recover_empty_directory_raises(tmp_path):
+    with pytest.raises(PersistenceError):
+        recover(tmp_path)
+
+
+def test_recover_tolerates_bad_record(medium_graph, tmp_path):
+    """A WAL record the index rejects (here: removing an object that
+    never existed) is counted and skipped, not fatal."""
+    with DurabilityManager(tmp_path) as manager:
+        for m in _stream(medium_graph, 10):
+            manager.log_ingest(m)
+        manager.log_remove(obj=999, t=11.0)  # never ingested
+
+    recovered, report = recover(tmp_path, graph=medium_graph, config=_CONFIG)
+    assert report.records_failed == 1
+    assert report.records_replayed == 10
+    assert "lsn=11" in report.failures[0]
+    assert recovered.num_objects > 0
+
+
+def test_recovery_metrics_and_span(medium_graph, tmp_path):
+    obs = Observability.with_tracing()
+    with DurabilityManager(
+        tmp_path, snapshot_policy=SnapshotPolicy(every_records=5), obs=obs
+    ) as manager:
+        _run(manager, medium_graph, _stream(medium_graph, 12))
+
+    _, report = recover(tmp_path, obs=obs)
+    families = obs.registry.families()
+    assert (
+        families["repro_recovery_replayed_total"].default().value
+        == report.records_replayed
+    )
+    assert families["repro_recoveries_total"].default().value == 1
+    assert families["repro_wal_records_total"].labels(op="ingest").value == 12
+    assert families["repro_snapshots_total"].default().value == 2
+    spans = [s for s in obs.tracer.spans if s.name == "recovery"]
+    assert len(spans) == 1
+    assert spans[0].attrs["records_replayed"] == report.records_replayed
+
+
+def test_manager_resumes_policy_cursor(medium_graph, tmp_path):
+    """A restarted manager must not immediately re-snapshot: its cursor
+    resumes from the newest on-disk snapshot's watermark."""
+    policy = SnapshotPolicy(every_records=10)
+    with DurabilityManager(tmp_path, snapshot_policy=policy) as manager:
+        _run(manager, medium_graph, _stream(medium_graph, 10))
+        assert manager.snapshots.snapshots_written == 1
+
+    with DurabilityManager(tmp_path, snapshot_policy=policy) as manager:
+        index, _ = manager.recover()
+        for m in _stream(medium_graph, 9, seed=8):
+            manager.log_ingest(m)
+            index.ingest(m)
+            manager.maybe_snapshot(index)
+        # 9 records past the resumed watermark of 10: not due yet
+        assert manager.snapshots.snapshots_written == 0
+        manager.log_ingest(Message(0, 0, 0.1, 50.0))
+        index.ingest(Message(0, 0, 0.1, 50.0))
+        assert manager.maybe_snapshot(index) is not None
+
+
+def test_snapshot_policy_validation():
+    with pytest.raises(PersistenceError):
+        SnapshotPolicy(every_records=-1)
+    with pytest.raises(PersistenceError):
+        SnapshotPolicy(every_seconds=-0.5)
+    assert not SnapshotPolicy().enabled
+    assert SnapshotPolicy(every_seconds=5.0).enabled
+
+
+def test_time_based_snapshot_trigger(medium_graph, tmp_path):
+    with DurabilityManager(
+        tmp_path, snapshot_policy=SnapshotPolicy(every_seconds=10.0)
+    ) as manager:
+        index = GGridIndex(medium_graph, _CONFIG)
+        for t in (1.0, 5.0, 9.0):
+            m = Message(0, 0, 0.1, t)
+            manager.log_ingest(m)
+            index.ingest(m)
+            assert manager.maybe_snapshot(index) is None
+        m = Message(0, 0, 0.1, 12.0)  # event time crosses the 10s window
+        manager.log_ingest(m)
+        index.ingest(m)
+        assert manager.maybe_snapshot(index) is not None

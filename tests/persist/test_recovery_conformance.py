@@ -1,0 +1,208 @@
+"""Recovery conformance: crash anywhere, answer as if nothing happened.
+
+The contract under test (DESIGN.md §11): for **any** byte-level
+truncation of the write-ahead log — at record boundaries, one byte past
+them, or mid-record — recovery from the surviving files produces an
+index whose kNN and range answers are *byte-identical* (``repr`` of
+every distance) to a fresh index fed exactly the surviving prefix of
+updates.  The surviving prefix is defined as the complete, CRC-valid
+records before the first tear; snapshots whose watermark runs ahead of
+that prefix must be rejected, falling back to an older snapshot or a
+from-scratch replay.
+
+The durable directory is built once per module with rotation-sized WAL
+segments, periodic compacted snapshots and mid-stream queries (so the
+snapshots capture post-cleaning compacted lists, not just raw appends);
+every truncation scenario then copies it, damages the copy and recovers.
+"""
+
+import random
+import shutil
+
+import pytest
+
+from repro.config import GGridConfig
+from repro.core.ggrid import GGridIndex
+from repro.core.messages import Message
+from repro.persist import DurabilityManager, SnapshotPolicy, recover
+from repro.persist.wal import SEGMENT_MAGIC
+from repro.roadnet.location import NetworkLocation
+
+pytestmark = pytest.mark.persist
+
+# t_delta is effectively infinite: expiry semantics are covered by the
+# core suite, while this one isolates the durability contract
+_CONFIG = GGridConfig(eta=3, delta_b=6, t_delta=1e9)
+_N_OPS = 240
+_QUERY_POINTS = [(0, 0.0), (17, 0.0), (53, 0.0)]
+
+
+def _make_ops(graph, n=_N_OPS, objects=30, seed=13):
+    """A seeded op stream: ingests plus ~10% removals of live objects."""
+    rng = random.Random(seed)
+    live = set()
+    ops = []
+    t = 0.0
+    for _ in range(n):
+        t += rng.uniform(0.05, 0.3)
+        if live and rng.random() < 0.1:
+            obj = rng.choice(sorted(live))
+            ops.append(("remove", obj, None, None, t))
+            live.discard(obj)
+        else:
+            obj = rng.randrange(objects)
+            e = rng.randrange(graph.num_edges)
+            ops.append(("ingest", obj, e, rng.uniform(0, graph.edge(e).weight), t))
+            live.add(obj)
+    return ops
+
+
+def _apply(index, op):
+    kind, obj, edge, offset, t = op
+    if kind == "ingest":
+        index.ingest(Message(obj, edge, offset, t))
+    else:
+        index.remove_object(obj, t)
+
+
+def _answers(index, t_now):
+    """Byte-exact answer fingerprint: objects + repr of every distance."""
+    out = []
+    for edge, offset in _QUERY_POINTS:
+        for k in (1, 5, 12):
+            a = index.knn(NetworkLocation(edge, offset), k, t_now=t_now)
+            out.append((a.objects(), [repr(d) for d in a.distances()]))
+    r = index.range_query(NetworkLocation(0, 0.0), radius=3.0, t_now=t_now)
+    out.append((r.objects(), [repr(d) for d in r.distances()]))
+    return out
+
+
+@pytest.fixture(scope="module")
+def durable_run(small_graph, tmp_path_factory):
+    """Build the reference durability directory once: small segments (to
+    force rotation), snapshots every 60 records, queries mid-stream."""
+    base = tmp_path_factory.mktemp("durable")
+    ops = _make_ops(small_graph)
+    extents = []
+    with DurabilityManager(
+        base,
+        max_segment_bytes=2048,
+        fsync_every=16,
+        snapshot_policy=SnapshotPolicy(every_records=60),
+    ) as manager:
+        index = GGridIndex(small_graph, _CONFIG)
+        for i, op in enumerate(ops):
+            kind, obj, edge, offset, t = op
+            if kind == "ingest":
+                extents.append(manager.log_ingest(Message(obj, edge, offset, t)))
+            else:
+                extents.append(manager.log_remove(obj, t))
+            _apply(index, op)
+            manager.maybe_snapshot(index)
+            if i in (100, 180):  # queries clean cells -> compacted snapshots
+                index.knn(NetworkLocation(0, 0.0), 5, t_now=t)
+    assert len({e.segment for e in extents}) >= 3  # rotation really happened
+    return base, ops, extents
+
+
+def _crash_copy(base, tmp_path, segment, offset):
+    """Copy the durable dir, then model a crash: every WAL segment after
+    ``segment`` is gone, ``segment`` itself survives only to ``offset``."""
+    crashed = tmp_path / "crashed"
+    shutil.copytree(base, crashed)
+    wal_dir = crashed / "wal"
+    for seg in sorted(wal_dir.glob("wal-*.seg")):
+        if seg.name > segment.name:
+            seg.unlink()
+        elif seg.name == segment.name:
+            with open(seg, "r+b") as fh:
+                fh.truncate(offset)
+    return crashed
+
+
+def _surviving_prefix(ops, extents, segment, offset):
+    """The ops whose WAL records are complete in the crashed files."""
+    prefix = []
+    for op, extent in zip(ops, extents):
+        if extent.segment.name < segment.name or (
+            extent.segment.name == segment.name and extent.end_offset <= offset
+        ):
+            prefix.append(op)
+        else:
+            break
+    return prefix
+
+
+def _truncation_points(extents, seed=29):
+    """Record boundaries, boundaries +1 byte, mid-record cuts, and the
+    degenerate edges (empty file, bare magic)."""
+    rng = random.Random(seed)
+    points = []
+    for i in rng.sample(range(len(extents)), 8):
+        e = extents[i]
+        points.append((e.segment, e.end_offset))  # clean boundary
+        points.append((e.segment, e.end_offset + 1))  # 1 stray byte
+        points.append((e.segment, e.end_offset - 3))  # mid-record tear
+    first = extents[0].segment
+    points.append((first, 0))  # segment truncated to nothing
+    points.append((first, len(SEGMENT_MAGIC)))  # bare header survives
+    last = extents[-1]
+    points.append((last.segment, last.end_offset))  # nothing lost at all
+    return points
+
+
+def test_recovery_matches_fresh_replay_at_any_truncation(
+    durable_run, small_graph, tmp_path
+):
+    base, ops, extents = durable_run
+    for i, (segment, offset) in enumerate(_truncation_points(extents)):
+        crashed = _crash_copy(base, tmp_path / f"case{i}", segment, offset)
+        prefix = _surviving_prefix(ops, extents, segment, offset)
+
+        recovered, report = recover(crashed, graph=small_graph, config=_CONFIG)
+        assert report.records_failed == 0, report.failures
+        assert report.snapshot_watermark + report.records_replayed == len(prefix)
+
+        fresh = GGridIndex(small_graph, _CONFIG)
+        for op in prefix:
+            _apply(fresh, op)
+
+        t_now = prefix[-1][4] if prefix else 1.0
+        assert _answers(recovered, t_now) == _answers(fresh, t_now), (
+            f"case {i}: truncation at {segment.name}:{offset} "
+            f"({len(prefix)} surviving ops) diverged from fresh replay"
+        )
+
+
+def test_recovery_then_resume_then_recover_again(durable_run, small_graph, tmp_path):
+    """After a crash, the writer resumes on the truncated log (trimming
+    the torn tail), appends new updates, and a second recovery reflects
+    prefix + new updates exactly."""
+    base, ops, extents = durable_run
+    mid = extents[150]
+    crashed = _crash_copy(base, tmp_path, mid.segment, mid.end_offset - 2)
+    prefix = _surviving_prefix(ops, extents, mid.segment, mid.end_offset - 2)
+
+    with DurabilityManager(crashed, fsync_every=1) as manager:
+        index, report = manager.recover()
+        assert manager.wal.last_lsn == len(prefix)  # LSN run continues
+        tail_ops = _make_ops(small_graph, n=25, seed=31)
+        t0 = prefix[-1][4]
+        shifted = [(k, o, e, off, t0 + t) for (k, o, e, off, t) in tail_ops]
+        for op in shifted:
+            kind, obj, edge, offset, t = op
+            if kind == "ingest":
+                manager.log_ingest(Message(obj, edge, offset, t))
+            else:
+                manager.log_remove(obj, t)
+            _apply(index, op)
+            manager.maybe_snapshot(index)
+
+    recovered, report = recover(crashed, graph=small_graph, config=_CONFIG)
+    assert not report.torn_tail  # resume trimmed the tear away
+    fresh = GGridIndex(small_graph, _CONFIG)
+    for op in prefix + shifted:
+        _apply(fresh, op)
+    t_now = shifted[-1][4]
+    assert _answers(recovered, t_now) == _answers(fresh, t_now)
+    assert _answers(index, t_now) == _answers(fresh, t_now)  # the live one too
