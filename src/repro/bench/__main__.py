@@ -88,6 +88,11 @@ EXPERIMENTS = {
         "Resilience: chaos profiles vs fault-free baseline",
         True,
     ),
+    "cluster": (
+        experiments.cluster_scaling,
+        "Cluster: shard scaling, fanout and failover",
+        True,
+    ),
     "recovery": (
         experiments.recovery_curve,
         "Recovery: snapshot interval vs crash-recovery time",

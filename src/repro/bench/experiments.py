@@ -651,3 +651,73 @@ def chaos_resilience(dataset: str = "NY") -> list[dict[str, Any]]:
             }
         )
     return rows
+
+
+def cluster_scaling(dataset: str = "NY") -> list[dict[str, Any]]:
+    """Cluster: shard-count sweep plus a mid-replay failover run.
+
+    One row per shard count (1, 2, 4, 8) replaying the identical
+    workload through a :class:`~repro.cluster.router.ShardRouter`, then
+    one row at 4 shards with a scheduled shard failure and replica
+    promotion.  ``answers_match`` compares every per-query answer
+    against the unsharded :class:`~repro.server.server.QueryServer`
+    baseline — same objects, same order, distances equal at the
+    conformance suite's 9-decimal precision — and must read ``True`` on
+    every row.  ``exact_match`` additionally reports byte-identity;
+    under migration-heavy replays a shard's restricted-search subgraph
+    differs from the unsharded index's, so last-ulp drift is possible
+    (see :func:`repro.core.sdist.sdist_kernel`) and the column may read
+    ``False`` while ``answers_match`` stays ``True``.  ``mean_fanout``
+    shows the cell-distance lower bound pruning the scatter — the
+    acceptance bar is mean fanout strictly below the shard count from 4
+    shards up.
+    """
+    from repro.bench.harness import cached_workload
+    from repro.cluster import ShardFailurePlan, ShardRouter
+    from repro.server import BatchPolicy, QueryServer
+
+    graph = load_dataset(dataset)
+    duration = 20.0
+    workload = cached_workload(
+        dataset, scaled_objects(dataset), duration, 32, 16, 1.0, 7
+    )
+
+    index = build_index("G-Grid", dataset)
+    index.reset_objects()
+    server = QueryServer(index, batch=BatchPolicy())
+    baseline_report, baseline = server.replay(workload, collect_answers=True)
+    baseline_key = [[(e.obj, e.distance) for e in a.entries] for a in baseline]
+    baseline_rounded = [
+        [(obj, round(d, 9)) for obj, d in answer] for answer in baseline_key
+    ]
+
+    rows: list[dict[str, Any]] = []
+    for num_shards, failover in ((1, False), (2, False), (4, False), (8, False), (4, True)):
+        plan = (
+            ShardFailurePlan.single(0, duration / 2) if failover else None
+        )
+        with ShardRouter(
+            graph, num_shards=num_shards, failure_plan=plan
+        ) as router:
+            report, answers = router.replay(workload, collect_answers=True)
+            promotions = sum(s.promotions for s in router.shards.values())
+        key = [[(e.obj, e.distance) for e in a.entries] for a in answers]
+        rounded = [
+            [(obj, round(d, 9)) for obj, d in answer] for answer in key
+        ]
+        rows.append(
+            {
+                "shards": num_shards,
+                "failover": failover,
+                "answers_match": rounded == baseline_rounded,
+                "exact_match": key == baseline_key,
+                "mean_fanout": round(report.mean_fanout, 3),
+                "migrations": report.shard_migrations,
+                "promotions": promotions,
+                "n_updates": report.n_updates,
+                "n_queries": report.n_queries,
+                "amortized_s": report.amortized_s(),
+                "baseline_amortized_s": baseline_report.amortized_s(),
+            }
+        )
+    return rows

@@ -1,0 +1,47 @@
+"""Sharded cluster serving: Z-range shard map, scatter-gather router,
+replica failover and hot-shard rebalancing (DESIGN.md §12).
+
+The single-machine stack — :class:`~repro.core.ggrid.GGridIndex` behind
+a :class:`~repro.server.server.QueryServer` — scales to a cluster by
+partitioning the graph grid's Z-ordered cells into contiguous ranges,
+one :class:`ShardRouter`-managed shard per range.  Updates route to the
+owning shard; kNN queries scatter-gather with a sound cell-distance
+lower bound pruning shards that cannot beat the current k-th distance,
+so sharded answers are byte-identical to a single server's.  Every
+shard write-ahead-logs through its own
+:class:`~repro.persist.manager.DurabilityManager`, feeds a standby
+:class:`Replica` by record shipping, and fails over through replica
+promotion (or full WAL replay) without losing an acknowledged update.
+
+Example:
+    >>> from repro.cluster import ShardMap
+    >>> ShardMap.balanced(16, 4).shard_ids
+    [0, 1, 2, 3]
+"""
+
+from repro.cluster.rebalance import LoadTracker, RebalancePolicy, choose_split
+from repro.cluster.replica import Replica, ShardFailurePlan
+from repro.cluster.router import (
+    FAILOVER_REPLICA,
+    FAILOVER_WAL,
+    ClusterInstruments,
+    Shard,
+    ShardRouter,
+)
+from repro.cluster.shardmap import CellDistanceBound, ShardMap, ShardRange
+
+__all__ = [
+    "CellDistanceBound",
+    "ClusterInstruments",
+    "FAILOVER_REPLICA",
+    "FAILOVER_WAL",
+    "LoadTracker",
+    "RebalancePolicy",
+    "Replica",
+    "Shard",
+    "ShardFailurePlan",
+    "ShardMap",
+    "ShardRange",
+    "ShardRouter",
+    "choose_split",
+]

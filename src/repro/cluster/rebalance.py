@@ -1,0 +1,117 @@
+"""Hot-shard detection and split-point selection.
+
+The router tracks per-shard and per-cell operation counts in a
+:class:`LoadTracker`; every ``check_every`` updates it asks
+:func:`choose_split` whether one shard's share of the window's traffic
+exceeds ``hot_share``.  If so, the hot shard's Z range is cut at the
+weighted median cell — the smallest prefix of its cells carrying at
+least half its load — so both halves inherit comparable traffic, and the
+router peels the tail half onto a fresh shard
+(:meth:`~repro.cluster.shardmap.ShardMap.split`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.shardmap import ShardMap
+from repro.errors import ClusterError
+
+
+@dataclass(frozen=True)
+class RebalancePolicy:
+    """When and how aggressively the router splits hot shards.
+
+    Attributes:
+        hot_share: a shard whose share of the tracked window's operations
+            exceeds this (strictly) is split.
+        min_ops: do nothing until the window has at least this many
+            operations (protects against splitting on startup noise).
+        check_every: updates between policy evaluations.
+        max_shards: hard cap on cluster size; no splits past it.
+    """
+
+    hot_share: float = 0.5
+    min_ops: int = 64
+    check_every: int = 32
+    max_shards: int = 16
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.hot_share < 1.0:
+            raise ClusterError(
+                f"hot_share must be in (0, 1), got {self.hot_share}"
+            )
+        if self.min_ops < 1:
+            raise ClusterError(f"min_ops must be >= 1, got {self.min_ops}")
+        if self.check_every < 1:
+            raise ClusterError(
+                f"check_every must be >= 1, got {self.check_every}"
+            )
+        if self.max_shards < 1:
+            raise ClusterError(
+                f"max_shards must be >= 1, got {self.max_shards}"
+            )
+
+
+class LoadTracker:
+    """Sliding-window operation counts per shard and per cell.
+
+    The window resets after every split so post-split decisions reflect
+    the new layout, not traffic the split already absorbed.
+    """
+
+    def __init__(self) -> None:
+        self.ops_by_shard: dict[int, int] = {}
+        self.ops_by_cell: dict[int, int] = {}
+        self.total = 0
+        self.since_check = 0
+
+    def record(self, shard_id: int, cell: int) -> None:
+        self.ops_by_shard[shard_id] = self.ops_by_shard.get(shard_id, 0) + 1
+        self.ops_by_cell[cell] = self.ops_by_cell.get(cell, 0) + 1
+        self.total += 1
+
+    def clear(self) -> None:
+        self.ops_by_shard.clear()
+        self.ops_by_cell.clear()
+        self.total = 0
+        self.since_check = 0
+
+
+def choose_split(
+    tracker: LoadTracker, shard_map: ShardMap, policy: RebalancePolicy
+) -> tuple[int, int] | None:
+    """The ``(shard_id, split_cell)`` to cut, or ``None`` to do nothing.
+
+    A shard qualifies when its share of the window exceeds
+    ``policy.hot_share``, it spans at least two cells (a single cell
+    cannot be cut), and the cluster is below ``max_shards``.  The split
+    cell is the weighted median of the shard's per-cell counts, clamped
+    so both halves keep at least one cell.
+    """
+    if tracker.total < policy.min_ops:
+        return None
+    if shard_map.num_shards >= policy.max_shards:
+        return None
+    hot_sid = None
+    hot_ops = 0
+    for sid in shard_map.shard_ids:
+        ops = tracker.ops_by_shard.get(sid, 0)
+        if ops > hot_ops and len(shard_map.cells_of(sid)) >= 2:
+            hot_sid, hot_ops = sid, ops
+    if hot_sid is None or hot_ops <= policy.hot_share * tracker.total:
+        return None
+    cells = shard_map.cells_of(hot_sid)
+    per_cell = [tracker.ops_by_cell.get(c, 0) for c in cells]
+    shard_total = sum(per_cell)
+    if shard_total == 0:
+        return None
+    split = cells[-1]
+    acc = 0
+    for cell, ops in zip(cells, per_cell):
+        acc += ops
+        if acc * 2 >= shard_total:
+            split = cell + 1
+            break
+    split = min(max(split, cells[0] + 1), cells[-1])
+    return hot_sid, split

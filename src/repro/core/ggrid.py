@@ -59,14 +59,22 @@ class GGridIndex:
         config: GGridConfig | None = None,
         gpu: SimGpu | None = None,
         resilience: ResiliencePolicy | None = None,
+        grid: GraphGrid | None = None,
     ) -> None:
         """Build the index: partition the network into the graph grid and
         ship the GPU-resident copy to the device (a one-time transfer
-        accounted in the device stats)."""
+        accounted in the device stats).
+
+        ``grid`` shares a prebuilt :class:`GraphGrid` instead of
+        repartitioning the network — the grid is immutable during
+        serving, so the cluster layer builds it once and every shard
+        (and replica) reuses it; each index still ships its own
+        device-resident copy.
+        """
         self.graph = graph
         self.config = config or GGridConfig()
         self.gpu = gpu or SimGpu(self.config.gpu)
-        self.grid = GraphGrid.build(graph, self.config)
+        self.grid = grid if grid is not None else GraphGrid.build(graph, self.config)
         self.gpu.to_device("ggrid.grid", self.grid, nbytes=self.grid.device_nbytes())
         self.object_table = ObjectTable()
         self.lists: dict[int, MessageList] = {}
@@ -140,13 +148,17 @@ class GGridIndex:
 
         Appends a removal marker to the object's cell — so a later
         cleaning of that cell drops any cached location messages — and
-        deletes the object-table entry immediately.
+        deletes the object-table entry immediately.  Under capacity
+        pressure the marker rides the same in-line-cleaning backpressure
+        as ingest: removals are how the cluster layer migrates objects
+        between shards, and a standby replica applying shipped removals
+        gets no query-driven cleanings to drain its lists.
 
         Raises:
             UnknownObjectError: when the object was never ingested.
         """
         entry = self.object_table.get(obj)
-        self._list_of(entry.cell).append(Message(obj, None, None, t))
+        self._append_with_backpressure(entry.cell, Message(obj, None, None, t))
         self.object_table.remove(obj)
         self.update_touches += 2
         self.latest_time = max(self.latest_time, t)

@@ -80,3 +80,9 @@ class QueryError(ReproError):
 
 class ConfigError(ReproError):
     """Raised when a configuration value is out of its legal range."""
+
+
+class ClusterError(ReproError):
+    """Raised for sharded-cluster failures: an invalid shard map, an
+    operation routed to a shard the map does not know, or a failover
+    that cannot complete (no replica and no recoverable WAL)."""

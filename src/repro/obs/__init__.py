@@ -36,6 +36,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    RateLimitedWarner,
     linear_buckets,
     log_scale_buckets,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "RateLimitedWarner",
     "LATENCY_BUCKETS",
     "linear_buckets",
     "log_scale_buckets",

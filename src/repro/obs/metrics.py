@@ -358,3 +358,54 @@ class MetricsRegistry:
         path = Path(path)
         path.write_text(json.dumps(self.snapshot(), indent=2))
         return path
+
+
+class RateLimitedWarner:
+    """Rate-limited warning events with a cumulative count.
+
+    The registry's warning ring is bounded; a condition that fires on
+    every operation (a workload where every query falls back, a shard
+    that keeps failing over) would bury it in duplicates.  The shared
+    policy — established by the server's fallback warning and reused by
+    the cluster router — is: warn on the **first** occurrence and then
+    on every ``every``-th, carrying the cumulative count in the message
+    so nothing is lost by the suppression.
+
+    Example:
+        >>> reg = MetricsRegistry()
+        >>> warner = RateLimitedWarner(reg, "example")
+        >>> for _ in range(150):
+        ...     _ = warner.record("widgets dropped")
+        >>> [w for w in reg.warnings]
+        ["[example] 1 widgets dropped", "[example] 100 widgets dropped"]
+    """
+
+    def __init__(
+        self, registry: MetricsRegistry, source: str, every: int = 100
+    ) -> None:
+        if every < 1:
+            raise ConfigError(f"every must be >= 1, got {every}")
+        self.registry = registry
+        self.source = source
+        self.every = every
+        #: cumulative occurrences recorded (warned or suppressed)
+        self.count = 0
+
+    def record(self, what: str, detail: str = "") -> bool:
+        """Count one occurrence; emit the warning if it is due.
+
+        ``what`` is the rate-limited message stem (prefixed with the
+        cumulative count); ``detail`` carries occurrence-specific context
+        that only appears on the emitted warnings.
+
+        Returns:
+            True when a warning was actually emitted.
+        """
+        self.count += 1
+        if self.count != 1 and self.count % self.every != 0:
+            return False
+        message = f"{self.count} {what}"
+        if detail:
+            message = f"{message} ({detail})"
+        self.registry.warn(self.source, message)
+        return True

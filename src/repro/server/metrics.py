@@ -85,6 +85,13 @@ class QueryRecord:
     degraded_rung: str | None = None
     retries: int = 0
     backoff_s: float = 0.0
+    #: cluster routing outcome: how many shards this query actually
+    #: touched and which ones (home shard first).  An unsharded
+    #: :class:`~repro.server.server.QueryServer` always records
+    #: ``fanout == 1`` with no shard ids, so sharded and single-server
+    #: reports stay directly comparable.
+    fanout: int = 1
+    shards: tuple[int, ...] = ()
 
 
 @dataclass
@@ -111,6 +118,11 @@ class ReplayReport:
     n_batches: int = 0
     #: cell cleanings avoided by epoch dedup versus sequential execution
     batch_cells_deduped: int = 0
+    #: cluster routing: updates applied per shard id (empty when the
+    #: replay ran on a single unsharded server) and cross-shard object
+    #: migrations (a remove on the old owner + an ingest on the new)
+    shard_updates: dict[int, int] = field(default_factory=dict)
+    shard_migrations: int = 0
     timing: TimingModel = field(default_factory=TimingModel)
 
     # ------------------------------------------------------------------
@@ -166,6 +178,28 @@ class ReplayReport:
         """Modelled retry backoff charged to the query path."""
         return sum(r.backoff_s for r in self.query_records)
 
+    # -- cluster routing outcomes --------------------------------------
+    @property
+    def total_fanout(self) -> int:
+        """Shard probes across all queries (== ``n_queries`` unsharded)."""
+        return sum(r.fanout for r in self.query_records)
+
+    @property
+    def mean_fanout(self) -> float:
+        """Mean shards touched per query — the scatter-gather pruning
+        headline (1.0 on an unsharded replay)."""
+        if not self.query_records:
+            return 0.0
+        return self.total_fanout / len(self.query_records)
+
+    def queries_by_shard(self) -> dict[int, int]:
+        """Query-probe counts per shard id (empty when unsharded)."""
+        counts: dict[int, int] = {}
+        for r in self.query_records:
+            for sid in r.shards:
+                counts[sid] = counts.get(sid, 0) + 1
+        return counts
+
     def degraded_by_rung(self) -> dict[str, int]:
         """Query counts per degradation rung (empty when all healthy)."""
         counts: dict[str, int] = {}
@@ -218,7 +252,7 @@ class ReplayReport:
 
     def as_dict(self) -> dict[str, object]:
         percentiles = self.latency_percentiles()
-        return {
+        out: dict[str, object] = {
             "index": self.index_name,
             "n_updates": self.n_updates,
             "n_queries": self.n_queries,
@@ -244,5 +278,11 @@ class ReplayReport:
             "update_backoff_s": self.update_backoff_s,
             "n_batches": self.n_batches,
             "batch_cells_deduped": self.batch_cells_deduped,
+            "mean_fanout": self.mean_fanout,
             "phases": self.phase_percentiles(),
         }
+        if self.shard_updates or self.shard_migrations:
+            out["shard_updates"] = dict(sorted(self.shard_updates.items()))
+            out["queries_by_shard"] = dict(sorted(self.queries_by_shard().items()))
+            out["shard_migrations"] = self.shard_migrations
+        return out

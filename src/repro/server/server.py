@@ -28,7 +28,7 @@ from repro.core.messages import Message
 from repro.errors import QueryError
 from repro.mobility.workload import Query, Workload
 from repro.obs.hub import Observability, default_observability
-from repro.obs.metrics import linear_buckets, log_scale_buckets
+from repro.obs.metrics import RateLimitedWarner, linear_buckets, log_scale_buckets
 from repro.roadnet.location import NetworkLocation
 from repro.server.batching import BatchPolicy, default_batch_policy
 from repro.server.metrics import QueryRecord, ReplayReport, TimingModel
@@ -189,8 +189,13 @@ class QueryServer:
             default_batch_policy() or BatchPolicy()
         )
         self.durability = durability
-        #: cumulative fallback count, for the rate-limited warning
-        self._fallback_count = 0
+        #: rate-limited fallback warning (1st occurrence, then every
+        #: 100th, cumulative count in the message)
+        self._fallback_warner = (
+            RateLimitedWarner(self.obs.registry, "query_server")
+            if self.obs is not None
+            else None
+        )
 
     @classmethod
     def recover(
@@ -463,18 +468,11 @@ class QueryServer:
             inst.breaker_state.set(breaker.state_code)
         if answer.used_fallback:
             inst.fallbacks.inc()
-            self._fallback_count += 1
-            # rate-limited: on a workload where every query falls back, a
-            # per-query warning would bury the registry's bounded warning
-            # buffer in duplicates — warn on the first and every 100th,
-            # carrying the cumulative count
-            if self._fallback_count == 1 or self._fallback_count % 100 == 0:
-                inst.obs.registry.warn(
-                    "query_server",
-                    f"{self._fallback_count} queries fell back to the "
-                    f"exact-Dijkstra path on {self.index.name!r} "
-                    f"(latest: candidates={answer.candidates})",
-                )
+            self._fallback_warner.record(
+                f"queries fell back to the exact-Dijkstra path on "
+                f"{self.index.name!r}",
+                detail=f"latest: candidates={answer.candidates}",
+            )
         inst.obs.slow_queries.record(
             modeled,
             wall_s=wall,

@@ -1,0 +1,100 @@
+"""Hot-shard detection: policy gates, median split, tracker hygiene."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    LoadTracker,
+    RebalancePolicy,
+    ShardMap,
+    ShardRange,
+    choose_split,
+)
+from repro.errors import ClusterError
+
+pytestmark = pytest.mark.cluster
+
+
+def loaded(pairs: list[tuple[int, int, int]]) -> LoadTracker:
+    """Build a tracker from ``(shard, cell, count)`` triples."""
+    tracker = LoadTracker()
+    for sid, cell, count in pairs:
+        for _ in range(count):
+            tracker.record(sid, cell)
+    return tracker
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize("hot_share", [0.0, 1.0, -0.5, 1.5])
+    def test_hot_share_must_be_strictly_inside_unit_interval(self, hot_share):
+        with pytest.raises(ClusterError):
+            RebalancePolicy(hot_share=hot_share)
+
+    def test_other_fields_must_be_positive(self):
+        with pytest.raises(ClusterError):
+            RebalancePolicy(min_ops=0)
+        with pytest.raises(ClusterError):
+            RebalancePolicy(check_every=0)
+        with pytest.raises(ClusterError):
+            RebalancePolicy(max_shards=0)
+
+
+class TestChooseSplit:
+    def test_below_min_ops_does_nothing(self):
+        m = ShardMap.balanced(16, 2)
+        tracker = loaded([(0, 0, 10)])
+        policy = RebalancePolicy(min_ops=64)
+        assert choose_split(tracker, m, policy) is None
+
+    def test_hot_share_is_a_strict_threshold(self):
+        m = ShardMap.balanced(16, 2)
+        # exactly half the traffic: NOT hot at hot_share=0.5
+        tracker = loaded([(0, 0, 32), (1, 8, 32)])
+        policy = RebalancePolicy(hot_share=0.5, min_ops=64)
+        assert choose_split(tracker, m, policy) is None
+        tracker.record(0, 0)  # one more op tips shard 0 over
+        assert choose_split(tracker, m, policy) == (0, 1)
+
+    def test_split_at_weighted_median(self):
+        m = ShardMap.balanced(16, 2)  # shard 0 owns cells 0..7
+        tracker = loaded([(0, 0, 10), (0, 1, 10), (0, 5, 50), (1, 8, 5)])
+        policy = RebalancePolicy(hot_share=0.5, min_ops=32)
+        sid, split = choose_split(tracker, m, policy)
+        assert sid == 0
+        # the prefix first reaches half the shard's 70 ops at cell 5, so
+        # the cut lands just past it: [0..5] | [6..7]
+        assert split == 6
+
+    def test_split_clamped_inside_range(self):
+        m = ShardMap.balanced(16, 2)
+        # all load on the first cell: naive median would cut at lo, which
+        # would empty the left half — must clamp to lo + 1
+        tracker = loaded([(0, 0, 100)])
+        policy = RebalancePolicy(hot_share=0.5, min_ops=32)
+        assert choose_split(tracker, m, policy) == (0, 1)
+
+    def test_max_shards_caps_growth(self):
+        m = ShardMap.balanced(16, 2)
+        tracker = loaded([(0, 0, 100)])
+        policy = RebalancePolicy(hot_share=0.5, min_ops=32, max_shards=2)
+        assert choose_split(tracker, m, policy) is None
+
+    def test_single_cell_shard_never_splits(self):
+        m = ShardMap(2, [ShardRange(0, 0, 0), ShardRange(1, 1, 1)])
+        tracker = loaded([(0, 0, 100)])
+        policy = RebalancePolicy(hot_share=0.5, min_ops=32)
+        assert choose_split(tracker, m, policy) is None
+
+
+class TestLoadTracker:
+    def test_record_and_clear(self):
+        tracker = loaded([(0, 3, 2), (1, 9, 1)])
+        assert tracker.total == 3
+        assert tracker.ops_by_shard == {0: 2, 1: 1}
+        assert tracker.ops_by_cell == {3: 2, 9: 1}
+        tracker.since_check = 5
+        tracker.clear()
+        assert tracker.total == 0
+        assert tracker.since_check == 0
+        assert not tracker.ops_by_shard and not tracker.ops_by_cell

@@ -1,0 +1,144 @@
+"""Replica shipping, promotion, and the derived shard-failure schedule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.plan import FaultPlan
+from repro.cluster import Replica, ShardFailurePlan
+from repro.core.ggrid import GGridIndex
+from repro.core.graph_grid import GraphGrid
+from repro.core.messages import Message
+from repro.errors import ClusterError
+from repro.persist.manager import DurabilityManager
+from repro.persist.recovery import WAL_SUBDIR
+
+pytestmark = pytest.mark.cluster
+
+
+@pytest.fixture
+def grid(small_graph, fast_config):
+    return GraphGrid.build(small_graph, fast_config)
+
+
+@pytest.fixture
+def replica(small_graph, fast_config, grid):
+    return Replica(0, small_graph, fast_config, grid, ship_every=4)
+
+
+def msg(obj: int, edge: int = 0, offset: float = 0.1, t: float = 1.0) -> Message:
+    return Message(obj, edge, offset, t)
+
+
+class TestShipping:
+    def test_buffers_until_ship_every(self, replica):
+        for lsn in range(1, 4):
+            replica.ship_ingest(lsn, msg(lsn, t=float(lsn)))
+        assert replica.lag == 3
+        assert replica.applied_lsn == 0
+        assert replica.index.num_objects == 0
+
+    def test_applies_at_ship_every(self, replica):
+        for lsn in range(1, 5):
+            replica.ship_ingest(lsn, msg(lsn, t=float(lsn)))
+        assert replica.lag == 0
+        assert replica.applied_lsn == 4
+        assert replica.index.num_objects == 4
+        assert replica.shipped == 4
+
+    def test_remove_ships_too(self, replica):
+        replica.ship_ingest(1, msg(7, t=1.0))
+        replica.ship_remove(2, 7, 2.0)
+        replica.apply_buffer()
+        assert replica.index.num_objects == 0
+        assert replica.applied_lsn == 2
+
+    def test_out_of_order_lsn_rejected(self, replica):
+        replica.ship_ingest(3, msg(1, t=1.0))
+        with pytest.raises(ClusterError):
+            replica.ship_ingest(3, msg(2, t=2.0))
+        with pytest.raises(ClusterError):
+            replica.ship_ingest(2, msg(2, t=2.0))
+
+    def test_already_applied_lsn_rejected(self, replica):
+        for lsn in range(1, 5):
+            replica.ship_ingest(lsn, msg(lsn, t=float(lsn)))
+        with pytest.raises(ClusterError):
+            replica.ship_ingest(4, msg(9, t=9.0))
+
+    def test_bad_ship_every_rejected(self, small_graph, fast_config, grid):
+        with pytest.raises(ClusterError):
+            Replica(0, small_graph, fast_config, grid, ship_every=0)
+
+
+class TestPromotion:
+    def test_promote_catches_up_from_wal(
+        self, tmp_path, small_graph, fast_config, grid, replica
+    ):
+        """Promotion must drop the unapplied buffer and re-read the WAL
+        tail, ending with the exact object set the primary logged."""
+        primary = GGridIndex(small_graph, fast_config, grid=grid)
+        manager = DurabilityManager(tmp_path)
+        messages = [msg(obj, edge=obj % 5, t=float(obj)) for obj in range(1, 8)]
+        for m in messages:
+            primary.ingest(m)
+            manager.log_ingest(m)
+            replica.ship_ingest(manager.wal.last_lsn, m)
+        manager.close()
+        assert replica.lag == 3  # 7 shipped, 4 applied at ship_every=4
+
+        index, caught_up = replica.promote(tmp_path / WAL_SUBDIR)
+        assert caught_up == 3
+        assert index is replica.index
+        assert index.num_objects == primary.num_objects == 7
+        assert replica.applied_lsn == manager.wal.last_lsn
+
+    def test_promote_with_empty_buffer_replays_nothing_extra(
+        self, tmp_path, small_graph, fast_config, grid
+    ):
+        replica = Replica(0, small_graph, fast_config, grid, ship_every=1)
+        manager = DurabilityManager(tmp_path)
+        for obj in range(1, 5):
+            m = msg(obj, t=float(obj))
+            manager.log_ingest(m)
+            replica.ship_ingest(manager.wal.last_lsn, m)
+        manager.close()
+        assert replica.lag == 0
+        _, caught_up = replica.promote(tmp_path / WAL_SUBDIR)
+        assert caught_up == 0
+        assert replica.index.num_objects == 4
+
+
+class TestShardFailurePlan:
+    def test_single(self):
+        plan = ShardFailurePlan.single(2, 5.0)
+        assert plan.failures == ((2, 5.0),)
+
+    def test_invalid_failure_rejected(self):
+        with pytest.raises(ClusterError):
+            ShardFailurePlan(((-1, 5.0),))
+        with pytest.raises(ClusterError):
+            ShardFailurePlan(((0, -1.0),))
+
+    def test_fault_free_plan_fails_nothing(self):
+        plan = FaultPlan.from_profile("kernels", seed=3)
+        clean = FaultPlan(seed=3)
+        derived = ShardFailurePlan.from_fault_plan(clean, 4, 10.0)
+        assert derived.failures == ()
+        assert ShardFailurePlan.from_fault_plan(plan, 4, 10.0).failures != ()
+
+    def test_derivation_is_deterministic_in_seed(self):
+        plan = FaultPlan.from_profile("mixed", seed=7)
+        a = ShardFailurePlan.from_fault_plan(plan, 4, 10.0)
+        b = ShardFailurePlan.from_fault_plan(plan, 4, 10.0)
+        assert a == b
+        (sid, at), = a.failures
+        assert 0 <= sid < 4
+        assert 2.5 <= at <= 7.5  # middle half of the replay
+
+    def test_derivation_validates_inputs(self):
+        plan = FaultPlan.from_profile("mixed", seed=7)
+        with pytest.raises(ClusterError):
+            ShardFailurePlan.from_fault_plan(plan, 0, 10.0)
+        with pytest.raises(ClusterError):
+            ShardFailurePlan.from_fault_plan(plan, 4, 0.0)

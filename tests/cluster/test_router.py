@@ -1,0 +1,333 @@
+"""ShardRouter behaviour: routing, scatter-gather accounting, failover,
+migration, rebalancing, and the fanout-1 == unsharded counter identity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    FAILOVER_REPLICA,
+    FAILOVER_WAL,
+    RebalancePolicy,
+    ShardFailurePlan,
+    ShardRouter,
+)
+from repro.core.ggrid import GGridIndex
+from repro.core.messages import Message
+from repro.errors import ClusterError
+from repro.mobility.workload import make_workload
+from repro.obs.hub import Observability
+from repro.server.batching import BatchPolicy
+from repro.server.metrics import ReplayReport
+from repro.server.server import QueryServer
+
+pytestmark = pytest.mark.cluster
+
+
+@pytest.fixture(scope="module")
+def workload(small_graph):
+    return make_workload(
+        small_graph,
+        num_objects=60,
+        duration=10.0,
+        num_queries=10,
+        k=6,
+        update_frequency=1.0,
+        seed=5,
+    )
+
+
+def exact_answers(answers):
+    return [[(e.obj, e.distance) for e in a.entries] for a in answers]
+
+
+def unsharded_baseline(graph, config, workload, batch=None):
+    server = QueryServer(
+        GGridIndex(graph, config), batch=batch or BatchPolicy()
+    )
+    return server.replay(workload, collect_answers=True)
+
+
+class TestConstruction:
+    def test_zero_shards_rejected(self, small_graph, fast_config):
+        with pytest.raises(ClusterError):
+            ShardRouter(small_graph, fast_config, num_shards=0)
+
+    def test_name_carries_shard_count(self, small_graph, fast_config):
+        with ShardRouter(small_graph, fast_config, num_shards=3) as router:
+            assert router.name == "G-Grid x3"
+            assert router.num_shards == 3
+
+    def test_close_removes_owned_tempdir(self, small_graph, fast_config):
+        router = ShardRouter(small_graph, fast_config, num_shards=2)
+        directory = router.directory
+        assert directory.exists()
+        router.close()
+        assert not directory.exists()
+
+    def test_explicit_directory_survives_close(
+        self, tmp_path, small_graph, fast_config
+    ):
+        router = ShardRouter(
+            small_graph, fast_config, num_shards=2, directory=tmp_path
+        )
+        router.close()
+        assert (tmp_path / "shard-000").exists()
+
+
+class TestAnswersMatchUnsharded:
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    def test_sequential_replay(
+        self, small_graph, fast_config, workload, num_shards
+    ):
+        _, want = unsharded_baseline(small_graph, fast_config, workload)
+        with ShardRouter(
+            small_graph,
+            fast_config,
+            num_shards=num_shards,
+            batch=BatchPolicy(),
+        ) as router:
+            _, got = router.replay(workload, collect_answers=True)
+        # exact float equality: the same machinery computes the same
+        # distances regardless of which shard computes them
+        assert exact_answers(got) == exact_answers(want)
+
+    def test_batched_replay(self, small_graph, fast_config, workload):
+        batch = BatchPolicy(batch_size=4)
+        _, want = unsharded_baseline(
+            small_graph, fast_config, workload, batch=batch
+        )
+        with ShardRouter(
+            small_graph, fast_config, num_shards=4, batch=batch
+        ) as router:
+            _, got = router.replay(workload, collect_answers=True)
+        assert exact_answers(got) == exact_answers(want)
+
+    def test_without_replicas(self, small_graph, fast_config, workload):
+        _, want = unsharded_baseline(small_graph, fast_config, workload)
+        with ShardRouter(
+            small_graph,
+            fast_config,
+            num_shards=2,
+            replicas=False,
+            batch=BatchPolicy(),
+        ) as router:
+            _, got = router.replay(workload, collect_answers=True)
+        assert exact_answers(got) == exact_answers(want)
+
+
+class TestCostAccounting:
+    def test_fanout_one_is_counter_identical_to_unsharded(
+        self, small_graph, fast_config, workload
+    ):
+        """Satellite 6 regression: a 1-shard router must report exactly
+        the deterministic counters an unsharded server reports."""
+        batch = BatchPolicy(batch_size=4)
+        want_report, want = unsharded_baseline(
+            small_graph, fast_config, workload, batch=batch
+        )
+        with ShardRouter(
+            small_graph, fast_config, num_shards=1, batch=batch
+        ) as router:
+            got_report, got = router.replay(workload, collect_answers=True)
+        assert exact_answers(got) == exact_answers(want)
+
+        def counters(report: ReplayReport):
+            return (
+                report.n_updates,
+                report.update_touches,
+                report.gpu_seconds,
+                report.transfer_bytes,
+                report.n_batches,
+                [
+                    (
+                        r.gpu_s,
+                        r.transfer_bytes,
+                        r.used_fallback,
+                        r.degraded_rung,
+                        r.retries,
+                    )
+                    for r in report.query_records
+                ],
+            )
+
+        assert counters(got_report) == counters(want_report)
+        assert all(r.fanout == 1 for r in got_report.query_records)
+        assert got_report.mean_fanout == 1.0
+        assert got_report.shard_migrations == 0
+
+    def test_sharded_report_fields(self, small_graph, fast_config, workload):
+        with ShardRouter(
+            small_graph,
+            fast_config,
+            num_shards=4,
+            batch=BatchPolicy(),
+        ) as router:
+            report, _ = router.replay(workload)
+        assert sum(report.shard_updates.values()) == report.n_updates
+        assert set(report.shard_updates) <= set(router.shard_map.shard_ids)
+        assert len(report.query_records) == report.n_queries
+        for record in report.query_records:
+            assert record.fanout == len(record.shards) >= 1
+        by_shard = report.queries_by_shard()
+        assert sum(by_shard.values()) == report.total_fanout
+        d = report.as_dict()
+        assert d["mean_fanout"] == report.mean_fanout
+        assert d["shard_migrations"] == report.shard_migrations
+        assert d["shard_updates"] == dict(sorted(report.shard_updates.items()))
+
+    def test_unsharded_report_omits_shard_keys(
+        self, small_graph, fast_config, workload
+    ):
+        report, _ = unsharded_baseline(small_graph, fast_config, workload)
+        d = report.as_dict()
+        assert "mean_fanout" in d
+        assert "shard_updates" not in d
+        assert "shard_migrations" not in d
+
+    def test_pruning_keeps_mean_fanout_below_shard_count(
+        self, small_graph, fast_config, workload
+    ):
+        """Acceptance criterion: at >= 4 shards the bound must prune."""
+        with ShardRouter(
+            small_graph,
+            fast_config,
+            num_shards=4,
+            batch=BatchPolicy(),
+        ) as router:
+            report, _ = router.replay(workload)
+        assert 1.0 <= report.mean_fanout < 4.0
+
+
+class TestMigration:
+    def test_boundary_crossing_object_changes_owner(
+        self, small_graph, fast_config
+    ):
+        with ShardRouter(
+            small_graph, fast_config, num_shards=2
+        ) as router:
+            report = ReplayReport(index_name=router.name, timing=router.timing)
+            # find two edges owned by different shards
+            edges = {}
+            for edge in range(small_graph.num_edges):
+                sid = router.shard_map.shard_of_cell(
+                    router.grid.cell_of_edge(edge)
+                )
+                edges.setdefault(sid, edge)
+                if len(edges) == 2:
+                    break
+            assert len(edges) == 2, "graph too small to straddle two shards"
+            (sid_a, edge_a), (sid_b, edge_b) = sorted(edges.items())
+            router.update(Message(1, edge_a, 0.0, 1.0), report)
+            assert router._owner[1] == sid_a
+            assert report.shard_migrations == 0
+            router.update(Message(1, edge_b, 0.0, 2.0), report)
+            assert router._owner[1] == sid_b
+            assert report.shard_migrations == 1
+            assert report.n_updates == 2  # migration is not a workload update
+            assert router.num_objects() == 1
+            assert router.shards[sid_a].index.num_objects == 0
+
+
+class TestFailover:
+    def test_replica_promotion(self, small_graph, fast_config, workload):
+        plan = ShardFailurePlan.single(0, 5.0)
+        _, want = unsharded_baseline(small_graph, fast_config, workload)
+        with ShardRouter(
+            small_graph,
+            fast_config,
+            num_shards=2,
+            failure_plan=plan,
+            batch=BatchPolicy(),
+        ) as router:
+            _, got = router.replay(workload, collect_answers=True)
+            assert router.shards[0].promotions == 1
+            assert router.shards[0].replica is None  # promoted: no standby
+            assert router.shards[1].promotions == 0
+        assert exact_answers(got) == exact_answers(want)
+
+    def test_wal_rebuild_without_replica(
+        self, small_graph, fast_config, workload
+    ):
+        plan = ShardFailurePlan.single(1, 5.0)
+        _, want = unsharded_baseline(small_graph, fast_config, workload)
+        with ShardRouter(
+            small_graph,
+            fast_config,
+            num_shards=2,
+            replicas=False,
+            failure_plan=plan,
+            batch=BatchPolicy(),
+        ) as router:
+            _, got = router.replay(workload, collect_answers=True)
+            assert router.shards[1].promotions == 1
+        assert exact_answers(got) == exact_answers(want)
+
+    def test_fail_shard_reports_mode(self, small_graph, fast_config):
+        with ShardRouter(small_graph, fast_config, num_shards=2) as router:
+            report = ReplayReport(index_name=router.name, timing=router.timing)
+            router.update(Message(1, 0, 0.1, 1.0), report)
+            assert router.fail_shard(0) == FAILOVER_REPLICA
+            # second failover of the same shard: replica gone, WAL replay
+            assert router.fail_shard(0) == FAILOVER_WAL
+            assert router.shards[0].promotions == 2
+        with pytest.raises(ClusterError):
+            router.fail_shard(99)
+
+    def test_failover_warning_is_rate_limited_through_registry(
+        self, small_graph, fast_config
+    ):
+        obs = Observability()
+        with ShardRouter(
+            small_graph, fast_config, num_shards=2, obs=obs
+        ) as router:
+            for _ in range(3):
+                router.fail_shard(0)
+        warnings = [w for w in obs.registry.warnings if "[shard_router]" in w]
+        # 3 failovers, warn on the 1st only (next at the 100th)
+        assert len(warnings) == 1
+        assert "1 shards failed over to a promoted standby" in warnings[0]
+        assert "mode=" in warnings[0]
+
+
+class TestRebalance:
+    def test_hot_shard_splits_and_answers_still_match(
+        self, small_graph, fast_config, workload
+    ):
+        policy = RebalancePolicy(
+            hot_share=0.4, min_ops=64, check_every=32, max_shards=6
+        )
+        _, want = unsharded_baseline(small_graph, fast_config, workload)
+        with ShardRouter(
+            small_graph,
+            fast_config,
+            num_shards=2,
+            rebalance=policy,
+            batch=BatchPolicy(),
+        ) as router:
+            report, got = router.replay(workload, collect_answers=True)
+            assert router.num_shards > 2  # the skewed workload split a shard
+            assert len(router.shards) == router.num_shards
+        assert report.shard_migrations > 0
+        assert exact_answers(got) == exact_answers(want)
+
+
+class TestRangeQueries:
+    def test_range_matches_single_index(self, small_graph, fast_config, workload):
+        index = GGridIndex(small_graph, fast_config)
+        server = QueryServer(index, batch=BatchPolicy())
+        server.replay(workload)
+        with ShardRouter(
+            small_graph,
+            fast_config,
+            num_shards=4,
+            batch=BatchPolicy(),
+        ) as router:
+            router.replay(workload)
+            t = workload.queries[-1].t if workload.queries else 10.0
+            for q in workload.queries[:4]:
+                want = index.range_query(q.location, 3.0, t_now=t)
+                got = router.range_query(q.location, 3.0, t_now=t)
+                assert [(e.obj, e.distance) for e in got.entries] == [
+                    (e.obj, e.distance) for e in want.entries
+                ]

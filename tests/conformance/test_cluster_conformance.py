@@ -1,0 +1,167 @@
+"""Sharded == single-shard == oracle, including migration and failover.
+
+Sharded-vs-single comparisons are exact (same floats, same order) on the
+baseline workloads: every shard runs the same index machinery over the
+same graph.  Under heavy churn the comparison rounds to 9 decimals like
+the index-vs-oracle checks: a shard holds a *subset* of the objects, so
+its restricted-search candidate subgraph differs from the unsharded
+index's, and equal-length alternative paths can resolve to values one
+ulp apart (see :func:`repro.core.sdist.sdist_kernel`).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.chaos import chaos_context
+from repro.chaos.plan import FaultPlan
+from repro.cluster import ShardFailurePlan, ShardRouter
+from repro.config import GGridConfig
+from repro.core import GGridIndex
+from repro.mobility.workload import Query, Workload, make_workload
+from repro.roadnet.generators import grid_road_network
+from repro.server.batching import BatchPolicy
+from repro.server.metrics import ReplayReport
+from repro.server.server import QueryServer
+
+from tests.conformance.oracle import oracle_knn, oracle_range
+from tests.conformance.test_oracle_conformance import (
+    assert_matches_oracle,
+    entries_of,
+    tie_groups,
+)
+from tests.conftest import random_location
+
+pytestmark = [pytest.mark.conformance, pytest.mark.cluster]
+
+CONFIG = GGridConfig(eta=3, delta_b=8)
+
+
+def replay_unsharded(graph, workload, batch=None):
+    server = QueryServer(
+        GGridIndex(graph, CONFIG), batch=batch or BatchPolicy()
+    )
+    return server.replay(workload, collect_answers=True)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("num_shards", [2, 4])
+def test_sharded_matches_single_and_oracle(seed, num_shards):
+    rng = random.Random(seed)
+    graph = grid_road_network(8, 8, seed=seed + 20)
+    workload = make_workload(
+        graph,
+        num_objects=50,
+        duration=8.0,
+        num_queries=12,
+        k=rng.choice((3, 5, 8)),
+        update_frequency=1.0,
+        seed=seed + 40,
+    )
+    _, want = replay_unsharded(graph, workload)
+    with ShardRouter(
+        graph, CONFIG, num_shards=num_shards, batch=BatchPolicy()
+    ) as router:
+        _, got = router.replay(workload, collect_answers=True)
+    assert [entries_of(a) for a in got] == [entries_of(a) for a in want]
+
+
+def test_static_scene_matches_oracle_exactly():
+    """No updates at query time: cluster answers vs the Dijkstra oracle."""
+    rng = random.Random(7)
+    graph = grid_road_network(8, 8, seed=27)
+    placements = {obj: random_location(graph, rng) for obj in range(40)}
+    workload = Workload(initial=placements, updates=[], queries=[])
+    with ShardRouter(graph, CONFIG, num_shards=4, batch=BatchPolicy()) as router:
+        router.replay(workload)
+        report = ReplayReport(index_name=router.name, timing=router.timing)
+        for _ in range(12):
+            loc, k = random_location(graph, rng), rng.choice((1, 4, 8))
+            got = entries_of(router.query(Query(1.0, loc, k), report))
+            assert_matches_oracle(got, oracle_knn(graph, placements, loc, k))
+
+
+def test_objects_migrating_across_shard_boundaries_mid_replay():
+    """A workload whose objects sweep the whole grid forces boundary
+    crossings; answers must stay identical to the single server (rounded:
+    high churn shifts each shard's candidate subgraph, see module doc)."""
+    graph = grid_road_network(10, 10, seed=31)
+    workload = make_workload(
+        graph,
+        num_objects=80,
+        duration=12.0,
+        num_queries=16,
+        k=8,
+        update_frequency=2.0,  # high churn => many ownership changes
+        seed=13,
+    )
+    _, want = replay_unsharded(graph, workload)
+    with ShardRouter(
+        graph, CONFIG, num_shards=4, batch=BatchPolicy()
+    ) as router:
+        report, got = router.replay(workload, collect_answers=True)
+    assert report.shard_migrations > 0, "workload never crossed a boundary"
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        g_entries, w_entries = entries_of(g), entries_of(w)
+        assert [round(d, 9) for _, d in g_entries] == [
+            round(d, 9) for _, d in w_entries
+        ]
+        assert tie_groups(g_entries) == tie_groups(w_entries)
+
+
+def test_failover_mid_epoch_under_chaos_profile():
+    """A chaos profile drives both device faults and a derived shard
+    death mid-replay; the promoted standby must answer identically
+    (rounded: chaos retries can reorder float accumulation)."""
+    graph = grid_road_network(8, 8, seed=37)
+    workload = make_workload(
+        graph,
+        num_objects=60,
+        duration=10.0,
+        num_queries=12,
+        k=6,
+        update_frequency=1.0,
+        seed=17,
+    )
+    plan = FaultPlan.from_profile("mixed", seed=7)
+    failure = ShardFailurePlan.from_fault_plan(plan, 4, 10.0)
+    assert failure.failures, "mixed profile must derive a shard failure"
+    batch = BatchPolicy(batch_size=4)
+
+    with chaos_context(plan):
+        _, want = replay_unsharded(graph, workload, batch=batch)
+    with chaos_context(plan):
+        with ShardRouter(
+            graph,
+            CONFIG,
+            num_shards=4,
+            batch=batch,
+            failure_plan=failure,
+        ) as router:
+            _, got = router.replay(workload, collect_answers=True)
+            promoted = sum(s.promotions for s in router.shards.values())
+    assert promoted == 1
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        g_entries, w_entries = entries_of(g), entries_of(w)
+        assert [round(d, 9) for _, d in g_entries] == [
+            round(d, 9) for _, d in w_entries
+        ]
+        assert tie_groups(g_entries) == tie_groups(w_entries)
+
+
+def test_range_queries_match_oracle():
+    rng = random.Random(19)
+    graph = grid_road_network(8, 8, seed=41)
+    placements = {obj: random_location(graph, rng) for obj in range(30)}
+    workload = Workload(initial=placements, updates=[], queries=[])
+    with ShardRouter(graph, CONFIG, num_shards=4) as router:
+        router.replay(workload)
+        for radius in (0.5, 2.0, 5.0):
+            query = random_location(graph, rng)
+            got = entries_of(router.range_query(query, radius, t_now=1.0))
+            want = oracle_range(graph, placements, query, radius)
+            assert_matches_oracle(got, want)
