@@ -11,16 +11,26 @@ Run any paper experiment by name without pytest:
     python -m repro.bench batch
     python -m repro.bench recovery
     python -m repro.bench fig5 --batch-size 8
+    python -m repro.bench fig5 --trace-out trace.json
+    python -m repro.bench trajectory
     python -m repro.bench all
 
 Result tables print to stdout and persist under ``results/``.  With
 ``--metrics-out``, a process-wide observability bundle is installed for
 the run and the metrics registry is dumped next to the results —
 Prometheus text by default, a JSON snapshot when the path ends in
-``.json``.  With ``--chaos PROFILE``, a seeded fault plan is installed
-for the run (see :mod:`repro.chaos`): the simulated device fails per
-the profile and the G-Grid serving path rides its degradation ladder —
+``.json``.  With ``--trace-out``, the bundle additionally records spans
+and a Perfetto-loadable Chrome trace of the run is written to the given
+path.  With ``--chaos PROFILE``, a seeded fault plan is installed for
+the run (see :mod:`repro.chaos`): the simulated device fails per the
+profile and the G-Grid serving path rides its degradation ladder —
 results stay exact, the timing columns show the cost.
+
+The ``trajectory`` command replays the four tracked serving scenarios,
+appends one row each to ``results/trajectory/BENCH_<scenario>.json``,
+and exits non-zero if any deterministic counter (or, loosely, any
+modelled latency) regressed against the committed baseline row — see
+:mod:`repro.bench.trajectory`.
 """
 
 from __future__ import annotations
@@ -133,6 +143,20 @@ def main(argv: list[str] | None = None) -> int:
         "(.json -> JSON snapshot, anything else -> Prometheus text)",
     )
     parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="record spans for the run and write a Perfetto-loadable "
+        "Chrome trace to PATH (implies an observability bundle)",
+    )
+    parser.add_argument(
+        "--bench-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for the trajectory command's BENCH_*.json files "
+        "(default: results/trajectory)",
+    )
+    parser.add_argument(
         "--chaos",
         default=None,
         metavar="PROFILE",
@@ -168,6 +192,28 @@ def main(argv: list[str] | None = None) -> int:
         path = write_report()
         print(f"report written to {path}")
         return 0
+    if args.experiment == "trajectory":
+        from repro.bench.trajectory import bench_path, gate, record_all
+
+        rows = record_all(
+            dataset=args.dataset or "NY", directory=args.bench_dir
+        )
+        for row in rows:
+            print(
+                f"{row.scenario:14s} wall={row.wall_s:7.2f}s "
+                f"p50={row.latency['p50_s']:.6f}s "
+                f"p99={row.latency['p99_s']:.6f}s "
+                f"gpu={row.counters['gpu_s']:.6f}s "
+                f"-> {bench_path(row.scenario, args.bench_dir)}"
+            )
+        violations = gate(args.bench_dir)
+        if violations:
+            print("\ntrajectory gate FAILED:", file=sys.stderr)
+            for violation in violations:
+                print(f"  {violation}", file=sys.stderr)
+            return 1
+        print("\ntrajectory gate passed")
+        return 0
     if args.experiment != "all" and args.experiment not in EXPERIMENTS:
         print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
         return 2
@@ -198,23 +244,39 @@ def main(argv: list[str] | None = None) -> int:
                 return 2
             print(f"batching: epochs of up to {args.batch_size} queries\n")
             stack.enter_context(batch_context(policy))
-        if args.metrics_out:
-            path = Path(args.metrics_out)
-            if not path.parent.is_dir():
-                # fail before the (potentially long) run, not after it
-                print(
-                    f"--metrics-out directory {path.parent} does not exist",
-                    file=sys.stderr,
-                )
-                return 2
-            with configured(Observability()) as obs:
+        if args.metrics_out or args.trace_out:
+            # fail before the (potentially long) run, not after it
+            for flag, value in (
+                ("--metrics-out", args.metrics_out),
+                ("--trace-out", args.trace_out),
+            ):
+                if value and not Path(value).parent.is_dir():
+                    print(
+                        f"{flag} directory {Path(value).parent} "
+                        f"does not exist",
+                        file=sys.stderr,
+                    )
+                    return 2
+            bundle = (
+                Observability.with_tracing()
+                if args.trace_out
+                else Observability()
+            )
+            with configured(bundle) as obs:
                 for name in names:
                     run_experiment(name, args.dataset)
-            if path.suffix == ".json":
-                obs.registry.write_json(path)
-            else:
-                path.write_text(obs.registry.write_prometheus())
-            print(f"metrics written to {path}")
+            if args.metrics_out:
+                path = Path(args.metrics_out)
+                if path.suffix == ".json":
+                    obs.registry.write_json(path)
+                else:
+                    path.write_text(obs.registry.write_prometheus())
+                print(f"metrics written to {path}")
+            if args.trace_out:
+                from repro.obs import write_chrome_trace
+
+                path = write_chrome_trace(args.trace_out, tracer=obs.tracer)
+                print(f"chrome trace written to {path}")
         else:
             for name in names:
                 run_experiment(name, args.dataset)

@@ -1,0 +1,297 @@
+"""Perf-trajectory recording and the regression gate behind it.
+
+Every run of ``python -m repro.bench trajectory`` replays four small,
+fully seeded scenarios — ``single_server``, ``batch``, ``chaos`` and
+``cluster`` — and appends one row per scenario to
+``results/trajectory/BENCH_<scenario>.json``.  A row separates two kinds
+of numbers:
+
+* ``counters`` — deterministic modelled outcomes (simulated GPU
+  seconds, transfer bytes, update touches, fanout, retries, …).  With
+  the same seeds these are bit-stable across machines, so the gate
+  holds them to :data:`COUNTER_TOLERANCE` (float dust only) against the
+  committed baseline row.
+* ``latency`` — modelled p50/p95/p99 and the modelled update/query
+  totals.  These divide *measured* Python wall time by
+  ``python_speedup`` (see :class:`~repro.server.metrics.TimingModel`),
+  so host noise passes straight through; they are gated loosely at
+  :data:`LATENCY_TOLERANCE` to catch order-of-magnitude regressions
+  without flaking on a busy CI runner.
+* ``wall_s`` — raw wall clock, recorded for the trajectory plot but
+  never gated.
+
+The gate (:func:`check_regression` / :func:`gate`) compares the newest
+row against the file's *first* row — the committed baseline — and only
+ever fails on increases: getting faster rewrites nothing and fails
+nothing (re-baseline by deleting the file and re-running).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.errors import ConfigError
+
+#: the four serving shapes whose trajectories are tracked
+SCENARIOS: tuple[str, ...] = ("single_server", "batch", "chaos", "cluster")
+
+#: relative headroom for deterministic counters (float dust only)
+COUNTER_TOLERANCE = 1e-9
+#: relative headroom for wall-derived modelled latencies: a value may
+#: grow to ``baseline * (1 + LATENCY_TOLERANCE)`` before the gate trips
+LATENCY_TOLERANCE = 2.0
+
+#: default on-disk home of the ``BENCH_<scenario>.json`` files
+TRAJECTORY_DIR = Path(__file__).resolve().parents[3] / "results" / "trajectory"
+
+
+@dataclass(frozen=True)
+class TrajectoryRow:
+    """One recorded run of one scenario."""
+
+    scenario: str
+    recorded_at: str
+    wall_s: float
+    counters: dict[str, float] = field(default_factory=dict)
+    latency: dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "recorded_at": self.recorded_at,
+            "wall_s": round(self.wall_s, 6),
+            "counters": dict(self.counters),
+            "latency": {k: round(v, 9) for k, v in self.latency.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TrajectoryRow":
+        try:
+            return cls(
+                scenario=data["scenario"],
+                recorded_at=data["recorded_at"],
+                wall_s=float(data["wall_s"]),
+                counters={k: float(v) for k, v in data["counters"].items()},
+                latency={k: float(v) for k, v in data["latency"].items()},
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed trajectory row: {exc}") from exc
+
+
+def _report_row(scenario: str, report: Any, wall_s: float) -> TrajectoryRow:
+    """Fold a :class:`~repro.server.metrics.ReplayReport` into a row."""
+    pct = report.latency_percentiles()
+    counters = {
+        "n_updates": float(report.n_updates),
+        "n_queries": float(report.n_queries),
+        "gpu_s": report.gpu_seconds,
+        "transfer_bytes": float(report.transfer_bytes),
+        "update_touches": float(report.update_touches),
+        "n_batches": float(report.n_batches),
+        "batch_cells_deduped": float(report.batch_cells_deduped),
+        "fallback_queries": float(report.fallback_queries),
+        "total_retries": float(report.total_retries),
+        "degraded_queries": float(report.degraded_queries),
+        "updates_backpressured": float(report.updates_backpressured),
+        "mean_fanout": report.mean_fanout,
+        "shard_migrations": float(report.shard_migrations),
+    }
+    latency = {
+        "p50_s": pct["p50"],
+        "p95_s": pct["p95"],
+        "p99_s": pct["p99"],
+        "query_modeled_s": report.query_modeled_s,
+        "update_modeled_s": report.update_modeled_s,
+    }
+    return TrajectoryRow(
+        scenario=scenario,
+        recorded_at=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        wall_s=wall_s,
+        counters=counters,
+        latency=latency,
+    )
+
+
+# ----------------------------------------------------------------------
+# scenarios (small, fully seeded; see module docstring)
+# ----------------------------------------------------------------------
+def _run_single_server(dataset: str) -> TrajectoryRow:
+    from repro.bench.harness import run_point
+
+    started = time.perf_counter()
+    report = run_point(
+        "G-Grid", dataset, duration=10.0, num_queries=8, seed=7
+    )
+    return _report_row(
+        "single_server", report, time.perf_counter() - started
+    )
+
+
+def _run_batch(dataset: str) -> TrajectoryRow:
+    from repro.bench.harness import run_point
+    from repro.server import BatchPolicy, batch_context
+
+    started = time.perf_counter()
+    with batch_context(BatchPolicy(8)):
+        report = run_point(
+            "G-Grid", dataset, duration=10.0, num_queries=16, seed=7
+        )
+    return _report_row("batch", report, time.perf_counter() - started)
+
+
+def _run_chaos(dataset: str) -> TrajectoryRow:
+    from repro.chaos import FaultPlan
+    from repro.chaos.harness import run_chaos_replay
+
+    started = time.perf_counter()
+    plan = FaultPlan.from_profile("mixed", seed=7)
+    outcome = run_chaos_replay(plan, dataset)
+    row = _report_row("chaos", outcome.chaos, time.perf_counter() - started)
+    row.counters["faults_injected"] = float(outcome.total_faults)
+    row.counters["answers_match"] = float(outcome.answers_match)
+    return row
+
+
+def _run_cluster(dataset: str) -> TrajectoryRow:
+    from repro.bench.harness import cached_workload, scaled_objects
+    from repro.cluster import ShardRouter
+    from repro.roadnet.datasets import load_dataset
+
+    started = time.perf_counter()
+    graph = load_dataset(dataset)
+    workload = cached_workload(
+        dataset, scaled_objects(dataset), 10.0, 16, 16, 1.0, 7
+    )
+    with ShardRouter(graph, num_shards=4) as router:
+        report, _ = router.replay(workload)
+    return _report_row("cluster", report, time.perf_counter() - started)
+
+
+_RUNNERS: dict[str, Callable[[str], TrajectoryRow]] = {
+    "single_server": _run_single_server,
+    "batch": _run_batch,
+    "chaos": _run_chaos,
+    "cluster": _run_cluster,
+}
+
+
+def run_scenario(scenario: str, dataset: str = "NY") -> TrajectoryRow:
+    """Replay one named scenario and fold its report into a row."""
+    runner = _RUNNERS.get(scenario)
+    if runner is None:
+        raise ConfigError(
+            f"unknown trajectory scenario {scenario!r}; "
+            f"expected one of {', '.join(SCENARIOS)}"
+        )
+    return runner(dataset)
+
+
+# ----------------------------------------------------------------------
+# persistence
+# ----------------------------------------------------------------------
+def bench_path(scenario: str, directory: str | Path | None = None) -> Path:
+    """``<directory>/BENCH_<scenario>.json`` (default committed home)."""
+    base = TRAJECTORY_DIR if directory is None else Path(directory)
+    return base / f"BENCH_{scenario}.json"
+
+
+def load_rows(path: str | Path) -> list[TrajectoryRow]:
+    """All recorded rows, oldest (the baseline) first; [] if absent."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text())
+    if not isinstance(data, list):
+        raise ConfigError(f"{path} is not a JSON array of trajectory rows")
+    return [TrajectoryRow.from_dict(row) for row in data]
+
+
+def append_row(row: TrajectoryRow, directory: str | Path | None = None) -> Path:
+    """Append one row to its scenario's ``BENCH_*.json``; returns path."""
+    path = bench_path(row.scenario, directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    rows = load_rows(path)
+    rows.append(row)
+    path.write_text(
+        json.dumps([r.as_dict() for r in rows], indent=2) + "\n"
+    )
+    return path
+
+
+# ----------------------------------------------------------------------
+# the gate
+# ----------------------------------------------------------------------
+def check_regression(
+    baseline: TrajectoryRow,
+    candidate: TrajectoryRow,
+    counter_tolerance: float = COUNTER_TOLERANCE,
+    latency_tolerance: float = LATENCY_TOLERANCE,
+) -> list[str]:
+    """Violations of ``candidate`` against ``baseline`` (empty = pass).
+
+    Only *increases* beyond tolerance fail; a metric present in the
+    baseline but missing from the candidate also fails (a silently
+    dropped counter would otherwise hide a regression forever).
+    """
+    if baseline.scenario != candidate.scenario:
+        raise ConfigError(
+            f"cannot gate {candidate.scenario!r} against a "
+            f"{baseline.scenario!r} baseline"
+        )
+    violations: list[str] = []
+    for kind, values, base_values, tolerance in (
+        ("counter", candidate.counters, baseline.counters, counter_tolerance),
+        ("latency", candidate.latency, baseline.latency, latency_tolerance),
+    ):
+        for name, base in sorted(base_values.items()):
+            if name not in values:
+                violations.append(
+                    f"{candidate.scenario}: {kind} {name!r} missing "
+                    f"from candidate row"
+                )
+                continue
+            got = values[name]
+            limit = base * (1.0 + tolerance) if base > 0 else tolerance
+            if got > limit:
+                violations.append(
+                    f"{candidate.scenario}: {kind} {name!r} regressed "
+                    f"{base:.6g} -> {got:.6g} "
+                    f"(limit {limit:.6g}, tolerance {tolerance:g})"
+                )
+    return violations
+
+
+def gate(
+    directory: str | Path | None = None,
+    scenarios: tuple[str, ...] = SCENARIOS,
+) -> list[str]:
+    """Gate each scenario's newest row against its first (baseline) row.
+
+    Scenarios with fewer than two rows pass vacuously — the first
+    recorded row *is* the baseline.
+    """
+    violations: list[str] = []
+    for scenario in scenarios:
+        rows = load_rows(bench_path(scenario, directory))
+        if len(rows) < 2:
+            continue
+        violations.extend(check_regression(rows[0], rows[-1]))
+    return violations
+
+
+def record_all(
+    dataset: str = "NY",
+    directory: str | Path | None = None,
+    scenarios: tuple[str, ...] = SCENARIOS,
+) -> list[TrajectoryRow]:
+    """Run every scenario, append its row, and return the new rows."""
+    rows = []
+    for scenario in scenarios:
+        row = run_scenario(scenario, dataset)
+        append_row(row, directory)
+        rows.append(row)
+    return rows

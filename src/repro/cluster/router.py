@@ -58,6 +58,7 @@ from repro.errors import ClusterError, QueryError
 from repro.mobility.workload import Query, Workload
 from repro.obs.hub import Observability, default_observability
 from repro.obs.metrics import RateLimitedWarner, linear_buckets
+from repro.obs.slo import SloTracker, classify_fanout
 from repro.persist.manager import DurabilityManager
 from repro.persist.recovery import WAL_SUBDIR
 from repro.persist.wal import OP_INGEST, OP_REMOVE, read_wal
@@ -119,6 +120,10 @@ class ClusterInstruments:
         self.shards = registry.gauge(
             "repro_shards", help="Live shards in the cluster."
         ).default()
+        #: the router is the SLO front door: it scores each *logical*
+        #: (merged) query, while the shard-internal servers run with
+        #: ``publish_slo=False`` so probe fragments are never counted
+        self.slo = SloTracker(obs.slo_policy, registry)
 
 
 @dataclass
@@ -236,6 +241,7 @@ class ShardRouter:
             obs=self.obs,
             batch=self.batch,
             durability=manager,
+            publish_slo=False,
         )
         replica = (
             Replica(sid, self.graph, self.config, self.grid, self.ship_every)
@@ -302,25 +308,78 @@ class ShardRouter:
     def query(self, q: Query, report: ReplayReport) -> KnnAnswer:
         """Scatter-gather one kNN query; the merged answer and its single
         fanout-stamped :class:`QueryRecord` are byte-compatible with an
-        unsharded server's."""
+        unsharded server's.
+
+        With tracing on, the whole scatter-gather is one trace tree: a
+        ``router.knn`` root span, one ``shard.probe`` child per shard
+        touched (its :class:`~repro.obs.tracing.TraceContext` is encoded
+        and handed to the shard's server, which decodes it — the same
+        propagation a remote shard would use), the ladder-rung spans the
+        shards record beneath their probes, and a final ``merge`` span.
+        """
         self._maybe_fail(q.t)
         cell = self.grid.cell_of_edge(q.location.edge_id)
         home_sid = self.shard_map.shard_of_cell(cell)
         if self.rebalance is not None:
             self._load.record(home_sid, cell)
-        scratch = self._scratch()
-        answer = self.shards[home_sid].server.query(q, scratch)
-        return self._finish_query(q, home_sid, answer, scratch.query_records, report)
+        tracer = self.obs.tracer if self.obs is not None else None
+        if tracer is None:
+            scratch = self._scratch()
+            answer = self.shards[home_sid].server.query(q, scratch)
+            return self._finish_query(
+                q, home_sid, answer, scratch.query_records, report
+            )
+        with tracer.activate(), tracer.span(
+            "router.knn", {"k": q.k, "t": q.t, "home": home_sid}
+        ) as root:
+            scratch = self._scratch()
+            answer = self._probe(home_sid, q, scratch, role="home")
+            merged = self._finish_query(
+                q, home_sid, answer, scratch.query_records, report
+            )
+            root.set_attr("fanout", report.query_records[-1].fanout)
+        return merged
+
+    def _probe(
+        self, sid: int, q: Query, scratch: ReplayReport, role: str
+    ) -> KnnAnswer:
+        """One traced shard probe: the probe span's context crosses the
+        router→shard boundary as an encoded header."""
+        tracer = self.obs.tracer if self.obs is not None else None
+        if tracer is None:
+            return self.shards[sid].server.query(q, scratch)
+        with tracer.span("shard.probe", {"shard": sid, "role": role}) as sp:
+            return self.shards[sid].server.query(
+                q, scratch, trace_parent=sp.context.encode()
+            )
 
     def query_batch(
         self, queries: list[Query], report: ReplayReport
     ) -> list[KnnAnswer]:
         """Execute one epoch: batched per home-shard group, then per-query
-        fan-out at the epoch timestamp.  Answers align with ``queries``."""
+        fan-out at the epoch timestamp.  Answers align with ``queries``.
+
+        A traced epoch is one ``router.epoch`` trace tree: ``shard.batch``
+        spans for the per-home-shard batched probes (context-propagated
+        like single probes), then one ``router.fanout`` span per query
+        for its cross-shard scatter and merge.
+        """
         if not queries:
             return []
         t_epoch = max(q.t for q in queries)
         self._maybe_fail(t_epoch)
+        tracer = self.obs.tracer if self.obs is not None else None
+        if tracer is None:
+            return self._run_epoch(queries, t_epoch, report)
+        with tracer.activate(), tracer.span(
+            "router.epoch", {"queries": len(queries), "t": t_epoch}
+        ):
+            return self._run_epoch(queries, t_epoch, report)
+
+    def _run_epoch(
+        self, queries: list[Query], t_epoch: float, report: ReplayReport
+    ) -> list[KnnAnswer]:
+        tracer = self.obs.tracer if self.obs is not None else None
         groups: dict[int, list[tuple[int, Query]]] = {}
         for i, q in enumerate(queries):
             cell = self.grid.cell_of_edge(q.location.edge_id)
@@ -331,9 +390,18 @@ class ShardRouter:
         out: list[KnnAnswer | None] = [None] * len(queries)
         for sid, members in groups.items():
             scratch = self._scratch()
-            answers = self.shards[sid].server.query_batch(
-                [q for _, q in members], scratch
-            )
+            group_queries = [q for _, q in members]
+            if tracer is not None:
+                with tracer.span(
+                    "shard.batch", {"shard": sid, "queries": len(members)}
+                ) as sp:
+                    answers = self.shards[sid].server.query_batch(
+                        group_queries, scratch, trace_parent=sp.context.encode()
+                    )
+            else:
+                answers = self.shards[sid].server.query_batch(
+                    group_queries, scratch
+                )
             report.n_batches += scratch.n_batches
             report.batch_cells_deduped += scratch.batch_cells_deduped
             for (i, q), answer, record in zip(
@@ -360,6 +428,7 @@ class ShardRouter:
         answers = [home_answer]
         pruned = 0
         tracer = self.obs.tracer if self.obs is not None else None
+        trace_id: str | None = None
 
         def fan_out() -> None:
             nonlocal pruned
@@ -387,7 +456,7 @@ class ShardRouter:
                     pruned += len(candidates) - pos
                     break
                 scratch = self._scratch()
-                answer = self.shards[sid].server.query(q, scratch)
+                answer = self._probe(sid, q, scratch, role="fanout")
                 pairs.extend((e.obj, e.distance) for e in answer.entries)
                 probed.append(sid)
                 records.extend(scratch.query_records)
@@ -395,26 +464,58 @@ class ShardRouter:
 
         if tracer is not None:
             with tracer.activate(), tracer.span(
-                "shard", {"home": home_sid, "k": q.k}
+                "router.fanout", {"home": home_sid, "k": q.k}
             ) as sp:
                 fan_out()
+                with tracer.span("merge", {"results": q.k}):
+                    ranked = rank_results(pairs, q.k)
+                    merged = self._merge_answers(answers, ranked)
                 sp.set_attr("fanout", len(probed))
                 sp.set_attr("pruned", pruned)
+            trace_id = sp.trace_id_hex
         else:
             fan_out()
+            merged = self._merge_answers(answers, rank_results(pairs, q.k))
 
-        report.query_records.append(self._merge_records(records, probed))
+        record = self._merge_records(
+            records, probed, t=q.t, trace_id=trace_id
+        )
+        report.query_records.append(record)
         report.n_queries += 1
         if self._inst is not None:
-            self._inst.fanout.observe(len(probed))
+            self._inst.fanout.observe(len(probed), exemplar=trace_id)
             if pruned:
                 self._inst.pruned.inc(pruned)
             for sid in probed:
                 self._inst.queries.labels(shard=str(sid)).inc()
-        return self._merge_answers(answers, rank_results(pairs, q.k))
+            # the logical (merged) query is what the front door scores
+            # against its SLO and retains in the slow-query log — the
+            # per-probe fragments were recorded by the shard servers
+            # with SLO scoring off
+            self._inst.slo.record(
+                classify_fanout(record.fanout),
+                record.modeled_s,
+                q.t,
+                trace_id=trace_id,
+            )
+            self.obs.slow_queries.record(
+                record.modeled_s,
+                wall_s=record.wall_s,
+                phases=record.phase_s,
+                fanout=record.fanout,
+                shards=list(record.shards),
+                trace_id=trace_id,
+                used_fallback=record.used_fallback,
+            )
+        return merged
 
     @staticmethod
-    def _merge_records(records: list[QueryRecord], probed: list[int]) -> QueryRecord:
+    def _merge_records(
+        records: list[QueryRecord],
+        probed: list[int],
+        t: float = 0.0,
+        trace_id: str | None = None,
+    ) -> QueryRecord:
         """Collapse per-probe records into one fanout-stamped record."""
         phases: dict[str, float] = {}
         for r in records:
@@ -436,6 +537,8 @@ class ShardRouter:
             backoff_s=sum(r.backoff_s for r in records),
             fanout=len(probed),
             shards=tuple(probed),
+            t=t,
+            trace_id=trace_id,
         )
 
     @staticmethod
@@ -520,14 +623,16 @@ class ShardRouter:
         shard = self.shards.get(sid)
         if shard is None:
             raise ClusterError(f"unknown shard id {sid}")
-        # the primary is dead: its in-memory index is gone and its WAL
-        # handle with it
-        shard.manager.close()
-        wal_dir = shard.directory / WAL_SUBDIR
-        if shard.replica is not None:
-            index, caught_up = shard.replica.promote(wal_dir)
-            mode = FAILOVER_REPLICA
-        else:
+        tracer = self.obs.tracer if self.obs is not None else None
+
+        def promote() -> tuple[GGridIndex, int, str]:
+            # the primary is dead: its in-memory index is gone and its
+            # WAL handle with it
+            shard.manager.close()
+            wal_dir = shard.directory / WAL_SUBDIR
+            if shard.replica is not None:
+                index, caught_up = shard.replica.promote(wal_dir)
+                return index, caught_up, FAILOVER_REPLICA
             index = GGridIndex(self.graph, self.config, grid=self.grid)
             records = read_wal(wal_dir).records
             for record in records:
@@ -535,8 +640,15 @@ class ShardRouter:
                     index.ingest(record.to_message())
                 elif record.op == OP_REMOVE:
                     index.remove_object(record.obj, record.t)
-            caught_up = len(records)
-            mode = FAILOVER_WAL
+            return index, len(records), FAILOVER_WAL
+
+        if tracer is not None:
+            with tracer.activate(), tracer.span("failover", {"shard": sid}) as sp:
+                index, caught_up, mode = promote()
+                sp.set_attr("mode", mode)
+                sp.set_attr("caught_up", caught_up)
+        else:
+            index, caught_up, mode = promote()
         manager = DurabilityManager(shard.directory, obs=self.obs)
         server = QueryServer(
             index,
@@ -544,6 +656,7 @@ class ShardRouter:
             obs=self.obs,
             batch=self.batch,
             durability=manager,
+            publish_slo=False,
         )
         self.shards[sid] = Shard(
             sid,
@@ -555,6 +668,11 @@ class ShardRouter:
         )
         if self._inst is not None:
             self._inst.failovers.labels(mode=mode).inc()
+        if self.obs is not None and self.obs.flight is not None:
+            # snapshot the queries that led up to the failover
+            self.obs.flight.trigger(
+                "failover", detail=f"shard={sid} mode={mode}"
+            )
         if self._failover_warner is not None:
             self._failover_warner.record(
                 "shards failed over to a promoted standby",

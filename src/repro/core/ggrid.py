@@ -285,7 +285,12 @@ class GGridIndex:
         if self.breaker.allow_gpu(now):
             while True:
                 try:
-                    result = attempt(True)
+                    # rung spans make the ladder legible in query traces;
+                    # span() is the shared no-op when tracing is off, and
+                    # an erroring attempt still closes its span cleanly
+                    with span("rung_gpu") as rung_sp:
+                        rung_sp.set_attr("attempt", retries)
+                        result = attempt(True)
                     self.breaker.record_success(now)
                     return tag_ladder_outcome(result, None, retries, backoff_s)
                 except GpuError:
@@ -298,12 +303,15 @@ class GGridIndex:
                     retries += 1
         # -- rung 2: vectorised SDist + dedup on the host, same answers --
         try:
-            result = attempt(False)
+            with span("rung_cpu_sdist"):
+                result = attempt(False)
             return tag_ladder_outcome(result, RUNG_CPU_SDIST, retries, backoff_s)
         except GpuError:  # pragma: no cover - rung 2 touches no device
             pass
         # -- rung 3: exact Dijkstra over the eager object table --
-        return tag_ladder_outcome(exact(), RUNG_DIJKSTRA, retries, backoff_s)
+        with span("rung_dijkstra"):
+            result = exact()
+        return tag_ladder_outcome(result, RUNG_DIJKSTRA, retries, backoff_s)
 
     def _resilient_clean(
         self, lists: dict[int, MessageList], now: float

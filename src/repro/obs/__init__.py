@@ -12,6 +12,10 @@ first-class, opt-in part of the serving layer:
   the simulated-GPU timeline into one Perfetto-loadable Chrome trace;
 * :mod:`repro.obs.slowlog` — the top-N slowest queries with their
   phase splits;
+* :mod:`repro.obs.slo` — per-class latency objectives over the modelled
+  clock with multi-window error-budget burn rates (``repro_slo_*``);
+* :mod:`repro.obs.flight` — a span ring-buffer flight recorder that
+  dumps the last N query traces on fault, breaker-open or failover;
 * :mod:`repro.obs.hub` — the :class:`Observability` bundle servers
   publish to, plus the process-wide opt-in default the benchmark CLI
   uses.
@@ -24,11 +28,19 @@ Example:
     True
 """
 
+from repro.obs.flight import FlightDump, FlightRecorder
 from repro.obs.hub import (
     Observability,
     configure,
     configured,
     default_observability,
+)
+from repro.obs.slo import (
+    DEFAULT_SLO_POLICY,
+    SloObjective,
+    SloPolicy,
+    SloTracker,
+    classify_fanout,
 )
 from repro.obs.metrics import (
     LATENCY_BUCKETS,
@@ -44,9 +56,12 @@ from repro.obs.slowlog import SlowQuery, SlowQueryLog
 from repro.obs.tracing import (
     NULL_SPAN,
     Span,
+    TraceContext,
     Tracer,
+    current_context,
     current_tracer,
     span,
+    spans_to_chrome_events,
     write_chrome_trace,
 )
 
@@ -65,10 +80,20 @@ __all__ = [
     "log_scale_buckets",
     "SlowQuery",
     "SlowQueryLog",
+    "FlightDump",
+    "FlightRecorder",
+    "DEFAULT_SLO_POLICY",
+    "SloObjective",
+    "SloPolicy",
+    "SloTracker",
+    "classify_fanout",
     "Tracer",
     "Span",
+    "TraceContext",
     "NULL_SPAN",
+    "current_context",
     "current_tracer",
     "span",
+    "spans_to_chrome_events",
     "write_chrome_trace",
 ]

@@ -1,0 +1,147 @@
+"""A span ring-buffer flight recorder: the last N query traces on fault.
+
+Aggregates say *that* the p99 moved and the slow-query log says *which*
+queries were slow — but when a shard fails over or the circuit breaker
+trips open, the question is "what were the last few queries doing right
+before this?".  The :class:`FlightRecorder` answers it: the tracer
+hands it every completed trace tree (``Tracer.on_trace_complete``), a
+bounded ring keeps the most recent ones, and a fault-path **trigger**
+(device fault, breaker-open, shard failover) snapshots the ring into a
+:class:`FlightDump` — optionally written straight to disk as a
+Perfetto-loadable Chrome trace.
+
+Dumps themselves are bounded (a chaos profile faulting every query must
+not accumulate thousands of snapshots); the *first* dump per reason is
+always kept, later ones rotate.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.obs.tracing import Span, spans_to_chrome_events
+
+
+@dataclass(frozen=True, slots=True)
+class FlightDump:
+    """One triggered snapshot of the recent-trace ring."""
+
+    seq: int
+    reason: str
+    detail: str
+    traces: tuple[tuple[Span, ...], ...]
+    path: Path | None = None
+
+    @property
+    def trace_ids(self) -> tuple[str, ...]:
+        return tuple(t[0].trace_id_hex for t in self.traces if t)
+
+
+@dataclass
+class FlightRecorder:
+    """Bounded ring of completed query traces plus triggered dumps.
+
+    Attributes:
+        capacity: traces retained in the ring (the "last N queries").
+        max_dumps: triggered snapshots retained (oldest rotate out,
+            except the first dump of each distinct reason).
+        dump_dir: when set, every trigger also writes
+            ``flight-<seq>-<reason>.json`` (Chrome trace format) there.
+    """
+
+    capacity: int = 32
+    max_dumps: int = 16
+    dump_dir: str | Path | None = None
+    _ring: "deque[list[Span]]" = field(default_factory=deque, repr=False)
+    dumps: list[FlightDump] = field(default_factory=list)
+    _seq: int = 0
+    traces_recorded: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ConfigError(f"capacity must be >= 1, got {self.capacity}")
+        if self.max_dumps < 1:
+            raise ConfigError(f"max_dumps must be >= 1, got {self.max_dumps}")
+        self._ring = deque(maxlen=self.capacity)
+
+    # -- recording -----------------------------------------------------
+    def on_trace(self, spans: list[Span]) -> None:
+        """Ring-buffer one completed trace (``Tracer.on_trace_complete``)."""
+        if spans:
+            self._ring.append(list(spans))
+            self.traces_recorded += 1
+
+    def traces(self) -> list[list[Span]]:
+        """Retained traces, oldest first."""
+        return [list(t) for t in self._ring]
+
+    def find_trace(self, trace_id: int | str) -> list[Span] | None:
+        """The retained trace with this id (hex string or int), if any.
+
+        This is the slow-query-log link: a slowlog entry's ``trace_id``
+        attribute pulls the full span tree back out of the recorder.
+        """
+        wanted = int(trace_id, 16) if isinstance(trace_id, str) else trace_id
+        for trace in reversed(self._ring):
+            if trace and trace[0].trace_id == wanted:
+                return list(trace)
+        return None
+
+    # -- fault-path triggers -------------------------------------------
+    def trigger(self, reason: str, detail: str = "") -> FlightDump:
+        """Snapshot the ring because something went wrong.
+
+        Called by the serving path on device faults, breaker-open
+        transitions and shard failovers.  Returns the dump (with its
+        file path when ``dump_dir`` is set).
+        """
+        self._seq += 1
+        path: Path | None = None
+        traces = tuple(tuple(t) for t in self._ring)
+        if self.dump_dir is not None:
+            directory = Path(self.dump_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in reason)
+            path = directory / f"flight-{self._seq:04d}-{safe}.json"
+            path.write_text(json.dumps(self._chrome_doc(traces, reason, detail)))
+        dump = FlightDump(self._seq, reason, detail, traces, path)
+        self.dumps.append(dump)
+        if len(self.dumps) > self.max_dumps:
+            # rotate out the oldest dump that is not the first of its
+            # reason — the first breaker-open/failover is the one a
+            # post-mortem wants, even after thousands of later faults
+            seen: set[str] = set()
+            first_ids: set[int] = set()
+            for d in self.dumps:
+                if d.reason not in seen:
+                    seen.add(d.reason)
+                    first_ids.add(id(d))
+            for i, d in enumerate(self.dumps):
+                if id(d) not in first_ids:
+                    del self.dumps[i]
+                    break
+        return dump
+
+    @staticmethod
+    def _chrome_doc(
+        traces: tuple[tuple[Span, ...], ...], reason: str, detail: str
+    ) -> dict[str, Any]:
+        events: list[dict[str, Any]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "args": {"name": f"flight recorder ({reason})"},
+            }
+        ]
+        for trace in traces:
+            events.extend(spans_to_chrome_events(list(trace), pid=1))
+        return {
+            "traceEvents": events,
+            "metadata": {"reason": reason, "detail": detail},
+        }

@@ -16,7 +16,9 @@ from typing import Iterator
 
 from contextlib import contextmanager
 
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import DEFAULT_SLO_POLICY, SloPolicy
 from repro.obs.slowlog import SlowQueryLog
 from repro.obs.tracing import Tracer
 
@@ -30,19 +32,39 @@ class Observability:
         tracer: span recorder; ``None`` disables span collection (the
             default for long replays — spans accumulate per query).
         slow_queries: top-N retained slow queries.
+        flight: ring buffer of recent completed traces, dumped on
+            faults/breaker-open/failover; ``None`` disables it (it only
+            makes sense alongside a tracer).
+        slo_policy: the latency objectives the serving layer scores
+            queries against (``repro_slo_*`` families, DESIGN.md §13).
     """
 
     registry: MetricsRegistry = field(default_factory=MetricsRegistry)
     tracer: Tracer | None = None
     slow_queries: SlowQueryLog = field(default_factory=SlowQueryLog)
+    flight: FlightRecorder | None = None
+    slo_policy: SloPolicy = field(default_factory=lambda: DEFAULT_SLO_POLICY)
+
+    def __post_init__(self) -> None:
+        # the recorder feeds from completed root spans; wire it to the
+        # tracer exactly once, here, so callers can't forget
+        if self.tracer is not None and self.flight is not None:
+            self.tracer.on_trace_complete = self.flight.on_trace
 
     @classmethod
-    def with_tracing(cls, slow_capacity: int = 10) -> "Observability":
-        """A fully armed bundle (metrics + spans + slow log)."""
+    def with_tracing(
+        cls,
+        slow_capacity: int = 10,
+        flight_capacity: int = 32,
+        slo_policy: SloPolicy | None = None,
+    ) -> "Observability":
+        """A fully armed bundle (metrics + spans + slow log + flight)."""
         return cls(
             registry=MetricsRegistry(),
             tracer=Tracer(),
             slow_queries=SlowQueryLog(capacity=slow_capacity),
+            flight=FlightRecorder(capacity=flight_capacity),
+            slo_policy=slo_policy or DEFAULT_SLO_POLICY,
         )
 
 

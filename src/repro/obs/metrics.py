@@ -106,7 +106,7 @@ class Histogram:
     latency buckets this repo reports.
     """
 
-    __slots__ = ("bounds", "counts", "sum", "count")
+    __slots__ = ("bounds", "counts", "sum", "count", "exemplars")
 
     def __init__(self, buckets: Iterable[float] | None = None) -> None:
         bounds = tuple(sorted(buckets if buckets is not None else LATENCY_BUCKETS))
@@ -118,8 +118,12 @@ class Histogram:
         self.counts = [0] * (len(bounds) + 1)  # final slot is +Inf
         self.sum = 0.0
         self.count = 0
+        #: per-bucket exemplar: the latest (value, trace_id) observed in
+        #: that bucket — how a latency bucket links back to a concrete
+        #: trace in the flight recorder / Chrome trace (DESIGN.md §13)
+        self.exemplars: dict[int, tuple[float, str]] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         self.sum += value
         self.count += 1
         lo, hi = 0, len(self.bounds)
@@ -130,6 +134,8 @@ class Histogram:
             else:
                 hi = mid
         self.counts[lo] += 1
+        if exemplar is not None:
+            self.exemplars[lo] = (value, exemplar)
 
     def quantile(self, q: float) -> float:
         """Estimated value at quantile ``q`` in [0, 1] (0.0 when empty)."""
@@ -213,7 +219,15 @@ class MetricFamily:
 
 
 def _escape(value: str) -> str:
+    """Escape a label value per the exposition format spec: backslash
+    first (so later escapes aren't double-escaped), then double-quote
+    and newline."""
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """HELP lines escape only backslash and newline (quotes are legal)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _labelset(names: tuple[str, ...], values: tuple[str, ...]) -> str:
@@ -300,28 +314,40 @@ class MetricsRegistry:
         self.warnings.append(f"[{source}] {message}")
 
     # -- exposition ----------------------------------------------------
-    def write_prometheus(self) -> str:
-        """The registry in Prometheus text exposition format."""
+    def write_prometheus(self, exemplars: bool = False) -> str:
+        """The registry in Prometheus text exposition format.
+
+        With ``exemplars=True``, histogram bucket lines carry their
+        exemplar in OpenMetrics syntax (``... # {trace_id="..."} v``);
+        the default stays classic-parser compatible.
+        """
         lines: list[str] = []
         for name in sorted(self._families):
             family = self._families[name]
             if not family.children():
                 continue
             if family.help:
-                lines.append(f"# HELP {name} {family.help}")
+                lines.append(f"# HELP {name} {_escape_help(family.help)}")
             lines.append(f"# TYPE {name} {family.kind}")
             for key, child in sorted(family.children().items()):
                 labels = _labelset(family.labelnames, key)
                 if isinstance(child, Histogram):
                     cumulative = 0
-                    for bound, n in zip(
-                        (*child.bounds, _INF), child.counts
+                    for i, (bound, n) in enumerate(
+                        zip((*child.bounds, _INF), child.counts)
                     ):
                         cumulative += n
                         le = _labelset(
                             (*family.labelnames, "le"), (*key, _fmt(bound))
                         )
-                        lines.append(f"{name}_bucket{le} {cumulative}")
+                        line = f"{name}_bucket{le} {cumulative}"
+                        if exemplars and i in child.exemplars:
+                            value, trace_id = child.exemplars[i]
+                            line += (
+                                f' # {{trace_id="{_escape(trace_id)}"}}'
+                                f" {repr(value)}"
+                            )
+                        lines.append(line)
                     lines.append(f"{name}_sum{labels} {repr(child.sum)}")
                     lines.append(f"{name}_count{labels} {child.count}")
                 else:
@@ -337,17 +363,22 @@ class MetricsRegistry:
             for key, child in family.children().items():
                 labels = dict(zip(family.labelnames, key))
                 if isinstance(child, Histogram):
-                    children.append(
-                        {
-                            "labels": labels,
-                            "sum": child.sum,
-                            "count": child.count,
-                            "buckets": dict(
-                                zip(map(_fmt, (*child.bounds, _INF)), child.counts)
-                            ),
-                            **child.percentiles(),
+                    bucket_names = [_fmt(b) for b in (*child.bounds, _INF)]
+                    entry: dict[str, object] = {
+                        "labels": labels,
+                        "sum": child.sum,
+                        "count": child.count,
+                        "buckets": dict(zip(bucket_names, child.counts)),
+                        **child.percentiles(),
+                    }
+                    if child.exemplars:
+                        entry["exemplars"] = {
+                            bucket_names[i]: {"value": value, "trace_id": trace_id}
+                            for i, (value, trace_id) in sorted(
+                                child.exemplars.items()
+                            )
                         }
-                    )
+                    children.append(entry)
                 else:
                     children.append({"labels": labels, "value": child.value})
             metrics[name] = {"type": family.kind, "values": children}
@@ -371,6 +402,11 @@ class RateLimitedWarner:
     on every ``every``-th, carrying the cumulative count in the message
     so nothing is lost by the suppression.
 
+    Suppressed occurrences are additionally counted in the
+    ``repro_warnings_suppressed_total{source}`` family, so dashboards
+    see the true event rate instead of having to parse cumulative
+    counts back out of log text.
+
     Example:
         >>> reg = MetricsRegistry()
         >>> warner = RateLimitedWarner(reg, "example")
@@ -390,6 +426,11 @@ class RateLimitedWarner:
         self.every = every
         #: cumulative occurrences recorded (warned or suppressed)
         self.count = 0
+        self._suppressed = registry.counter(
+            "repro_warnings_suppressed_total",
+            help="Warning occurrences suppressed by rate limiting.",
+            labelnames=("source",),
+        ).labels(source=source)
 
     def record(self, what: str, detail: str = "") -> bool:
         """Count one occurrence; emit the warning if it is due.
@@ -403,6 +444,7 @@ class RateLimitedWarner:
         """
         self.count += 1
         if self.count != 1 and self.count % self.every != 0:
+            self._suppressed.inc()
             return False
         message = f"{self.count} {what}"
         if detail:

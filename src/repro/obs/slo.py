@@ -1,0 +1,287 @@
+"""Per-class latency SLOs with multi-window error-budget burn rates.
+
+The paper's evaluation argues about means and tails; a serving cluster
+is *operated* against objectives: "99% of point queries under 50 ms of
+modelled time".  This module scores every query against such an
+objective over the **modelled clock** (replay event time — replays are
+deterministic, so attainment and burn rates are too):
+
+* :class:`SloObjective` — one class's latency threshold and target
+  attainment ratio;
+* :class:`SloPolicy` — the class → objective map plus the burn-rate
+  windows (the classic multi-window alerting pair: a short window that
+  reacts and a long window that confirms);
+* :class:`SloTracker` — the recorder.  Fed one ``(class, latency,
+  now)`` triple per query, it maintains total/breach counts, windowed
+  burn rates, and (when given a registry) the ``repro_slo_*`` metric
+  families.
+
+**Burn rate** is the standard SRE quantity: the error rate observed in
+a window divided by the error budget (``1 - target``).  Burn 1.0 means
+the budget is being consumed exactly as fast as it accrues; burn 14.4
+on a 99.9% objective eats a 30-day budget in 2 days.
+
+Query classes default to the routing shape — ``point`` (fanout 1) vs
+``scatter`` (cross-shard fan-out) — because that is the latency split
+the cluster layer actually serves; policies with custom classes and
+thresholds are plain data.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One query class's objective: latency threshold + target ratio.
+
+    Attributes:
+        threshold_s: modelled latency above which a query breaches.
+        target: required fraction of queries under the threshold.
+    """
+
+    threshold_s: float
+    target: float = 0.99
+
+    def __post_init__(self) -> None:
+        if self.threshold_s <= 0:
+            raise ConfigError(f"threshold_s must be positive, got {self.threshold_s}")
+        if not 0.0 < self.target < 1.0:
+            raise ConfigError(f"target must be in (0, 1), got {self.target}")
+
+    @property
+    def budget(self) -> float:
+        """The error budget: allowed breach fraction (``1 - target``)."""
+        return 1.0 - self.target
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """The class → objective map plus the burn-rate windows (modelled s)."""
+
+    objectives: Mapping[str, SloObjective]
+    windows_s: tuple[float, ...] = (60.0, 3600.0)
+
+    def __post_init__(self) -> None:
+        if not self.objectives:
+            raise ConfigError("an SLO policy needs at least one objective")
+        if not self.windows_s:
+            raise ConfigError("an SLO policy needs at least one burn window")
+        if any(w <= 0 for w in self.windows_s):
+            raise ConfigError(f"windows must be positive, got {self.windows_s}")
+
+    def objective_for(self, cls: str) -> SloObjective:
+        try:
+            return self.objectives[cls]
+        except KeyError:
+            raise ConfigError(
+                f"no SLO objective for query class {cls!r} "
+                f"(have {sorted(self.objectives)})"
+            ) from None
+
+
+def classify_fanout(fanout: int) -> str:
+    """The default query classifier: routing shape, not tenant."""
+    return "scatter" if fanout > 1 else "point"
+
+
+#: Default objectives, in modelled seconds.  Point queries ride one
+#: shard; scatter queries pay fan-out, so their threshold is wider.
+DEFAULT_SLO_POLICY = SloPolicy(
+    objectives={
+        "point": SloObjective(threshold_s=0.050, target=0.99),
+        "scatter": SloObjective(threshold_s=0.200, target=0.99),
+    }
+)
+
+
+class _Window:
+    """One class's sliding window: (t, breached) events + running sums."""
+
+    __slots__ = ("width_s", "events", "total", "breaches")
+
+    def __init__(self, width_s: float) -> None:
+        self.width_s = width_s
+        self.events: deque[tuple[float, bool]] = deque()
+        self.total = 0
+        self.breaches = 0
+
+    def add(self, now: float, breached: bool) -> None:
+        self.events.append((now, breached))
+        self.total += 1
+        self.breaches += breached
+        cutoff = now - self.width_s
+        while self.events and self.events[0][0] < cutoff:
+            _, old = self.events.popleft()
+            self.total -= 1
+            self.breaches -= old
+
+    def error_rate(self) -> float:
+        return self.breaches / self.total if self.total else 0.0
+
+
+@dataclass
+class _ClassState:
+    objective: SloObjective
+    total: int = 0
+    breaches: int = 0
+    windows: dict[float, _Window] = field(default_factory=dict)
+    worst_trace_id: str | None = None
+    worst_latency_s: float = 0.0
+
+
+class SloTracker:
+    """Scores queries against a policy; optionally publishes metrics.
+
+    With a registry, maintains the ``repro_slo_*`` families documented
+    in README.md §Observability:
+
+    * ``repro_slo_requests_total{class}`` / ``repro_slo_breaches_total{class}``
+    * ``repro_slo_attainment_ratio{class}`` (gauge, cumulative)
+    * ``repro_slo_error_budget_burn{class,window}`` (gauge, per window)
+    * ``repro_slo_latency_target_seconds{class}`` (gauge, the threshold)
+    """
+
+    def __init__(
+        self,
+        policy: SloPolicy | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.policy = policy or DEFAULT_SLO_POLICY
+        self._classes: dict[str, _ClassState] = {}
+        self._registry = registry
+        if registry is not None:
+            self._requests = registry.counter(
+                "repro_slo_requests_total",
+                help="Queries scored against their class SLO.",
+                labelnames=("slo_class",),
+            )
+            self._breaches = registry.counter(
+                "repro_slo_breaches_total",
+                help="Queries over their class latency threshold.",
+                labelnames=("slo_class",),
+            )
+            self._attainment = registry.gauge(
+                "repro_slo_attainment_ratio",
+                help="Fraction of queries under the class threshold.",
+                labelnames=("slo_class",),
+            )
+            self._burn = registry.gauge(
+                "repro_slo_error_budget_burn",
+                help="Windowed error rate over the class error budget "
+                "(1.0 = budget consumed exactly as it accrues).",
+                labelnames=("slo_class", "window"),
+            )
+            self._target = registry.gauge(
+                "repro_slo_latency_target_seconds",
+                help="The class latency threshold being scored against.",
+                labelnames=("slo_class",),
+            )
+
+    def _state(self, cls: str) -> _ClassState:
+        state = self._classes.get(cls)
+        if state is None:
+            objective = self.policy.objective_for(cls)
+            state = self._classes[cls] = _ClassState(
+                objective,
+                windows={w: _Window(w) for w in self.policy.windows_s},
+            )
+            if self._registry is not None:
+                self._target.labels(slo_class=cls).set(objective.threshold_s)
+        return state
+
+    # -- recording -----------------------------------------------------
+    def record(
+        self,
+        cls: str,
+        latency_s: float,
+        now: float,
+        trace_id: str | None = None,
+    ) -> bool:
+        """Score one query at modelled time ``now``.
+
+        Returns:
+            True when the query breached its class threshold.
+        """
+        state = self._state(cls)
+        breached = latency_s > state.objective.threshold_s
+        state.total += 1
+        state.breaches += breached
+        if breached and latency_s > state.worst_latency_s:
+            state.worst_latency_s = latency_s
+            state.worst_trace_id = trace_id
+        for window in state.windows.values():
+            window.add(now, breached)
+        if self._registry is not None:
+            self._requests.labels(slo_class=cls).inc()
+            if breached:
+                self._breaches.labels(slo_class=cls).inc()
+            self._attainment.labels(slo_class=cls).set(
+                (state.total - state.breaches) / state.total
+            )
+            budget = state.objective.budget
+            for width, window in state.windows.items():
+                self._burn.labels(slo_class=cls, window=_fmt_window(width)).set(
+                    window.error_rate() / budget
+                )
+        return breached
+
+    # -- reporting -----------------------------------------------------
+    def attainment(self, cls: str) -> float:
+        """Cumulative attained ratio for a class (1.0 before traffic)."""
+        state = self._classes.get(cls)
+        if state is None or state.total == 0:
+            return 1.0
+        return (state.total - state.breaches) / state.total
+
+    def burn_rate(self, cls: str, window_s: float) -> float:
+        """Error-budget burn in one window (0.0 before traffic)."""
+        state = self._classes.get(cls)
+        if state is None:
+            return 0.0
+        window = state.windows.get(window_s)
+        if window is None:
+            raise ConfigError(
+                f"window {window_s} not in policy windows {self.policy.windows_s}"
+            )
+        return window.error_rate() / state.objective.budget
+
+    def report(self) -> dict[str, dict[str, Any]]:
+        """Per-class SLO outcome: the dict ReplayReport embeds.
+
+        ``budget_consumed`` is the cumulative breach rate over the error
+        budget — above 1.0 the objective has been missed outright.
+        """
+        out: dict[str, dict[str, Any]] = {}
+        for cls in sorted(self._classes):
+            state = self._classes[cls]
+            attained = self.attainment(cls)
+            out[cls] = {
+                "requests": state.total,
+                "breaches": state.breaches,
+                "threshold_s": state.objective.threshold_s,
+                "target": state.objective.target,
+                "attainment": attained,
+                "met": attained >= state.objective.target,
+                "budget_consumed": (1.0 - attained) / state.objective.budget,
+                "burn_rates": {
+                    _fmt_window(w): state.windows[w].error_rate()
+                    / state.objective.budget
+                    for w in self.policy.windows_s
+                },
+                "worst_trace_id": state.worst_trace_id,
+            }
+        return out
+
+
+def _fmt_window(width_s: float) -> str:
+    """A stable label for a window width (``60s``, ``3600s``)."""
+    if float(width_s).is_integer():
+        return f"{int(width_s)}s"
+    return f"{width_s}s"

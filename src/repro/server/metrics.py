@@ -92,6 +92,11 @@ class QueryRecord:
     #: reports stay directly comparable.
     fanout: int = 1
     shards: tuple[int, ...] = ()
+    #: the query's modelled event time (the replay clock SLO windows and
+    #: burn rates are computed over) and, when tracing was on, the hex
+    #: trace id of its span tree — the key into the flight recorder
+    t: float = 0.0
+    trace_id: str | None = None
 
 
 @dataclass
@@ -232,6 +237,27 @@ class ReplayReport:
             phase: histograms[phase].percentiles() for phase in sorted(histograms)
         }
 
+    def slo(self, policy: "object | None" = None) -> dict[str, dict[str, object]]:
+        """Per-class SLO attainment and error-budget burn for this replay.
+
+        Queries are classified by routing shape (``point`` vs
+        ``scatter``, see :func:`repro.obs.slo.classify_fanout`) and
+        scored against ``policy`` (default
+        :data:`~repro.obs.slo.DEFAULT_SLO_POLICY`) over the modelled
+        clock — each record's event time ``t`` — so burn rates are
+        deterministic replay outcomes, not wall-clock artifacts.
+        """
+        from repro.obs.slo import SloPolicy, SloTracker, classify_fanout
+
+        if policy is not None and not isinstance(policy, SloPolicy):
+            raise ConfigError(f"expected an SloPolicy, got {type(policy).__name__}")
+        tracker = SloTracker(policy)
+        for r in self.query_records:
+            tracker.record(
+                classify_fanout(r.fanout), r.modeled_s, r.t, trace_id=r.trace_id
+            )
+        return tracker.report()
+
     def amortized_latency_s(self) -> float:
         """G-Grid (L) style: ``(T_u + T_q) / n_q`` with queries serial."""
         if not self.n_queries:
@@ -280,6 +306,7 @@ class ReplayReport:
             "batch_cells_deduped": self.batch_cells_deduped,
             "mean_fanout": self.mean_fanout,
             "phases": self.phase_percentiles(),
+            "slo": self.slo(),
         }
         if self.shard_updates or self.shard_migrations:
             out["shard_updates"] = dict(sorted(self.shard_updates.items()))

@@ -29,6 +29,7 @@ from repro.errors import QueryError
 from repro.mobility.workload import Query, Workload
 from repro.obs.hub import Observability, default_observability
 from repro.obs.metrics import RateLimitedWarner, linear_buckets, log_scale_buckets
+from repro.obs.slo import SloTracker, classify_fanout
 from repro.roadnet.location import NetworkLocation
 from repro.server.batching import BatchPolicy, default_batch_policy
 from repro.server.metrics import QueryRecord, ReplayReport, TimingModel
@@ -146,6 +147,8 @@ class ServerInstruments:
             "repro_batch_cells_deduped_total",
             help="Cell cleanings avoided by epoch dedup vs sequential execution.",
         ).default()
+        # -- SLO scoring (DESIGN.md §13) --
+        self.slo = SloTracker(obs.slo_policy, registry)
 
 
 class QueryServer:
@@ -159,6 +162,7 @@ class QueryServer:
         obs: Observability | None = None,
         batch: BatchPolicy | None = None,
         durability: "object | None" = None,
+        publish_slo: bool = True,
     ) -> None:
         """Args:
             index: any :class:`KnnIndex` implementation.
@@ -179,12 +183,19 @@ class QueryServer:
                 (DESIGN.md §11): every update is WAL-logged before it is
                 applied and the manager's snapshot policy runs after,
                 so a process death recovers via :meth:`recover`.
+            publish_slo: score queries against the bundle's SLO policy.
+                The cluster router turns this off for its shard-internal
+                servers — a shard probe is a fragment of a logical
+                query, and only the front door may score it (otherwise
+                every scatter would be double-counted).
         """
         self.index = index
         self.timing = timing or TimingModel()
         self.maintenance = maintenance
         self.obs = obs if obs is not None else default_observability()
         self._inst = ServerInstruments(self.obs) if self.obs is not None else None
+        self.publish_slo = publish_slo
+        self._last_breaker = 0
         self.batch = batch if batch is not None else (
             default_batch_policy() or BatchPolicy()
         )
@@ -291,7 +302,17 @@ class QueryServer:
                 inst.backpressure.inc(backpressured)
             breaker = getattr(self.index, "breaker", None)
             if breaker is not None:
-                inst.breaker_state.set(breaker.state_code)
+                code = breaker.state_code
+                inst.breaker_state.set(code)
+                if (
+                    code == 2
+                    and self._last_breaker != 2
+                    and self.obs.flight is not None
+                ):
+                    self.obs.flight.trigger(
+                        "breaker_open", detail=f"index={self.index.name}"
+                    )
+                self._last_breaker = code
 
     def remove_object(self, obj: int, t: float) -> None:
         """Deregister an object durably (WAL-logged when durability is on).
@@ -311,17 +332,30 @@ class QueryServer:
         if self.durability is not None:
             self.durability.maybe_snapshot(self.index)
 
-    def query(self, q: Query, report: ReplayReport) -> KnnAnswer:
-        """Answer one query, charging its cost to the report."""
+    def query(
+        self, q: Query, report: ReplayReport, trace_parent: str | None = None
+    ) -> KnnAnswer:
+        """Answer one query, charging its cost to the report.
+
+        ``trace_parent`` is an encoded
+        :class:`~repro.obs.tracing.TraceContext` header from an upstream
+        component (the cluster router's per-shard probe span): the
+        query span joins that trace instead of starting its own, so a
+        scatter-gathered query renders as one tree.
+        """
         gpu = self._gpu
         before = gpu.stats.snapshot() if gpu else None
         tracer = self.obs.tracer if self.obs is not None else None
+        trace_id: str | None = None
         t0 = time.perf_counter()
         if tracer is not None:
-            with tracer.activate(), tracer.span("query", {"k": q.k, "t": q.t}) as sp:
+            with tracer.activate(), tracer.span(
+                "query", {"k": q.k, "t": q.t}, parent=trace_parent
+            ) as sp:
                 answer = self.index.knn(q.location, q.k, t_now=q.t)
                 sp.set_attr("cells_cleaned", answer.cells_cleaned)
                 sp.set_attr("candidates", answer.candidates)
+            trace_id = sp.trace_id_hex
         else:
             answer = self.index.knn(q.location, q.k, t_now=q.t)
         wall = time.perf_counter() - t0
@@ -331,10 +365,17 @@ class QueryServer:
             delta = gpu.stats.diff(before)
             gpu_s = delta.gpu_time_s
             transfer = delta.total_bytes
-        self._record_answer(answer, wall, gpu_s, transfer, report)
+        self._record_answer(
+            answer, wall, gpu_s, transfer, report, t=q.t, trace_id=trace_id
+        )
         return answer
 
-    def query_batch(self, queries: list[Query], report: ReplayReport) -> list[KnnAnswer]:
+    def query_batch(
+        self,
+        queries: list[Query],
+        report: ReplayReport,
+        trace_parent: str | None = None,
+    ) -> list[KnnAnswer]:
         """Execute one epoch of queries, charging its cost to the report.
 
         All queries run at ``t_epoch = max(q.t)`` through the index's
@@ -344,7 +385,8 @@ class QueryServer:
         attributed to the queries as equal shares (transfer bytes get
         their division remainder on the first query, so totals are
         exact).  Single-query epochs — and indexes without ``knn_batch``
-        — go through :meth:`query` unchanged.
+        — go through :meth:`query` unchanged.  ``trace_parent`` joins
+        the epoch span to an upstream trace, as in :meth:`query`.
         """
         if not queries:
             return []
@@ -356,7 +398,7 @@ class QueryServer:
             inst.batch_size.observe(n)
         index_batch = getattr(self.index, "knn_batch", None)
         if n == 1 or index_batch is None:
-            return [self.query(q, report) for q in queries]
+            return [self.query(q, report, trace_parent) for q in queries]
 
         gpu = self._gpu
         before = gpu.stats.snapshot() if gpu else None
@@ -364,16 +406,18 @@ class QueryServer:
         exec_stats = BatchExecStats()
         batch_queries = [(q.location, q.k) for q in queries]
         tracer = self.obs.tracer if self.obs is not None else None
+        trace_id: str | None = None
         t0 = time.perf_counter()
         if tracer is not None:
             with tracer.activate(), tracer.span(
-                "batch", {"queries": n, "t": t_epoch}
+                "batch", {"queries": n, "t": t_epoch}, parent=trace_parent
             ) as sp:
                 answers = index_batch(
                     batch_queries, t_now=t_epoch, exec_stats=exec_stats
                 )
                 sp.set_attr("cells_cleaned", exec_stats.cells_cleaned)
                 sp.set_attr("cells_deduped", exec_stats.cells_deduped)
+            trace_id = sp.trace_id_hex
         else:
             answers = index_batch(batch_queries, t_now=t_epoch, exec_stats=exec_stats)
         wall = time.perf_counter() - t0
@@ -390,7 +434,15 @@ class QueryServer:
             inst.batch_cells_deduped.inc(exec_stats.cells_deduped)
         for i, answer in enumerate(answers):
             transfer = transfer_share + (transfer_rem if i == 0 else 0)
-            self._record_answer(answer, wall / n, gpu_share, transfer, report)
+            self._record_answer(
+                answer,
+                wall / n,
+                gpu_share,
+                transfer,
+                report,
+                t=t_epoch,
+                trace_id=trace_id,
+            )
         return answers
 
     def _record_answer(
@@ -400,6 +452,8 @@ class QueryServer:
         gpu_s: float,
         transfer: int,
         report: ReplayReport,
+        t: float = 0.0,
+        trace_id: str | None = None,
     ) -> None:
         """Convert one answer's costs to modelled time and record it."""
         phases: dict[str, float] = dict(answer.gpu_phase_s)
@@ -431,12 +485,16 @@ class QueryServer:
                 degraded_rung=answer.degraded_rung,
                 retries=answer.retries,
                 backoff_s=answer.backoff_s,
+                t=t,
+                trace_id=trace_id,
             )
         )
         report.n_queries += 1
         inst = self._inst
         if inst is not None:
-            self._publish_query(inst, answer, modeled, wall, gpu_s, transfer, phases)
+            self._publish_query(
+                inst, answer, modeled, wall, gpu_s, transfer, phases, t, trace_id
+            )
 
     def _publish_query(
         self,
@@ -447,9 +505,11 @@ class QueryServer:
         gpu_s: float,
         transfer: int,
         phases: dict[str, float],
+        t: float = 0.0,
+        trace_id: str | None = None,
     ) -> None:
         inst.queries.inc()
-        inst.query_seconds.observe(modeled)
+        inst.query_seconds.observe(modeled, exemplar=trace_id)
         for phase, seconds in phases.items():
             inst.phase_seconds.labels(phase=phase).observe(seconds)
         if gpu_s:
@@ -461,11 +521,23 @@ class QueryServer:
         inst.candidates.observe(max(1, answer.candidates))
         if answer.retries:
             inst.retries.inc(answer.retries)
+        flight = self.obs.flight
         if answer.degraded_rung:
             inst.degraded.labels(rung=answer.degraded_rung).inc()
+            if flight is not None:
+                flight.trigger(
+                    "fault",
+                    detail=f"rung={answer.degraded_rung} trace={trace_id}",
+                )
         breaker = getattr(self.index, "breaker", None)
         if breaker is not None:
-            inst.breaker_state.set(breaker.state_code)
+            code = breaker.state_code
+            inst.breaker_state.set(code)
+            if code == 2 and self._last_breaker != 2 and flight is not None:
+                flight.trigger("breaker_open", detail=f"index={self.index.name}")
+            self._last_breaker = code
+        if self.publish_slo:
+            inst.slo.record(classify_fanout(1), modeled, t, trace_id=trace_id)
         if answer.used_fallback:
             inst.fallbacks.inc()
             self._fallback_warner.record(
@@ -481,6 +553,8 @@ class QueryServer:
             candidates=answer.candidates,
             unresolved=answer.unresolved,
             used_fallback=answer.used_fallback,
+            trace_id=trace_id,
+            fanout=1,
         )
         objects = getattr(self.index, "num_objects", None)
         if objects is not None:

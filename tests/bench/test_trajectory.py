@@ -1,0 +1,152 @@
+"""Perf-trajectory rows and the regression gate, including the required
+tolerance-violation case: an injected slowdown must fail the gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.trajectory import (
+    SCENARIOS,
+    TrajectoryRow,
+    append_row,
+    bench_path,
+    check_regression,
+    gate,
+    load_rows,
+    run_scenario,
+)
+from repro.errors import ConfigError
+
+pytestmark = pytest.mark.obs
+
+
+def row(scenario="single_server", counters=None, latency=None, wall=1.0):
+    return TrajectoryRow(
+        scenario=scenario,
+        recorded_at="2026-08-08T00:00:00Z",
+        wall_s=wall,
+        counters=counters if counters is not None else {"gpu_s": 1.0},
+        latency=latency if latency is not None else {"p99_s": 0.01},
+    )
+
+
+class TestRows:
+    def test_round_trip(self):
+        r = row(counters={"gpu_s": 0.5}, latency={"p99_s": 0.25})
+        assert TrajectoryRow.from_dict(r.as_dict()) == r
+
+    def test_malformed_row_rejected(self):
+        with pytest.raises(ConfigError, match="malformed trajectory row"):
+            TrajectoryRow.from_dict({"scenario": "x"})
+
+    def test_append_and_load(self, tmp_path):
+        path = append_row(row(), tmp_path)
+        assert path == bench_path("single_server", tmp_path)
+        assert path.name == "BENCH_single_server.json"
+        append_row(row(wall=2.0), tmp_path)
+        rows = load_rows(path)
+        assert [r.wall_s for r in rows] == [1.0, 2.0]
+        # the on-disk form is a plain JSON array (plot-tool friendly)
+        assert isinstance(json.loads(path.read_text()), list)
+
+    def test_load_rejects_non_array(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text('{"not": "an array"}')
+        with pytest.raises(ConfigError, match="JSON array"):
+            load_rows(path)
+
+
+class TestGate:
+    def test_identical_rows_pass(self):
+        assert check_regression(row(), row()) == []
+
+    def test_counter_regression_fails(self):
+        # the injected slowdown: simulated GPU time grows 10%
+        base = row(counters={"gpu_s": 1.0, "transfer_bytes": 100.0})
+        slow = row(counters={"gpu_s": 1.1, "transfer_bytes": 100.0})
+        violations = check_regression(base, slow)
+        assert len(violations) == 1
+        assert "gpu_s" in violations[0] and "regressed" in violations[0]
+
+    def test_even_tiny_counter_drift_fails(self):
+        # deterministic counters get float-dust headroom only
+        base = row(counters={"update_touches": 1000.0})
+        slow = row(counters={"update_touches": 1001.0})
+        assert check_regression(base, slow)
+
+    def test_latency_gets_loose_headroom(self):
+        base = row(latency={"p99_s": 0.010})
+        noisy = row(latency={"p99_s": 0.025})  # 2.5x: within 1+2.0
+        slow = row(latency={"p99_s": 0.035})  # 3.5x: beyond it
+        assert check_regression(base, noisy) == []
+        assert check_regression(base, slow)
+
+    def test_improvements_never_fail(self):
+        base = row(counters={"gpu_s": 1.0}, latency={"p99_s": 0.1})
+        fast = row(counters={"gpu_s": 0.5}, latency={"p99_s": 0.01})
+        assert check_regression(base, fast) == []
+
+    def test_zero_baseline_uses_absolute_tolerance(self):
+        base = row(counters={"total_retries": 0.0})
+        ok = row(counters={"total_retries": 0.0})
+        bad = row(counters={"total_retries": 3.0})
+        assert check_regression(base, ok) == []
+        assert check_regression(base, bad)
+
+    def test_missing_metric_fails(self):
+        base = row(counters={"gpu_s": 1.0, "transfer_bytes": 10.0})
+        dropped = row(counters={"gpu_s": 1.0})
+        violations = check_regression(base, dropped)
+        assert any("missing" in v for v in violations)
+
+    def test_scenario_mismatch_raises(self):
+        with pytest.raises(ConfigError, match="cannot gate"):
+            check_regression(row("batch"), row("chaos"))
+
+    def test_gate_over_directory(self, tmp_path):
+        append_row(row(counters={"gpu_s": 1.0}), tmp_path)
+        assert gate(tmp_path) == []  # single row: vacuous pass
+        append_row(row(counters={"gpu_s": 1.0}), tmp_path)
+        assert gate(tmp_path) == []
+        append_row(row(counters={"gpu_s": 2.0}), tmp_path)
+        violations = gate(tmp_path)
+        assert violations and "gpu_s" in violations[0]
+
+
+class TestScenarios:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigError, match="unknown trajectory scenario"):
+            run_scenario("warp_drive")
+
+    def test_scenario_names_are_the_contract(self):
+        assert SCENARIOS == ("single_server", "batch", "chaos", "cluster")
+
+    def test_single_server_scenario_is_deterministic(self):
+        a = run_scenario("single_server")
+        b = run_scenario("single_server")
+        assert a.scenario == "single_server"
+        # modelled outcomes are bit-stable across *fresh* processes (the
+        # gate relies on that); within one process the memoised index
+        # carries last-ulp state into the second replay, so allow dust
+        # on the simulated-seconds counter and demand exactness elsewhere
+        for name, value in a.counters.items():
+            if name == "gpu_s":
+                assert b.counters[name] == pytest.approx(value, rel=1e-4)
+            else:
+                assert b.counters[name] == value, name
+        assert a.counters["n_queries"] > 0
+        assert set(a.latency) == {
+            "p50_s",
+            "p95_s",
+            "p99_s",
+            "query_modeled_s",
+            "update_modeled_s",
+        }
+
+    def test_committed_baselines_exist_and_parse(self):
+        for scenario in SCENARIOS:
+            rows = load_rows(bench_path(scenario))
+            assert rows, f"missing committed baseline for {scenario}"
+            assert rows[0].scenario == scenario

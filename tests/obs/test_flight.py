@@ -1,0 +1,121 @@
+"""Flight recorder: trace ring buffer, triggered dumps, slowlog linkage."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.flight import FlightRecorder
+from repro.obs.hub import Observability
+from repro.obs.tracing import Tracer
+
+pytestmark = pytest.mark.obs
+
+
+def make_trace(tracer, name, children=1):
+    with tracer.span(name) as root:
+        for i in range(children):
+            with tracer.span(f"{name}.child{i}"):
+                pass
+    return root.trace_id_hex
+
+
+@pytest.fixture
+def wired():
+    tracer = Tracer()
+    recorder = FlightRecorder(capacity=3)
+    tracer.on_trace_complete = recorder.on_trace
+    return tracer, recorder
+
+
+class TestRing:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FlightRecorder(capacity=0)
+        with pytest.raises(ConfigError):
+            FlightRecorder(max_dumps=0)
+
+    def test_completed_traces_enter_the_ring(self, wired):
+        tracer, recorder = wired
+        make_trace(tracer, "a")
+        make_trace(tracer, "b")
+        assert recorder.traces_recorded == 2
+        assert [t[0].name for t in recorder.traces()] == ["a", "b"]
+
+    def test_open_traces_do_not(self, wired):
+        tracer, recorder = wired
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            assert recorder.traces_recorded == 0  # root still open
+        assert recorder.traces_recorded == 1
+
+    def test_ring_keeps_only_the_last_n(self, wired):
+        tracer, recorder = wired
+        for name in "abcde":
+            make_trace(tracer, name)
+        assert [t[0].name for t in recorder.traces()] == ["c", "d", "e"]
+
+    def test_find_trace_by_hex_and_int(self, wired):
+        tracer, recorder = wired
+        make_trace(tracer, "a")
+        wanted = make_trace(tracer, "b")
+        found = recorder.find_trace(wanted)
+        assert found is not None and found[0].name == "b"
+        assert recorder.find_trace(int(wanted, 16))[0].name == "b"
+        assert recorder.find_trace("f" * 32) is None
+
+
+class TestTrigger:
+    def test_dump_snapshots_the_ring(self, wired):
+        tracer, recorder = wired
+        make_trace(tracer, "a")
+        make_trace(tracer, "b")
+        dump = recorder.trigger("fault", detail="rung=cpu_sdist")
+        assert dump.reason == "fault"
+        assert len(dump.traces) == 2
+        assert len(dump.trace_ids) == 2
+        # later traffic must not mutate the snapshot
+        make_trace(tracer, "c")
+        assert len(dump.traces) == 2
+
+    def test_dump_writes_chrome_doc(self, tmp_path):
+        tracer = Tracer()
+        recorder = FlightRecorder(capacity=4, dump_dir=tmp_path)
+        tracer.on_trace_complete = recorder.on_trace
+        make_trace(tracer, "q")
+        dump = recorder.trigger("breaker open", detail="index=G-Grid")
+        assert dump.path is not None and dump.path.exists()
+        assert "breaker_open" in dump.path.name
+        doc = json.loads(dump.path.read_text())
+        assert doc["metadata"] == {
+            "reason": "breaker open",
+            "detail": "index=G-Grid",
+        }
+        names = [e["name"] for e in doc["traceEvents"]]
+        assert "q" in names and "q.child0" in names
+
+    def test_rotation_keeps_first_dump_per_reason(self, wired):
+        tracer, recorder = wired
+        recorder.max_dumps = 3
+        first_fault = recorder.trigger("fault", detail="first")
+        recorder.trigger("failover", detail="first")
+        for _ in range(10):
+            recorder.trigger("fault", detail="later")
+        assert len(recorder.dumps) == 3
+        assert recorder.dumps[0] is first_fault
+        assert recorder.dumps[1].reason == "failover"
+
+
+class TestHubWiring:
+    def test_with_tracing_wires_recorder_to_tracer(self):
+        obs = Observability.with_tracing(flight_capacity=5)
+        assert obs.tracer.on_trace_complete == obs.flight.on_trace
+        with obs.tracer.span("query"):
+            pass
+        assert obs.flight.traces_recorded == 1
+
+    def test_plain_bundle_has_no_recorder(self):
+        assert Observability().flight is None

@@ -18,6 +18,8 @@ from repro.obs.hub import default_observability
 from repro.server.server import QueryServer
 from repro.simgpu.trace import GpuTrace
 
+pytestmark = pytest.mark.obs
+
 
 @pytest.fixture(scope="module")
 def workload(small_graph):

@@ -15,6 +15,8 @@ from repro.obs.metrics import (
     log_scale_buckets,
 )
 
+pytestmark = pytest.mark.obs
+
 
 # ----------------------------------------------------------------------
 # bucket generation
@@ -232,3 +234,74 @@ def test_write_json_round_trips(tmp_path):
     assert doc["metrics"]["x_total"]["type"] == "counter"
     assert doc["metrics"]["x_total"]["values"][0]["value"] == 2
     assert not math.isnan(doc["metrics"]["x_total"]["values"][0]["value"])
+
+
+# ----------------------------------------------------------------------
+# exposition escaping (Prometheus text format spec)
+# ----------------------------------------------------------------------
+def test_prometheus_escapes_all_special_label_characters():
+    # the spec's three escapes, in one value: backslash first, then
+    # quote and newline — and the backslash must be escaped before the
+    # others or the output double-escapes
+    reg = MetricsRegistry()
+    reg.counter("x_total", labelnames=("path",)).labels(
+        path='back\\slash "quote"\nnewline'
+    ).inc()
+    text = reg.write_prometheus()
+    assert 'path="back\\\\slash \\"quote\\"\\nnewline"' in text
+    # the raw newline must not survive into the exposition line
+    line = next(ln for ln in text.splitlines() if ln.startswith("x_total{"))
+    assert line == 'x_total{path="back\\\\slash \\"quote\\"\\nnewline"} 1'
+
+
+def test_prometheus_escapes_help_text():
+    reg = MetricsRegistry()
+    reg.counter(
+        "x_total", help="line one\nline two with back\\slash"
+    ).default().inc()
+    text = reg.write_prometheus()
+    assert "# HELP x_total line one\\nline two with back\\\\slash" in text
+
+
+# ----------------------------------------------------------------------
+# histogram exemplars
+# ----------------------------------------------------------------------
+def test_histogram_exemplars_opt_in_exposition():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat_seconds").default()
+    h.observe(0.5, exemplar="00000000000000000000000000000abc")
+    classic = reg.write_prometheus()
+    assert "# {" not in classic  # classic parsers see plain text
+    open_metrics = reg.write_prometheus(exemplars=True)
+    assert (
+        '# {trace_id="00000000000000000000000000000abc"} 0.5'
+        in open_metrics
+    )
+
+
+def test_histogram_exemplar_keeps_latest_per_bucket_and_snapshots():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat_seconds", buckets=(1.0, 2.0)).default()
+    h.observe(0.5, exemplar="aa")
+    h.observe(0.7, exemplar="bb")  # same bucket: replaces
+    h.observe(1.5)  # no exemplar: bucket stays bare
+    entry = reg.snapshot()["metrics"]["lat_seconds"]["values"][0]
+    assert entry["exemplars"] == {"1": {"value": 0.7, "trace_id": "bb"}}
+
+
+# ----------------------------------------------------------------------
+# rate-limited warner suppression counter
+# ----------------------------------------------------------------------
+def test_warner_counts_suppressed_occurrences():
+    from repro.obs.metrics import RateLimitedWarner
+
+    reg = MetricsRegistry()
+    warner = RateLimitedWarner(reg, "shard_router", every=100)
+    for _ in range(250):
+        warner.record("shards failed over")
+    # warned at 1, 100, 200 -> 247 suppressed
+    assert len(reg.warnings) == 3
+    text = reg.write_prometheus()
+    assert (
+        'repro_warnings_suppressed_total{source="shard_router"} 247' in text
+    )

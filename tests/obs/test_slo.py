@@ -1,0 +1,197 @@
+"""SLO engine: objectives, burn-rate windows, metric families, and the
+ReplayReport surfacing — all scored over the deterministic modelled clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    DEFAULT_SLO_POLICY,
+    SloObjective,
+    SloPolicy,
+    SloTracker,
+    classify_fanout,
+)
+from repro.server.metrics import QueryRecord, ReplayReport
+
+pytestmark = pytest.mark.obs
+
+
+# ----------------------------------------------------------------------
+# objectives and policies
+# ----------------------------------------------------------------------
+class TestObjectiveValidation:
+    def test_budget_is_one_minus_target(self):
+        assert SloObjective(0.1, target=0.99).budget == pytest.approx(0.01)
+
+    @pytest.mark.parametrize("threshold", [0.0, -1.0])
+    def test_nonpositive_threshold_rejected(self, threshold):
+        with pytest.raises(ConfigError):
+            SloObjective(threshold)
+
+    @pytest.mark.parametrize("target", [0.0, 1.0, -0.5, 2.0])
+    def test_target_outside_open_interval_rejected(self, target):
+        with pytest.raises(ConfigError):
+            SloObjective(0.1, target=target)
+
+
+class TestPolicy:
+    def test_empty_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            SloPolicy(objectives={})
+
+    def test_empty_windows_rejected(self):
+        with pytest.raises(ConfigError):
+            SloPolicy(
+                objectives={"point": SloObjective(0.1)}, windows_s=()
+            )
+
+    def test_unknown_class_raises(self):
+        with pytest.raises(ConfigError, match="no SLO objective"):
+            DEFAULT_SLO_POLICY.objective_for("batch")
+
+    def test_default_covers_both_routing_shapes(self):
+        assert DEFAULT_SLO_POLICY.objective_for("point").threshold_s < (
+            DEFAULT_SLO_POLICY.objective_for("scatter").threshold_s
+        )
+
+
+def test_classify_fanout():
+    assert classify_fanout(1) == "point"
+    assert classify_fanout(2) == "scatter"
+    assert classify_fanout(8) == "scatter"
+
+
+# ----------------------------------------------------------------------
+# the tracker
+# ----------------------------------------------------------------------
+def one_class_policy(threshold=0.1, target=0.9, windows=(10.0, 100.0)):
+    return SloPolicy(
+        objectives={"point": SloObjective(threshold, target=target)},
+        windows_s=windows,
+    )
+
+
+class TestTracker:
+    def test_breach_detection(self):
+        tracker = SloTracker(one_class_policy())
+        assert tracker.record("point", 0.05, now=0.0) is False
+        assert tracker.record("point", 0.15, now=1.0) is True
+
+    def test_attainment_is_cumulative(self):
+        tracker = SloTracker(one_class_policy())
+        for i in range(10):
+            tracker.record("point", 0.2 if i == 0 else 0.01, now=float(i))
+        assert tracker.attainment("point") == pytest.approx(0.9)
+
+    def test_attainment_before_traffic_is_one(self):
+        assert SloTracker(one_class_policy()).attainment("point") == 1.0
+
+    def test_burn_rate_is_error_rate_over_budget(self):
+        # 1 breach in 10 = 10% error rate; budget 10% -> burn exactly 1.0
+        tracker = SloTracker(one_class_policy(target=0.9))
+        for i in range(10):
+            tracker.record("point", 0.2 if i == 0 else 0.01, now=float(i))
+        assert tracker.burn_rate("point", 10.0) == pytest.approx(1.0)
+
+    def test_short_window_forgets_what_long_window_remembers(self):
+        # breaches at t=0..4, clean traffic at t=50..54: the 10s window
+        # has rolled past the breaches, the 100s window still sees them
+        tracker = SloTracker(one_class_policy(target=0.9))
+        for i in range(5):
+            tracker.record("point", 0.2, now=float(i))
+        for i in range(5):
+            tracker.record("point", 0.01, now=50.0 + i)
+        assert tracker.burn_rate("point", 10.0) == 0.0
+        assert tracker.burn_rate("point", 100.0) == pytest.approx(5.0)
+
+    def test_unknown_window_raises(self):
+        tracker = SloTracker(one_class_policy())
+        tracker.record("point", 0.01, now=0.0)
+        with pytest.raises(ConfigError, match="not in policy windows"):
+            tracker.burn_rate("point", 42.0)
+
+    def test_worst_trace_id_tracks_the_worst_breach(self):
+        tracker = SloTracker(one_class_policy())
+        tracker.record("point", 0.15, now=0.0, trace_id="aa")
+        tracker.record("point", 0.30, now=1.0, trace_id="bb")
+        tracker.record("point", 0.20, now=2.0, trace_id="cc")
+        assert tracker.report()["point"]["worst_trace_id"] == "bb"
+
+    def test_report_shape(self):
+        tracker = SloTracker(one_class_policy(target=0.9))
+        for i in range(10):
+            tracker.record("point", 0.2 if i == 0 else 0.01, now=float(i))
+        report = tracker.report()["point"]
+        assert report["requests"] == 10
+        assert report["breaches"] == 1
+        assert report["attainment"] == pytest.approx(0.9)
+        assert report["met"] is True  # 0.9 >= target 0.9
+        assert report["budget_consumed"] == pytest.approx(1.0)
+        assert set(report["burn_rates"]) == {"10s", "100s"}
+
+
+class TestTrackerMetrics:
+    def test_publishes_slo_families(self):
+        registry = MetricsRegistry()
+        tracker = SloTracker(one_class_policy(target=0.9), registry)
+        for i in range(10):
+            tracker.record("point", 0.2 if i == 0 else 0.01, now=float(i))
+        text = registry.write_prometheus()
+        assert 'repro_slo_requests_total{slo_class="point"} 10' in text
+        assert 'repro_slo_breaches_total{slo_class="point"} 1' in text
+        assert 'repro_slo_attainment_ratio{slo_class="point"} 0.9' in text
+        assert 'repro_slo_latency_target_seconds{slo_class="point"} 0.1' in text
+        assert (
+            'repro_slo_error_budget_burn{slo_class="point",window="10s"}'
+            in text
+        )
+
+
+# ----------------------------------------------------------------------
+# ReplayReport surfacing
+# ----------------------------------------------------------------------
+def record(modeled_s, t, fanout=1, trace_id=None):
+    return QueryRecord(
+        modeled_s=modeled_s,
+        wall_s=modeled_s,
+        gpu_s=0.0,
+        transfer_bytes=0,
+        fanout=fanout,
+        t=t,
+        trace_id=trace_id,
+    )
+
+
+class TestReplayReportSlo:
+    def test_classes_split_by_routing_shape(self):
+        report = ReplayReport(index_name="test")
+        report.query_records = [
+            record(0.001, 0.0),
+            record(0.001, 1.0, fanout=3),
+        ]
+        slo = report.slo()
+        assert slo["point"]["requests"] == 1
+        assert slo["scatter"]["requests"] == 1
+        assert slo["point"]["met"] and slo["scatter"]["met"]
+
+    def test_breach_carries_trace_id(self):
+        report = ReplayReport(index_name="test")
+        report.query_records = [record(10.0, 0.0, trace_id="deadbeef")]
+        assert report.slo()["point"]["worst_trace_id"] == "deadbeef"
+
+    def test_custom_policy_and_bad_policy(self):
+        report = ReplayReport(index_name="test")
+        report.query_records = [record(0.3, 0.0)]
+        lax = SloPolicy(objectives={"point": SloObjective(1.0)})
+        assert report.slo(lax)["point"]["breaches"] == 0
+        assert report.slo()["point"]["breaches"] == 1
+        with pytest.raises(ConfigError, match="SloPolicy"):
+            report.slo(policy={"point": 1.0})
+
+    def test_as_dict_embeds_slo(self):
+        report = ReplayReport(index_name="test", n_queries=1)
+        report.query_records = [record(0.001, 0.0)]
+        assert report.as_dict()["slo"]["point"]["requests"] == 1

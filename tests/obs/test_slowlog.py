@@ -5,6 +5,8 @@ import pytest
 from repro.errors import ConfigError
 from repro.obs.slowlog import SlowQueryLog
 
+pytestmark = pytest.mark.obs
+
 
 def test_capacity_validation():
     with pytest.raises(ConfigError):

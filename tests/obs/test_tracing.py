@@ -3,17 +3,23 @@
 import json
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.errors import ConfigError
 from repro.obs.tracing import (
     NULL_SPAN,
+    TraceContext,
     Tracer,
+    current_context,
     current_tracer,
     span,
     write_chrome_trace,
 )
 from repro.simgpu.device import SimGpu
 from repro.simgpu.trace import GpuTrace
+
+pytestmark = pytest.mark.obs
 
 
 def _fake_clock(times):
@@ -174,3 +180,125 @@ def test_write_chrome_trace_merges_cpu_and_gpu(tmp_path):
     assert {e["name"] for e in cpu} == {"query"}
     assert {e["name"] for e in gpu_evs} >= {"GPU_SDist", "xs"}
     assert all(e["dur"] >= 0 for e in events if e["ph"] == "X")
+
+
+# ----------------------------------------------------------------------
+# distributed trace context
+# ----------------------------------------------------------------------
+class TestTraceContext:
+    def test_encode_shape(self):
+        ctx = TraceContext(trace_id=0xABC, span_id=0x12, sampled=True)
+        assert ctx.encode() == "00-" + "0" * 29 + "abc-" + "0" * 14 + "12-01"
+
+    def test_round_trip(self):
+        ctx = TraceContext(trace_id=(1 << 127) + 5, span_id=7, sampled=False)
+        assert TraceContext.decode(ctx.encode()) == ctx
+
+    @given(
+        trace_id=st.integers(min_value=1, max_value=(1 << 128) - 1),
+        span_id=st.integers(min_value=1, max_value=(1 << 64) - 1),
+        sampled=st.booleans(),
+    )
+    def test_round_trip_property(self, trace_id, span_id, sampled):
+        ctx = TraceContext(trace_id, span_id, sampled)
+        decoded = TraceContext.decode(ctx.encode())
+        assert decoded == ctx
+        assert len(ctx.encode()) == 55
+
+    @pytest.mark.parametrize("trace_id,span_id", [(0, 1), (1, 0), (1 << 128, 1), (1, 1 << 64)])
+    def test_out_of_range_ids_rejected(self, trace_id, span_id):
+        with pytest.raises(ConfigError):
+            TraceContext(trace_id, span_id)
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            "",
+            "00-abc-def-01",  # wrong widths
+            "01-" + "1" * 32 + "-" + "1" * 16 + "-01",  # bad version
+            "00-" + "g" * 32 + "-" + "1" * 16 + "-01",  # non-hex
+            "00-" + "0" * 32 + "-" + "1" * 16 + "-01",  # all-zero trace
+            "00-" + "1" * 32 + "-" + "0" * 16 + "-01",  # all-zero span
+            "00-" + "1" * 32 + "-" + "1" * 16,  # missing flags
+        ],
+    )
+    def test_malformed_headers_rejected(self, header):
+        with pytest.raises(ConfigError):
+            TraceContext.decode(header)
+
+
+class TestTraceIdentity:
+    def test_each_root_starts_a_new_trace(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        a, b = tracer.spans
+        assert a.trace_id != b.trace_id
+        assert a.parent_span_id is None and b.parent_span_id is None
+
+    def test_children_inherit_trace_id_and_parent_span(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                with tracer.span("grandchild") as grand:
+                    pass
+        assert child.trace_id == root.trace_id == grand.trace_id
+        assert child.parent_span_id == root.span_id
+        assert grand.parent_span_id == child.span_id
+
+    def test_ids_are_deterministic_across_tracers(self):
+        ids = []
+        for _ in range(2):
+            tracer = Tracer()
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+            ids.append([(s.trace_id, s.span_id) for s in tracer.spans])
+        assert ids[0] == ids[1]
+
+    def test_remote_parent_joins_the_propagated_trace(self):
+        router, shard = Tracer(), Tracer()
+        with router.span("router.knn") as root:
+            header = root.context.encode()
+        with shard.span("query", parent=header) as sp:
+            pass
+        assert sp.trace_id == root.trace_id
+        assert sp.parent_span_id == root.span_id
+
+    def test_current_context_tracks_innermost_open_span(self):
+        tracer = Tracer()
+        assert current_context() is None
+        with tracer.activate():
+            assert current_context() is None  # nothing open yet
+            with tracer.span("outer") as outer:
+                assert current_context() == outer.context
+                with tracer.span("inner") as inner:
+                    assert current_context() == inner.context
+                assert current_context() == outer.context
+        assert current_context() is None
+
+    def test_chrome_events_carry_trace_identity(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        root_ev, child_ev = tracer.to_chrome_events()
+        assert root_ev["args"]["trace_id"] == child_ev["args"]["trace_id"]
+        assert child_ev["args"]["parent_span_id"] == root_ev["args"]["span_id"]
+        assert "parent_span_id" not in root_ev["args"]
+
+    def test_on_trace_complete_fires_per_root(self):
+        tracer = Tracer()
+        seen = []
+        tracer.on_trace_complete = lambda spans: seen.append(
+            [s.name for s in spans]
+        )
+        with tracer.span("a"):
+            with tracer.span("a.1"):
+                pass
+        with tracer.span("b"):
+            pass
+        assert seen == [["a", "a.1"], ["b"]]
