@@ -26,7 +26,7 @@ the run (see :mod:`repro.chaos`): the simulated device fails per the
 profile and the G-Grid serving path rides its degradation ladder —
 results stay exact, the timing columns show the cost.
 
-The ``trajectory`` command replays the four tracked serving scenarios,
+The ``trajectory`` command replays the five tracked serving scenarios,
 appends one row each to ``results/trajectory/BENCH_<scenario>.json``,
 and exits non-zero if any deterministic counter (or, loosely, any
 modelled latency) regressed against the committed baseline row — see
@@ -106,6 +106,11 @@ EXPERIMENTS = {
     "recovery": (
         experiments.recovery_curve,
         "Recovery: snapshot interval vs crash-recovery time",
+        True,
+    ),
+    "serve": (
+        experiments.serve_overload,
+        "Serving: overload control, shed ledger and paid-tier SLOs",
         True,
     ),
 }
@@ -199,11 +204,20 @@ def main(argv: list[str] | None = None) -> int:
             dataset=args.dataset or "NY", directory=args.bench_dir
         )
         for row in rows:
+            if "p50_s" in row.latency:
+                detail = (
+                    f"p50={row.latency['p50_s']:.6f}s "
+                    f"p99={row.latency['p99_s']:.6f}s "
+                    f"gpu={row.counters['gpu_s']:.6f}s"
+                )
+            else:  # the serve row is all-deterministic counters
+                detail = (
+                    f"shed={row.counters['shed_brownout']:.0f} "
+                    f"paid_breaches={row.counters['paid_breaches']:.0f} "
+                    f"mismatches={row.counters['oracle_mismatches']:.0f}"
+                )
             print(
-                f"{row.scenario:14s} wall={row.wall_s:7.2f}s "
-                f"p50={row.latency['p50_s']:.6f}s "
-                f"p99={row.latency['p99_s']:.6f}s "
-                f"gpu={row.counters['gpu_s']:.6f}s "
+                f"{row.scenario:14s} wall={row.wall_s:7.2f}s {detail} "
                 f"-> {bench_path(row.scenario, args.bench_dir)}"
             )
         violations = gate(args.bench_dir)

@@ -721,3 +721,49 @@ def cluster_scaling(dataset: str = "NY") -> list[dict[str, Any]]:
             }
         )
     return rows
+
+
+def serve_overload(dataset: str = "NY") -> list[dict[str, Any]]:
+    """Serving: the front door's graceful-degradation ledger.
+
+    One row per offered-load condition over the canonical serve
+    configuration (DESIGN.md §14): the diurnal schedule at its base
+    rate, at 2x (deliberate overload), at 2x under the ``mixed`` chaos
+    profile, and at 2x closed-loop (each tenant waits for its previous
+    answer, so demand self-throttles — the contrast column showing why
+    the open-loop generator is the one that proves overload handling).
+    ``paid_met`` and ``answers_match`` must read ``True`` on every row:
+    the paid tier's SLO survives every condition, and a shed query is
+    only ever rejected, never answered wrongly.
+    """
+    from repro.chaos import FaultPlan
+    from repro.serve.harness import OVERLOAD_PROFILE, run_overload_proof
+
+    conditions = [
+        ("base", None, {"overload": 1.0}),
+        ("2x", None, {}),
+        ("2x+chaos", FaultPlan.from_profile(OVERLOAD_PROFILE, seed=7), {}),
+        ("2x closed-loop", None, {"closed_loop": True}),
+    ]
+    rows: list[dict[str, Any]] = []
+    for label, plan, overrides in conditions:
+        outcome = run_overload_proof(plan, dataset=dataset, **overrides)
+        summary = outcome.summary
+        paid = summary["slo"].get("paid", {})
+        rows.append(
+            {
+                "condition": label,
+                "arrivals": outcome.n_arrivals,
+                "admitted_paid": summary["admitted"].get("paid", 0),
+                "admitted_free": summary["admitted"].get("free", 0),
+                "shed": outcome.shed_total(),
+                "suppressed": outcome.suppressed,
+                "max_level": summary["max_level_name"],
+                "paid_attainment": round(paid.get("attainment", 1.0), 4),
+                "paid_met": outcome.paid_slo_met,
+                "answers_match": outcome.answers_match,
+                "faults": sum(outcome.faults_injected.values()),
+                "breaker_trips": outcome.breaker_trips,
+            }
+        )
+    return rows

@@ -1,8 +1,8 @@
 """Perf-trajectory recording and the regression gate behind it.
 
-Every run of ``python -m repro.bench trajectory`` replays four small,
-fully seeded scenarios — ``single_server``, ``batch``, ``chaos`` and
-``cluster`` — and appends one row per scenario to
+Every run of ``python -m repro.bench trajectory`` replays five small,
+fully seeded scenarios — ``single_server``, ``batch``, ``chaos``,
+``cluster`` and ``serve`` — and appends one row per scenario to
 ``results/trajectory/BENCH_<scenario>.json``.  A row separates two kinds
 of numbers:
 
@@ -36,8 +36,14 @@ from typing import Any, Callable
 
 from repro.errors import ConfigError
 
-#: the four serving shapes whose trajectories are tracked
-SCENARIOS: tuple[str, ...] = ("single_server", "batch", "chaos", "cluster")
+#: the five serving shapes whose trajectories are tracked
+SCENARIOS: tuple[str, ...] = (
+    "single_server",
+    "batch",
+    "chaos",
+    "cluster",
+    "serve",
+)
 
 #: relative headroom for deterministic counters (float dust only)
 COUNTER_TOLERANCE = 1e-9
@@ -171,11 +177,66 @@ def _run_cluster(dataset: str) -> TrajectoryRow:
     return _report_row("cluster", report, time.perf_counter() - started)
 
 
+def _run_serve(dataset: str) -> TrajectoryRow:
+    """The overload-under-chaos serve proof (DESIGN.md §14).
+
+    Every number here is a modelled-clock outcome — shed decisions,
+    admissions, SLO breaches and oracle mismatches are all deterministic
+    for the fixed seeds — so the whole row rides ``counters`` and is
+    held to float dust.  Breach/mismatch counts (not booleans) are what
+    get recorded: the gate fails only on increases, and "0 breaches"
+    failing on any breach is exactly the acceptance criterion.
+    """
+    from repro.chaos import FaultPlan
+    from repro.serve.harness import OVERLOAD_PROFILE, run_overload_proof
+
+    started = time.perf_counter()
+    plan = FaultPlan.from_profile(OVERLOAD_PROFILE, seed=7)
+    outcome = run_overload_proof(plan, dataset=dataset)
+    summary = outcome.summary
+    shed = summary["shed"]
+
+    def shed_for(reason: str) -> float:
+        return float(
+            sum(n for key, n in shed.items() if key.startswith(f"{reason}:"))
+        )
+
+    def breaches(cls: str) -> float:
+        state = summary["slo"].get(cls)
+        return float(state["breaches"]) if state else 0.0
+
+    counters = {
+        "n_arrivals": float(outcome.n_arrivals),
+        "n_updates": float(outcome.n_updates),
+        "admitted_paid": float(summary["admitted"].get("paid", 0)),
+        "admitted_free": float(summary["admitted"].get("free", 0)),
+        "shed_quota": shed_for("quota"),
+        "shed_deadline": shed_for("deadline"),
+        "shed_brownout": shed_for("brownout"),
+        "epochs": float(summary["epochs"]),
+        "shrunk_epochs": float(summary["shrunk_epochs"]),
+        "brownout_epochs": float(summary["brownout_epochs"]),
+        "max_level": float(summary["max_level"]),
+        "faults_injected": float(sum(outcome.faults_injected.values())),
+        "breaker_trips": float(outcome.breaker_trips),
+        "paid_breaches": breaches("paid"),
+        "free_breaches": breaches("free"),
+        "oracle_mismatches": float(len(outcome.mismatches)),
+    }
+    return TrajectoryRow(
+        scenario="serve",
+        recorded_at=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        wall_s=time.perf_counter() - started,
+        counters=counters,
+    )
+
+
 _RUNNERS: dict[str, Callable[[str], TrajectoryRow]] = {
     "single_server": _run_single_server,
     "batch": _run_batch,
     "chaos": _run_chaos,
     "cluster": _run_cluster,
+    "serve": _run_serve,
 }
 
 

@@ -213,6 +213,9 @@ class ShardRouter:
             if self.obs is not None
             else None
         )
+        #: overload brownout (repro.serve): mirrored onto every shard
+        #: index, including ones created later by failover or splits
+        self._brownout = False
         self.shards: dict[int, Shard] = {
             sid: self._make_shard(sid) for sid in self.shard_map.shard_ids
         }
@@ -243,12 +246,25 @@ class ShardRouter:
             durability=manager,
             publish_slo=False,
         )
+        index.brownout = self._brownout
         replica = (
             Replica(sid, self.graph, self.config, self.grid, self.ship_every)
             if self.replicas_enabled
             else None
         )
         return Shard(sid, server, manager, directory, replica)
+
+    def set_brownout(self, active: bool) -> None:
+        """Trip (or clear) brownout serving on every shard.
+
+        In brownout the shard indexes skip the GPU rung and serve from
+        the resilience ladder's vectorised-CPU rung (see
+        :attr:`~repro.core.ggrid.GGridIndex.brownout`) — the serving
+        front door's last shed-order stage before outright rejection.
+        """
+        self._brownout = active
+        for shard in self.shards.values():
+            shard.index.brownout = active
 
     def _scratch(self) -> ReplayReport:
         return ReplayReport(index_name=self.name, timing=self.timing)
@@ -305,7 +321,9 @@ class ShardRouter:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
-    def query(self, q: Query, report: ReplayReport) -> KnnAnswer:
+    def query(
+        self, q: Query, report: ReplayReport, trace_parent: str | None = None
+    ) -> KnnAnswer:
         """Scatter-gather one kNN query; the merged answer and its single
         fanout-stamped :class:`QueryRecord` are byte-compatible with an
         unsharded server's.
@@ -316,6 +334,8 @@ class ShardRouter:
         and handed to the shard's server, which decodes it — the same
         propagation a remote shard would use), the ladder-rung spans the
         shards record beneath their probes, and a final ``merge`` span.
+        ``trace_parent`` joins the tree to an upstream trace (the serving
+        front door's request span), as in :meth:`QueryServer.query`.
         """
         self._maybe_fail(q.t)
         cell = self.grid.cell_of_edge(q.location.edge_id)
@@ -330,7 +350,9 @@ class ShardRouter:
                 q, home_sid, answer, scratch.query_records, report
             )
         with tracer.activate(), tracer.span(
-            "router.knn", {"k": q.k, "t": q.t, "home": home_sid}
+            "router.knn",
+            {"k": q.k, "t": q.t, "home": home_sid},
+            parent=trace_parent,
         ) as root:
             scratch = self._scratch()
             answer = self._probe(home_sid, q, scratch, role="home")
@@ -354,7 +376,10 @@ class ShardRouter:
             )
 
     def query_batch(
-        self, queries: list[Query], report: ReplayReport
+        self,
+        queries: list[Query],
+        report: ReplayReport,
+        trace_parent: str | None = None,
     ) -> list[KnnAnswer]:
         """Execute one epoch: batched per home-shard group, then per-query
         fan-out at the epoch timestamp.  Answers align with ``queries``.
@@ -362,7 +387,8 @@ class ShardRouter:
         A traced epoch is one ``router.epoch`` trace tree: ``shard.batch``
         spans for the per-home-shard batched probes (context-propagated
         like single probes), then one ``router.fanout`` span per query
-        for its cross-shard scatter and merge.
+        for its cross-shard scatter and merge.  ``trace_parent`` joins
+        the epoch to an upstream trace (the front door's epoch span).
         """
         if not queries:
             return []
@@ -372,7 +398,9 @@ class ShardRouter:
         if tracer is None:
             return self._run_epoch(queries, t_epoch, report)
         with tracer.activate(), tracer.span(
-            "router.epoch", {"queries": len(queries), "t": t_epoch}
+            "router.epoch",
+            {"queries": len(queries), "t": t_epoch},
+            parent=trace_parent,
         ):
             return self._run_epoch(queries, t_epoch, report)
 
@@ -649,6 +677,7 @@ class ShardRouter:
                 sp.set_attr("caught_up", caught_up)
         else:
             index, caught_up, mode = promote()
+        index.brownout = self._brownout
         manager = DurabilityManager(shard.directory, obs=self.obs)
         server = QueryServer(
             index,

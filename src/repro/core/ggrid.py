@@ -97,6 +97,13 @@ class GGridIndex:
         self.breaker = self.resilience.make_breaker()
         self.backpressure_cleanings = 0  # ingests that forced an in-line clean
         self.resilience_backoff_s = 0.0  # modelled update-side retry backoff
+        #: overload brownout (repro.serve, DESIGN.md §14): when True the
+        #: query ladder skips the GPU rung entirely and serves from the
+        #: vectorised-CPU rung — under a device-fault storm this avoids
+        #: paying retries + modelled backoff per query.  Answers on
+        #: every rung are exact, so brownout trades latency/throughput
+        #: headroom, never correctness.
+        self.brownout = False
         self.max_buckets_per_cell = self.config.max_buckets_per_cell
         self._injector: FaultInjector | None = None
         self._chaos_plan = None
@@ -282,7 +289,7 @@ class GGridIndex:
             return attempt(True)
         retries = 0
         backoff_s = 0.0
-        if self.breaker.allow_gpu(now):
+        if not self.brownout and self.breaker.allow_gpu(now):
             while True:
                 try:
                     # rung spans make the ladder legible in query traces;

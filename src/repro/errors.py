@@ -86,3 +86,35 @@ class ClusterError(ReproError):
     """Raised for sharded-cluster failures: an invalid shard map, an
     operation routed to a shard the map does not know, or a failover
     that cannot complete (no replica and no recoverable WAL)."""
+
+
+class ShedError(ReproError):
+    """Raised when the serving front door rejects a query instead of
+    answering it (``repro.serve``, DESIGN.md §14).
+
+    Shedding is the *only* degradation the front door is allowed on the
+    query path: a query is either answered exactly or refused loudly —
+    never answered partially or wrong.  The rejection is first-class
+    data: which tenant was refused, its priority class, and why —
+
+    * ``"quota"`` — the tenant's token-bucket admission quota is empty;
+    * ``"deadline"`` — the query's remaining deadline budget cannot
+      cover the estimated queue wait plus service time (shed *before*
+      scatter-gather fan-out), or the budget expired while queued;
+    * ``"brownout"`` — overload-driven class shedding: the shed-order
+      state machine is rejecting this priority class outright.
+
+    Attributes:
+        tenant: the refused tenant's name.
+        tenant_class: its priority class (``"paid"`` / ``"free"``).
+        reason: one of ``repro.serve.shedding.SHED_REASONS``.
+    """
+
+    def __init__(self, tenant: str, tenant_class: str, reason: str) -> None:
+        super().__init__(
+            f"query shed for tenant {tenant!r} "
+            f"(class={tenant_class}, reason={reason})"
+        )
+        self.tenant = tenant
+        self.tenant_class = tenant_class
+        self.reason = reason

@@ -36,7 +36,11 @@ from repro.obs.hub import (
     default_observability,
 )
 from repro.obs.slo import (
+    CLASS_FREE,
+    CLASS_PAID,
     DEFAULT_SLO_POLICY,
+    SERVE_SLO_POLICY,
+    TENANT_CLASSES,
     SloObjective,
     SloPolicy,
     SloTracker,
@@ -83,6 +87,10 @@ __all__ = [
     "FlightDump",
     "FlightRecorder",
     "DEFAULT_SLO_POLICY",
+    "SERVE_SLO_POLICY",
+    "CLASS_PAID",
+    "CLASS_FREE",
+    "TENANT_CLASSES",
     "SloObjective",
     "SloPolicy",
     "SloTracker",

@@ -100,6 +100,24 @@ DEFAULT_SLO_POLICY = SloPolicy(
     }
 )
 
+#: The serving front door's tenant classes (``repro.serve``): its SLOs
+#: are scored per priority class, not per routing shape.
+CLASS_PAID = "paid"
+CLASS_FREE = "free"
+
+TENANT_CLASSES: tuple[str, ...] = (CLASS_PAID, CLASS_FREE)
+
+#: Default front-door objectives over *serve* latency (modelled queue
+#: wait + modelled service time, DESIGN.md §14).  The paid class is what
+#: overload control protects; the free class gets a loose objective it
+#: is allowed to miss under load shedding.
+SERVE_SLO_POLICY = SloPolicy(
+    objectives={
+        CLASS_PAID: SloObjective(threshold_s=0.500, target=0.99),
+        CLASS_FREE: SloObjective(threshold_s=1.000, target=0.50),
+    }
+)
+
 
 class _Window:
     """One class's sliding window: (t, breached) events + running sums."""

@@ -126,6 +126,24 @@ class CircuitBreaker:
         self.consecutive_failures = 0
         self.opened_at = 0.0
         self.trips = 0  # times the breaker went closed/half-open -> open
+        #: every state change as ``(from, to) -> count`` — the gauge
+        #: (``repro_breaker_state``) only samples the state at
+        #: publication time, so a half-open probe that fails and reopens
+        #: between two queries would be invisible without this
+        self.transitions: dict[tuple[str, str], int] = {}
+        #: optional ``(from, to)`` observer the server wires to the
+        #: ``repro_breaker_transitions_total`` counter
+        self.on_transition: "object | None" = None
+
+    def _set_state(self, new: str) -> None:
+        old = self.state
+        if new == old:
+            return
+        self.state = new
+        key = (old, new)
+        self.transitions[key] = self.transitions.get(key, 0) + 1
+        if self.on_transition is not None:
+            self.on_transition(old, new)
 
     @property
     def state_code(self) -> int:
@@ -138,7 +156,7 @@ class CircuitBreaker:
             return True
         if self.state == BREAKER_OPEN:
             if now - self.opened_at >= self.reset_timeout_s:
-                self.state = BREAKER_HALF_OPEN
+                self._set_state(BREAKER_HALF_OPEN)
                 return True  # this caller becomes the probe
             return False
         # half-open: the probe is in flight (serial replay resolves it
@@ -147,20 +165,20 @@ class CircuitBreaker:
 
     def record_success(self, now: float) -> None:
         self.consecutive_failures = 0
-        self.state = BREAKER_CLOSED
+        self._set_state(BREAKER_CLOSED)
 
     def record_failure(self, now: float) -> None:
         self.consecutive_failures += 1
         if self.state == BREAKER_HALF_OPEN:
             # failed probe: straight back to open, timeout restarts
-            self.state = BREAKER_OPEN
+            self._set_state(BREAKER_OPEN)
             self.opened_at = now
             self.trips += 1
         elif (
             self.state == BREAKER_CLOSED
             and self.consecutive_failures >= self.failure_threshold
         ):
-            self.state = BREAKER_OPEN
+            self._set_state(BREAKER_OPEN)
             self.opened_at = now
             self.trips += 1
 
@@ -170,6 +188,7 @@ class CircuitBreaker:
         self.consecutive_failures = 0
         self.opened_at = 0.0
         self.trips = 0
+        self.transitions = {}
 
 
 @dataclass(frozen=True)

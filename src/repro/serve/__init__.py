@@ -1,0 +1,99 @@
+"""The multi-tenant serving front door (DESIGN.md §14).
+
+Everything between "a query arrives" and "the cluster executes an
+epoch": per-tenant admission quotas and priority lanes
+(:mod:`repro.serve.tenancy`), deadline budgets over a deterministic
+service-time model (:mod:`repro.serve.deadline`), the strict-order
+overload state machine (:mod:`repro.serve.shedding`), the asyncio
+:class:`~repro.serve.frontdoor.FrontDoor` tying them together, seeded
+open-loop load generation (:mod:`repro.serve.loadgen`) and the
+chaos-under-overload proof harness (:mod:`repro.serve.harness`).
+
+Example:
+    >>> from repro.roadnet import grid_road_network
+    >>> from repro.config import GGridConfig
+    >>> from repro.core.ggrid import GGridIndex
+    >>> from repro.core.messages import Message
+    >>> from repro.mobility.workload import Query
+    >>> from repro.roadnet.location import NetworkLocation
+    >>> from repro.serve import FrontDoor, TenantPolicy
+    >>> from repro.server.server import QueryServer
+    >>> g = grid_road_network(4, 4, seed=3)
+    >>> server = QueryServer(GGridIndex(g, GGridConfig()))
+    >>> front = FrontDoor(server, [TenantPolicy("acme")], batch_size=4)
+    >>> front.update(Message(0, 0, 0.0, 0.0))
+    >>> ticket = front.submit_nowait("acme", Query(1.0, NetworkLocation(0, 0.0), 1))
+    >>> front.drain()
+    >>> [e.obj for e in ticket.result().entries]
+    [0]
+"""
+
+from repro.serve.deadline import LatencyEstimator, RequestContext, ServiceModel
+from repro.serve.frontdoor import FrontDoor, ServeInstruments, ServeTicket
+from repro.serve.harness import (
+    ServeReport,
+    default_tenants,
+    drive,
+    replay_oracle,
+    run_serve_replay,
+)
+from repro.serve.loadgen import (
+    Arrival,
+    ArrivalProfile,
+    LoadGenerator,
+    ServeWorkload,
+    TenantSpec,
+    diurnal_profile,
+    make_serve_workload,
+)
+from repro.serve.shedding import (
+    LEVEL_BROWNOUT,
+    LEVEL_NORMAL,
+    LEVEL_SHED_FREE,
+    LEVEL_SHRINK,
+    LEVELS,
+    SHED_BROWNOUT,
+    SHED_DEADLINE,
+    SHED_QUOTA,
+    SHED_REASONS,
+    LoadShedder,
+    ShedPolicy,
+    level_name,
+)
+from repro.serve.tenancy import AdmissionController, TenantPolicy, TokenBucket
+
+__all__ = [
+    "AdmissionController",
+    "Arrival",
+    "ArrivalProfile",
+    "FrontDoor",
+    "LatencyEstimator",
+    "LoadGenerator",
+    "LoadShedder",
+    "RequestContext",
+    "ServeInstruments",
+    "ServeReport",
+    "ServeTicket",
+    "ServeWorkload",
+    "ServiceModel",
+    "ShedPolicy",
+    "TenantPolicy",
+    "TenantSpec",
+    "TokenBucket",
+    "default_tenants",
+    "diurnal_profile",
+    "drive",
+    "level_name",
+    "make_serve_workload",
+    "replay_oracle",
+    "run_serve_replay",
+    "LEVELS",
+    "LEVEL_BROWNOUT",
+    "LEVEL_NORMAL",
+    "LEVEL_SHED_FREE",
+    "LEVEL_SHRINK",
+    "SHED_BROWNOUT",
+    "SHED_DEADLINE",
+    "SHED_QUOTA",
+    "SHED_REASONS",
+]

@@ -1,0 +1,134 @@
+"""Deadline budgets and the deterministic service-time model behind them.
+
+A query arrives with a **deadline budget** (modelled seconds from its
+arrival timestamp).  The front door must decide *before* scatter-gather
+fan-out whether the remaining budget can cover the expected queue wait
+plus service time; if it cannot, the query is shed with reason
+``"deadline"`` — refusing early is strictly cheaper than answering late.
+
+The decision inputs must be **deterministic** (the serve scenario rides
+the perf-trajectory regression gate, and chaos replays must shed the
+exact same queries on every run), so this module models service time
+from the *deterministic* cost counters every
+:class:`~repro.core.knn.KnnAnswer` carries — simulated GPU seconds,
+candidate/cleaning/refinement counts, modelled retry backoff — never
+from measured Python wall time:
+
+* :class:`ServiceModel` — per-answer modelled service seconds;
+* :class:`LatencyEstimator` — an EWMA of observed service times per
+  tenant class, the forecast the admission-time deadline check uses;
+* :class:`RequestContext` — the deadline riding next to the W3C
+  ``traceparent`` header across the front-door → router boundary, so
+  any downstream stage can compute the remaining budget at its own
+  clock (``repro.serve`` only consumes it at the front door today).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.knn import KnnAnswer
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ServiceModel:
+    """Deterministic modelled service seconds for one answered query.
+
+    The constants mirror the shape of :class:`~repro.server.metrics.TimingModel`
+    — GPU kernel time is taken as-is from the simulator, host-side work
+    is charged per deterministic unit of work — but deliberately avoid
+    its wall-time inputs.
+
+    Attributes:
+        base_s: fixed per-query overhead (parse, route, merge).
+        cell_cost_s: per candidate cell cleaned.
+        candidate_cost_s: per GPU candidate scored.
+        refine_cost_s: per unresolved boundary vertex refined.
+        cpu_rung_factor: multiplier applied to the host-side work of a
+            query that degraded off the GPU rung — the vectorised-CPU
+            and Dijkstra rungs do the candidate work on the host.
+    """
+
+    base_s: float = 2e-3
+    cell_cost_s: float = 1e-4
+    candidate_cost_s: float = 2e-5
+    refine_cost_s: float = 5e-5
+    cpu_rung_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if min(
+            self.base_s,
+            self.cell_cost_s,
+            self.candidate_cost_s,
+            self.refine_cost_s,
+        ) < 0:
+            raise ConfigError("service-model costs must be >= 0")
+        if self.cpu_rung_factor < 1.0:
+            raise ConfigError(
+                f"cpu_rung_factor must be >= 1, got {self.cpu_rung_factor}"
+            )
+
+    def service_s(self, answer: KnnAnswer) -> float:
+        """Modelled service seconds for one answer (deterministic)."""
+        host = (
+            answer.cells_cleaned * self.cell_cost_s
+            + answer.candidates * self.candidate_cost_s
+            + answer.unresolved * self.refine_cost_s
+        )
+        if answer.degraded_rung is not None:
+            host *= self.cpu_rung_factor
+        gpu_s = sum(answer.gpu_phase_s.values())
+        # retry backoff is a policy-chosen modelled delay: charged as-is
+        return self.base_s + host + gpu_s + answer.backoff_s
+
+
+class LatencyEstimator:
+    """EWMA service-time forecast per tenant class.
+
+    Before any observation a class forecasts ``initial_s`` — choose it
+    on the optimistic side so a cold front door does not shed its very
+    first queries on a pessimistic guess.
+    """
+
+    def __init__(self, initial_s: float = 5e-3, alpha: float = 0.2) -> None:
+        if initial_s <= 0:
+            raise ConfigError(f"initial_s must be positive, got {initial_s}")
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigError(f"alpha must be in (0, 1], got {alpha}")
+        self.initial_s = initial_s
+        self.alpha = alpha
+        self._estimates: dict[str, float] = {}
+
+    def estimate(self, cls: str) -> float:
+        return self._estimates.get(cls, self.initial_s)
+
+    def observe(self, cls: str, service_s: float) -> None:
+        previous = self._estimates.get(cls)
+        if previous is None:
+            self._estimates[cls] = service_s
+        else:
+            self._estimates[cls] = (
+                previous + self.alpha * (service_s - previous)
+            )
+
+
+@dataclass(frozen=True)
+class RequestContext:
+    """What crosses the front-door boundary with one admitted query.
+
+    ``traceparent`` is the encoded W3C-style
+    :class:`~repro.obs.tracing.TraceContext` of the request span (or
+    ``None`` when tracing is off); ``deadline_t`` is the query's
+    *absolute* modelled deadline, so any stage holding the context and
+    a clock can compute the remaining budget without extra state.
+    """
+
+    tenant: str
+    tenant_class: str
+    deadline_t: float
+    traceparent: str | None = None
+
+    def remaining_s(self, now: float) -> float:
+        """Budget left at modelled time ``now`` (negative = expired)."""
+        return self.deadline_t - now

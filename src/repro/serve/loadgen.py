@@ -1,0 +1,309 @@
+"""Deterministic load generation for the serving front door.
+
+The front door is exercised with **arrival schedules**, not workloads:
+who asks, when, and from where.  This module builds them the same way
+the mobility layer builds update streams — seeded, modelled-time,
+reproducible to the bit:
+
+* :class:`ArrivalProfile` — a piecewise-constant diurnal rate profile
+  (quiet night, rush-hour burst, steady day) plus a hotspot fraction
+  that skews query locations toward the network hotspots of
+  :func:`~repro.mobility.patterns.hotspot_placements`;
+* :class:`TenantSpec` — one tenant's demand: its serving
+  :class:`~repro.serve.tenancy.TenantPolicy`, a base arrival rate and
+  its ``k``;
+* :class:`LoadGenerator` — per-tenant non-homogeneous Poisson arrivals
+  by thinning, merged into one time-ordered schedule.  Identical seeds
+  produce identical schedules (the determinism conformance test pins a
+  golden one), and an ``overload`` factor scales every tenant's rate —
+  the "2x offered load" knob the chaos-under-load proof turns;
+* :class:`ServeWorkload` — the schedule merged with a MOTO update
+  stream, replayable through a :class:`~repro.serve.frontdoor.FrontDoor`
+  with the usual update-first tie ordering.
+
+Arrivals are **open-loop**: the schedule does not react to serving
+latency, which is exactly what makes overload possible (a closed-loop
+driver self-throttles; the harness offers both — see
+:func:`repro.serve.harness.drive`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Literal, Sequence
+
+from repro.core.messages import Message
+from repro.errors import ConfigError
+from repro.mobility.moto import MotoGenerator
+from repro.mobility.patterns import hotspot_placements
+from repro.mobility.workload import Query, random_locations
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.location import NetworkLocation
+from repro.serve.tenancy import TenantPolicy
+
+
+@dataclass(frozen=True)
+class ArrivalProfile:
+    """When and where queries arrive.
+
+    Attributes:
+        phases: piecewise-constant diurnal profile,
+            ``((until_t, rate_multiplier), ...)`` with strictly
+            increasing phase ends — the same shape as
+            :class:`~repro.mobility.patterns.RushHourGenerator`'s
+            frequency profile.  The last phase end is the schedule
+            duration.
+        hotspot_fraction: fraction of query locations drawn from the
+            hotspot neighbourhoods instead of uniformly at random.
+        num_hotspots: how many network hotspots to cluster around.
+        hotspot_spread: network radius of each hotspot neighbourhood.
+    """
+
+    phases: tuple[tuple[float, float], ...] = ((60.0, 1.0),)
+    hotspot_fraction: float = 0.0
+    num_hotspots: int = 3
+    hotspot_spread: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ConfigError("profile must have at least one phase")
+        last = 0.0
+        for until, mult in self.phases:
+            if until <= last:
+                raise ConfigError("profile phase ends must strictly increase")
+            if mult <= 0:
+                raise ConfigError("phase multipliers must be positive")
+            last = until
+        if not 0.0 <= self.hotspot_fraction <= 1.0:
+            raise ConfigError(
+                f"hotspot_fraction must be in [0, 1], "
+                f"got {self.hotspot_fraction}"
+            )
+        if self.num_hotspots < 1:
+            raise ConfigError("need at least one hotspot")
+
+    @property
+    def duration(self) -> float:
+        return self.phases[-1][0]
+
+    @property
+    def peak_multiplier(self) -> float:
+        return max(mult for _, mult in self.phases)
+
+    def multiplier_at(self, t: float) -> float:
+        """The rate multiplier in force at modelled time ``t``."""
+        for until, mult in self.phases:
+            if t < until:
+                return mult
+        return self.phases[-1][1]
+
+
+def diurnal_profile(
+    duration: float, peak: float = 3.0, quiet: float = 0.3
+) -> ArrivalProfile:
+    """A canned day: quiet night, morning rush, steady day, evening rush.
+
+    The four phases split ``duration`` evenly; rushes run at ``peak``
+    times the base rate, the night at ``quiet`` times.
+    """
+    if duration <= 0:
+        raise ConfigError(f"duration must be positive, got {duration}")
+    quarter = duration / 4.0
+    return ArrivalProfile(
+        phases=(
+            (quarter, quiet),
+            (2 * quarter, peak),
+            (3 * quarter, 1.0),
+            (duration, peak),
+        )
+    )
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's demand curve.
+
+    Attributes:
+        policy: the serving contract (class, quota, deadline).
+        rate: base arrival rate in queries per modelled second (scaled
+            by the profile's diurnal multiplier and the generator's
+            ``overload`` factor).
+        k: the kNN ``k`` this tenant asks for.
+    """
+
+    policy: TenantPolicy
+    rate: float = 2.0
+    k: int = 8
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ConfigError(f"rate must be positive, got {self.rate}")
+        if self.k < 1:
+            raise ConfigError(f"k must be >= 1, got {self.k}")
+
+
+@dataclass(frozen=True, slots=True)
+class Arrival:
+    """One scheduled query: who asks what, when."""
+
+    t: float
+    tenant: str
+    query: Query
+
+
+class LoadGenerator:
+    """Seeded per-tenant Poisson arrivals over a diurnal profile.
+
+    Each tenant gets its own deterministic RNG stream (derived from the
+    generator seed and the tenant's roster position), so adding a tenant
+    does not perturb the others' schedules.  Arrivals are drawn by
+    thinning: candidate points at the tenant's peak rate, kept with
+    probability ``multiplier(t) / peak`` — the textbook exact sampler
+    for a non-homogeneous Poisson process.
+    """
+
+    def __init__(
+        self,
+        graph: RoadNetwork,
+        tenants: Sequence[TenantSpec],
+        profile: ArrivalProfile | None = None,
+        seed: int = 0,
+    ) -> None:
+        if not tenants:
+            raise ConfigError("load generation needs at least one tenant")
+        names = [spec.policy.name for spec in tenants]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate tenant names in {names}")
+        self.graph = graph
+        self.tenants = list(tenants)
+        self.profile = profile or ArrivalProfile()
+        self.seed = seed
+        self._hot_pool: list[NetworkLocation] | None = None
+
+    def _hotspot_pool(self) -> list[NetworkLocation]:
+        if self._hot_pool is None:
+            placements = hotspot_placements(
+                self.graph,
+                num_objects=256,
+                num_hotspots=self.profile.num_hotspots,
+                spread=self.profile.hotspot_spread,
+                seed=self.seed + 7919,
+            )
+            self._hot_pool = [placements[i] for i in sorted(placements)]
+        return self._hot_pool
+
+    def _tenant_arrivals(
+        self, position: int, spec: TenantSpec, overload: float
+    ) -> list[Arrival]:
+        profile = self.profile
+        rng = random.Random(self.seed * 10007 + position)
+        peak_rate = spec.rate * overload * profile.peak_multiplier
+        hot = self._hotspot_pool() if profile.hotspot_fraction > 0 else []
+        out: list[Arrival] = []
+        t = 0.0
+        while True:
+            t += rng.expovariate(peak_rate)
+            if t >= profile.duration:
+                break
+            if (
+                rng.random() * profile.peak_multiplier
+                > profile.multiplier_at(t)
+            ):
+                continue  # thinned: below the instantaneous rate
+            if hot and rng.random() < profile.hotspot_fraction:
+                location = hot[rng.randrange(len(hot))]
+            else:
+                edge = rng.randrange(self.graph.num_edges)
+                location = NetworkLocation(
+                    edge, rng.uniform(0.0, self.graph.edge(edge).weight)
+                )
+            out.append(
+                Arrival(t, spec.policy.name, Query(t, location, spec.k))
+            )
+        return out
+
+    def arrivals(self, overload: float = 1.0) -> list[Arrival]:
+        """The merged time-ordered schedule at ``overload`` times the
+        base rates (deterministic for a fixed seed and roster)."""
+        if overload <= 0:
+            raise ConfigError(f"overload must be positive, got {overload}")
+        merged: list[Arrival] = []
+        for position, spec in enumerate(self.tenants):
+            merged.extend(self._tenant_arrivals(position, spec, overload))
+        # tenant name breaks timestamp ties so the merge is total-ordered
+        merged.sort(key=lambda a: (a.t, a.tenant))
+        return merged
+
+
+@dataclass
+class ServeWorkload:
+    """An arrival schedule merged with a mobility update stream.
+
+    The front-door analogue of :class:`~repro.mobility.workload.Workload`
+    — same initial-load and update-first tie semantics, but queries
+    carry their tenant.
+    """
+
+    initial: dict[int, NetworkLocation]
+    updates: list[Message] = field(default_factory=list)
+    arrivals: list[Arrival] = field(default_factory=list)
+
+    @property
+    def num_updates(self) -> int:
+        return len(self.updates)
+
+    @property
+    def num_arrivals(self) -> int:
+        return len(self.arrivals)
+
+    def events(
+        self,
+    ) -> Iterator[tuple[Literal["update", "arrival"], Message | Arrival]]:
+        """Merge updates and arrivals, time-ordered, update-first ties."""
+        ui = ai = 0
+        while ui < len(self.updates) or ai < len(self.arrivals):
+            take_update = ai >= len(self.arrivals) or (
+                ui < len(self.updates)
+                and self.updates[ui].t <= self.arrivals[ai].t
+            )
+            if take_update:
+                yield "update", self.updates[ui]
+                ui += 1
+            else:
+                yield "arrival", self.arrivals[ai]
+                ai += 1
+
+
+def make_serve_workload(
+    graph: RoadNetwork,
+    tenants: Sequence[TenantSpec],
+    num_objects: int = 64,
+    profile: ArrivalProfile | None = None,
+    update_frequency: float = 0.5,
+    overload: float = 1.0,
+    seed: int = 0,
+) -> ServeWorkload:
+    """The standard serve experiment: MOTO updates + tenant arrivals."""
+    profile = profile or ArrivalProfile()
+    gen = MotoGenerator(
+        graph, num_objects, update_frequency=update_frequency, seed=seed
+    )
+    initial = gen.initial_placements()
+    updates = list(gen.messages(profile.duration))
+    arrivals = LoadGenerator(graph, tenants, profile, seed=seed).arrivals(
+        overload=overload
+    )
+    return ServeWorkload(initial=initial, updates=updates, arrivals=arrivals)
+
+
+__all__ = [
+    "Arrival",
+    "ArrivalProfile",
+    "LoadGenerator",
+    "ServeWorkload",
+    "TenantSpec",
+    "diurnal_profile",
+    "make_serve_workload",
+    "random_locations",
+]

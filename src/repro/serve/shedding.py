@@ -1,0 +1,190 @@
+"""The overload state machine: queue- and burn-rate-driven load shedding.
+
+Overload control degrades in a **strict order** (DESIGN.md §14) so the
+cheapest lever is always pulled first and the paid tier is protected to
+the very end:
+
+====== ============= ====================================================
+level  name          what it does
+====== ============= ====================================================
+0      ``normal``    everything admitted (quota and deadline still apply)
+1      ``shed_free`` free-tier queries are rejected at admission
+                     (:class:`~repro.errors.ShedError`, reason
+                     ``"brownout"``); paid untouched
+2      ``shrink``    additionally, epoch batches shrink to
+                     ``ceil(batch/2)`` so queue wait per epoch halves
+3      ``brownout``  additionally, the backend serves from the
+                     resilience ladder's vectorised-CPU rung (skipping
+                     GPU attempts and their retry backoff entirely)
+====== ============= ====================================================
+
+Every rung of the ladder is exact, so no level ever changes an admitted
+answer — what degrades is who gets in and how much latency they pay.
+
+The level is chosen from two deterministic signals over the modelled
+clock: the **backlog delay** (how far the backend's modelled busy
+horizon is ahead of the arrival clock) and the paid class's short-window
+**error-budget burn rate** (from the front door's
+:class:`~repro.obs.slo.SloTracker`).  Escalation is immediate;
+de-escalation is hysteretic (signals must fall below
+``recover_fraction`` of the entry threshold) so the machine does not
+flap at the boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.serve.tenancy import SHED_QUOTA
+
+#: Shed reasons carried by :class:`~repro.errors.ShedError` and the
+#: ``reason`` label of ``repro_shed_total``.
+SHED_DEADLINE = "deadline"
+SHED_BROWNOUT = "brownout"
+
+SHED_REASONS: tuple[str, ...] = (SHED_QUOTA, SHED_DEADLINE, SHED_BROWNOUT)
+
+#: Overload levels, healthiest first (the strict shed order).
+LEVEL_NORMAL = 0
+LEVEL_SHED_FREE = 1
+LEVEL_SHRINK = 2
+LEVEL_BROWNOUT = 3
+
+LEVELS: tuple[str, ...] = ("normal", "shed_free", "shrink", "brownout")
+
+
+def level_name(level: int) -> str:
+    return LEVELS[level]
+
+
+@dataclass(frozen=True)
+class ShedPolicy:
+    """Thresholds of the overload state machine.
+
+    ``*_backlog_s`` are modelled backlog delays (busy horizon minus the
+    arrival clock) at which a level engages; ``*_burn`` are the paid
+    class's short-window error-budget burn rates that engage the same
+    levels.  A level engages when *either* signal crosses its threshold.
+
+    The burn defaults are deliberately aggressive: against a tight
+    budget (1% for the paid class) a single breach in the short window
+    is already a multi-x burn, and brownout — the lever that removes
+    GPU retry backoff from the service path — is worth pulling after a
+    mere handful of breaches, long before the classic 14.4x paging
+    threshold.
+
+    Attributes:
+        shed_free_backlog_s / shed_free_burn: enter ``shed_free``.
+        shrink_backlog_s / shrink_burn: enter ``shrink``.
+        brownout_backlog_s / brownout_burn: enter ``brownout``.
+        recover_fraction: hysteresis — a level is left only when both
+            signals fall below ``threshold * recover_fraction``.
+    """
+
+    shed_free_backlog_s: float = 0.25
+    shrink_backlog_s: float = 1.0
+    brownout_backlog_s: float = 4.0
+    shed_free_burn: float = 1.0
+    shrink_burn: float = 2.0
+    brownout_burn: float = 3.5
+    recover_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        backlogs = (
+            self.shed_free_backlog_s,
+            self.shrink_backlog_s,
+            self.brownout_backlog_s,
+        )
+        burns = (self.shed_free_burn, self.shrink_burn, self.brownout_burn)
+        for values, label in ((backlogs, "backlog"), (burns, "burn")):
+            if any(v <= 0 for v in values):
+                raise ConfigError(f"{label} thresholds must be positive")
+            if list(values) != sorted(values):
+                raise ConfigError(
+                    f"{label} thresholds must be non-decreasing "
+                    f"with level, got {values}"
+                )
+        if not 0.0 < self.recover_fraction < 1.0:
+            raise ConfigError(
+                f"recover_fraction must be in (0, 1), "
+                f"got {self.recover_fraction}"
+            )
+
+    def backlog_threshold(self, level: int) -> float:
+        return (
+            self.shed_free_backlog_s,
+            self.shrink_backlog_s,
+            self.brownout_backlog_s,
+        )[level - 1]
+
+    def burn_threshold(self, level: int) -> float:
+        return (self.shed_free_burn, self.shrink_burn, self.brownout_burn)[
+            level - 1
+        ]
+
+
+class LoadShedder:
+    """Tracks the current overload level with hysteretic transitions."""
+
+    def __init__(self, policy: ShedPolicy | None = None) -> None:
+        self.policy = policy or ShedPolicy()
+        self.level = LEVEL_NORMAL
+        #: every level change as ``(from, to) -> count`` (observability
+        #: and the shed-order regression tests)
+        self.transitions: dict[tuple[int, int], int] = {}
+
+    def _target(self, backlog_s: float, burn: float, entering: bool) -> int:
+        """The highest level whose thresholds the signals justify."""
+        policy = self.policy
+        scale = 1.0 if entering else policy.recover_fraction
+        level = LEVEL_NORMAL
+        for candidate in (LEVEL_SHED_FREE, LEVEL_SHRINK, LEVEL_BROWNOUT):
+            if (
+                backlog_s >= policy.backlog_threshold(candidate) * scale
+                or burn >= policy.burn_threshold(candidate) * scale
+            ):
+                level = candidate
+        return level
+
+    def assess(self, backlog_s: float, burn: float) -> int:
+        """Update and return the level from the current signals.
+
+        Escalation uses the entry thresholds; holding a level only
+        requires the (lower) recovery thresholds, so the machine steps
+        down one observation at a time instead of flapping.
+        """
+        up = self._target(backlog_s, burn, entering=True)
+        if up > self.level:
+            self._move(up)
+        else:
+            hold = self._target(backlog_s, burn, entering=False)
+            if hold < self.level:
+                self._move(max(hold, self.level - 1))
+        return self.level
+
+    def _move(self, new: int) -> None:
+        if new == self.level:
+            return
+        key = (self.level, new)
+        self.transitions[key] = self.transitions.get(key, 0) + 1
+        self.level = new
+
+    # -- what each level means for the serving path --------------------
+    @property
+    def shedding_free(self) -> bool:
+        return self.level >= LEVEL_SHED_FREE
+
+    @property
+    def shrinking_batches(self) -> bool:
+        return self.level >= LEVEL_SHRINK
+
+    @property
+    def browned_out(self) -> bool:
+        return self.level >= LEVEL_BROWNOUT
+
+    def effective_batch_size(self, batch_size: int) -> int:
+        """The epoch size the dispatcher may fill at the current level."""
+        if self.shrinking_batches:
+            return max(1, (batch_size + 1) // 2)
+        return batch_size

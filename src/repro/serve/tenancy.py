@@ -1,0 +1,139 @@
+"""Per-tenant admission control: token-bucket quotas and priority lanes.
+
+The front door (DESIGN.md §14) serves many tenants from one cluster; a
+single tenant must not be able to starve the rest by offering unbounded
+load.  Admission is the first stage of the shed order:
+
+* every tenant carries a :class:`TenantPolicy` — its priority class
+  (``paid`` / ``free``), a token-bucket query quota and a default
+  deadline budget;
+* the :class:`AdmissionController` holds one :class:`TokenBucket` per
+  tenant over the **modelled clock** (arrival timestamps), so admission
+  outcomes are deterministic for a deterministic arrival schedule;
+* a tenant with an empty bucket is refused with a
+  :class:`~repro.errors.ShedError` of reason ``"quota"`` — loudly,
+  before any index work happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, ShedError
+from repro.obs.slo import CLASS_PAID, TENANT_CLASSES
+
+#: shed reason for an empty admission quota (see repro.serve.shedding)
+SHED_QUOTA = "quota"
+
+
+class TokenBucket:
+    """The classic token bucket, refilled by modelled-time progress.
+
+    ``rate`` tokens accrue per modelled second up to ``burst``; one
+    token admits one query.  Time is never rewound: a take at an earlier
+    timestamp than the last refill simply sees the bucket as it was
+    (replays feed monotone arrival times anyway).
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "refilled_at")
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0:
+            raise ConfigError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise ConfigError(f"burst must be >= 1, got {burst}")
+        self.rate = rate
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.refilled_at = 0.0
+
+    def take(self, now: float) -> bool:
+        """Consume one token at modelled time ``now`` if available."""
+        if now > self.refilled_at:
+            self.tokens = min(
+                self.burst, self.tokens + (now - self.refilled_at) * self.rate
+            )
+            self.refilled_at = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """One tenant's serving contract.
+
+    Attributes:
+        name: the tenant id queries arrive under.
+        tenant_class: priority class — one of
+            :data:`~repro.obs.slo.TENANT_CLASSES` (``paid`` drains
+            first and is never shed by the overload state machine).
+        rate: admission quota in queries per modelled second.
+        burst: token-bucket depth (peak back-to-back admissions).
+        deadline_s: default per-query deadline budget in modelled
+            seconds; a query whose estimated completion exceeds it is
+            shed with reason ``"deadline"`` before fan-out.
+    """
+
+    name: str
+    tenant_class: str = CLASS_PAID
+    rate: float = 100.0
+    burst: float = 20.0
+    deadline_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("tenant name must be non-empty")
+        if self.tenant_class not in TENANT_CLASSES:
+            raise ConfigError(
+                f"tenant_class must be one of {TENANT_CLASSES}, "
+                f"got {self.tenant_class!r}"
+            )
+        if self.deadline_s <= 0:
+            raise ConfigError(
+                f"deadline_s must be positive, got {self.deadline_s}"
+            )
+        # rate/burst are validated by the bucket they configure
+        TokenBucket(self.rate, self.burst)
+
+    def make_bucket(self) -> TokenBucket:
+        return TokenBucket(self.rate, self.burst)
+
+
+class AdmissionController:
+    """Token-bucket admission over a fixed tenant roster."""
+
+    def __init__(self, tenants: list[TenantPolicy]) -> None:
+        if not tenants:
+            raise ConfigError("admission needs at least one tenant")
+        names = [t.name for t in tenants]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate tenant names in {names}")
+        self.tenants: dict[str, TenantPolicy] = {t.name: t for t in tenants}
+        self._buckets: dict[str, TokenBucket] = {
+            t.name: t.make_bucket() for t in tenants
+        }
+
+    def policy(self, tenant: str) -> TenantPolicy:
+        policy = self.tenants.get(tenant)
+        if policy is None:
+            raise ConfigError(
+                f"unknown tenant {tenant!r} (have {sorted(self.tenants)})"
+            )
+        return policy
+
+    def admit(self, tenant: str, now: float) -> TenantPolicy:
+        """Consume one quota token for ``tenant`` at modelled ``now``.
+
+        Returns:
+            The tenant's policy, for the caller's lane/deadline choices.
+
+        Raises:
+            ShedError: reason ``"quota"`` when the bucket is empty.
+            ConfigError: unknown tenant.
+        """
+        policy = self.policy(tenant)
+        if not self._buckets[tenant].take(now):
+            raise ShedError(tenant, policy.tenant_class, SHED_QUOTA)
+        return policy

@@ -125,6 +125,14 @@ class ServerInstruments:
             "repro_breaker_state",
             help="Circuit-breaker state: 0=closed, 1=half-open, 2=open.",
         ).default()
+        #: the state gauge only samples at publication time; the
+        #: transition counter makes half-open probe outcomes observable
+        #: even when they resolve between two queries
+        self.breaker_transitions = registry.counter(
+            "repro_breaker_transitions_total",
+            help="Circuit-breaker state transitions, by (from, to) state.",
+            labelnames=("from", "to"),
+        )
         self.backpressure = registry.counter(
             "repro_backpressure_cleanings_total",
             help="Updates that forced an in-line cleaning at capacity.",
@@ -200,6 +208,12 @@ class QueryServer:
             default_batch_policy() or BatchPolicy()
         )
         self.durability = durability
+        breaker = getattr(index, "breaker", None)
+        if self._inst is not None and breaker is not None:
+            transitions = self._inst.breaker_transitions
+            breaker.on_transition = lambda old, new: transitions.labels(
+                **{"from": old, "to": new}
+            ).inc()
         #: rate-limited fallback warning (1st occurrence, then every
         #: 100th, cumulative count in the message)
         self._fallback_warner = (

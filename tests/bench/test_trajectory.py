@@ -121,7 +121,13 @@ class TestScenarios:
             run_scenario("warp_drive")
 
     def test_scenario_names_are_the_contract(self):
-        assert SCENARIOS == ("single_server", "batch", "chaos", "cluster")
+        assert SCENARIOS == (
+            "single_server",
+            "batch",
+            "chaos",
+            "cluster",
+            "serve",
+        )
 
     def test_single_server_scenario_is_deterministic(self):
         a = run_scenario("single_server")

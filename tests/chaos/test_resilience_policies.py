@@ -98,3 +98,72 @@ def test_policy_builds_breaker_from_knobs():
     breaker = policy.make_breaker()
     assert breaker.failure_threshold == 7
     assert breaker.reset_timeout_s == 3.0
+
+
+def test_breaker_records_full_transition_cycle():
+    """closed -> open -> half-open -> closed, each edge counted once."""
+    b = CircuitBreaker(failure_threshold=1, reset_timeout_s=10.0)
+    b.record_failure(0.0)  # closed -> open
+    assert b.allow_gpu(10.0)  # open -> half-open (probe)
+    b.record_success(10.0)  # half-open -> closed
+    assert b.transitions == {
+        (BREAKER_CLOSED, BREAKER_OPEN): 1,
+        (BREAKER_OPEN, BREAKER_HALF_OPEN): 1,
+        (BREAKER_HALF_OPEN, BREAKER_CLOSED): 1,
+    }
+
+
+def test_breaker_transition_callback_fires_per_edge():
+    seen = []
+    b = CircuitBreaker(failure_threshold=1, reset_timeout_s=10.0)
+    b.on_transition = lambda old, new: seen.append((old, new))
+    b.record_failure(0.0)
+    b.allow_gpu(10.0)
+    b.record_failure(10.0)  # half-open -> open (failed probe)
+    assert seen == [
+        (BREAKER_CLOSED, BREAKER_OPEN),
+        (BREAKER_OPEN, BREAKER_HALF_OPEN),
+        (BREAKER_HALF_OPEN, BREAKER_OPEN),
+    ]
+
+
+def test_breaker_same_state_is_not_a_transition():
+    b = CircuitBreaker(failure_threshold=2, reset_timeout_s=10.0)
+    b.record_success(0.0)  # closed -> closed: no edge
+    b.record_failure(1.0)  # still closed (threshold 2)
+    assert b.transitions == {}
+
+
+def test_breaker_reset_clears_transitions():
+    b = CircuitBreaker(failure_threshold=1, reset_timeout_s=10.0)
+    b.record_failure(0.0)
+    b.reset()
+    assert b.transitions == {}
+
+
+def test_server_publishes_breaker_transition_metric(small_graph):
+    """The ``repro_breaker_transitions_total{from,to}`` family tracks the
+    index breaker's full closed -> open -> half-open -> closed cycle."""
+    from repro.config import GGridConfig
+    from repro.core.ggrid import GGridIndex
+    from repro.obs import Observability
+    from repro.server.server import QueryServer
+
+    obs = Observability()
+    index = GGridIndex(small_graph, GGridConfig())
+    QueryServer(index, obs=obs)
+    breaker = index.breaker
+    for _ in range(breaker.failure_threshold):
+        breaker.record_failure(0.0)
+    assert breaker.allow_gpu(breaker.reset_timeout_s)  # probe: half-open
+    breaker.record_success(breaker.reset_timeout_s)
+
+    text = obs.registry.write_prometheus()
+    assert 'repro_breaker_transitions_total{from="closed",to="open"} 1' in text
+    assert (
+        'repro_breaker_transitions_total{from="open",to="half_open"} 1' in text
+    )
+    assert (
+        'repro_breaker_transitions_total{from="half_open",to="closed"} 1'
+        in text
+    )

@@ -1,0 +1,109 @@
+"""The deterministic service model, EWMA estimator and request context."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.knn import KnnAnswer
+from repro.errors import ConfigError
+from repro.serve.deadline import (
+    LatencyEstimator,
+    RequestContext,
+    ServiceModel,
+)
+
+pytestmark = pytest.mark.serve
+
+
+def _answer(**overrides) -> KnnAnswer:
+    fields = dict(
+        cells_cleaned=3,
+        candidates=10,
+        unresolved=2,
+        gpu_phase_s={"sdist": 1e-3, "first_k": 5e-4},
+        backoff_s=0.0,
+    )
+    fields.update(overrides)
+    return KnnAnswer(**fields)
+
+
+class TestServiceModel:
+    def test_charges_every_deterministic_counter(self):
+        model = ServiceModel()
+        expected = (
+            model.base_s
+            + 3 * model.cell_cost_s
+            + 10 * model.candidate_cost_s
+            + 2 * model.refine_cost_s
+            + 1.5e-3  # simulated GPU seconds, taken as-is
+        )
+        assert model.service_s(_answer()) == pytest.approx(expected)
+
+    def test_is_deterministic(self):
+        model = ServiceModel()
+        answer = _answer()
+        assert model.service_s(answer) == model.service_s(answer)
+
+    def test_degraded_rung_multiplies_host_work_only(self):
+        model = ServiceModel(cpu_rung_factor=3.0)
+        healthy = _answer(gpu_phase_s={})
+        degraded = _answer(gpu_phase_s={}, degraded_rung="cpu_sdist")
+        host = model.service_s(healthy) - model.base_s
+        assert model.service_s(degraded) == pytest.approx(
+            model.base_s + 3.0 * host
+        )
+
+    def test_backoff_charged_as_is(self):
+        model = ServiceModel()
+        base = model.service_s(_answer())
+        assert model.service_s(_answer(backoff_s=0.25)) == pytest.approx(
+            base + 0.25
+        )
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ConfigError):
+            ServiceModel(cell_cost_s=-1e-4)
+
+    def test_rejects_sub_unit_rung_factor(self):
+        with pytest.raises(ConfigError, match="cpu_rung_factor"):
+            ServiceModel(cpu_rung_factor=0.5)
+
+
+class TestLatencyEstimator:
+    def test_cold_estimate_is_initial(self):
+        estimator = LatencyEstimator(initial_s=7e-3)
+        assert estimator.estimate("paid") == 7e-3
+
+    def test_first_observation_replaces_the_prior(self):
+        estimator = LatencyEstimator(initial_s=5e-3)
+        estimator.observe("paid", 0.1)
+        assert estimator.estimate("paid") == pytest.approx(0.1)
+
+    def test_ewma_after_the_first_observation(self):
+        estimator = LatencyEstimator(alpha=0.5)
+        estimator.observe("paid", 0.1)
+        estimator.observe("paid", 0.2)
+        assert estimator.estimate("paid") == pytest.approx(0.15)
+
+    def test_classes_are_independent(self):
+        estimator = LatencyEstimator()
+        estimator.observe("paid", 0.1)
+        assert estimator.estimate("free") == estimator.initial_s
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LatencyEstimator(initial_s=0.0)
+        with pytest.raises(ConfigError):
+            LatencyEstimator(alpha=0.0)
+        with pytest.raises(ConfigError):
+            LatencyEstimator(alpha=1.5)
+
+
+class TestRequestContext:
+    def test_remaining_budget(self):
+        context = RequestContext("acme", "paid", deadline_t=10.0)
+        assert context.remaining_s(9.0) == pytest.approx(1.0)
+        assert context.remaining_s(11.0) == pytest.approx(-1.0)
+
+    def test_traceparent_defaults_to_none(self):
+        assert RequestContext("acme", "paid", 1.0).traceparent is None

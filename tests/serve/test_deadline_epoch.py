@@ -1,0 +1,137 @@
+"""Deadline expiry racing epoch batching (DESIGN.md §14).
+
+A query whose deadline expires while it waits in its lane is shed at
+epoch-start, *before* dispatch — the epoch executes without it.  The
+regression pinned here is cost attribution: the backend report of a
+replay containing the shed member must be counter-identical to one whose
+epoch never contained it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ggrid import GGridIndex
+from repro.core.messages import Message
+from repro.errors import ShedError
+from repro.mobility.workload import Query, random_locations
+from repro.obs.slo import CLASS_PAID
+from repro.serve.frontdoor import FrontDoor
+from repro.serve.shedding import SHED_DEADLINE
+from repro.serve.tenancy import TenantPolicy
+from repro.server.metrics import ReplayReport
+from repro.server.server import QueryServer
+
+pytestmark = pytest.mark.serve
+
+ROSTER = [
+    TenantPolicy("shorty", CLASS_PAID, rate=100.0, burst=50.0,
+                 deadline_s=0.05),
+    TenantPolicy("acme", CLASS_PAID, rate=100.0, burst=50.0,
+                 deadline_s=100.0),
+]
+
+
+def make_front(small_graph, fast_config) -> FrontDoor:
+    index = GGridIndex(small_graph, fast_config)
+    front = FrontDoor(
+        QueryServer(index, obs=None), ROSTER, batch_size=4, obs=None
+    )
+    for obj, loc in enumerate(random_locations(small_graph, 8, seed=3)):
+        front.update(Message(obj, loc.edge_id, loc.offset, 0.0))
+    return front
+
+
+def deterministic_counters(report: ReplayReport) -> dict:
+    """The report's modelled-clock quantities (no wall-time fields)."""
+    return {
+        "n_updates": report.n_updates,
+        "n_queries": report.n_queries,
+        "n_batches": report.n_batches,
+        "update_touches": report.update_touches,
+        "batch_cells_deduped": report.batch_cells_deduped,
+        "records": [
+            (r.gpu_s, r.transfer_bytes, r.used_fallback, r.degraded_rung,
+             r.retries, r.backoff_s, r.fanout, r.t)
+            for r in report.query_records
+        ],
+    }
+
+
+def test_in_lane_expiry_sheds_without_corrupting_batch_costs(
+    small_graph, fast_config
+):
+    q_short = Query(1.0, random_locations(small_graph, 1, seed=21)[0], 4)
+    q_long = Query(1.1, random_locations(small_graph, 1, seed=22)[0], 4)
+
+    # replay A: both queries admitted; the backlog then jumps past
+    # shorty's absolute deadline (1.05) before the epoch starts
+    front_a = make_front(small_graph, fast_config)
+    t_short = front_a.submit_nowait("shorty", q_short)
+    t_long = front_a.submit_nowait("acme", q_long)
+    front_a.busy_until = 5.0
+    front_a.flush()
+
+    with pytest.raises(ShedError) as exc:
+        t_short.result()
+    assert exc.value.reason == SHED_DEADLINE
+    assert exc.value.tenant == "shorty"
+    assert front_a.shed[(SHED_DEADLINE, CLASS_PAID)] == 1
+    assert t_long.done
+    answer_a = t_long.result()
+
+    # replay B: an epoch that never contained the shed member
+    front_b = make_front(small_graph, fast_config)
+    t_only = front_b.submit_nowait("acme", q_long)
+    front_b.busy_until = 5.0
+    front_b.flush()
+    answer_b = t_only.result()
+
+    # identical answers, identical deterministic cost attribution
+    assert answer_a.distances() == answer_b.distances()
+    assert answer_a.objects() == answer_b.objects()
+    assert deterministic_counters(front_a.backend_report) == (
+        deterministic_counters(front_b.backend_report)
+    )
+    # and the shed member never reached the execution log
+    queries_a = [e[1] for e in front_a.execution_log if e[0] == "query"]
+    assert queries_a == [q_long]
+
+
+def test_expired_member_does_not_block_the_rest_of_the_epoch(
+    small_graph, fast_config
+):
+    front = make_front(small_graph, fast_config)
+    tickets = [
+        front.submit_nowait("shorty", Query(
+            1.0, random_locations(small_graph, 1, seed=i)[0], 4
+        ))
+        for i in range(2)
+    ]
+    survivor = front.submit_nowait("acme", Query(
+        1.2, random_locations(small_graph, 1, seed=9)[0], 4
+    ))
+    front.busy_until = 5.0
+    front.flush()
+    for ticket in tickets:
+        with pytest.raises(ShedError):
+            ticket.result()
+    assert survivor.result().objects()
+    assert front.shed[(SHED_DEADLINE, CLASS_PAID)] == 2
+    assert front.epochs == 1
+
+
+def test_an_epoch_of_only_expired_members_dispatches_nothing(
+    small_graph, fast_config
+):
+    front = make_front(small_graph, fast_config)
+    before = front.backend_report.n_batches
+    ticket = front.submit_nowait("shorty", Query(
+        1.0, random_locations(small_graph, 1, seed=5)[0], 4
+    ))
+    front.busy_until = 5.0
+    front.flush()
+    with pytest.raises(ShedError):
+        ticket.result()
+    assert front.backend_report.n_batches == before
+    assert front.epochs == 0

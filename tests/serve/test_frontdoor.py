@@ -1,0 +1,270 @@
+"""The front door over a single server: admission, lanes, epochs, asyncio."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.ggrid import GGridIndex
+from repro.core.messages import Message
+from repro.errors import ConfigError, QueryError, ShedError
+from repro.mobility.workload import Query, random_locations
+from repro.obs import Observability
+from repro.obs.slo import CLASS_FREE, CLASS_PAID
+from repro.serve.deadline import LatencyEstimator
+from repro.serve.frontdoor import FrontDoor
+from repro.serve.shedding import LEVEL_BROWNOUT, SHED_BROWNOUT, SHED_DEADLINE
+from repro.serve.tenancy import SHED_QUOTA, TenantPolicy
+from repro.server.server import QueryServer
+
+pytestmark = pytest.mark.serve
+
+
+def roster() -> list[TenantPolicy]:
+    return [
+        TenantPolicy("acme", CLASS_PAID, rate=100.0, burst=50.0,
+                     deadline_s=100.0),
+        TenantPolicy("hobby", CLASS_FREE, rate=100.0, burst=50.0,
+                     deadline_s=100.0),
+    ]
+
+
+@pytest.fixture
+def serving(small_graph, fast_config):
+    """A front door over a fresh single server, with 8 objects loaded."""
+    index = GGridIndex(small_graph, fast_config)
+    server = QueryServer(index, obs=None)
+    front = FrontDoor(server, roster(), batch_size=4, obs=None)
+    for obj, loc in enumerate(random_locations(small_graph, 8, seed=3)):
+        front.update(Message(obj, loc.edge_id, loc.offset, 0.0))
+    return front, index
+
+
+def query_at(graph, t: float, k: int = 4, seed: int = 11) -> Query:
+    return Query(t, random_locations(graph, 1, seed=seed)[0], k)
+
+
+def test_backend_must_have_the_server_shape():
+    with pytest.raises(ConfigError, match="must provide update"):
+        FrontDoor(object(), roster(), obs=None)
+
+    class Half:
+        def update(self, message, report):
+            pass
+
+    with pytest.raises(ConfigError, match="query_batch"):
+        FrontDoor(Half(), roster(), obs=None)
+
+
+def test_batch_size_must_be_positive(small_graph, fast_config):
+    server = QueryServer(GGridIndex(small_graph, fast_config), obs=None)
+    with pytest.raises(ConfigError, match="batch_size"):
+        FrontDoor(server, roster(), batch_size=0, obs=None)
+
+
+def test_ticket_pends_until_flush(serving, small_graph):
+    front, _ = serving
+    ticket = front.submit_nowait("acme", query_at(small_graph, 1.0))
+    assert not ticket.done
+    with pytest.raises(QueryError, match="pending"):
+        ticket.result()
+    front.flush()
+    assert ticket.done
+    assert ticket.result().objects()
+    assert ticket.completed_t is not None
+
+
+def test_admitted_answers_match_a_direct_index(
+    serving, small_graph, fast_config
+):
+    front, _ = serving
+    oracle = GGridIndex(small_graph, fast_config)
+    for obj, loc in enumerate(random_locations(small_graph, 8, seed=3)):
+        oracle.ingest(Message(obj, loc.edge_id, loc.offset, 0.0))
+    q = query_at(small_graph, 1.0)
+    ticket = front.submit_nowait("acme", q)
+    front.flush()
+    want = oracle.knn(q.location, q.k, t_now=q.t)
+    assert ticket.result().distances() == pytest.approx(want.distances())
+    assert ticket.result().objects() == want.objects()
+
+
+def test_epoch_fills_from_the_paid_lane_first(serving, small_graph):
+    front, _ = serving
+    free_q = query_at(small_graph, 1.0, seed=21)
+    paid_q = query_at(small_graph, 1.1, seed=22)
+    front.submit_nowait("hobby", free_q)
+    front.submit_nowait("acme", paid_q)
+    front.flush()
+    queries = [e[1] for e in front.execution_log if e[0] == "query"]
+    assert queries == [paid_q, free_q]
+
+
+def test_flush_triggers_at_the_epoch_size(serving, small_graph):
+    front, _ = serving
+    tickets = [
+        front.submit_nowait("acme", query_at(small_graph, 1.0 + i, seed=i))
+        for i in range(front.batch_size)
+    ]
+    # the submit that filled the epoch flushed it inline
+    assert all(t.done for t in tickets)
+    assert front.epochs == 1
+
+
+def test_update_closes_the_open_epoch(serving, small_graph):
+    front, _ = serving
+    ticket = front.submit_nowait("acme", query_at(small_graph, 1.0))
+    front.update(Message(0, 0, 0.0, 2.0))
+    assert ticket.done
+    # the log keeps execution order: the query epoch ran first
+    kinds = [e[0] for e in front.execution_log[-2:]]
+    assert kinds == ["query", "update"]
+
+
+def test_quota_shed_is_counted(serving, small_graph):
+    front, _ = serving
+    front.admission.tenants["acme"] = TenantPolicy(
+        "acme", CLASS_PAID, rate=1.0, burst=1, deadline_s=100.0
+    )
+    front.admission._buckets["acme"] = front.admission.tenants[
+        "acme"
+    ].make_bucket()
+    front.submit_nowait("acme", query_at(small_graph, 1.0))
+    with pytest.raises(ShedError) as exc:
+        front.submit_nowait("acme", query_at(small_graph, 1.0, seed=12))
+    assert exc.value.reason == SHED_QUOTA
+    assert front.shed[(SHED_QUOTA, CLASS_PAID)] == 1
+    assert front.admitted[CLASS_PAID] == 1
+
+
+def test_deadline_shed_at_admission(serving, small_graph, fast_config):
+    index = GGridIndex(small_graph, fast_config)
+    server = QueryServer(index, obs=None)
+    tight = [
+        TenantPolicy("acme", CLASS_PAID, rate=100.0, burst=50.0,
+                     deadline_s=0.01),
+    ]
+    front = FrontDoor(
+        server,
+        tight,
+        estimator=LatencyEstimator(initial_s=1.0),
+        obs=None,
+    )
+    with pytest.raises(ShedError) as exc:
+        front.submit_nowait("acme", query_at(small_graph, 1.0))
+    assert exc.value.reason == SHED_DEADLINE
+    assert front.shed[(SHED_DEADLINE, CLASS_PAID)] == 1
+
+
+def test_overload_sheds_the_free_class_not_paid(serving, small_graph):
+    front, _ = serving
+    front.busy_until = 50.0  # backlog far past every threshold
+    with pytest.raises(ShedError) as exc:
+        front.submit_nowait("hobby", query_at(small_graph, 1.0))
+    assert exc.value.reason == SHED_BROWNOUT
+    assert exc.value.tenant_class == CLASS_FREE
+    # paid rides through (its 100s deadline covers the backlog)
+    ticket = front.submit_nowait("acme", query_at(small_graph, 1.0, seed=12))
+    assert ticket is not None
+    assert front.max_level == LEVEL_BROWNOUT
+
+
+def test_brownout_reaches_a_single_server_index(serving, small_graph):
+    front, index = serving
+    front.busy_until = 50.0
+    with pytest.raises(ShedError):
+        front.submit_nowait("hobby", query_at(small_graph, 1.0))
+    assert index.brownout
+    # calm assessments walk the ladder back down one level at a time
+    # (the first two still shed the free tier) and clear the brownout
+    front.busy_until = 0.0
+    for i in range(3):
+        try:
+            front.submit_nowait(
+                "hobby", query_at(small_graph, 2.0 + i, seed=i)
+            )
+        except ShedError:
+            pass
+    assert not index.brownout
+
+
+def test_brownout_prefers_the_backends_set_brownout(small_graph):
+    calls: list[bool] = []
+
+    class FakeRouter:
+        def update(self, message, report):
+            pass
+
+        def query_batch(self, queries, report, trace_parent=None):
+            return []
+
+        def set_brownout(self, active):
+            calls.append(active)
+
+    front = FrontDoor(FakeRouter(), roster(), obs=None)
+    front.busy_until = 50.0
+    front.submit_nowait("acme", query_at(small_graph, 1.0))
+    assert calls == [True]
+
+
+def test_serve_metrics_families(small_graph, fast_config):
+    obs = Observability()
+    index = GGridIndex(small_graph, fast_config)
+    server = QueryServer(index, obs=obs)
+    front = FrontDoor(server, roster(), batch_size=2, obs=obs)
+    for obj, loc in enumerate(random_locations(small_graph, 4, seed=3)):
+        front.update(Message(obj, loc.edge_id, loc.offset, 0.0))
+    front.submit_nowait("acme", query_at(small_graph, 1.0))
+    front.submit_nowait("hobby", query_at(small_graph, 1.1, seed=12))
+    front.busy_until = 50.0
+    with pytest.raises(ShedError):
+        front.submit_nowait("hobby", query_at(small_graph, 2.0, seed=13))
+    text = obs.registry.write_prometheus()
+    assert 'repro_admitted_total{class="paid"} 1' in text
+    assert 'repro_admitted_total{class="free"} 1' in text
+    assert 'repro_shed_total{reason="brownout",class="free"} 1' in text
+    assert "repro_serve_epochs_total 1" in text
+    assert "repro_serve_latency_seconds" in text
+    assert "repro_serve_overload_level" in text
+
+
+def test_overload_summary_shape(serving, small_graph):
+    front, _ = serving
+    front.submit_nowait("acme", query_at(small_graph, 1.0))
+    front.drain()
+    summary = front.overload_summary()
+    assert summary["admitted"] == {CLASS_PAID: 1}
+    assert summary["epochs"] == 1
+    assert summary["max_level_name"] == "normal"
+    assert CLASS_PAID in summary["slo"]
+
+
+def test_async_submit_parks_until_the_epoch_completes(serving, small_graph):
+    front, _ = serving
+    front.batch_size = 2
+
+    async def scenario():
+        task = asyncio.create_task(
+            front.submit("acme", query_at(small_graph, 1.0))
+        )
+        await asyncio.sleep(0)
+        assert not task.done()  # parked on its ticket
+        # the second submit fills the epoch and flushes inline
+        front.submit_nowait("acme", query_at(small_graph, 1.1, seed=12))
+        return await task
+
+    answer = asyncio.run(scenario())
+    assert answer.objects()
+
+
+def test_async_shed_raises_at_the_await_site(serving, small_graph):
+    front, _ = serving
+    front.busy_until = 50.0
+
+    async def scenario():
+        with pytest.raises(ShedError):
+            await front.submit("hobby", query_at(small_graph, 1.0))
+        await front.drain_async()
+
+    asyncio.run(scenario())

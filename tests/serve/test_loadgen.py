@@ -1,0 +1,190 @@
+"""Load-generator determinism: fixed seeds pin the arrival schedule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.messages import Message
+from repro.errors import ConfigError
+from repro.mobility.workload import Query
+from repro.obs.slo import CLASS_FREE, CLASS_PAID
+from repro.roadnet.location import NetworkLocation
+from repro.serve.loadgen import (
+    Arrival,
+    ArrivalProfile,
+    LoadGenerator,
+    ServeWorkload,
+    TenantSpec,
+    diurnal_profile,
+    make_serve_workload,
+)
+from repro.serve.tenancy import TenantPolicy
+
+pytestmark = pytest.mark.serve
+
+
+def roster() -> list[TenantSpec]:
+    return [
+        TenantSpec(TenantPolicy("acme", CLASS_PAID), rate=2.0),
+        TenantSpec(TenantPolicy("hobby", CLASS_FREE), rate=1.0),
+    ]
+
+
+#: The pinned golden prefix for ``seed=42`` over ``diurnal_profile(20.0)``
+#: on the session ``small_graph`` — ``(t, tenant, edge_id, offset)``,
+#: floats rounded to 9 decimals.  A change here means the generator's
+#: sampling changed and every recorded serve baseline is invalidated.
+GOLDEN_PREFIX = [
+    (0.86303758, "acme", 91, 0.50915285),
+    (2.397633626, "hobby", 4, 1.050031141),
+    (2.728814678, "acme", 101, 0.561565287),
+    (2.751760582, "acme", 22, 0.366242644),
+    (4.377704048, "acme", 43, 0.425028037),
+    (4.979074522, "acme", 27, 0.357040661),
+]
+GOLDEN_TOTAL = 121
+
+
+def test_fixed_seed_pins_the_golden_schedule(small_graph):
+    gen = LoadGenerator(
+        small_graph, roster(), diurnal_profile(20.0), seed=42
+    )
+    arrivals = gen.arrivals()
+    assert len(arrivals) == GOLDEN_TOTAL
+    got = [
+        (
+            round(a.t, 9),
+            a.tenant,
+            a.query.location.edge_id,
+            round(a.query.location.offset, 9),
+        )
+        for a in arrivals[: len(GOLDEN_PREFIX)]
+    ]
+    assert got == GOLDEN_PREFIX
+
+
+def test_identical_seeds_produce_identical_schedules(small_graph):
+    profile = diurnal_profile(20.0)
+    a = LoadGenerator(small_graph, roster(), profile, seed=42).arrivals()
+    b = LoadGenerator(small_graph, roster(), profile, seed=42).arrivals()
+    assert a == b
+
+
+def test_different_seeds_differ(small_graph):
+    profile = diurnal_profile(20.0)
+    a = LoadGenerator(small_graph, roster(), profile, seed=42).arrivals()
+    b = LoadGenerator(small_graph, roster(), profile, seed=43).arrivals()
+    assert a != b
+
+
+def test_tenant_streams_are_independent_of_roster_growth(small_graph):
+    """Adding a tenant must not perturb existing tenants' schedules."""
+    profile = diurnal_profile(20.0)
+    base = LoadGenerator(small_graph, roster(), profile, seed=42).arrivals()
+    grown_roster = roster() + [
+        TenantSpec(TenantPolicy("newbie", CLASS_FREE), rate=1.0)
+    ]
+    grown = LoadGenerator(
+        small_graph, grown_roster, profile, seed=42
+    ).arrivals()
+    assert [a for a in grown if a.tenant != "newbie"] == base
+
+
+def test_overload_scales_the_offered_load(small_graph):
+    gen = LoadGenerator(small_graph, roster(), diurnal_profile(20.0), seed=1)
+    n1 = len(gen.arrivals(overload=1.0))
+    n2 = len(gen.arrivals(overload=2.0))
+    assert n2 > 1.5 * n1
+    with pytest.raises(ConfigError):
+        gen.arrivals(overload=0.0)
+
+
+def test_schedule_is_time_ordered_within_duration(small_graph):
+    profile = diurnal_profile(20.0)
+    arrivals = LoadGenerator(small_graph, roster(), profile, seed=3).arrivals()
+    times = [a.t for a in arrivals]
+    assert times == sorted(times)
+    assert all(0.0 < t < profile.duration for t in times)
+    assert all(a.query.t == a.t for a in arrivals)
+
+
+def test_hotspot_fraction_skews_locations(small_graph):
+    profile = ArrivalProfile(
+        phases=((30.0, 1.0),), hotspot_fraction=1.0, num_hotspots=2
+    )
+    gen = LoadGenerator(small_graph, roster(), profile, seed=5)
+    arrivals = gen.arrivals()
+    # every location is drawn from the (small) hotspot pool
+    edges = {a.query.location.edge_id for a in arrivals}
+    assert len(edges) < small_graph.num_edges / 4
+
+
+def test_generator_validation(small_graph):
+    with pytest.raises(ConfigError, match="at least one tenant"):
+        LoadGenerator(small_graph, [])
+    dup = [roster()[0], roster()[0]]
+    with pytest.raises(ConfigError, match="duplicate"):
+        LoadGenerator(small_graph, dup)
+
+
+class TestArrivalProfile:
+    def test_phase_validation(self):
+        with pytest.raises(ConfigError, match="strictly increase"):
+            ArrivalProfile(phases=((10.0, 1.0), (5.0, 2.0)))
+        with pytest.raises(ConfigError, match="positive"):
+            ArrivalProfile(phases=((10.0, 0.0),))
+        with pytest.raises(ConfigError, match="at least one phase"):
+            ArrivalProfile(phases=())
+        with pytest.raises(ConfigError, match="hotspot_fraction"):
+            ArrivalProfile(hotspot_fraction=1.5)
+
+    def test_multiplier_at_is_piecewise_constant(self):
+        profile = ArrivalProfile(phases=((5.0, 0.5), (10.0, 2.0)))
+        assert profile.multiplier_at(0.0) == 0.5
+        assert profile.multiplier_at(4.999) == 0.5
+        assert profile.multiplier_at(5.0) == 2.0
+        assert profile.multiplier_at(999.0) == 2.0  # clamps to the last
+        assert profile.duration == 10.0
+        assert profile.peak_multiplier == 2.0
+
+    def test_diurnal_shape(self):
+        profile = diurnal_profile(40.0, peak=3.0, quiet=0.3)
+        assert profile.duration == 40.0
+        assert profile.peak_multiplier == 3.0
+        assert profile.multiplier_at(0.0) == 0.3  # night
+        assert profile.multiplier_at(15.0) == 3.0  # morning rush
+        assert profile.multiplier_at(25.0) == 1.0  # steady day
+        assert profile.multiplier_at(35.0) == 3.0  # evening rush
+        with pytest.raises(ConfigError):
+            diurnal_profile(0.0)
+
+
+def test_tenant_spec_validation():
+    with pytest.raises(ConfigError, match="rate"):
+        TenantSpec(TenantPolicy("acme"), rate=0.0)
+    with pytest.raises(ConfigError, match="k"):
+        TenantSpec(TenantPolicy("acme"), k=0)
+
+
+def test_workload_events_take_updates_first_on_ties():
+    loc = NetworkLocation(0, 0.5)
+    workload = ServeWorkload(
+        initial={},
+        updates=[Message(0, 0, 0.1, 1.0)],
+        arrivals=[Arrival(1.0, "acme", Query(1.0, loc, 4))],
+    )
+    kinds = [kind for kind, _ in workload.events()]
+    assert kinds == ["update", "arrival"]
+    assert workload.num_updates == 1
+    assert workload.num_arrivals == 1
+
+
+def test_make_serve_workload_is_deterministic(small_graph):
+    a = make_serve_workload(small_graph, roster(), num_objects=16,
+                            profile=diurnal_profile(10.0), seed=7)
+    b = make_serve_workload(small_graph, roster(), num_objects=16,
+                            profile=diurnal_profile(10.0), seed=7)
+    assert a.initial == b.initial
+    assert a.updates == b.updates
+    assert a.arrivals == b.arrivals
+    assert a.num_arrivals > 0 and a.num_updates > 0

@@ -1,0 +1,86 @@
+"""The graceful-degradation acceptance proof (DESIGN.md §14).
+
+2x diurnal overload, optionally under the mixed chaos profile, through
+the sharded front door: the paid tier's SLO holds, shed queries are only
+ever rejected, admitted answers are byte-identical to a fresh fault-free
+single-server oracle, and the whole replay is deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.plan import FaultPlan
+from repro.obs.slo import CLASS_FREE, CLASS_PAID
+from repro.serve.harness import (
+    OVERLOAD_FACTOR,
+    OVERLOAD_PROFILE,
+    run_overload_proof,
+)
+
+pytestmark = [pytest.mark.serve, pytest.mark.conformance]
+
+
+@pytest.fixture(scope="module")
+def overload_report():
+    """One canonical 2x-overload replay, no chaos (module-cached)."""
+    return run_overload_proof()
+
+
+@pytest.fixture(scope="module")
+def chaos_report():
+    """The same replay under the mixed fault profile (module-cached)."""
+    return run_overload_proof(
+        FaultPlan.from_profile(OVERLOAD_PROFILE, seed=7)
+    )
+
+
+def test_overload_engages_shedding_but_never_wrongness(overload_report):
+    report = overload_report
+    assert report.overload == OVERLOAD_FACTOR
+    assert report.summary["max_level"] >= 1  # overload control engaged
+    assert report.shed_total() > 0
+    # a shed query is rejected, never answered wrongly
+    assert report.answers_match
+    assert report.paid_slo_met
+
+
+def test_shedding_protects_the_paid_tier(overload_report):
+    summary = overload_report.summary
+    shed_by_class: dict[str, int] = {}
+    for key, count in summary["shed"].items():
+        cls = key.split(":")[1]
+        shed_by_class[cls] = shed_by_class.get(cls, 0) + count
+    # the free tier absorbs the overload; paid admissions dominate
+    assert shed_by_class.get(CLASS_FREE, 0) > 0
+    assert summary["admitted"][CLASS_PAID] > 0
+    paid = summary["slo"][CLASS_PAID]
+    assert paid["met"]
+    assert paid["attainment"] >= paid["target"]
+
+
+def test_chaos_under_overload_degrades_gracefully(chaos_report):
+    report = chaos_report
+    # faults really were injected and the ladder really was exercised
+    assert sum(report.faults_injected.values()) > 0
+    assert report.breaker_trips > 0
+    # ...and the contract still holds: exact admitted answers, paid SLO
+    assert report.answers_match
+    assert report.paid_slo_met
+    assert report.shed_total() > 0
+
+
+def test_overload_replay_is_deterministic(chaos_report):
+    again = run_overload_proof(
+        FaultPlan.from_profile(OVERLOAD_PROFILE, seed=7)
+    )
+    assert again.as_dict() == chaos_report.as_dict()
+
+
+def test_closed_loop_driving_masks_the_overload(overload_report):
+    """The contrast justifying the open-loop generator: a closed-loop
+    driver self-throttles, so the same 2x demand sheds (almost) nothing."""
+    closed = run_overload_proof(closed_loop=True)
+    assert closed.suppressed > 0
+    assert closed.shed_total() < overload_report.shed_total() / 10
+    assert closed.answers_match

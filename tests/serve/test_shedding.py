@@ -1,0 +1,119 @@
+"""The overload state machine: strict shed order with hysteresis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.shedding import (
+    LEVEL_BROWNOUT,
+    LEVEL_NORMAL,
+    LEVEL_SHED_FREE,
+    LEVEL_SHRINK,
+    LEVELS,
+    LoadShedder,
+    ShedPolicy,
+    level_name,
+)
+
+pytestmark = pytest.mark.serve
+
+
+class TestShedPolicy:
+    def test_rejects_non_positive_thresholds(self):
+        with pytest.raises(ConfigError, match="positive"):
+            ShedPolicy(shed_free_backlog_s=0.0)
+
+    def test_rejects_decreasing_backlog_thresholds(self):
+        with pytest.raises(ConfigError, match="non-decreasing"):
+            ShedPolicy(shed_free_backlog_s=2.0, shrink_backlog_s=1.0)
+
+    def test_rejects_decreasing_burn_thresholds(self):
+        with pytest.raises(ConfigError, match="non-decreasing"):
+            ShedPolicy(shrink_burn=5.0, brownout_burn=2.0)
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.0, -0.5])
+    def test_rejects_bad_recover_fraction(self, fraction):
+        with pytest.raises(ConfigError, match="recover_fraction"):
+            ShedPolicy(recover_fraction=fraction)
+
+    def test_thresholds_by_level(self):
+        policy = ShedPolicy()
+        assert policy.backlog_threshold(LEVEL_SHED_FREE) == 0.25
+        assert policy.backlog_threshold(LEVEL_BROWNOUT) == 4.0
+        assert policy.burn_threshold(LEVEL_SHRINK) == 2.0
+
+
+class TestLoadShedder:
+    def test_starts_normal(self):
+        shedder = LoadShedder()
+        assert shedder.level == LEVEL_NORMAL
+        assert not shedder.shedding_free
+        assert shedder.transitions == {}
+
+    def test_escalation_can_jump_levels(self):
+        shedder = LoadShedder()
+        assert shedder.assess(5.0, 0.0) == LEVEL_BROWNOUT
+        assert shedder.transitions == {(LEVEL_NORMAL, LEVEL_BROWNOUT): 1}
+
+    def test_burn_rate_alone_escalates(self):
+        shedder = LoadShedder()
+        # default burn thresholds 1.0 / 2.0 / 3.5
+        assert shedder.assess(0.0, 2.5) == LEVEL_SHRINK
+
+    def test_deescalation_is_one_level_per_assess(self):
+        shedder = LoadShedder()
+        shedder.assess(5.0, 0.0)
+        levels = [shedder.assess(0.0, 0.0) for _ in range(4)]
+        assert levels == [
+            LEVEL_SHRINK,
+            LEVEL_SHED_FREE,
+            LEVEL_NORMAL,
+            LEVEL_NORMAL,
+        ]
+
+    def test_hysteresis_holds_a_level_between_thresholds(self):
+        shedder = LoadShedder()  # shrink entry 1.0, recovery 0.5
+        shedder.assess(5.0, 0.0)
+        shedder.assess(0.0, 0.0)  # brownout -> shrink
+        # a backlog between shrink's recovery (0.5) and entry (1.0)
+        # thresholds holds the level instead of flapping
+        assert shedder.assess(0.6, 0.0) == LEVEL_SHRINK
+        assert shedder.assess(0.6, 0.0) == LEVEL_SHRINK
+        # below recovery it finally steps down
+        assert shedder.assess(0.3, 0.0) == LEVEL_SHED_FREE
+
+    def test_transitions_ledger_counts_each_edge(self):
+        shedder = LoadShedder()
+        shedder.assess(5.0, 0.0)
+        for _ in range(3):
+            shedder.assess(0.0, 0.0)
+        assert shedder.transitions == {
+            (LEVEL_NORMAL, LEVEL_BROWNOUT): 1,
+            (LEVEL_BROWNOUT, LEVEL_SHRINK): 1,
+            (LEVEL_SHRINK, LEVEL_SHED_FREE): 1,
+            (LEVEL_SHED_FREE, LEVEL_NORMAL): 1,
+        }
+
+    def test_properties_follow_the_strict_order(self):
+        shedder = LoadShedder()
+        shedder.level = LEVEL_SHED_FREE
+        assert shedder.shedding_free
+        assert not shedder.shrinking_batches
+        shedder.level = LEVEL_SHRINK
+        assert shedder.shedding_free and shedder.shrinking_batches
+        assert not shedder.browned_out
+        shedder.level = LEVEL_BROWNOUT
+        assert shedder.browned_out
+
+    @pytest.mark.parametrize(
+        "batch,shrunk", [(8, 4), (7, 4), (2, 1), (1, 1)]
+    )
+    def test_effective_batch_size_halves_under_shrink(self, batch, shrunk):
+        shedder = LoadShedder()
+        assert shedder.effective_batch_size(batch) == batch
+        shedder.level = LEVEL_SHRINK
+        assert shedder.effective_batch_size(batch) == shrunk
+
+    def test_level_names(self):
+        assert [level_name(i) for i in range(4)] == list(LEVELS)

@@ -1,0 +1,112 @@
+"""Token buckets, tenant policies and the admission controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, ShedError
+from repro.obs.slo import CLASS_FREE, CLASS_PAID
+from repro.serve.tenancy import (
+    SHED_QUOTA,
+    AdmissionController,
+    TenantPolicy,
+    TokenBucket,
+)
+
+pytestmark = pytest.mark.serve
+
+
+class TestTokenBucket:
+    def test_burst_admits_back_to_back(self):
+        bucket = TokenBucket(rate=1.0, burst=3)
+        assert [bucket.take(0.0) for _ in range(4)] == [True, True, True, False]
+
+    def test_refills_with_modelled_time(self):
+        bucket = TokenBucket(rate=2.0, burst=1)
+        assert bucket.take(0.0)
+        assert not bucket.take(0.0)
+        # 0.5 modelled seconds at rate 2 accrues exactly one token
+        assert bucket.take(0.5)
+        assert not bucket.take(0.5)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2)
+        assert bucket.take(0.0)
+        bucket.take(1000.0)  # long idle: refills to burst, not beyond
+        assert bucket.tokens == pytest.approx(1.0)
+
+    def test_time_never_rewinds(self):
+        bucket = TokenBucket(rate=1.0, burst=1)
+        assert bucket.take(10.0)
+        # an earlier timestamp sees the bucket as it was — no refill
+        assert not bucket.take(5.0)
+
+    @pytest.mark.parametrize("rate", [0.0, -1.0])
+    def test_rejects_bad_rate(self, rate):
+        with pytest.raises(ConfigError):
+            TokenBucket(rate=rate, burst=1)
+
+    def test_rejects_bad_burst(self):
+        with pytest.raises(ConfigError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestTenantPolicy:
+    def test_defaults_are_paid(self):
+        policy = TenantPolicy("acme")
+        assert policy.tenant_class == CLASS_PAID
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigError):
+            TenantPolicy("")
+
+    def test_rejects_unknown_class(self):
+        with pytest.raises(ConfigError, match="tenant_class"):
+            TenantPolicy("acme", tenant_class="platinum")
+
+    def test_rejects_bad_deadline(self):
+        with pytest.raises(ConfigError, match="deadline_s"):
+            TenantPolicy("acme", deadline_s=0.0)
+
+    def test_rejects_bad_quota(self):
+        with pytest.raises(ConfigError):
+            TenantPolicy("acme", rate=-1.0)
+
+
+class TestAdmissionController:
+    def test_quota_exhaustion_sheds_with_reason_and_class(self):
+        admission = AdmissionController(
+            [TenantPolicy("hobby", CLASS_FREE, rate=1.0, burst=1)]
+        )
+        admission.admit("hobby", 0.0)
+        with pytest.raises(ShedError) as exc:
+            admission.admit("hobby", 0.0)
+        assert exc.value.tenant == "hobby"
+        assert exc.value.tenant_class == CLASS_FREE
+        assert exc.value.reason == SHED_QUOTA
+
+    def test_buckets_are_per_tenant(self):
+        admission = AdmissionController(
+            [
+                TenantPolicy("a", rate=1.0, burst=1),
+                TenantPolicy("b", rate=1.0, burst=1),
+            ]
+        )
+        admission.admit("a", 0.0)
+        # a's empty bucket does not affect b
+        admission.admit("b", 0.0)
+        with pytest.raises(ShedError):
+            admission.admit("a", 0.0)
+
+    def test_unknown_tenant_is_config_error(self):
+        admission = AdmissionController([TenantPolicy("acme")])
+        with pytest.raises(ConfigError, match="unknown tenant"):
+            admission.admit("ghost", 0.0)
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            AdmissionController([TenantPolicy("acme"), TenantPolicy("acme")])
+
+    def test_rejects_empty_roster(self):
+        with pytest.raises(ConfigError):
+            AdmissionController([])
