@@ -26,7 +26,7 @@ the run (see :mod:`repro.chaos`): the simulated device fails per the
 profile and the G-Grid serving path rides its degradation ladder —
 results stay exact, the timing columns show the cost.
 
-The ``trajectory`` command replays the five tracked serving scenarios,
+The ``trajectory`` command replays the six tracked serving scenarios,
 appends one row each to ``results/trajectory/BENCH_<scenario>.json``,
 and exits non-zero if any deterministic counter (or, loosely, any
 modelled latency) regressed against the committed baseline row — see
@@ -111,6 +111,11 @@ EXPERIMENTS = {
     "serve": (
         experiments.serve_overload,
         "Serving: overload control, shed ledger and paid-tier SLOs",
+        True,
+    ),
+    "subscriptions": (
+        experiments.subscriptions,
+        "Subscriptions: incremental refresh vs full re-query",
         True,
     ),
 }
@@ -209,6 +214,14 @@ def main(argv: list[str] | None = None) -> int:
                     f"p50={row.latency['p50_s']:.6f}s "
                     f"p99={row.latency['p99_s']:.6f}s "
                     f"gpu={row.counters['gpu_s']:.6f}s"
+                )
+            elif "mean_dirty_fraction" in row.counters:
+                # the subscriptions row: all-deterministic twin-replay counters
+                detail = (
+                    f"dirty={row.counters['mean_dirty_fraction']:.4f} "
+                    f"refreshes={row.counters['dirty_refreshes']:.0f}"
+                    f"/{row.counters['full_refreshes']:.0f} "
+                    f"mismatches={row.counters['answer_mismatches']:.0f}"
                 )
             else:  # the serve row is all-deterministic counters
                 detail = (

@@ -767,3 +767,61 @@ def serve_overload(dataset: str = "NY") -> list[dict[str, Any]]:
             }
         )
     return rows
+
+
+def subscriptions(dataset: str = "NY") -> list[dict[str, Any]]:
+    """Subscriptions: incremental refresh vs full re-query, twin replay.
+
+    One row per fleet shape driving the differential harness
+    (:func:`repro.subscribe.harness.run_subscription_replay`): identical
+    update streams through an incremental
+    :class:`~repro.subscribe.manager.SubscriptionManager` and a
+    ``force_all`` twin, entries compared after every tick.  The
+    acceptance bars: ``answers_match`` reads ``True`` on every row, and
+    on every row ``dirty_fraction`` is strictly below 1.0 with
+    ``cells_cleaned`` strictly below ``cells_full`` — the safe-radius
+    dirty marking does real work, not just matching the oracle.
+    """
+    from repro.subscribe.harness import run_subscription_replay
+
+    shapes = [
+        # (subs, shards, update_frequency)
+        (16, None, 0.05),
+        (64, None, 0.05),
+        (64, None, 0.02),
+        (24, 4, 0.05),
+    ]
+    rows: list[dict[str, Any]] = []
+    for num_subs, shards, freq in shapes:
+        out = run_subscription_replay(
+            dataset=dataset,
+            num_subs=num_subs,
+            k=8,
+            duration=12.0,
+            num_ticks=12,
+            update_frequency=freq,
+            seed=7,
+            num_shards=shards,
+        )
+        saved = 1.0 - (
+            out.cells_cleaned / out.full_cells_cleaned
+            if out.full_cells_cleaned
+            else 1.0
+        )
+        rows.append(
+            {
+                "subs": num_subs,
+                "shards": shards or 1,
+                "freq": freq,
+                "ticks": out.ticks,
+                "dirty_fraction": round(out.mean_dirty_fraction, 4),
+                "refreshes": out.dirty_refreshes,
+                "full_refreshes": out.full_refreshes,
+                "delta_events": sum(out.delta_counts.values()),
+                "cells_cleaned": out.cells_cleaned,
+                "cells_full": out.full_cells_cleaned,
+                "clean_savings": round(saved, 4),
+                "answers_match": out.answers_match,
+            }
+        )
+    return rows

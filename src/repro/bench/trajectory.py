@@ -36,13 +36,14 @@ from typing import Any, Callable
 
 from repro.errors import ConfigError
 
-#: the five serving shapes whose trajectories are tracked
+#: the six serving shapes whose trajectories are tracked
 SCENARIOS: tuple[str, ...] = (
     "single_server",
     "batch",
     "chaos",
     "cluster",
     "serve",
+    "subscriptions",
 )
 
 #: relative headroom for deterministic counters (float dust only)
@@ -231,12 +232,58 @@ def _run_serve(dataset: str) -> TrajectoryRow:
     )
 
 
+def _run_subscriptions(dataset: str) -> TrajectoryRow:
+    """The standing-query twin replay (DESIGN.md §15).
+
+    Incremental dirty-marked refreshes against a ``force_all`` twin over
+    identical seeded update streams: refresh counts, dirty fraction,
+    delta-event counts and cleaned-cell totals are all modelled-clock
+    deterministic, so the whole row rides ``counters`` at float dust.
+    ``answer_mismatches`` recording 0 — and the gate failing on any
+    increase — *is* the incremental == from-scratch acceptance
+    criterion; ``dirty_refreshes`` and ``cells_cleaned`` regressing
+    would mean the safe-radius marking got more conservative.
+    """
+    from repro.subscribe.harness import run_subscription_replay
+
+    started = time.perf_counter()
+    out = run_subscription_replay(
+        dataset=dataset,
+        num_subs=24,
+        k=8,
+        duration=12.0,
+        num_ticks=12,
+        update_frequency=0.05,
+        seed=7,
+    )
+    counters = {
+        "n_ticks": float(out.ticks),
+        "active_subs": float(out.active),
+        "dirty_refreshes": float(out.dirty_refreshes),
+        "full_refreshes": float(out.full_refreshes),
+        "mean_dirty_fraction": out.mean_dirty_fraction,
+        "delta_enter": float(out.delta_counts.get("enter", 0)),
+        "delta_leave": float(out.delta_counts.get("leave", 0)),
+        "delta_rerank": float(out.delta_counts.get("rerank", 0)),
+        "cells_cleaned": float(out.cells_cleaned),
+        "full_cells_cleaned": float(out.full_cells_cleaned),
+        "answer_mismatches": float(len(out.mismatches)),
+    }
+    return TrajectoryRow(
+        scenario="subscriptions",
+        recorded_at=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        wall_s=time.perf_counter() - started,
+        counters=counters,
+    )
+
+
 _RUNNERS: dict[str, Callable[[str], TrajectoryRow]] = {
     "single_server": _run_single_server,
     "batch": _run_batch,
     "chaos": _run_chaos,
     "cluster": _run_cluster,
     "serve": _run_serve,
+    "subscriptions": _run_subscriptions,
 }
 
 

@@ -223,6 +223,10 @@ class ShardRouter:
         #: real location update (replayed on migration)
         self._owner: dict[int, int] = {}
         self._last_msg: dict[int, Message] = {}
+        #: attached standing-query layer (repro.subscribe), tapped at the
+        #: router level only — shard-internal servers stay untapped, and
+        #: migrations are invisible (the logical location is unchanged)
+        self.subscriptions = None
         if self._inst is not None:
             self._inst.shards.set(len(self.shards))
 
@@ -296,6 +300,8 @@ class ShardRouter:
         report.shard_updates[sid] = report.shard_updates.get(sid, 0) + 1
         self._owner[message.obj] = sid
         self._last_msg[message.obj] = message
+        if self.subscriptions is not None:
+            self.subscriptions.observe(message)
         if self._inst is not None:
             self._inst.updates.labels(shard=str(sid)).inc()
         if self.rebalance is not None:
@@ -317,6 +323,37 @@ class ShardRouter:
         if shard.replica is not None:
             shard.replica.ship_remove(shard.manager.wal.last_lsn, obj, t)
         report.update_touches += shard.index.update_touches - touches_before
+
+    def remove_object(self, obj: int, t: float) -> None:
+        """Deregister an object from its owning shard (WAL-logged)."""
+        sid = self._owner.get(obj)
+        if sid is None:
+            raise ClusterError(f"unknown object {obj}: never routed here")
+        self._remove_from(sid, obj, t, self._scratch())
+        del self._owner[obj]
+        self._last_msg.pop(obj, None)
+        if self.subscriptions is not None:
+            self.subscriptions.observe_remove(obj, t)
+
+    def attach_subscriptions(self, manager: object) -> None:
+        """Wire a :class:`~repro.subscribe.manager.SubscriptionManager`
+        into the routed update path (called by its constructor)."""
+        self.subscriptions = manager
+
+    def tick(self, t_now: float | None = None, force_all: bool = False):
+        """Refresh the attached subscriptions at ``t_now`` (defaults to
+        the newest timestamp any shard has ingested)."""
+        if self.subscriptions is None:
+            raise ClusterError(
+                "no subscription manager attached; construct a "
+                "SubscriptionManager over this router first"
+            )
+        if t_now is None:
+            t_now = max(
+                (shard.index.latest_time for shard in self.shards.values()),
+                default=0.0,
+            )
+        return self.subscriptions.tick(t_now, force_all=force_all)
 
     # ------------------------------------------------------------------
     # queries

@@ -88,6 +88,12 @@ class ClusterError(ReproError):
     that cannot complete (no replica and no recoverable WAL)."""
 
 
+class SubscriptionError(ReproError):
+    """Raised by the standing-query layer (``repro.subscribe``): a
+    duplicate or unknown subscription id, a non-monotone tick, a backend
+    that cannot serve batched queries, or a corrupt delta stream."""
+
+
 class ShedError(ReproError):
     """Raised when the serving front door rejects a query instead of
     answering it (``repro.serve``, DESIGN.md §14).

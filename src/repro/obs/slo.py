@@ -105,16 +105,25 @@ DEFAULT_SLO_POLICY = SloPolicy(
 CLASS_PAID = "paid"
 CLASS_FREE = "free"
 
+#: The third request shape (DESIGN.md §15): a subscription refresh tick.
+#: Not a tenant class — standing queries are registered, not admitted —
+#: so it is absent from :data:`TENANT_CLASSES` and scored only when the
+#: front door runs ticks.
+CLASS_SUB = "sub"
+
 TENANT_CLASSES: tuple[str, ...] = (CLASS_PAID, CLASS_FREE)
 
 #: Default front-door objectives over *serve* latency (modelled queue
 #: wait + modelled service time, DESIGN.md §14).  The paid class is what
 #: overload control protects; the free class gets a loose objective it
-#: is allowed to miss under load shedding.
+#: is allowed to miss under load shedding.  Subscription refreshes
+#: (DESIGN.md §15) are batch work riding behind interactive traffic, so
+#: their objective is wide and soft.
 SERVE_SLO_POLICY = SloPolicy(
     objectives={
         CLASS_PAID: SloObjective(threshold_s=0.500, target=0.99),
         CLASS_FREE: SloObjective(threshold_s=1.000, target=0.50),
+        CLASS_SUB: SloObjective(threshold_s=2.000, target=0.90),
     }
 )
 

@@ -51,7 +51,13 @@ from repro.errors import ConfigError, QueryError, ShedError
 from repro.mobility.workload import Query
 from repro.obs.hub import Observability, default_observability
 from repro.obs.metrics import log_scale_buckets
-from repro.obs.slo import CLASS_FREE, CLASS_PAID, SERVE_SLO_POLICY, SloTracker
+from repro.obs.slo import (
+    CLASS_FREE,
+    CLASS_PAID,
+    CLASS_SUB,
+    SERVE_SLO_POLICY,
+    SloTracker,
+)
 from repro.serve.deadline import LatencyEstimator, RequestContext, ServiceModel
 from repro.serve.shedding import (
     LEVEL_BROWNOUT,
@@ -278,6 +284,11 @@ class FrontDoor:
         self.shrunk_epochs = 0
         self.brownout_epochs = 0
         self.max_level = 0
+        #: the third request shape (DESIGN.md §15): subscription refresh
+        #: ticks priced on the same busy horizon as interactive epochs
+        self.subscriptions = None
+        self.sub_ticks = 0
+        self.sub_refreshes = 0
 
     # ------------------------------------------------------------------
     # admission (the synchronous deterministic core)
@@ -392,6 +403,56 @@ class FrontDoor:
         self.now = max(self.now, message.t)
         self.backend.update(message, self.backend_report)
         self.execution_log.append(("update", message))
+
+    # ------------------------------------------------------------------
+    # subscription ticks (the third request shape, DESIGN.md §15)
+    # ------------------------------------------------------------------
+    def attach_subscriptions(self, manager: Any) -> None:
+        """Register a standing-query layer whose ticks this front door
+        prices.  The manager must wrap the *same* backend — its refresh
+        queries have to observe the index state the admitted epochs do."""
+        if getattr(manager, "backend", None) is not self.backend:
+            raise ConfigError(
+                "subscription manager must wrap the front door's backend"
+            )
+        self.subscriptions = manager
+
+    def tick(self, t_now: float):
+        """Run one subscription refresh tick behind interactive traffic.
+
+        Pending epochs flush first (the same updates-close-epochs
+        ordering contract), then the attached manager refreshes its
+        dirty subscribers at ``t_now``.  The refresh work joins the
+        modelled queue: it starts no earlier than the busy horizon,
+        advances it by the summed service time of the refresh answers,
+        and each refreshed subscriber scores one ``sub``-class SLO
+        sample (latency = completion minus tick arrival).
+        """
+        if self.subscriptions is None:
+            raise ConfigError(
+                "no subscription manager attached; call "
+                "attach_subscriptions() first"
+            )
+        self.flush()
+        self.now = max(self.now, t_now)
+        self._assess(self.now)
+        result = self.subscriptions.tick(self.now)
+        self.sub_ticks += 1
+        self.sub_refreshes += len(result.refreshed)
+        if result.refreshed:
+            t_start = max(self.now, self.busy_until)
+            completion = t_start + sum(
+                self.service_model.service_s(a) for a in result.answers
+            )
+            self.busy_until = completion
+            latency = completion - self.now
+            for _ in result.refreshed:
+                self.slo.record(CLASS_SUB, latency, completion)
+                if self._inst is not None:
+                    self._inst.latency.labels(
+                        **{"class": CLASS_SUB}
+                    ).observe(latency)
+        return result
 
     # ------------------------------------------------------------------
     # epoch dispatch

@@ -208,6 +208,9 @@ class QueryServer:
             default_batch_policy() or BatchPolicy()
         )
         self.durability = durability
+        #: attached standing-query layer (repro.subscribe); every applied
+        #: update/removal is tapped into it as the delta stream
+        self.subscriptions = None
         breaker = getattr(index, "breaker", None)
         if self._inst is not None and breaker is not None:
             transitions = self._inst.breaker_transitions
@@ -289,6 +292,8 @@ class QueryServer:
         if self.durability is not None:
             self.durability.maybe_snapshot(self.index)
         wall = time.perf_counter() - t0
+        if self.subscriptions is not None:
+            self.subscriptions.observe(message)
         report.update_wall_s += wall
         report.update_touches += (
             getattr(self.index, "update_touches", 0) - touches_before
@@ -343,8 +348,27 @@ class QueryServer:
         if self.durability is not None:
             self.durability.log_remove(obj, t)
         remove(obj, t)
+        if self.subscriptions is not None:
+            self.subscriptions.observe_remove(obj, t)
         if self.durability is not None:
             self.durability.maybe_snapshot(self.index)
+
+    def attach_subscriptions(self, manager: object) -> None:
+        """Wire a :class:`~repro.subscribe.manager.SubscriptionManager`
+        into the update path (called by the manager's constructor)."""
+        self.subscriptions = manager
+
+    def tick(self, t_now: float | None = None, force_all: bool = False):
+        """Refresh the attached subscriptions at ``t_now`` (defaults to
+        the index's latest ingested timestamp)."""
+        if self.subscriptions is None:
+            raise QueryError(
+                "no subscription manager attached; construct a "
+                "SubscriptionManager over this server first"
+            )
+        if t_now is None:
+            t_now = getattr(self.index, "latest_time", 0.0)
+        return self.subscriptions.tick(t_now, force_all=force_all)
 
     def query(
         self, q: Query, report: ReplayReport, trace_parent: str | None = None

@@ -1,0 +1,111 @@
+"""Result deltas for standing kNN queries.
+
+A subscription's refresh does not re-send its whole top-k: it emits the
+*difference* against the previous answer as :class:`DeltaEvent` records —
+``enter`` (a new object joined the top-k), ``leave`` (an object fell
+out), and ``rerank`` (a surviving object's distance or rank changed).
+The stream is lossless: :func:`replay_deltas` folds a subscriber's
+events over its previous entries and reproduces the new top-k *exactly*,
+in the canonical ``(distance, object id)`` order every other layer of
+this codebase uses (``repro.core.ordering``).  That round-trip is pinned
+by the `subscribe` conformance suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SubscriptionError
+
+EVENT_ENTER = "enter"
+EVENT_LEAVE = "leave"
+EVENT_RERANK = "rerank"
+
+#: All delta kinds, in emission-order precedence (leaves first).
+EVENT_KINDS: tuple[str, ...] = (EVENT_ENTER, EVENT_LEAVE, EVENT_RERANK)
+
+
+@dataclass(frozen=True, slots=True)
+class DeltaEvent:
+    """One change to one subscriber's top-k.
+
+    Attributes:
+        sub_id: the subscription the event belongs to.
+        kind: ``enter`` | ``leave`` | ``rerank``.
+        obj: the moving object involved.
+        t: the tick timestamp the event was produced at.
+        distance: the object's network distance after the tick
+            (``None`` for ``leave`` — the object has no distance in the
+            new answer).
+        rank: the object's 0-based position in the new top-k
+            (``None`` for ``leave``).
+    """
+
+    sub_id: int
+    kind: str
+    obj: int
+    t: float
+    distance: float | None = None
+    rank: int | None = None
+
+
+def diff_topk(
+    sub_id: int,
+    old: list[tuple[int, float]],
+    new: list[tuple[int, float]],
+    t: float,
+) -> list[DeltaEvent]:
+    """The delta stream from one answer to the next.
+
+    Both lists are canonical ``(obj, distance)`` pairs sorted by
+    ``(distance, obj)``.  Leaves are emitted first (ascending object
+    id), then one pass over ``new`` in rank order emits ``enter`` for
+    objects absent from ``old`` and ``rerank`` for survivors whose
+    distance *or* rank moved.  An unchanged survivor emits nothing, so a
+    quiet tick produces an empty list.
+    """
+    old_by_obj = {obj: (i, d) for i, (obj, d) in enumerate(old)}
+    new_objs = {obj for obj, _ in new}
+    events = [
+        DeltaEvent(sub_id, EVENT_LEAVE, obj, t)
+        for obj in sorted(old_by_obj)
+        if obj not in new_objs
+    ]
+    for rank, (obj, d) in enumerate(new):
+        prev = old_by_obj.get(obj)
+        if prev is None:
+            events.append(DeltaEvent(sub_id, EVENT_ENTER, obj, t, d, rank))
+        elif prev != (rank, d):
+            events.append(DeltaEvent(sub_id, EVENT_RERANK, obj, t, d, rank))
+    return events
+
+
+def replay_deltas(
+    entries: list[tuple[int, float]], events: list[DeltaEvent]
+) -> list[tuple[int, float]]:
+    """Fold one subscriber's delta events over its previous top-k.
+
+    Returns the reconstructed new top-k in canonical order.  The stream
+    is assumed to come from :func:`diff_topk` against ``entries``; a
+    ``leave`` for an object not present means the stream is corrupt and
+    raises :class:`~repro.errors.SubscriptionError` rather than guessing.
+    """
+    state = dict(entries)
+    for event in events:
+        if event.kind == EVENT_LEAVE:
+            if event.obj not in state:
+                raise SubscriptionError(
+                    f"corrupt delta stream: leave for object {event.obj} "
+                    f"which is not in the current top-k"
+                )
+            del state[event.obj]
+        elif event.kind in (EVENT_ENTER, EVENT_RERANK):
+            if event.distance is None:
+                raise SubscriptionError(
+                    f"corrupt delta stream: {event.kind} for object "
+                    f"{event.obj} carries no distance"
+                )
+            state[event.obj] = event.distance
+        else:
+            raise SubscriptionError(f"unknown delta kind {event.kind!r}")
+    return sorted(state.items(), key=lambda kv: (kv[1], kv[0]))

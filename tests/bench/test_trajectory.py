@@ -127,6 +127,7 @@ class TestScenarios:
             "chaos",
             "cluster",
             "serve",
+            "subscriptions",
         )
 
     def test_single_server_scenario_is_deterministic(self):

@@ -1,0 +1,129 @@
+"""Golden-trace regression for the subscription delta stream.
+
+A fixed-seed 200-tick scenario — seeded moves, occasional removals and
+re-adds, a tight ``t_delta`` so lazy expiry fires mid-trace — renders
+every tick's dirty set and delta events to a committed text log
+(``golden_trace.txt``).  Any change to dirty-marking, tie-breaking, the
+diff algorithm, or the engine's distance arithmetic shows up as a
+readable unified diff instead of a silent behaviour shift.  To
+regenerate after an *intentional* change::
+
+    PYTHONPATH=src python tests/subscribe/test_golden_trace.py
+
+then review the diff in git before committing it.
+"""
+
+from __future__ import annotations
+
+import difflib
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.config import GGridConfig
+from repro.core.ggrid import GGridIndex
+from repro.core.messages import Message
+from repro.mobility.workload import random_locations
+from repro.roadnet.generators import grid_road_network
+from repro.roadnet.location import NetworkLocation
+from repro.server.metrics import ReplayReport, TimingModel
+from repro.server.server import QueryServer
+from repro.subscribe import SubscriptionManager
+
+pytestmark = pytest.mark.subscribe
+
+GOLDEN_PATH = Path(__file__).parent / "golden_trace.txt"
+
+_NUM_OBJECTS = 10
+_NUM_SUBS = 8
+_K = 3
+_TICKS = 200
+
+
+def generate_trace() -> str:
+    """The fixed-seed scenario, rendered tick by tick."""
+    graph = grid_road_network(6, 6, seed=33)
+    config = GGridConfig(eta=3, delta_b=4, t_delta=30.0)
+    server = QueryServer(GGridIndex(graph, config))
+    manager = SubscriptionManager(server)
+    for i, loc in enumerate(random_locations(graph, _NUM_SUBS, seed=404)):
+        manager.register(i, loc, _K)
+
+    rng = random.Random(2025)
+    report = ReplayReport(index_name="golden", timing=TimingModel())
+
+    def random_loc() -> NetworkLocation:
+        edge = rng.randrange(graph.num_edges)
+        return NetworkLocation(edge, rng.uniform(0.0, graph.edge(edge).weight))
+
+    live: set[int] = set()
+    for obj in range(_NUM_OBJECTS):
+        loc = random_loc()
+        server.update(Message(obj, loc.edge_id, loc.offset, 0.0), report)
+        live.add(obj)
+
+    lines: list[str] = [
+        f"# subscription golden trace: {_NUM_SUBS} subs k={_K}, "
+        f"{_NUM_OBJECTS} objects, {_TICKS} ticks, t_delta=30",
+    ]
+    for tick in range(1, _TICKS + 1):
+        t = float(tick)
+        # distinct movers per tick (timestamps are monotone per object)
+        movers = rng.sample(sorted(live), min(rng.randrange(0, 3), len(live)))
+        for obj in movers:
+            loc = random_loc()
+            server.update(Message(obj, loc.edge_id, loc.offset, t), report)
+        if live and rng.random() < 0.05:
+            gone = rng.choice(sorted(live))
+            server.remove_object(gone, t)
+            live.discard(gone)
+        elif len(live) < _NUM_OBJECTS and rng.random() < 0.5:
+            back = min(set(range(_NUM_OBJECTS)) - live)
+            loc = random_loc()
+            server.update(Message(back, loc.edge_id, loc.offset, t), report)
+            live.add(back)
+        result = manager.tick(t)
+        dirty = ",".join(str(s) for s in result.dirty) or "-"
+        lines.append(
+            f"tick {tick:03d} t={t:.1f} active={result.active} "
+            f"dirty={dirty} events={len(result.deltas)}"
+        )
+        for event in result.deltas:
+            detail = (
+                f" rank={event.rank} d={event.distance:.9f}"
+                if event.kind != "leave"
+                else ""
+            )
+            lines.append(
+                f"  sub {event.sub_id} {event.kind} obj={event.obj}{detail}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def test_golden_trace_is_reproduced():
+    assert GOLDEN_PATH.exists(), (
+        f"missing {GOLDEN_PATH}; generate it with "
+        f"PYTHONPATH=src python {__file__}"
+    )
+    want = GOLDEN_PATH.read_text()
+    got = generate_trace()
+    if got != want:
+        diff = "\n".join(
+            difflib.unified_diff(
+                want.splitlines(),
+                got.splitlines(),
+                fromfile="golden_trace.txt (committed)",
+                tofile="generated (this code)",
+                lineterm="",
+                n=2,
+            )
+        )
+        pytest.fail(
+            f"subscription delta trace diverged from the golden log:\n{diff}"
+        )
+
+
+if __name__ == "__main__":
+    GOLDEN_PATH.write_text(generate_trace())
+    print(f"wrote {GOLDEN_PATH}")

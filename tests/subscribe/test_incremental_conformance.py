@@ -1,0 +1,212 @@
+"""Differential conformance for standing queries.
+
+At every tick, each subscriber's incrementally maintained entries must
+be **byte-identical** to a from-scratch re-query on a fresh index fed
+the full message history, *and* match the pure-python Dijkstra oracle
+(at the conformance suite's 9-decimal precision with tie-group
+equality).  Randomized fleets, boundary-crossing churn (moves land on
+arbitrary edges, so objects constantly change cells and shards),
+``k > |objects|`` edge cases, and an aggressive-expiry variant where
+lazy cleaning drops idle objects between ticks.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import GGridConfig
+from repro.core.ggrid import GGridIndex
+from repro.core.messages import Message
+from repro.mobility.workload import random_locations
+from repro.roadnet.generators import grid_road_network
+from repro.server.metrics import ReplayReport, TimingModel
+from repro.server.server import QueryServer
+from repro.subscribe import SubscriptionManager
+
+from tests.conformance.oracle import oracle_knn
+
+pytestmark = pytest.mark.subscribe
+
+_GRAPHS = {
+    "6x6": grid_road_network(6, 6, seed=33),
+    "5x7": grid_road_network(5, 7, seed=11),
+}
+#: k sweep includes k > |objects| (12 objects below)
+_SUB_KS = (1, 4, 20, 4, 1, 20)
+_NUM_OBJECTS = 12
+
+
+def _tie_groups(pairs):
+    groups: dict[float, set[int]] = {}
+    for obj, d in pairs:
+        groups.setdefault(round(d, 9), set()).add(obj)
+    return groups
+
+
+def _scratch_report() -> ReplayReport:
+    return ReplayReport(index_name="conformance", timing=TimingModel())
+
+
+def _random_location(graph, rng: random.Random):
+    edge = rng.randrange(graph.num_edges)
+    from repro.roadnet.location import NetworkLocation
+
+    return NetworkLocation(edge, rng.uniform(0.0, graph.edge(edge).weight))
+
+
+def _drive(
+    graph,
+    config: GGridConfig,
+    backend,
+    manager: SubscriptionManager,
+    seed: int,
+    ticks: int,
+    moves_per_tick: int = 3,
+    idle_objects: frozenset[int] = frozenset(),
+):
+    """Feed a seeded churn stream, tick, and yield per-tick state.
+
+    Yields ``(t, messages_so_far, model)`` after each tick —
+    ``messages_so_far`` is the full history a from-scratch index must
+    replay, ``model`` the latest location per live object (the oracle's
+    world view).
+    """
+    rng = random.Random(seed)
+    report = _scratch_report()
+    messages: list[Message] = []
+    model: dict[int, object] = {}
+    for obj in range(_NUM_OBJECTS):
+        loc = _random_location(graph, rng)
+        msg = Message(obj, loc.edge_id, loc.offset, 0.0)
+        backend.update(msg, report)
+        messages.append(msg)
+        model[obj] = loc
+    for tick in range(1, ticks + 1):
+        t = float(tick)
+        movable = [o for o in range(_NUM_OBJECTS) if o not in idle_objects]
+        # distinct objects per tick: the index contract requires
+        # timestamps monotone per object, so two same-t moves of one
+        # object would be an unresolvable tie, not churn
+        n_moves = rng.randrange(0, moves_per_tick + 1)
+        for obj in rng.sample(movable, min(n_moves, len(movable))):
+            loc = _random_location(graph, rng)
+            msg = Message(obj, loc.edge_id, loc.offset, t)
+            backend.update(msg, report)
+            messages.append(msg)
+            model[obj] = loc
+        manager.tick(t)
+        yield t, messages, model
+
+
+def _expired(model, messages, t, t_delta):
+    """The oracle's view after lazy expiry: objects whose last report is
+    older than ``t - t_delta`` are gone."""
+    last = {}
+    for m in messages:
+        last[m.obj] = m.t
+    return {
+        obj: loc
+        for obj, loc in model.items()
+        if last[obj] >= t - t_delta
+    }
+
+
+@pytest.mark.parametrize("graph_name", sorted(_GRAPHS))
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_incremental_matches_scratch_and_oracle(graph_name, seed):
+    graph = _GRAPHS[graph_name]
+    config = GGridConfig(eta=3, delta_b=4)
+    server = QueryServer(GGridIndex(graph, config))
+    manager = SubscriptionManager(server)
+    sub_locs = random_locations(graph, len(_SUB_KS), seed=seed + 50)
+    for i, (loc, k) in enumerate(zip(sub_locs, _SUB_KS)):
+        manager.register(i, loc, k)
+
+    for t, messages, model in _drive(
+        graph, config, server, manager, seed=seed, ticks=30
+    ):
+        fresh = GGridIndex(graph, config)
+        for msg in messages:
+            fresh.ingest(msg)
+        answers = fresh.knn_batch(
+            [(loc, k) for loc, k in zip(sub_locs, _SUB_KS)], t_now=t
+        )
+        for sub_id, answer in enumerate(answers):
+            got = manager.entries_of(sub_id)
+            want = [(e.obj, e.distance) for e in answer.entries]
+            # same engine, same message history, same query time:
+            # byte-identical, not just approximately equal
+            assert got == want, f"t={t} sub={sub_id}"
+            expect = oracle_knn(graph, model, sub_locs[sub_id], _SUB_KS[sub_id])
+            assert [round(d, 9) for _, d in got] == [
+                round(d, 9) for _, d in expect
+            ], f"t={t} sub={sub_id}"
+            assert _tie_groups(got) == _tie_groups(expect)
+
+
+def test_incremental_survives_expiry():
+    """With a tight ``t_delta``, idle objects expire between ticks with
+    no message at all — the clock-only dirty rule must still keep every
+    cached answer identical to a from-scratch query."""
+    graph = _GRAPHS["6x6"]
+    config = GGridConfig(eta=3, delta_b=4, t_delta=6.0)
+    server = QueryServer(GGridIndex(graph, config))
+    manager = SubscriptionManager(server)
+    sub_locs = random_locations(graph, 4, seed=77)
+    for i, loc in enumerate(sub_locs):
+        manager.register(i, loc, 4)
+
+    idle = frozenset({0, 1, 2})  # never report again after t=0 -> expire
+    for t, messages, model in _drive(
+        graph, config, server, manager, seed=5, ticks=20, idle_objects=idle
+    ):
+        fresh = GGridIndex(graph, config)
+        for msg in messages:
+            fresh.ingest(msg)
+        answers = fresh.knn_batch([(loc, 4) for loc in sub_locs], t_now=t)
+        live = _expired(model, messages, t, config.t_delta)
+        for sub_id, answer in enumerate(answers):
+            got = manager.entries_of(sub_id)
+            want = [(e.obj, e.distance) for e in answer.entries]
+            assert got == want, f"t={t} sub={sub_id}"
+            expect = oracle_knn(graph, live, sub_locs[sub_id], 4)
+            assert [round(d, 9) for _, d in got] == [
+                round(d, 9) for _, d in expect
+            ], f"t={t} sub={sub_id}"
+    # the point of the scenario: expiry actually happened
+    assert all(obj not in _expired(model, messages, t, config.t_delta)
+               for obj in idle)
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_incremental_matches_scratch_on_cluster(seed):
+    """Sharded backend: incremental entries match a fresh unsharded
+    index at every tick (9 decimals + tie groups — restricted per-shard
+    subgraphs admit last-ulp drift, the cluster suite's tolerance)."""
+    from repro.cluster.router import ShardRouter
+
+    graph = _GRAPHS["6x6"]
+    config = GGridConfig(eta=3, delta_b=4)
+    with ShardRouter(graph, config, num_shards=3) as router:
+        manager = SubscriptionManager(router)
+        sub_locs = random_locations(graph, len(_SUB_KS), seed=seed + 50)
+        for i, (loc, k) in enumerate(zip(sub_locs, _SUB_KS)):
+            manager.register(i, loc, k)
+        for t, messages, model in _drive(
+            graph, config, router, manager, seed=seed, ticks=15
+        ):
+            fresh = GGridIndex(graph, config)
+            for msg in messages:
+                fresh.ingest(msg)
+            answers = fresh.knn_batch(
+                [(loc, k) for loc, k in zip(sub_locs, _SUB_KS)], t_now=t
+            )
+            for sub_id, answer in enumerate(answers):
+                got = manager.entries_of(sub_id)
+                want = [(e.obj, e.distance) for e in answer.entries]
+                assert [round(d, 9) for _, d in got] == [
+                    round(d, 9) for _, d in want
+                ], f"t={t} sub={sub_id}"
+                assert _tie_groups(got) == _tie_groups(want)

@@ -1,0 +1,225 @@
+"""Unit coverage for the subscription layer's contracts and wiring.
+
+Registration lifecycle errors, tick monotonicity, the expiry dirty
+rule, delta-stream corruption detection, the ``repro_subs_*`` metric
+families, and the front-door integration (the third request shape:
+``sub``-class SLO scoring on the modelled busy horizon).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import GGridConfig
+from repro.core.ggrid import GGridIndex
+from repro.core.messages import Message
+from repro.errors import ConfigError, QueryError, SubscriptionError
+from repro.mobility.workload import random_locations
+from repro.obs import Observability
+from repro.roadnet.generators import grid_road_network
+from repro.server.metrics import ReplayReport, TimingModel
+from repro.server.server import QueryServer
+from repro.subscribe import (
+    DeltaEvent,
+    SubscriptionManager,
+    diff_topk,
+    replay_deltas,
+)
+
+pytestmark = pytest.mark.subscribe
+
+_GRAPH = grid_road_network(6, 6, seed=33)
+
+
+def _server(config: GGridConfig | None = None, obs=None) -> QueryServer:
+    return QueryServer(
+        GGridIndex(_GRAPH, config or GGridConfig(eta=3, delta_b=4)), obs=obs
+    )
+
+
+def _report() -> ReplayReport:
+    return ReplayReport(index_name="unit", timing=TimingModel())
+
+
+def _feed(server: QueryServer, report: ReplayReport, n: int = 8) -> None:
+    for obj, loc in enumerate(random_locations(_GRAPH, n, seed=9)):
+        server.update(Message(obj, loc.edge_id, loc.offset, 0.0), report)
+
+
+# ----------------------------------------------------------------------
+# registration and lifecycle
+# ----------------------------------------------------------------------
+def test_registration_contracts():
+    manager = SubscriptionManager(_server())
+    loc = random_locations(_GRAPH, 1, seed=1)[0]
+    manager.register(1, loc, 3)
+    with pytest.raises(SubscriptionError):
+        manager.register(1, loc, 3)  # duplicate id
+    with pytest.raises(SubscriptionError):
+        manager.register(2, loc, 0)  # k < 1
+    with pytest.raises(SubscriptionError):
+        manager.cancel(99)
+    with pytest.raises(SubscriptionError):
+        manager.entries_of(99)
+    manager.cancel(1)
+    assert manager.subscriptions == {}
+
+
+def test_backend_without_query_batch_rejected():
+    with pytest.raises(SubscriptionError):
+        SubscriptionManager(object())
+
+
+def test_tick_must_be_monotone():
+    server = _server()
+    manager = SubscriptionManager(server)
+    manager.tick(5.0)
+    with pytest.raises(SubscriptionError):
+        manager.tick(4.0)
+
+
+def test_server_tick_requires_attached_manager():
+    server = _server()
+    with pytest.raises(QueryError):
+        server.tick(1.0)
+    manager = SubscriptionManager(server)
+    report = _report()
+    _feed(server, report)
+    loc = random_locations(_GRAPH, 1, seed=2)[0]
+    manager.register(0, loc, 2)
+    # default t_now rides the index's latest ingested timestamp
+    result = server.tick()
+    assert result.refreshed == [0]
+    assert len(manager.entries_of(0)) == 2
+
+
+def test_force_all_refreshes_everything():
+    server = _server()
+    manager = SubscriptionManager(server)
+    report = _report()
+    _feed(server, report)
+    for i, loc in enumerate(random_locations(_GRAPH, 3, seed=3)):
+        manager.register(i, loc, 2)
+    manager.tick(1.0)
+    quiet = manager.tick(2.0)
+    assert quiet.refreshed == []  # nothing moved, nothing dirty
+    forced = manager.tick(3.0, force_all=True)
+    assert forced.refreshed == [0, 1, 2]
+    assert forced.deltas == []  # answers did not change
+
+
+def test_removal_marker_and_remove_object_mark_members_dirty():
+    server = _server()
+    manager = SubscriptionManager(server)
+    report = _report()
+    _feed(server, report, n=4)
+    loc = random_locations(_GRAPH, 1, seed=4)[0]
+    manager.register(0, loc, 4)
+    manager.tick(1.0)
+    member = manager.entries_of(0)[0][0]
+    server.remove_object(member, 2.0)
+    assert 0 in manager.dirty_subscribers(2.0)
+    result = manager.tick(2.0)
+    assert member not in {obj for obj, _ in manager.entries_of(0)}
+    assert any(
+        e.kind == "leave" and e.obj == member for e in result.deltas
+    )
+    # a raw removal marker through observe() takes the same path
+    manager.observe(Message(99, None, None, 3.0))
+    assert (99, None, 3.0) in manager._buffer
+
+
+def test_expiry_marks_dirty_without_any_message():
+    """Lazy cleaning drops idle objects; the clock-only rule must catch
+    the staleness a silent stream would otherwise hide."""
+    server = _server(GGridConfig(eta=3, delta_b=4, t_delta=2.0))
+    manager = SubscriptionManager(server)
+    report = _report()
+    _feed(server, report, n=4)
+    loc = random_locations(_GRAPH, 1, seed=5)[0]
+    manager.register(0, loc, 2)
+    manager.tick(1.0)
+    assert len(manager.entries_of(0)) == 2
+    # no messages at all, but t=4 is past every member's t + t_delta
+    assert 0 in manager.dirty_subscribers(4.0)
+    manager.tick(4.0)
+    assert manager.entries_of(0) == []  # everything expired, truthfully
+
+
+def test_metrics_families_published():
+    obs = Observability()
+    server = _server(obs=obs)
+    manager = SubscriptionManager(server, obs=obs)
+    report = _report()
+    _feed(server, report)
+    loc = random_locations(_GRAPH, 1, seed=6)[0]
+    manager.register(0, loc, 2)
+    manager.tick(1.0)
+    text = obs.registry.write_prometheus()
+    for family in (
+        "repro_subs_active",
+        "repro_subs_dirty_fraction",
+        "repro_subs_dirty_total",
+        "repro_subs_ticks_total",
+        "repro_subs_messages_observed_total",
+        "repro_subs_delta_events_total",
+        "repro_subs_refresh_seconds",
+    ):
+        assert family in text, family
+
+
+# ----------------------------------------------------------------------
+# delta stream
+# ----------------------------------------------------------------------
+def test_diff_topk_event_kinds():
+    old = [(1, 1.0), (2, 2.0), (3, 3.0)]
+    new = [(4, 0.5), (1, 1.0), (2, 2.5)]
+    events = diff_topk(7, old, new, t=9.0)
+    kinds = [(e.kind, e.obj) for e in events]
+    assert kinds == [("leave", 3), ("enter", 4), ("rerank", 1), ("rerank", 2)]
+    # obj 1 kept its distance but moved rank 0 -> 1: still a rerank
+    assert replay_deltas(old, events) == sorted(
+        new, key=lambda kv: (kv[1], kv[0])
+    )
+
+
+def test_replay_deltas_rejects_corrupt_stream():
+    with pytest.raises(SubscriptionError):
+        replay_deltas([], [DeltaEvent(0, "leave", 5, 1.0)])
+    with pytest.raises(SubscriptionError):
+        replay_deltas([], [DeltaEvent(0, "enter", 5, 1.0, distance=None)])
+    with pytest.raises(SubscriptionError):
+        replay_deltas([], [DeltaEvent(0, "warp", 5, 1.0, distance=1.0)])
+
+
+# ----------------------------------------------------------------------
+# front-door integration (the third request shape)
+# ----------------------------------------------------------------------
+def test_front_door_prices_subscription_ticks():
+    from repro.obs.slo import CLASS_PAID
+    from repro.serve.frontdoor import FrontDoor
+    from repro.serve.tenancy import TenantPolicy
+
+    server = _server()
+    front = FrontDoor(
+        server,
+        [TenantPolicy("acme", CLASS_PAID, rate=100.0, burst=50.0)],
+    )
+    with pytest.raises(ConfigError):
+        front.tick(1.0)  # nothing attached yet
+    other = _server()
+    stray = SubscriptionManager(other)
+    with pytest.raises(ConfigError):
+        front.attach_subscriptions(stray)  # wrong backend
+    manager = SubscriptionManager(server)
+    front.attach_subscriptions(manager)
+    for obj, loc in enumerate(random_locations(_GRAPH, 6, seed=7)):
+        front.update(Message(obj, loc.edge_id, loc.offset, 0.0))
+    loc = random_locations(_GRAPH, 1, seed=8)[0]
+    manager.register(0, loc, 3)
+    before = front.busy_until
+    result = front.tick(1.0)
+    assert result.refreshed == [0]
+    assert front.sub_ticks == 1 and front.sub_refreshes == 1
+    assert front.busy_until > before  # refresh work joined the queue
+    assert front.slo.report()["sub"]["requests"] == 1

@@ -1,0 +1,175 @@
+"""Stateful soundness for the subscription layer.
+
+Hypothesis drives arbitrary interleavings of object ingest / move /
+removal, subscription register / cancel, and refresh ticks — under no
+faults and under the ``mixed`` chaos profile.  Two properties at every
+tick:
+
+* **dirty-set soundness** — no stale answer survives: *every* active
+  subscription (refreshed or not) matches the brute-force oracle after
+  the tick;
+* **delta losslessness** — each subscriber's emitted events replay over
+  its previous entries to exactly the new entries.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.chaos import FaultPlan
+from repro.chaos.hub import configure_chaos
+from repro.config import GGridConfig
+from repro.core.ggrid import GGridIndex
+from repro.core.messages import Message
+from repro.roadnet.generators import grid_road_network
+from repro.roadnet.location import NetworkLocation
+from repro.server.metrics import ReplayReport, TimingModel
+from repro.server.server import QueryServer
+from repro.subscribe import SubscriptionManager, replay_deltas
+
+from tests.conformance.oracle import oracle_knn
+
+pytestmark = pytest.mark.subscribe
+
+_GRAPH = grid_road_network(6, 6, seed=33)
+_OBJECTS = range(10)
+
+
+def _tie_groups(pairs):
+    groups: dict[float, set[int]] = {}
+    for obj, d in pairs:
+        groups.setdefault(round(d, 9), set()).add(obj)
+    return groups
+
+
+class SubscriptionMachine(RuleBasedStateMachine):
+    """One served index + manager under optional chaos, plus the model."""
+
+    @initialize(profile=st.sampled_from([None, "mixed"]))
+    def setup(self, profile: str | None) -> None:
+        plan = FaultPlan.from_profile(profile, seed=17) if profile else None
+        self._previous_plan = configure_chaos(plan)
+        self.server = QueryServer(
+            GGridIndex(_GRAPH, GGridConfig(eta=3, delta_b=4))
+        )
+        self.manager = SubscriptionManager(self.server)
+        self.report = ReplayReport(index_name="stateful", timing=TimingModel())
+        self.model: dict[int, NetworkLocation] = {}
+        #: entries snapshot at the last tick, per sub (for delta replay)
+        self.prev: dict[int, list[tuple[int, float]]] = {}
+        self.next_sub = 0
+        self.clock = 0.0
+        self.rng = random.Random(7)
+
+    def teardown(self) -> None:
+        if hasattr(self, "_previous_plan"):
+            configure_chaos(self._previous_plan)
+
+    def _tick_clock(self) -> float:
+        self.clock += 1.0
+        return self.clock
+
+    def _location(self, edge: int, frac: float) -> NetworkLocation:
+        return NetworkLocation(edge, frac * _GRAPH.edge(edge).weight)
+
+    # ------------------------------------------------------------------
+    # rules: the moving fleet
+    # ------------------------------------------------------------------
+    @rule(
+        obj=st.sampled_from(list(_OBJECTS)),
+        edge=st.integers(0, _GRAPH.num_edges - 1),
+        frac=st.floats(0.0, 1.0),
+    )
+    def ingest(self, obj: int, edge: int, frac: float) -> None:
+        t = self._tick_clock()
+        loc = self._location(edge, frac)
+        self.server.update(
+            Message(obj, loc.edge_id, loc.offset, t), self.report
+        )
+        self.model[obj] = loc
+
+    @precondition(lambda self: self.model)
+    @rule()
+    def remove(self) -> None:
+        obj = self.rng.choice(sorted(self.model))
+        self.server.remove_object(obj, self._tick_clock())
+        del self.model[obj]
+
+    # ------------------------------------------------------------------
+    # rules: the subscriber fleet
+    # ------------------------------------------------------------------
+    @rule(
+        edge=st.integers(0, _GRAPH.num_edges - 1),
+        frac=st.floats(0.0, 1.0),
+        k=st.integers(1, 12),
+    )
+    def register(self, edge: int, frac: float, k: int) -> None:
+        sub_id = self.next_sub
+        self.next_sub += 1
+        self.manager.register(sub_id, self._location(edge, frac), k)
+        self.prev[sub_id] = []
+
+    @precondition(lambda self: self.manager.subscriptions)
+    @rule()
+    def cancel(self) -> None:
+        sub_id = self.rng.choice(sorted(self.manager.subscriptions))
+        self.manager.cancel(sub_id)
+        del self.prev[sub_id]
+
+    # ------------------------------------------------------------------
+    # the checked rule: tick
+    # ------------------------------------------------------------------
+    @precondition(lambda self: self.manager.subscriptions)
+    @rule()
+    def tick(self) -> None:
+        t = self._tick_clock()
+        result = self.manager.tick(t)
+        for sub_id, sub in self.manager.subscriptions.items():
+            got = list(sub.entries)
+            # dirty-set soundness: refreshed or not, the cached answer
+            # is the true answer at tick time
+            want = oracle_knn(_GRAPH, self.model, sub.location, sub.k)
+            assert [round(d, 9) for _, d in got] == [
+                round(d, 9) for _, d in want
+            ], f"stale answer survived the tick (sub {sub_id})"
+            assert _tie_groups(got) == _tie_groups(want)
+            # delta losslessness: events fold to exactly the new entries
+            replayed = replay_deltas(
+                self.prev[sub_id], result.deltas_for(sub_id)
+            )
+            assert replayed == got, f"delta replay diverged (sub {sub_id})"
+            self.prev[sub_id] = got
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    @invariant()
+    def no_leaked_locks(self) -> None:
+        if not hasattr(self, "server"):
+            return
+        assert not any(
+            m.locked for m in self.server.index.lists.values()
+        )
+
+    @invariant()
+    def object_table_matches_model(self) -> None:
+        if not hasattr(self, "server"):
+            return
+        assert set(self.server.index.object_table.objects()) == set(self.model)
+
+
+SubscriptionMachine.TestCase.settings = settings(
+    max_examples=10, stateful_step_count=20, deadline=None
+)
+TestSubscriptionSoundness = SubscriptionMachine.TestCase
