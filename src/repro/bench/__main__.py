@@ -26,7 +26,7 @@ the run (see :mod:`repro.chaos`): the simulated device fails per the
 profile and the G-Grid serving path rides its degradation ladder —
 results stay exact, the timing columns show the cost.
 
-The ``trajectory`` command replays the six tracked serving scenarios,
+The ``trajectory`` command replays the seven tracked serving scenarios,
 appends one row each to ``results/trajectory/BENCH_<scenario>.json``,
 and exits non-zero if any deterministic counter (or, loosely, any
 modelled latency) regressed against the committed baseline row — see
@@ -116,6 +116,11 @@ EXPERIMENTS = {
     "subscriptions": (
         experiments.subscriptions,
         "Subscriptions: incremental refresh vs full re-query",
+        True,
+    ),
+    "scale": (
+        experiments.scale_datapath,
+        "Paper-scale data plane: build/ingest/query/update at 1/8 scale",
         True,
     ),
 }
@@ -214,6 +219,13 @@ def main(argv: list[str] | None = None) -> int:
                     f"p50={row.latency['p50_s']:.6f}s "
                     f"p99={row.latency['p99_s']:.6f}s "
                     f"gpu={row.counters['gpu_s']:.6f}s"
+                )
+            elif "query_distance_checksum" in row.counters:
+                # the scale row: all-deterministic data-plane counters
+                detail = (
+                    f"V={row.counters['vertices']:.0f} "
+                    f"cells_cleaned={row.counters['query_cells_cleaned']:.0f} "
+                    f"checksum={row.counters['query_distance_checksum']:.1f}"
                 )
             elif "mean_dirty_fraction" in row.counters:
                 # the subscriptions row: all-deterministic twin-replay counters

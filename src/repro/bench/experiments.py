@@ -825,3 +825,136 @@ def subscriptions(dataset: str = "NY") -> list[dict[str, Any]]:
             }
         )
     return rows
+
+
+# ----------------------------------------------------------------------
+# paper-scale data plane (DESIGN.md §16)
+# ----------------------------------------------------------------------
+def scale_datapath(dataset: str = "NY") -> list[dict[str, Any]]:
+    """The array-native data plane at a paper-order slice of ``dataset``.
+
+    Loads the dataset at 1/8 of its paper size (NY -> ~33k vertices, an
+    order of magnitude past the default bench scale), builds the index
+    with the geometric partitioner and the vectorised SDist backend, and
+    drives one full cycle — ingest, kNN round, fleet-update rounds,
+    re-query — reporting one row per phase.  Every column except
+    ``wall_s`` is modelled/deterministic for the fixed seeds, which is
+    what lets the ``scale`` trajectory scenario gate them at float dust.
+    """
+    import random
+    import time
+
+    from repro.config import GGridConfig
+    from repro.roadnet.location import NetworkLocation
+
+    num_objects = 30_000
+    num_queries = 16
+    update_rounds = 2
+    graph = load_dataset(dataset, scale=1.0 / 8.0)
+    config = GGridConfig(
+        delta_c=64, partitioner="geometric", sdist_backend="vectorized"
+    )
+    rows: list[dict[str, Any]] = []
+
+    started = time.perf_counter()
+    index = GGridIndex(graph, config)
+    rows.append(
+        {
+            "phase": "build",
+            "wall_s": round(time.perf_counter() - started, 6),
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+            "cells": index.grid.num_cells,
+            "gpu_s": 0.0,
+            "cells_cleaned": 0,
+            "refine_settled": 0,
+            "fallbacks": 0,
+            "distance_checksum": 0.0,
+        }
+    )
+
+    rng = random.Random(1101)
+    started = time.perf_counter()
+    for obj in range(num_objects):
+        e = rng.randrange(graph.num_edges)
+        index.ingest(
+            Message(obj, e, rng.random() * graph.edge(e).weight * 0.99, t=1.0)
+        )
+    rows.append(
+        {
+            "phase": "ingest",
+            "wall_s": round(time.perf_counter() - started, 6),
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+            "cells": index.grid.num_cells,
+            "gpu_s": 0.0,
+            "cells_cleaned": 0,
+            "refine_settled": 0,
+            "fallbacks": 0,
+            "distance_checksum": 0.0,
+        }
+    )
+
+    qrng = random.Random(2202)
+    queries = []
+    for _ in range(num_queries):
+        e = qrng.randrange(graph.num_edges)
+        queries.append(
+            NetworkLocation(e, qrng.random() * graph.edge(e).weight * 0.99)
+        )
+
+    def query_phase(phase: str, t_now: float) -> None:
+        before = index.stats.snapshot()
+        started = time.perf_counter()
+        cells = settled = fallbacks = 0
+        checksum = 0.0
+        for loc in queries:
+            answer = index.knn(loc, 10, t_now=t_now)
+            cells += answer.cells_cleaned
+            settled += answer.refine_settled
+            fallbacks += int(answer.used_fallback)
+            checksum += sum(answer.distances())
+        delta = index.stats.diff(before)
+        rows.append(
+            {
+                "phase": phase,
+                "wall_s": round(time.perf_counter() - started, 6),
+                "vertices": graph.num_vertices,
+                "edges": graph.num_edges,
+                "cells": index.grid.num_cells,
+                "gpu_s": round(delta.gpu_time_s, 9),
+                "cells_cleaned": cells,
+                "refine_settled": settled,
+                "fallbacks": fallbacks,
+                "distance_checksum": round(checksum, 6),
+            }
+        )
+
+    query_phase("query", t_now=2.0)
+
+    t = 2.0
+    started = time.perf_counter()
+    for _ in range(update_rounds):
+        t += 1.0
+        for obj in rng.sample(range(num_objects), num_objects // 10):
+            e = rng.randrange(graph.num_edges)
+            index.ingest(
+                Message(obj, e, rng.random() * graph.edge(e).weight * 0.99, t=t)
+            )
+    rows.append(
+        {
+            "phase": "update",
+            "wall_s": round(time.perf_counter() - started, 6),
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+            "cells": index.grid.num_cells,
+            "gpu_s": 0.0,
+            "cells_cleaned": 0,
+            "refine_settled": 0,
+            "fallbacks": 0,
+            "distance_checksum": 0.0,
+        }
+    )
+
+    query_phase("requery", t_now=t)
+    return rows

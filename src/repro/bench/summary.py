@@ -37,6 +37,7 @@ SECTIONS: dict[str, str] = {
     "accuracy_vs_frequency": "Extension — accuracy vs update frequency",
     "sdist_backends": "Extension — SDist backend comparison",
     "costmodel_validation": "Cost model — Section VI bound",
+    "scale": "Scale — paper-order data plane (1/8-scale, array-native path)",
 }
 
 

@@ -1,9 +1,9 @@
 """Perf-trajectory recording and the regression gate behind it.
 
-Every run of ``python -m repro.bench trajectory`` replays five small,
+Every run of ``python -m repro.bench trajectory`` replays seven small,
 fully seeded scenarios — ``single_server``, ``batch``, ``chaos``,
-``cluster`` and ``serve`` — and appends one row per scenario to
-``results/trajectory/BENCH_<scenario>.json``.  A row separates two kinds
+``cluster``, ``serve``, ``subscriptions`` and ``scale`` — and appends
+one row per scenario to ``results/trajectory/BENCH_<scenario>.json``.  A row separates two kinds
 of numbers:
 
 * ``counters`` — deterministic modelled outcomes (simulated GPU
@@ -36,7 +36,7 @@ from typing import Any, Callable
 
 from repro.errors import ConfigError
 
-#: the six serving shapes whose trajectories are tracked
+#: the seven serving shapes whose trajectories are tracked
 SCENARIOS: tuple[str, ...] = (
     "single_server",
     "batch",
@@ -44,6 +44,7 @@ SCENARIOS: tuple[str, ...] = (
     "cluster",
     "serve",
     "subscriptions",
+    "scale",
 )
 
 #: relative headroom for deterministic counters (float dust only)
@@ -277,6 +278,44 @@ def _run_subscriptions(dataset: str) -> TrajectoryRow:
     )
 
 
+def _run_scale(dataset: str) -> TrajectoryRow:
+    """The paper-scale data-plane cycle (DESIGN.md §16).
+
+    Folds the per-phase rows of
+    :func:`repro.bench.experiments.scale_datapath` — a 1/8-paper-scale
+    build/ingest/query/update/requery sweep on the geometric partitioner
+    and vectorised backend — into one row.  Everything here is
+    modelled/deterministic for the fixed seeds (modelled GPU seconds,
+    cleaned-cell and settled-vertex counts, and the rounded sum of all
+    returned kNN distances), so the whole row rides ``counters`` at
+    float dust: a single changed distance, one extra cleaned cell or any
+    charged-work drift in the array layouts trips the gate.
+    """
+    from repro.bench.experiments import scale_datapath
+
+    started = time.perf_counter()
+    rows = {row["phase"]: row for row in scale_datapath(dataset)}
+    build = rows["build"]
+    counters = {
+        "vertices": float(build["vertices"]),
+        "edges": float(build["edges"]),
+        "cells": float(build["cells"]),
+    }
+    for phase in ("query", "requery"):
+        row = rows[phase]
+        counters[f"{phase}_gpu_s"] = float(row["gpu_s"])
+        counters[f"{phase}_cells_cleaned"] = float(row["cells_cleaned"])
+        counters[f"{phase}_refine_settled"] = float(row["refine_settled"])
+        counters[f"{phase}_fallbacks"] = float(row["fallbacks"])
+        counters[f"{phase}_distance_checksum"] = float(row["distance_checksum"])
+    return TrajectoryRow(
+        scenario="scale",
+        recorded_at=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        wall_s=time.perf_counter() - started,
+        counters=counters,
+    )
+
+
 _RUNNERS: dict[str, Callable[[str], TrajectoryRow]] = {
     "single_server": _run_single_server,
     "batch": _run_batch,
@@ -284,6 +323,7 @@ _RUNNERS: dict[str, Callable[[str], TrajectoryRow]] = {
     "cluster": _run_cluster,
     "serve": _run_serve,
     "subscriptions": _run_subscriptions,
+    "scale": _run_scale,
 }
 
 

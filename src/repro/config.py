@@ -39,6 +39,11 @@ class GGridConfig:
         sdist_backend: ``"lockstep"`` (faithful per-element kernel) or
             ``"vectorized"`` (numpy formulation, identical results,
             faster host simulation).
+        partitioner: ``"multilevel"`` (the default: recursive balanced
+            bisection via the multilevel partitioner, minimising crossing
+            edges) or ``"geometric"`` (coordinate-median splits over
+            numpy arrays — same capacity guarantee, near-linear build
+            time; the choice for paper-scale graphs).
         max_buckets_per_cell: optional cap on a cell's message-list
             backlog; reaching it makes ingest force an in-line cleaning
             of the cell (backpressure) instead of growing the list.
@@ -59,6 +64,7 @@ class GGridConfig:
     pipelined_transfers: bool = True
     sdist_early_exit: bool = True
     sdist_backend: str = "lockstep"
+    partitioner: str = "multilevel"
     max_buckets_per_cell: int | None = None
     seed: int = 0
     gpu: CostModel = field(default_factory=CostModel)
@@ -86,6 +92,8 @@ class GGridConfig:
             raise ConfigError(
                 f"unknown sdist backend {self.sdist_backend!r}"
             )
+        if self.partitioner not in ("multilevel", "geometric"):
+            raise ConfigError(f"unknown partitioner {self.partitioner!r}")
         if self.max_buckets_per_cell is not None and self.max_buckets_per_cell < 1:
             raise ConfigError(
                 f"max_buckets_per_cell must be >= 1, "

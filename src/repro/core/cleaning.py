@@ -23,8 +23,10 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.config import GGridConfig
-from repro.core.message_list import MessageList
+from repro.core.message_list import Bucket, MessageList
 from repro.core.messages import CellMessage, Message
 from repro.core.object_table import ObjectTable
 from repro.core.xshuffle import IntermediateTable, collect_kernel, x_shuffle_kernel
@@ -35,6 +37,10 @@ from repro.simgpu.stream import PipelinedStream
 
 #: Buckets are shipped to the GPU in chunks of this many bundles.
 _CHUNK_BUNDLES = 4
+
+#: Host dedup switches from the scalar loop to the columnar lexsort at
+#: this many messages (numpy setup costs more than it saves below it).
+_HOST_DEDUP_SCALAR_MAX = 64
 
 
 @dataclass(frozen=True, slots=True)
@@ -131,7 +137,7 @@ class MessageCleaner:
 
         # -- step 1: preprocessing — lock lists and gather live buckets --
         locked: dict[int, MessageList] = {}
-        tagged_buckets: list[list[CellMessage]] = []
+        live_pairs: list[tuple[int, Bucket]] = []
         for cell, mlist in lists.items():
             if mlist.locked:  # concurrent cleaning owns it: skip safely
                 continue
@@ -141,19 +147,21 @@ class MessageCleaner:
             live = mlist.locked_buckets(t_now, config.t_delta)
             shipped = 0
             for bucket in live:
-                tagged_buckets.append(
-                    [CellMessage.tag(m, cell) for m in bucket.messages]
-                )
+                live_pairs.append((cell, bucket))
                 shipped += bucket.n
             result.messages_dropped += before - shipped
             result.cells.add(cell)
-        result.buckets_shipped = len(tagged_buckets)
+        result.buckets_shipped = len(live_pairs)
 
         try:
             if use_gpu:
+                tagged_buckets = [
+                    [CellMessage.tag(m, cell) for m in bucket.messages]
+                    for cell, bucket in live_pairs
+                ]
                 latest = self._run_gpu_pipeline(tagged_buckets, result)
             else:
-                latest = self._dedup_host(tagged_buckets, result)
+                latest = self._dedup_host(live_pairs, result)
         except Exception:
             # fault during the GPU phase: put every frozen bucket back —
             # cached updates must survive any cleaning failure
@@ -174,10 +182,15 @@ class MessageCleaner:
         # different world than the GPU candidate phase
         cutoff = t_now - config.t_delta
         for cell in locked:
-            for obj in object_table.objects_in_cell(cell):
-                if object_table.get(obj).t < cutoff:
-                    object_table.remove(obj)
-                    result.objects_expired += 1
+            # columnar scan: one vectorised timestamp compare per cell;
+            # the expired ids are materialised before removal mutates the
+            # underlying per-cell set
+            cols = object_table.cell_columns(cell)
+            if cols is None:
+                continue
+            for obj in cols.objs[cols.ts < cutoff].tolist():
+                object_table.remove(obj)
+                result.objects_expired += 1
         for obj, message in latest.items():
             if message.is_removal:
                 continue  # the object left this cell
@@ -202,7 +215,7 @@ class MessageCleaner:
 
     def _dedup_host(
         self,
-        tagged_buckets: list[list[CellMessage]],
+        live_pairs: list[tuple[int, Bucket]],
         result: CleaningResult,
     ) -> dict[int, CellMessage]:
         """Degraded-mode steps 2-4 on the host: per-object latest message.
@@ -213,17 +226,67 @@ class MessageCleaner:
         the device.  Used by the resilience ladder when the GPU is
         faulting; the wall time it costs is charged through the normal
         CPU-phase measurement of the caller.
+
+        Above ``_HOST_DEDUP_SCALAR_MAX`` messages the scan runs over the
+        buckets' cached ``(obj, t, removal)`` columns with one lexsort
+        instead of a per-message dict probe; the winner per object (the
+        *first* message carrying the maximal ``(t, flag)`` key) and even
+        the result's insertion order (objects by first occurrence) match
+        the scalar loop exactly — equivalence-tested in
+        ``tests/core/test_cleaning.py``.
         """
-        latest: dict[int, CellMessage] = {}
+        total = sum(bucket.n for _, bucket in live_pairs)
         with span("dedup_host") as sp:
-            for bucket in tagged_buckets:
-                result.messages_processed += len(bucket)
-                for m in bucket:
-                    prev = latest.get(m.obj)
-                    if prev is None or prev.sort_key < m.sort_key:
-                        latest[m.obj] = m
-            sp.set_attr("messages", result.messages_processed)
-        return latest
+            result.messages_processed += total
+            sp.set_attr("messages", total)
+            if total == 0:
+                return {}
+            if total <= _HOST_DEDUP_SCALAR_MAX:
+                winners: dict[int, tuple[tuple[float, int], int, Message]] = {}
+                for cell, bucket in live_pairs:
+                    for m in bucket.messages:
+                        key = (m.t, 0 if m.is_removal else 1)
+                        prev = winners.get(m.obj)
+                        if prev is None or prev[0] < key:
+                            winners[m.obj] = (key, cell, m)
+                return {
+                    obj: CellMessage.tag(m, cell)
+                    for obj, (_, cell, m) in winners.items()
+                }
+            # columnar path: concatenate the bucket columns, lexsort by
+            # (obj, t, flag, -seq) and take each object group's last row
+            objs = np.empty(total, dtype=np.int64)
+            ts = np.empty(total, dtype=np.float64)
+            flags = np.empty(total, dtype=np.int64)
+            starts: list[int] = []
+            at = 0
+            for cell, bucket in live_pairs:
+                o, t, fl = bucket.columns()
+                n = len(o)
+                objs[at : at + n] = o
+                ts[at : at + n] = t
+                flags[at : at + n] = fl
+                starts.append(at)
+                at += n
+            seq = np.arange(total, dtype=np.int64)
+            order = np.lexsort((-seq, flags, ts, objs))
+            sorted_objs = objs[order]
+            last = np.nonzero(np.append(sorted_objs[1:] != sorted_objs[:-1], True))[0]
+            group_starts = np.concatenate(([0], last[:-1] + 1))
+            win_seq = order[last]  # earliest message with the max (t, flag)
+            # scalar-identical insertion order: objects by first occurrence
+            first_seq = np.minimum.reduceat(order, group_starts)
+            group_rank = np.argsort(first_seq, kind="stable")
+            pair_starts = np.asarray(starts, dtype=np.int64)
+            pair_idx = np.searchsorted(pair_starts, win_seq, side="right") - 1
+            latest: dict[int, CellMessage] = {}
+            for g in group_rank.tolist():
+                s = int(win_seq[g])
+                pi = int(pair_idx[g])
+                cell, bucket = live_pairs[pi]
+                m = bucket.messages[s - int(pair_starts[pi])]
+                latest[m.obj] = CellMessage.tag(m, cell)
+            return latest
 
     def _run_gpu_pipeline(
         self,

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.config import GGridConfig
 from repro.errors import UnknownEdgeError
 from repro.partition.grid_assign import GridAssignment, assign_cells
@@ -73,6 +75,90 @@ class GridCell:
         return len(self.real_vertices)
 
 
+class CellSlab:
+    """Packed array view of the candidate subgraph over a cell set.
+
+    Built by :meth:`GraphGrid.pack_of_cells` from the grid's one-time
+    packed arrays: the distinct vertices of the cells (in the exact order
+    :meth:`GraphGrid.vertices_of_cells` returns them) plus the in-edge
+    records whose *source also lies inside the cell set*, already
+    translated to local vertex indices.  The SDist backends consume this
+    directly instead of re-flattening ``GridVertexElement`` lists per
+    launch; the legacy lockstep kernel can still iterate a slab (it lazily
+    materialises the element list), so a slab is a drop-in for the
+    ``elements`` argument of either backend.
+    """
+
+    __slots__ = (
+        "_grid",
+        "zs",
+        "vertex_ids",
+        "src_local",
+        "tgt_local",
+        "weights",
+        "n_elements",
+        "_base_of_cell",
+        "_vertex_list",
+        "_elements",
+    )
+
+    def __init__(
+        self,
+        grid: "GraphGrid",
+        zs: list[int],
+        vertex_ids: np.ndarray,
+        src_local: np.ndarray,
+        tgt_local: np.ndarray,
+        weights: np.ndarray,
+        n_elements: int,
+        base_of_cell: dict[int, int],
+    ) -> None:
+        self._grid = grid
+        self.zs = zs
+        self.vertex_ids = vertex_ids
+        self.src_local = src_local
+        self.tgt_local = tgt_local
+        self.weights = weights
+        self.n_elements = n_elements
+        self._base_of_cell = base_of_cell
+        self._vertex_list: list[int] | None = None
+        self._elements: list[GridVertexElement] | None = None
+
+    @property
+    def n_vertices(self) -> int:
+        return len(self.vertex_ids)
+
+    def __len__(self) -> int:
+        """Element count — a slab passed as ``elements`` keeps the GPU
+        thread-count accounting (one thread per vertex element) exact."""
+        return self.n_elements
+
+    def __iter__(self):
+        """Iterate the per-element view (lockstep-backend compatibility)."""
+        return iter(self.elements)
+
+    @property
+    def elements(self) -> list[GridVertexElement]:
+        """The per-element object view, materialised on first use."""
+        if self._elements is None:
+            self._elements = self._grid.elements_of_cells(set(self.zs))
+        return self._elements
+
+    @property
+    def vertex_list(self) -> list[int]:
+        """``vertex_ids`` as plain Python ints (the kernels' ``V`` list)."""
+        if self._vertex_list is None:
+            self._vertex_list = self.vertex_ids.tolist()
+        return self._vertex_list
+
+    def local_of(self, vertex: int) -> int | None:
+        """Local index of a global vertex id; None when outside the slab."""
+        base = self._base_of_cell.get(self._grid.cell_of_vertex[vertex])
+        if base is None:
+            return None
+        return base + int(self._grid.vert_pos_in_cell[vertex])
+
+
 class GraphGrid:
     """The assembled grid over a road network.
 
@@ -104,7 +190,9 @@ class GraphGrid:
     @staticmethod
     def build(graph: RoadNetwork, config: GGridConfig) -> "GraphGrid":
         """Partition ``graph`` per the config and assemble the grid."""
-        assignment = assign_cells(graph, config.delta_c, seed=config.seed)
+        assignment = assign_cells(
+            graph, config.delta_c, seed=config.seed, method=config.partitioner
+        )
         return GraphGrid(graph, assignment, config)
 
     # ------------------------------------------------------------------
@@ -112,12 +200,33 @@ class GraphGrid:
     # ------------------------------------------------------------------
     def _populate(self) -> None:
         delta_v = self.config.delta_v
+        # packed struct-of-arrays form (DESIGN.md §16), built once here:
+        # per-cell CSR of vertices / elements / in-edge records, all in
+        # the same order the per-element object view uses
+        vert_counts = [0] * len(self.cells)
+        elem_counts = [0] * len(self.cells)
+        rec_counts = [0] * len(self.cells)
+        vert_ids: list[int] = []
+        vert_pos: list[int] = [0] * self.graph.num_vertices
+        rec_src: list[int] = []
+        rec_tgt_pos: list[int] = []
+        rec_weight: list[float] = []
+        rec_edge_id: list[int] = []
         for z, vertex_ids in enumerate(self.assignment.vertices_of_cell):
             cell = self.cells[z]
             cell.real_vertices = list(vertex_ids)
-            for vid in vertex_ids:
+            vert_counts[z] = len(vertex_ids)
+            for pos, vid in enumerate(vertex_ids):
+                vert_ids.append(vid)
+                vert_pos[vid] = pos
                 in_edges = self.graph.in_edges(vid)
                 records = [GridEdgeRec(e.id, e.source, e.weight) for e in in_edges]
+                for rec in records:
+                    rec_src.append(rec.source)
+                    rec_tgt_pos.append(pos)
+                    rec_weight.append(rec.weight)
+                    rec_edge_id.append(rec.edge_id)
+                rec_counts[z] += len(records)
                 if not records:
                     cell.elements.append(GridVertexElement(vid, 0))
                 for rank, start in enumerate(range(0, len(records), delta_v)):
@@ -125,6 +234,7 @@ class GraphGrid:
                         GridVertexElement(vid, rank, records[start : start + delta_v])
                     )
                 cell.n_source_edges += self.graph.out_degree(vid)
+            elem_counts[z] = len(cell.elements)
         # inverted index: edge -> (source vertex, cell of the source vertex)
         for e in self.graph.edges():
             self._edge_source[e.id] = e.source
@@ -138,6 +248,90 @@ class GraphGrid:
                 neighbor_sets[a].add(b)
                 neighbor_sets[b].add(a)
         self._neighbors = [frozenset(s) for s in neighbor_sets]
+
+        # freeze the packed arrays
+        cell_np = np.asarray(self.cell_of_vertex, dtype=np.int64)
+        self.vert_pos_in_cell = np.asarray(vert_pos, dtype=np.int64)
+        self._cell_vert_indptr = np.concatenate(
+            ([0], np.cumsum(np.asarray(vert_counts, dtype=np.int64)))
+        )
+        self._cell_vert_ids = np.asarray(vert_ids, dtype=np.int64)
+        self._cell_elem_counts = np.asarray(elem_counts, dtype=np.int64)
+        self._cell_rec_indptr = np.concatenate(
+            ([0], np.cumsum(np.asarray(rec_counts, dtype=np.int64)))
+        )
+        self._rec_src = np.asarray(rec_src, dtype=np.int64)
+        self._rec_src_cell = cell_np[self._rec_src] if len(rec_src) else np.empty(0, np.int64)
+        self._rec_src_pos = (
+            self.vert_pos_in_cell[self._rec_src] if len(rec_src) else np.empty(0, np.int64)
+        )
+        self._rec_tgt_pos = np.asarray(rec_tgt_pos, dtype=np.int64)
+        self._rec_weight = np.asarray(rec_weight, dtype=np.float64)
+        self._rec_edge_id = np.asarray(rec_edge_id, dtype=np.int64)
+        self.edge_source_arr = np.asarray(self._edge_source, dtype=np.int64)
+        # out-edge destination cells (for the vectorised boundary test)
+        out_indptr, out_targets, _, _ = self.graph.csr_out()
+        self._out_indptr = out_indptr
+        self._out_dest_cell = cell_np[out_targets] if len(out_targets) else np.empty(0, np.int64)
+        # reusable scratch, reset after every use (single-threaded builds)
+        self._base_scratch = np.full(len(self.cells), -1, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # packed candidate-subgraph views
+    # ------------------------------------------------------------------
+    def pack_of_cells(self, cells: set[int]) -> CellSlab:
+        """Slice the packed arrays down to a candidate cell set.
+
+        The slab's vertex order matches :meth:`vertices_of_cells`
+        exactly, and the kept edge records are the same records (in the
+        same order) the per-element kernels walk — which is why the SDist
+        backends produce bit-identical distances from either form.
+        """
+        zs = sorted(cells)
+        base = self._base_scratch
+        vi = self._cell_vert_indptr
+        ri = self._cell_rec_indptr
+        offset = 0
+        n_elements = 0
+        vert_parts: list[np.ndarray] = []
+        rec_slices: list[tuple[int, int, int]] = []  # (rec_start, rec_end, cell_base)
+        base_of_cell: dict[int, int] = {}
+        for z in zs:
+            base[z] = offset
+            base_of_cell[z] = offset
+            vert_parts.append(self._cell_vert_ids[vi[z] : vi[z + 1]])
+            rec_slices.append((int(ri[z]), int(ri[z + 1]), offset))
+            offset += int(vi[z + 1] - vi[z])
+            n_elements += int(self._cell_elem_counts[z])
+        vertex_ids = (
+            np.concatenate(vert_parts) if vert_parts else np.empty(0, np.int64)
+        )
+        n_recs = sum(end - start for start, end, _ in rec_slices)
+        src_cell = np.empty(n_recs, dtype=np.int64)
+        src_pos = np.empty(n_recs, dtype=np.int64)
+        tgt_local = np.empty(n_recs, dtype=np.int64)
+        weights = np.empty(n_recs, dtype=np.float64)
+        at = 0
+        for start, end, cell_base in rec_slices:
+            n = end - start
+            src_cell[at : at + n] = self._rec_src_cell[start:end]
+            src_pos[at : at + n] = self._rec_src_pos[start:end]
+            np.add(self._rec_tgt_pos[start:end], cell_base, out=tgt_local[at : at + n])
+            weights[at : at + n] = self._rec_weight[start:end]
+            at += n
+        src_base = base[src_cell]
+        keep = src_base >= 0  # drop records whose source is outside the slab
+        base[zs] = -1  # reset the scratch for the next pack
+        return CellSlab(
+            self,
+            zs,
+            vertex_ids,
+            (src_base + src_pos)[keep],
+            tgt_local[keep],
+            weights[keep],
+            n_elements,
+            base_of_cell,
+        )
 
     # ------------------------------------------------------------------
     # lookups
@@ -177,10 +371,11 @@ class GraphGrid:
 
     def vertices_of_cells(self, cells: set[int]) -> list[int]:
         """Distinct real vertex ids across ``cells`` (the set ``V``)."""
-        result: list[int] = []
-        for z in sorted(cells):
-            result.extend(self.cells[z].real_vertices)
-        return result
+        vi = self._cell_vert_indptr
+        parts = [self._cell_vert_ids[vi[z] : vi[z + 1]] for z in sorted(cells)]
+        if not parts:
+            return []
+        return np.concatenate(parts).tolist()
 
     def elements_of_cells(self, cells: set[int]) -> list[GridVertexElement]:
         """Vertex elements (incl. virtual) across ``cells``; one GPU thread
@@ -192,14 +387,34 @@ class GraphGrid:
 
     def boundary_vertices(self, cells: set[int]) -> list[int]:
         """Vertices "on the edge of" ``cells`` (Definition 3): vertices with
-        an out-edge whose destination lies outside the cell set."""
-        result = []
-        for vid in self.vertices_of_cells(cells):
-            for e in self.graph.out_edges(vid):
-                if self.cell_of_vertex[e.dest] not in cells:
-                    result.append(vid)
-                    break
-        return result
+        an out-edge whose destination lies outside the cell set.
+
+        Vectorised over the packed arrays; the result keeps the
+        :meth:`vertices_of_cells` ordering the per-vertex scan produced.
+        """
+        zs = sorted(cells)
+        vi = self._cell_vert_indptr
+        parts = [self._cell_vert_ids[vi[z] : vi[z + 1]] for z in zs]
+        if not parts:
+            return []
+        verts = np.concatenate(parts)
+        if not len(verts):
+            return []
+        member = self._base_scratch  # reuse as a membership mark (-1 = out)
+        member[zs] = 1
+        starts = self._out_indptr[verts]
+        counts = self._out_indptr[verts + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            member[zs] = -1
+            return []
+        cum = np.concatenate(([0], np.cumsum(counts)))
+        flat = np.repeat(starts - cum[:-1], counts) + np.arange(total)
+        outside = member[self._out_dest_cell[flat]] < 0
+        seg = np.repeat(np.arange(len(verts)), counts)
+        out_counts = np.bincount(seg, weights=outside, minlength=len(verts))
+        member[zs] = -1
+        return verts[out_counts > 0].tolist()
 
     # ------------------------------------------------------------------
     # size accounting (Fig. 6)

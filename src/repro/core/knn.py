@@ -26,12 +26,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+import numpy as np
+
 from repro.config import GGridConfig
 from repro.core.cleaning import CleanedLocation, MessageCleaner
 from repro.core.graph_grid import GraphGrid
 from repro.core.message_list import MessageList
 from repro.core.object_table import ObjectTable
-from repro.core.refine import refine_knn
+from repro.core.refine import RefineScratch, refine_knn
 from repro.core.sdist import (
     first_k_batch_kernel,
     first_k_kernel,
@@ -166,6 +168,8 @@ class KnnProcessor:
         # the owning index shares its list factory so capacity caps
         # (chaos backpressure) apply no matter which side creates a list
         self.list_factory = list_factory
+        # shared refinement arrays (built lazily on the first refined query)
+        self._refine_scratch: RefineScratch | None = None
 
     # ------------------------------------------------------------------
     # public entry point
@@ -259,6 +263,8 @@ class KnnProcessor:
             return self._fallback(location, k, answer)
         answer.unresolved = len(unresolved)
 
+        if unresolved and self._refine_scratch is None:
+            self._refine_scratch = RefineScratch(self.graph, self.grid.cell_of_vertex)
         with span("refine") as sp:
             t0 = time.perf_counter()
             results, settled = refine_knn(
@@ -269,6 +275,7 @@ class KnnProcessor:
                 unresolved,
                 k,
                 l_bound,
+                scratch=self._refine_scratch,
             )
             answer.cpu_seconds["refine"] = time.perf_counter() - t0
             answer.refine_settled = settled
@@ -469,6 +476,42 @@ class KnnProcessor:
     # ------------------------------------------------------------------
     # phase 2
     # ------------------------------------------------------------------
+    def _score_occupants(
+        self,
+        location: NetworkLocation,
+        dist: dict[int, float],
+        occupants: dict[int, tuple[int, CleanedLocation]],
+    ) -> dict[int, float]:
+        """Candidate distances for ``GPU_First_k``, scored with numpy.
+
+        Column-wise formulation of
+        :func:`~repro.roadnet.location.location_distance`: gather each
+        candidate's entry-edge source from the packed inverted index, add
+        the restricted vertex distance and the on-edge offset, and apply
+        the same-edge shortcut as a masked minimum.  The float64
+        operations are identical to the scalar helper, so the scores (and
+        therefore the ranked results) are bit-identical.
+        """
+        if not occupants:
+            return {}
+        n = len(occupants)
+        objs: list[int] = []
+        edges = np.empty(n, dtype=np.int64)
+        offsets = np.empty(n, dtype=np.float64)
+        for i, (obj, (_, loc)) in enumerate(occupants.items()):
+            objs.append(obj)
+            edges[i] = loc.edge
+            offsets[i] = loc.offset
+        sources = self.grid.edge_source_arr[edges]
+        d_src = np.fromiter(
+            (dist.get(s, _INF) for s in sources.tolist()), np.float64, n
+        )
+        scores = d_src + offsets
+        ahead = (edges == location.edge_id) & (offsets >= location.offset)
+        if ahead.any():
+            np.minimum(scores, offsets - location.offset, out=scores, where=ahead)
+        return dict(zip(objs, scores.tolist()))
+
     def _gpu_candidates(
         self,
         location: NetworkLocation,
@@ -481,31 +524,25 @@ class KnnProcessor:
         stats = self.gpu.stats
         with span("sdist") as sp:
             before = stats.kernel_time_s
-            vertices = self.grid.vertices_of_cells(cells)
-            elements = self.grid.elements_of_cells(cells)
+            slab = self.grid.pack_of_cells(cells)
             seeds = entry_costs(self.graph, location)
             dist = self.gpu.launch(
                 "GPU_SDist",
-                max(1, len(elements)),
+                max(1, len(slab)),
                 get_sdist_kernel(self.config.sdist_backend),
-                elements,
-                vertices,
+                slab,
+                slab.vertex_list,
                 seeds,
                 self.config.delta_v,
                 self.config.sdist_early_exit,
             )
             answer.gpu_phase_s["sdist"] = stats.kernel_time_s - before
-            sp.set_attr("elements", len(elements))
+            sp.set_attr("elements", len(slab))
             sp.set_attr("sim_s", answer.gpu_phase_s["sdist"])
 
         with span("first_k") as sp:
             before = stats.kernel_time_s
-            object_distances: dict[int, float] = {}
-            for obj, (_, loc) in occupants.items():
-                target = NetworkLocation(loc.edge, loc.offset)
-                object_distances[obj] = location_distance(
-                    self.graph, dist, location, target
-                )
+            object_distances = self._score_occupants(location, dist, occupants)
             ranked = self.gpu.launch(
                 "GPU_First_k",
                 max(1, len(object_distances)),
@@ -569,12 +606,9 @@ class KnnProcessor:
             before = stats.kernel_time_s
             sdist_jobs = []
             for _, location, _, cells, _ in jobs:
+                slab = self.grid.pack_of_cells(cells)
                 sdist_jobs.append(
-                    (
-                        self.grid.elements_of_cells(cells),
-                        self.grid.vertices_of_cells(cells),
-                        entry_costs(self.graph, location),
-                    )
+                    (slab, slab.vertex_list, entry_costs(self.graph, location))
                 )
             dists = self.gpu.launch_batched(
                 "GPU_SDist_Batch",
@@ -596,13 +630,7 @@ class KnnProcessor:
             before = stats.kernel_time_s
             fk_jobs = []
             for (_, location, k, _, occupants), dist in zip(jobs, dists):
-                object_distances: dict[int, float] = {}
-                for obj, (_, loc) in occupants.items():
-                    target = NetworkLocation(loc.edge, loc.offset)
-                    object_distances[obj] = location_distance(
-                        self.graph, dist, location, target
-                    )
-                fk_jobs.append((object_distances, k))
+                fk_jobs.append((self._score_occupants(location, dist, occupants), k))
             ranked_lists = self.gpu.launch_batched(
                 "GPU_First_k_Batch",
                 max(1, sum(len(od) for od, _ in fk_jobs)),
@@ -680,31 +708,25 @@ class KnnProcessor:
         ctx = HostContext("cpu_sdist")
         with span("sdist_cpu") as sp:
             t0 = time.perf_counter()
-            vertices = self.grid.vertices_of_cells(cells)
-            elements = self.grid.elements_of_cells(cells)
+            slab = self.grid.pack_of_cells(cells)
             seeds = entry_costs(self.graph, location)
             dist = sdist_kernel_vectorized(
                 ctx,
-                elements,
-                vertices,
+                slab,
+                slab.vertex_list,
                 seeds,
                 self.config.delta_v,
                 self.config.sdist_early_exit,
             )
 
-            object_distances: dict[int, float] = {}
-            for obj, (_, loc) in occupants.items():
-                target = NetworkLocation(loc.edge, loc.offset)
-                object_distances[obj] = location_distance(
-                    self.graph, dist, location, target
-                )
+            object_distances = self._score_occupants(location, dist, occupants)
             ranked = first_k_kernel(ctx, object_distances, k)
             l_bound = ranked[k - 1][1] if len(ranked) >= k else _INF
 
             boundary = self.grid.boundary_vertices(cells)
             unresolved = unresolved_kernel(ctx, boundary, dist, l_bound)
             answer.cpu_seconds["sdist_cpu"] = time.perf_counter() - t0
-            sp.set_attr("elements", len(elements))
+            sp.set_attr("elements", len(slab))
             sp.set_attr("candidates", len(object_distances))
 
         candidates = {obj: d for obj, d in ranked}

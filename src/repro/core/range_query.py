@@ -88,14 +88,13 @@ def range_query(
         cells |= frontier
         answer.rounds += 1
 
-        elements = grid.elements_of_cells(cells)
-        vertices = grid.vertices_of_cells(cells)
+        slab = grid.pack_of_cells(cells)
         dist = processor.gpu.launch(
             "GPU_SDist",
-            max(1, len(elements)),
+            max(1, len(slab)),
             get_sdist_kernel(config.sdist_backend),
-            elements,
-            vertices,
+            slab,
+            slab.vertex_list,
             seeds,
             config.delta_v,
             config.sdist_early_exit,

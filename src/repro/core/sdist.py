@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Mapping
 
-from repro.core.graph_grid import GridVertexElement
+from repro.core.graph_grid import CellSlab, GridVertexElement
 from repro.core.ordering import result_sort_key
 from repro.simgpu.kernel import JobContext, KernelContext
 
@@ -51,7 +51,7 @@ def get_sdist_kernel(backend: str):
 
 def sdist_kernel(
     ctx: KernelContext,
-    elements: list[GridVertexElement],
+    elements: list[GridVertexElement] | CellSlab,
     vertices: list[int],
     seeds: Mapping[int, float],
     delta_v: int,
@@ -62,7 +62,9 @@ def sdist_kernel(
     Args:
         ctx: kernel context (one thread per vertex element).
         elements: vertex elements (incl. virtual) of the candidate cells;
-            each carries its incoming-edge records.
+            each carries its incoming-edge records.  A
+            :class:`~repro.core.graph_grid.CellSlab` also works — this
+            faithful kernel iterates its per-element view.
         vertices: the distinct real vertex ids (``V``); the round count.
         seeds: ``{vertex: initial distance}`` from the query location
             (see :func:`repro.roadnet.location.entry_costs`).
@@ -161,7 +163,7 @@ def unresolved_kernel(
 
 def sdist_batch_kernel(
     ctx: KernelContext,
-    jobs: list[tuple[list[GridVertexElement], list[int], Mapping[int, float]]],
+    jobs: list[tuple[list[GridVertexElement] | CellSlab, list[int], Mapping[int, float]]],
     kernel,
     delta_v: int,
     early_exit: bool = True,

@@ -8,6 +8,13 @@ relaxed per round with one ``minimum.at`` scatter, which is also exactly
 how a real GPU executes the kernel (one lane per edge slot, lockstep
 rounds, no write conflicts beyond atomic-min semantics).
 
+When the caller passes a :class:`~repro.core.graph_grid.CellSlab` (the
+packed array view sliced from the grid's one-time CSR form), the kernel
+consumes its pre-flattened local-index arrays directly — no per-launch
+``index_of`` rebuild, no per-edge Python loop.  A plain element list
+still works (the flattening happens here, as before), which keeps the
+kernel callable on hand-built subgraphs in tests.
+
 Selected via ``GGridConfig.sdist_backend = "vectorized"``; results are
 bit-identical to the lockstep backend (property-tested) and the charged
 GPU work is the same — only the *host* simulation gets faster.
@@ -17,34 +24,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.graph_grid import GridVertexElement
+from repro.core.graph_grid import CellSlab, GridVertexElement
 from repro.simgpu.kernel import KernelContext
 
 _INF = float("inf")
 
 
-def sdist_kernel_vectorized(
-    ctx: KernelContext,
-    elements: list[GridVertexElement],
-    vertices: list[int],
-    seeds: dict[int, float],
-    delta_v: int,
-    early_exit: bool = True,
-) -> dict[int, float]:
-    """Drop-in replacement for :func:`repro.core.sdist.sdist_kernel`.
-
-    Same signature, same results, same cost accounting; the relaxation
-    loop runs as numpy scatter operations instead of per-element Python.
-    """
+def _flatten_elements(
+    elements: list[GridVertexElement], vertices: list[int]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, dict[int, int]]:
+    """Legacy per-launch flattening for plain element lists."""
     index_of = {v: i for i, v in enumerate(vertices)}
-    n = len(vertices)
-    dist = np.full(n, np.inf)
-    for v, cost in seeds.items():
-        i = index_of.get(v)
-        if i is not None:
-            dist[i] = min(dist[i], cost)
-
-    # flatten the in-edge records whose sources lie inside the subgraph
     sources = []
     targets = []
     weights = []
@@ -57,9 +47,44 @@ def sdist_kernel_vectorized(
             sources.append(si)
             targets.append(ti)
             weights.append(rec.weight)
-    src = np.array(sources, dtype=np.int64)
-    tgt = np.array(targets, dtype=np.int64)
-    wgt = np.array(weights, dtype=np.float64)
+    return (
+        np.array(sources, dtype=np.int64),
+        np.array(targets, dtype=np.int64),
+        np.array(weights, dtype=np.float64),
+        index_of,
+    )
+
+
+def sdist_kernel_vectorized(
+    ctx: KernelContext,
+    elements: list[GridVertexElement] | CellSlab,
+    vertices: list[int],
+    seeds: dict[int, float],
+    delta_v: int,
+    early_exit: bool = True,
+) -> dict[int, float]:
+    """Drop-in replacement for :func:`repro.core.sdist.sdist_kernel`.
+
+    Same signature, same results, same cost accounting; the relaxation
+    loop runs as numpy scatter operations instead of per-element Python.
+    ``elements`` may be a :class:`CellSlab`, in which case the flattened
+    arrays come straight from the packed grid (``vertices`` must then be
+    the slab's own vertex list, which the query processor guarantees).
+    """
+    n = len(vertices)
+    dist = np.full(n, np.inf)
+    if isinstance(elements, CellSlab):
+        src, tgt, wgt = elements.src_local, elements.tgt_local, elements.weights
+        for v, cost in seeds.items():
+            i = elements.local_of(v)
+            if i is not None:
+                dist[i] = min(dist[i], cost)
+    else:
+        src, tgt, wgt, index_of = _flatten_elements(elements, vertices)
+        for v, cost in seeds.items():
+            i = index_of.get(v)
+            if i is not None:
+                dist[i] = min(dist[i], cost)
 
     rounds_run = 0
     for _ in range(max(1, n)):

@@ -17,6 +17,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import PartitionError
 from repro.partition.coarsen import PartGraph
 from repro.partition.multilevel import bisect_graph
@@ -63,7 +65,7 @@ class GridAssignment:
 
 
 def assign_cells(
-    graph: RoadNetwork, cell_capacity: int, seed: int = 0
+    graph: RoadNetwork, cell_capacity: int, seed: int = 0, method: str = "multilevel"
 ) -> GridAssignment:
     """Partition ``graph`` into grid cells of at most ``cell_capacity``.
 
@@ -75,11 +77,17 @@ def assign_cells(
         graph: the road network to partition.
         cell_capacity: the paper's ``delta_c``.
         seed: base RNG seed (each recursion derives a child seed).
+        method: ``"multilevel"`` (edge-cut-minimising bisections) or
+            ``"geometric"`` (:func:`assign_cells_geometric`).
 
     Returns:
         A :class:`GridAssignment` with every vertex in exactly one cell
         and no cell above capacity.
     """
+    if method == "geometric":
+        return assign_cells_geometric(graph, cell_capacity, seed=seed)
+    if method != "multilevel":
+        raise PartitionError(f"unknown partitioning method {method!r}")
     psi = psi_for(graph.num_vertices, cell_capacity)
     work = PartGraph.from_road_network(graph)
     n = graph.num_vertices
@@ -122,6 +130,62 @@ def assign_cells(
 
     split(list(range(n)), 2 * psi, 0, 0, side, side, seed + 1)
 
+    assignment = GridAssignment(psi, cell_capacity, cell_of_vertex, vertices_of_cell)
+    if assignment.max_cell_size() > cell_capacity:  # pragma: no cover - guarded by math
+        raise PartitionError(
+            f"cell capacity {cell_capacity} violated: {assignment.max_cell_size()}"
+        )
+    return assignment
+
+
+def assign_cells_geometric(
+    graph: RoadNetwork, cell_capacity: int, seed: int = 0
+) -> GridAssignment:
+    """Near-linear grid assignment by recursive coordinate-median splits.
+
+    Same output contract (and the same exact floor/ceil capacity
+    guarantee) as the multilevel :func:`assign_cells`, but each bisection
+    sorts one coordinate with numpy instead of running the multilevel
+    partitioner — ``O(|V| log^2 |V|)`` total, which is what makes
+    paper-scale graphs (hundreds of thousands of vertices at
+    ``delta_c = 3`` → tens of thousands of cells) partitionable in
+    seconds.  Splits alternate axes exactly like the multilevel recursion
+    (columns first when the rectangle is at least as wide as tall), ties
+    broken by vertex id, so the result is fully deterministic; ``seed``
+    is accepted for signature parity but unused.
+    """
+    del seed  # deterministic: median splits have no randomness
+    psi = psi_for(graph.num_vertices, cell_capacity)
+    n = graph.num_vertices
+    xs = np.fromiter((graph.vertex(v).x for v in range(n)), np.float64, n)
+    ys = np.fromiter((graph.vertex(v).y for v in range(n)), np.float64, n)
+    cell_of_vertex = [0] * n
+    side = 1 << psi
+    vertices_of_cell: list[list[int]] = [[] for _ in range(side * side)]
+
+    def split(idx: np.ndarray, depth: int, x0: int, y0: int, w: int, h: int) -> None:
+        if depth == 0:
+            z = z_encode(x0, y0, psi)
+            members = sorted(idx.tolist())
+            for vid in members:
+                cell_of_vertex[vid] = z
+            vertices_of_cell[z] = members
+            return
+        coords = xs if w >= h else ys
+        order = np.lexsort((idx, coords[idx]))
+        half0 = (len(idx) + 1) // 2  # ceil: keeps max part <= ceil(n/2^d)
+        part0 = idx[order[:half0]]
+        part1 = idx[order[half0:]]
+        if w >= h:  # split columns
+            w2 = w // 2
+            split(part0, depth - 1, x0, y0, w2, h)
+            split(part1, depth - 1, x0 + w2, y0, w - w2, h)
+        else:  # split rows
+            h2 = h // 2
+            split(part0, depth - 1, x0, y0, w, h2)
+            split(part1, depth - 1, x0, y0 + h2, w, h - h2)
+
+    split(np.arange(n, dtype=np.int64), 2 * psi, 0, 0, side, side)
     assignment = GridAssignment(psi, cell_capacity, cell_of_vertex, vertices_of_cell)
     if assignment.max_cell_size() > cell_capacity:  # pragma: no cover - guarded by math
         raise PartitionError(

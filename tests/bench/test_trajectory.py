@@ -128,7 +128,20 @@ class TestScenarios:
             "cluster",
             "serve",
             "subscriptions",
+            "scale",
         )
+
+    def test_scale_scenario_is_deterministic(self):
+        a = run_scenario("scale")
+        b = run_scenario("scale")
+        assert a.scenario == "scale"
+        # the scale row is counters-only: every value must be bit-stable
+        # (the dataset cache keeps the graph identical across replays)
+        assert a.counters == b.counters
+        assert a.counters["vertices"] > 30_000
+        assert a.counters["query_fallbacks"] == 0.0
+        assert a.counters["query_distance_checksum"] > 0.0
+        assert a.latency == {}
 
     def test_single_server_scenario_is_deterministic(self):
         a = run_scenario("single_server")

@@ -188,3 +188,77 @@ def test_gpu_transfer_accounted(medium_graph):
     assert delta.bytes_h2d > 0
     assert delta.bytes_d2h > 0
     assert delta.kernel_launches >= 2  # x-shuffle chunks + collect
+
+
+# ----------------------------------------------------------------------
+# host dedup: scalar loop vs columnar lexsort equivalence
+# ----------------------------------------------------------------------
+def _dedup_both(live_pairs):
+    """Run _dedup_host through both code paths on the same input."""
+    import pytest
+
+    import repro.core.cleaning as cleaning_mod
+    from repro.core.cleaning import CleaningResult, MessageCleaner
+    from repro.simgpu.device import SimGpu
+
+    cleaner = MessageCleaner(SimGpu(), GGridConfig())
+    out = []
+    for scalar_max in (10**9, 0):  # force scalar, then force columnar
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(cleaning_mod, "_HOST_DEDUP_SCALAR_MAX", scalar_max)
+            out.append(cleaner._dedup_host(list(live_pairs), CleaningResult()))
+    return out
+
+
+def _bucketize(messages, cells, capacity=4):
+    """Pack messages into (cell, Bucket) pairs of at most `capacity`."""
+    from repro.core.message_list import Bucket
+
+    pairs = []
+    for start in range(0, len(messages), capacity):
+        chunk = list(messages[start : start + capacity])
+        pairs.append((cells[start // capacity % len(cells)], Bucket(capacity, chunk)))
+    return pairs
+
+
+def test_host_dedup_columnar_matches_scalar_adversarial():
+    """Timestamp ties, removal markers and cross-bucket repeats must pick
+    the same winner (first message carrying the max (t, flag) key) and
+    produce the same dict insertion order on both paths."""
+    msgs = [
+        Message(1, 0, 0.1, 5.0),
+        Message(2, None, None, 5.0),  # marker: loses the t=5.0 tie below
+        Message(1, 3, 0.3, 5.0),  # same key as the first: first one wins
+        Message(2, 4, 0.4, 5.0),
+        Message(3, 5, 0.5, 1.0),
+        Message(2, None, None, 6.0),  # newest for obj 2: marker wins
+        Message(3, 6, 0.6, 1.0),  # tie again: first occurrence wins
+        Message(4, 7, 0.7, 2.0),
+    ]
+    live_pairs = _bucketize(msgs, cells=[11, 22, 33], capacity=3)
+    scalar, columnar = _dedup_both(live_pairs)
+    assert columnar == scalar
+    assert list(columnar) == list(scalar)  # insertion order too
+    assert scalar[1].offset == 0.1 and scalar[1].cell == 11
+    assert scalar[2].is_removal
+    assert scalar[3].offset == 0.5
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10**6))
+def test_host_dedup_columnar_matches_scalar_property(seed):
+    rng = random.Random(seed)
+    n = rng.randrange(1, 120)
+    msgs = []
+    for _ in range(n):
+        obj = rng.randrange(8)
+        t = float(rng.randrange(6))  # coarse times force many ties
+        if rng.random() < 0.25:
+            msgs.append(Message(obj, None, None, t))
+        else:
+            msgs.append(Message(obj, rng.randrange(20), rng.random(), t))
+    cells = [rng.randrange(50) for _ in range(4)]
+    live_pairs = _bucketize(msgs, cells, capacity=rng.randrange(1, 7))
+    scalar, columnar = _dedup_both(live_pairs)
+    assert columnar == scalar
+    assert list(columnar) == list(scalar)

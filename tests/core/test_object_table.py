@@ -70,6 +70,68 @@ def test_objects_snapshot_is_copy():
     assert 99 not in ot
 
 
+def test_inverse_map_pruned_on_sweep():
+    """Regression: an object sweeping across many cells must not leave a
+    trail of empty sets in the inverse map — its size tracks the cells
+    *currently* occupied, not every cell ever visited."""
+    ot = ObjectTable()
+    for cell in range(1000):
+        ot.put(1, _entry(cell=cell))
+    assert ot.num_tracked_cells() == 1
+    assert ot.occupied_cells() == [999]
+
+
+def test_inverse_map_pruned_on_remove():
+    ot = ObjectTable()
+    ot.put(1, _entry(cell=5))
+    ot.put(2, _entry(cell=5))
+    ot.remove(1)
+    assert ot.num_tracked_cells() == 1
+    ot.remove(2)
+    assert ot.num_tracked_cells() == 0
+    assert ot.occupied_cells() == []
+
+
+def test_fleet_churn_bounds_tracked_cells():
+    """Many objects relocating for many rounds: the map stays at the
+    number of distinct occupied cells, independent of churn history."""
+    import random
+
+    ot = ObjectTable()
+    rng = random.Random(3)
+    for round_ in range(50):
+        for obj in range(40):
+            ot.put(obj, _entry(cell=rng.randrange(30), t=float(round_)))
+        occupied = {ot.get(obj).cell for obj in range(40)}
+        assert ot.num_tracked_cells() == len(occupied)
+
+
+def test_cell_columns_sorted_and_consistent():
+    ot = ObjectTable()
+    ot.put(9, _entry(cell=2, edge=4, offset=0.25, t=1.0))
+    ot.put(3, _entry(cell=2, edge=7, offset=0.5, t=2.0))
+    ot.put(5, _entry(cell=1, edge=0, offset=0.0, t=3.0))
+    cols = ot.cell_columns(2)
+    assert cols.objs.tolist() == [3, 9]  # ascending object id
+    assert cols.edges.tolist() == [7, 4]
+    assert cols.offsets.tolist() == [0.5, 0.25]
+    assert cols.ts.tolist() == [2.0, 1.0]
+    assert ot.cell_columns(7) is None  # never occupied
+
+
+def test_cell_columns_invalidated_by_moves():
+    ot = ObjectTable()
+    ot.put(1, _entry(cell=2, t=1.0))
+    assert ot.cell_columns(2).objs.tolist() == [1]
+    ot.put(1, _entry(cell=3, t=2.0))  # move invalidates both cells
+    assert ot.cell_columns(2) is None
+    assert ot.cell_columns(3).objs.tolist() == [1]
+    ot.put(1, _entry(cell=3, t=5.0))  # in-place re-report refreshes ts
+    assert ot.cell_columns(3).ts.tolist() == [5.0]
+    ot.remove(1)
+    assert ot.cell_columns(3) is None
+
+
 def test_size_bytes_linear_in_objects():
     ot = ObjectTable()
     for i in range(10):

@@ -79,6 +79,69 @@ def test_config_rejects_unknown_backend():
         GGridConfig(sdist_backend="metal")
 
 
+def _launch(gpu, grid, kernel, elements, vertices, seeds):
+    return gpu.launch(
+        "sdist",
+        max(1, len(elements)),
+        kernel,
+        elements,
+        vertices,
+        seeds,
+        grid.config.delta_v,
+        True,
+    )
+
+
+def test_slab_counter_identity(medium_graph):
+    """Regression: the packed CellSlab fast path must charge exactly the
+    work the per-launch re-flattening path charged, and return the same
+    distances bit for bit.
+
+    The slab's edge records follow the same (cell, vertex, record) order
+    the legacy flatten produced, so ``np.minimum.at`` sees identical
+    update sequences — any divergence in ``lane_ops`` or a single float
+    means the layouts drifted apart.
+    """
+    grid = GraphGrid.build(medium_graph, GGridConfig())
+    rng = random.Random(9)
+    for trial in range(5):
+        n = grid.num_cells
+        cells = set(rng.sample(range(n), rng.randrange(2, min(12, n))))
+        elements = grid.elements_of_cells(cells)
+        vertices = grid.vertices_of_cells(cells)
+        slab = grid.pack_of_cells(cells)
+        assert len(slab) == len(elements)
+        assert slab.vertex_list == vertices
+        if not vertices:
+            continue
+        seeds = {rng.choice(vertices): rng.uniform(0, 2.0)}
+
+        gpu_legacy, gpu_slab = SimGpu(), SimGpu()
+        legacy = _launch(
+            gpu_legacy, grid, sdist_kernel_vectorized, elements, vertices, seeds
+        )
+        packed = _launch(
+            gpu_slab, grid, sdist_kernel_vectorized, slab, slab.vertex_list, seeds
+        )
+        assert packed == legacy  # bit-identical floats, same key set
+        assert gpu_slab.stats.lane_ops == gpu_legacy.stats.lane_ops
+        assert gpu_slab.stats.kernel_launches == gpu_legacy.stats.kernel_launches
+
+
+def test_slab_feeds_lockstep_kernel_too(small_graph):
+    """The lockstep kernel iterates the slab's lazily materialised
+    elements; distances must match running it on the legacy list."""
+    grid = GraphGrid.build(small_graph, GGridConfig())
+    cells = set(range(min(6, grid.num_cells)))
+    elements = grid.elements_of_cells(cells)
+    slab = grid.pack_of_cells(cells)
+    vertices = grid.vertices_of_cells(cells)
+    seeds = {vertices[0]: 0.0}
+    legacy = _launch(SimGpu(), grid, sdist_kernel, elements, vertices, seeds)
+    packed = _launch(SimGpu(), grid, sdist_kernel, slab, slab.vertex_list, seeds)
+    assert packed == legacy
+
+
 def test_end_to_end_answers_identical(medium_graph):
     """Full kNN answers must not depend on the backend."""
     rng = random.Random(5)

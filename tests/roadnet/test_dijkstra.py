@@ -2,11 +2,14 @@
 
 import random
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.roadnet.dijkstra import (
+    BoundedSearch,
+    SearchStats,
     bounded_dijkstra,
     dijkstra,
     dijkstra_with_paths,
@@ -103,6 +106,61 @@ def test_bounded_is_restriction_of_full(seed, radius):
     full = dijkstra(g, source)
     bounded = bounded_dijkstra(g, source, radius)
     assert bounded == {v: d for v, d in full.items() if d <= radius}
+
+
+def test_bounded_search_breaks_instead_of_draining(line_graph):
+    """Regression: a pop beyond the radius must *stop* the search.
+
+    Pops are monotone non-decreasing, so once one exceeds the radius
+    nothing later can settle — the old code `continue`d and drained the
+    rest of the heap one stale pop at a time.  With three over-radius
+    seeds queued, breaking pops exactly once past the radius; draining
+    would pop all three.
+    """
+    seeds = {0: 0.0, 2: 10.0, 3: 11.0, 4: 12.0}
+    stats = SearchStats()
+    dist = multi_source_dijkstra(line_graph, seeds, radius=1.0, stats=stats)
+    assert dist == {0: 0.0, 1: 1.0}
+    assert stats.settled == 2
+    # pops: (0.0, 0), (1.0, 1), then (10.0, 2) triggers the break —
+    # seeds 3 and 4 are never popped
+    assert stats.pops == 3
+
+
+def test_bounded_search_stats_settled_matches_result(line_graph):
+    stats = SearchStats()
+    dist = multi_source_dijkstra(line_graph, {0: 0.0}, radius=2.5, stats=stats)
+    assert stats.settled == len(dist) == 3
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10**6), st.floats(0.5, 5.0))
+def test_shared_array_search_matches_dict_search(seed, radius):
+    """Property: BoundedSearch == multi_source_dijkstra, pops included."""
+    g = grid_road_network(5, 5, seed=seed % 100)
+    source = seed % g.num_vertices
+    ref_stats = SearchStats()
+    ref = multi_source_dijkstra(g, {source: 0.0}, radius=radius, stats=ref_stats)
+    search = BoundedSearch(g)
+    got_stats = SearchStats()
+    settled = search.run(source, radius, stats=got_stats)
+    got = {int(v): float(d) for v, d in zip(settled, search.distances(settled))}
+    assert got == ref  # exact float equality: same additions, same order
+    assert (got_stats.pops, got_stats.settled) == (ref_stats.pops, ref_stats.settled)
+
+
+def test_shared_array_search_resets_between_runs(small_graph):
+    """A second run must not see the first run's distances or stamps."""
+    search = BoundedSearch(small_graph)
+    search.run(0, 5.0)
+    for source, radius in ((3, 1.5), (0, 0.0), (7, 2.5)):
+        settled = search.run(source, radius)
+        ref = bounded_dijkstra(small_graph, source, radius)
+        got = {int(v): float(d) for v, d in zip(settled, search.distances(settled))}
+        assert got == ref
+        # is_settled answers for the *latest* run only
+        verts = np.arange(small_graph.num_vertices, dtype=np.int64)
+        assert set(verts[search.is_settled(verts)].tolist()) == set(ref)
 
 
 def test_triangle_inequality_holds(small_graph):
