@@ -13,6 +13,7 @@ import time
 from repro.core.knn import KnnAnswer, KnnResultEntry
 from repro.core.messages import Message
 from repro.errors import QueryError
+from repro.plan.backends import validate_knn_args
 from repro.roadnet.dijkstra import multi_source_dijkstra
 from repro.roadnet.graph import RoadNetwork
 from repro.roadnet.location import NetworkLocation, entry_costs, location_distance
@@ -57,9 +58,7 @@ class NaiveKnnIndex:
         self, location: NetworkLocation, k: int, t_now: float | None = None
     ) -> KnnAnswer:
         """Exact kNN by exhaustive search."""
-        if k <= 0:
-            raise QueryError(f"k must be positive, got {k}")
-        location.validate(self.graph)
+        validate_knn_args(self.graph, location, k)
         answer = KnnAnswer()
         t0 = time.perf_counter()
         dist = multi_source_dijkstra(self.graph, entry_costs(self.graph, location))

@@ -31,6 +31,7 @@ from repro.core.knn import KnnAnswer, KnnResultEntry
 from repro.core.messages import Message
 from repro.errors import QueryError
 from repro.partition.tree import PartitionTree, TreeNode
+from repro.plan.backends import validate_knn_args
 from repro.roadnet.dijkstra import multi_source_dijkstra
 from repro.roadnet.graph import RoadNetwork
 from repro.roadnet.location import NetworkLocation
@@ -163,9 +164,7 @@ class RoadIndex:
         self, location: NetworkLocation, k: int, t_now: float | None = None
     ) -> KnnAnswer:
         """Network expansion with empty-Rnet shortcutting."""
-        if k <= 0:
-            raise QueryError(f"k must be positive, got {k}")
-        location.validate(self.graph)
+        validate_knn_args(self.graph, location, k)
         answer = KnnAnswer()
         t0 = time.perf_counter()
         best, settled = self._expand(location, k)

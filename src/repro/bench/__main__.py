@@ -26,7 +26,7 @@ the run (see :mod:`repro.chaos`): the simulated device fails per the
 profile and the G-Grid serving path rides its degradation ladder —
 results stay exact, the timing columns show the cost.
 
-The ``trajectory`` command replays the seven tracked serving scenarios,
+The ``trajectory`` command replays the eight tracked serving scenarios,
 appends one row each to ``results/trajectory/BENCH_<scenario>.json``,
 and exits non-zero if any deterministic counter (or, loosely, any
 modelled latency) regressed against the committed baseline row — see
@@ -121,6 +121,11 @@ EXPERIMENTS = {
     "scale": (
         experiments.scale_datapath,
         "Paper-scale data plane: build/ingest/query/update at 1/8 scale",
+        True,
+    ),
+    "planner": (
+        experiments.planner_crossover,
+        "Planner: adaptive backend crossover vs fixed G-Grid and TEN",
         True,
     ),
 }
@@ -233,6 +238,14 @@ def main(argv: list[str] | None = None) -> int:
                     f"dirty={row.counters['mean_dirty_fraction']:.4f} "
                     f"refreshes={row.counters['dirty_refreshes']:.0f}"
                     f"/{row.counters['full_refreshes']:.0f} "
+                    f"mismatches={row.counters['answer_mismatches']:.0f}"
+                )
+            elif "off_best_mixes" in row.counters:
+                # the planner row: all-deterministic crossover counters
+                detail = (
+                    f"qd_plan={row.counters['query_dominant_cost_planner_s']:.6f}s "
+                    f"hits={row.counters['query_dominant_cache_hits']:.0f} "
+                    f"off_best={row.counters['off_best_mixes']:.0f} "
                     f"mismatches={row.counters['answer_mismatches']:.0f}"
                 )
             else:  # the serve row is all-deterministic counters

@@ -827,6 +827,133 @@ def subscriptions(dataset: str = "NY") -> list[dict[str, Any]]:
     return rows
 
 
+def _plan_modeled_cost(report: Any, *indexes: Any) -> float:
+    """Deterministic modelled seconds of one replay, planner currency.
+
+    Simulated GPU seconds plus every deterministic op counter the
+    backends expose (cache touches, labels materialized, lookup pops)
+    priced at ``touch_cost_s`` — no wall time anywhere, so the crossover
+    table is bit-stable across machines and replays.
+    """
+    touch = report.timing.touch_cost_s
+    ops = 0
+    for index in indexes:
+        ops += getattr(index, "update_touches", 0)
+        ops += getattr(index, "labels_built", 0)
+        ops += getattr(index, "query_pops", 0)
+    return ops * touch + report.gpu_seconds
+
+
+#: the planner experiment's traffic mixes: (label, objects, update
+#: frequency, queries, duration) — spanning update:query from ~600:1
+#: down to ~1:12 so the crossover is inside the sweep, not at its edge
+PLANNER_MIXES = (
+    ("update-heavy", 300, 1.0, 40, 80.0),
+    ("balanced", 300, 0.1, 120, 80.0),
+    ("query-dominant", 200, 0.002, 400, 80.0),
+)
+
+
+def planner_crossover(dataset: str = "NY") -> list[dict[str, Any]]:
+    """Adaptive planner: the update:query crossover (DESIGN.md §17).
+
+    One row per traffic mix, each replayed three ways over the identical
+    workload: always-G-Grid, always-TEN, and the adaptive planner (with
+    its delta-invalidated result cache; queries draw from a small
+    repeated pool, the traffic shape the cache exists for).  The
+    acceptance bars: ``answers_match`` reads ``True`` on every row (the
+    planner never trades correctness), the planner majority-routes to
+    G-Grid on the update-heavy mix and to TEN on the query-dominant mix
+    (``chosen``), and on every mix the planner's deterministic modelled
+    cost is within float dust of — or below — the best fixed backend
+    (``within_best``): parking makes it *equal* to G-Grid where TEN
+    can't win, and cache hits push it *below* both where traffic
+    repeats.
+    """
+    from repro.config import GGridConfig
+    from repro.mobility.workload import Query, make_workload, random_locations
+    from repro.plan import QueryPlanner, TenIndex
+    from repro.server.server import QueryServer
+
+    graph = load_dataset(dataset)
+    config = GGridConfig()
+    k, k_max, pool_size = 8, 32, 8
+    rows: list[dict[str, Any]] = []
+    for label, num_objects, freq, num_queries, duration in PLANNER_MIXES:
+        workload = make_workload(
+            graph,
+            num_objects=num_objects,
+            duration=duration,
+            num_queries=num_queries,
+            k=k,
+            update_frequency=freq,
+            seed=11,
+        )
+        pool = random_locations(graph, pool_size, seed=23)
+        workload.queries = [
+            Query(t=q.t, location=pool[i % pool_size], k=q.k)
+            for i, q in enumerate(workload.queries)
+        ]
+
+        ggrid = GGridIndex(graph, config)
+        report_gg, answers_gg = QueryServer(ggrid).replay(
+            workload, collect_answers=True
+        )
+        cost_gg = _plan_modeled_cost(report_gg, ggrid)
+
+        ten = TenIndex(graph, k_max=k_max, t_delta=config.t_delta)
+        report_ten, answers_ten = QueryServer(ten).replay(
+            workload, collect_answers=True
+        )
+        cost_ten = _plan_modeled_cost(report_ten, ten)
+
+        planner = QueryPlanner(k_max=k_max)
+        primary = GGridIndex(graph, config)
+        report_plan, answers_plan = QueryServer(primary, planner=planner).replay(
+            workload, collect_answers=True
+        )
+        cost_plan = _plan_modeled_cost(report_plan, primary, planner.ten)
+
+        def entries(answers: list[Any]) -> list[list[tuple[int, float]]]:
+            return [
+                [(e.obj, round(e.distance, 9)) for e in a.entries]
+                for a in answers
+            ]
+
+        reference = entries(answers_gg)
+        answers_match = reference == entries(answers_plan) and reference == entries(
+            answers_ten
+        )
+        checksum = round(
+            sum(d for answer in reference for _, d in answer), 9
+        )
+        summary = planner.summary()
+        decisions_gg = summary["decisions_ggrid"]
+        decisions_ten = summary["decisions_ten"]
+        best_fixed = min(cost_gg, cost_ten)
+        rows.append(
+            {
+                "mix": label,
+                "updates": report_gg.n_updates,
+                "queries": report_gg.n_queries,
+                "cost_ggrid_s": round(cost_gg, 9),
+                "cost_ten_s": round(cost_ten, 9),
+                "cost_planner_s": round(cost_plan, 9),
+                "chosen": "ten" if decisions_ten > decisions_gg else "ggrid",
+                "decisions_ggrid": int(decisions_gg),
+                "decisions_ten": int(decisions_ten),
+                "cache_hits": int(summary["cache_hits"]),
+                "cache_invalidations": int(summary["cache_invalidations"]),
+                "ten_rebuilds": int(summary["ten_rebuilds_full"]),
+                "parked": bool(summary["parked"]),
+                "within_best": cost_plan <= best_fixed * (1 + 1e-9),
+                "answers_match": answers_match,
+                "distance_checksum": checksum,
+            }
+        )
+    return rows
+
+
 # ----------------------------------------------------------------------
 # paper-scale data plane (DESIGN.md §16)
 # ----------------------------------------------------------------------

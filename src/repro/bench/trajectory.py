@@ -1,8 +1,9 @@
 """Perf-trajectory recording and the regression gate behind it.
 
-Every run of ``python -m repro.bench trajectory`` replays seven small,
+Every run of ``python -m repro.bench trajectory`` replays eight small,
 fully seeded scenarios — ``single_server``, ``batch``, ``chaos``,
-``cluster``, ``serve``, ``subscriptions`` and ``scale`` — and appends
+``cluster``, ``serve``, ``subscriptions``, ``scale`` and ``planner`` —
+and appends
 one row per scenario to ``results/trajectory/BENCH_<scenario>.json``.  A row separates two kinds
 of numbers:
 
@@ -36,7 +37,7 @@ from typing import Any, Callable
 
 from repro.errors import ConfigError
 
-#: the seven serving shapes whose trajectories are tracked
+#: the eight serving shapes whose trajectories are tracked
 SCENARIOS: tuple[str, ...] = (
     "single_server",
     "batch",
@@ -45,6 +46,7 @@ SCENARIOS: tuple[str, ...] = (
     "serve",
     "subscriptions",
     "scale",
+    "planner",
 )
 
 #: relative headroom for deterministic counters (float dust only)
@@ -316,6 +318,48 @@ def _run_scale(dataset: str) -> TrajectoryRow:
     )
 
 
+def _run_planner(dataset: str) -> TrajectoryRow:
+    """The adaptive-planner crossover sweep (DESIGN.md §17).
+
+    Folds the per-mix rows of
+    :func:`repro.bench.experiments.planner_crossover` — three traffic
+    mixes, each replayed through fixed G-Grid, fixed TEN and the
+    adaptive planner — into one row.  Costs are the planner's own
+    deterministic currency (op counters priced at ``touch_cost_s`` plus
+    simulated GPU seconds), and decisions/cache counts ride the modelled
+    clock, so the whole row rides ``counters`` at float dust.
+    ``answer_mismatches`` recording 0 *is* the byte-identical acceptance
+    criterion; a planner cost creeping above its committed value means a
+    routing, parking or cache regression.
+    """
+    from repro.bench.experiments import planner_crossover
+
+    started = time.perf_counter()
+    rows = {row["mix"]: row for row in planner_crossover(dataset)}
+    counters: dict[str, float] = {
+        "answer_mismatches": float(
+            sum(0 if row["answers_match"] else 1 for row in rows.values())
+        ),
+        "off_best_mixes": float(
+            sum(0 if row["within_best"] else 1 for row in rows.values())
+        ),
+    }
+    for mix, row in rows.items():
+        tag = mix.replace("-", "_")
+        counters[f"{tag}_cost_ggrid_s"] = float(row["cost_ggrid_s"])
+        counters[f"{tag}_cost_ten_s"] = float(row["cost_ten_s"])
+        counters[f"{tag}_cost_planner_s"] = float(row["cost_planner_s"])
+        counters[f"{tag}_decisions_ten"] = float(row["decisions_ten"])
+        counters[f"{tag}_cache_hits"] = float(row["cache_hits"])
+        counters[f"{tag}_distance_checksum"] = float(row["distance_checksum"])
+    return TrajectoryRow(
+        scenario="planner",
+        recorded_at=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        wall_s=time.perf_counter() - started,
+        counters=counters,
+    )
+
+
 _RUNNERS: dict[str, Callable[[str], TrajectoryRow]] = {
     "single_server": _run_single_server,
     "batch": _run_batch,
@@ -324,6 +368,7 @@ _RUNNERS: dict[str, Callable[[str], TrajectoryRow]] = {
     "serve": _run_serve,
     "subscriptions": _run_subscriptions,
     "scale": _run_scale,
+    "planner": _run_planner,
 }
 
 

@@ -160,6 +160,7 @@ class ShardRouter:
         ship_every: int = 8,
         failure_plan: ShardFailurePlan | None = None,
         rebalance: RebalancePolicy | None = None,
+        planner_factory: "object | None" = None,
     ) -> None:
         """Args:
             graph: the shared road network (replicated to every shard).
@@ -177,6 +178,16 @@ class ShardRouter:
             ship_every: replica apply interval, in shipped WAL records.
             failure_plan: scheduled shard failures applied at event time.
             rebalance: hot-shard split policy (``None`` = no splits).
+            planner_factory: zero-arg callable returning a fresh
+                :class:`~repro.plan.planner.QueryPlanner` per shard
+                server (DESIGN.md §17).  Each shard plans its own
+                backend from its own traffic; the scatter-gather
+                pruning contract is unaffected because every backend
+                answers exactly — the router's
+                :class:`~repro.cluster.shardmap.CellDistanceBound`
+                pruning reasons about the *answers*, not about which
+                index produced them.  Failover and split shards get a
+                fresh planner from the same factory.
         """
         if num_shards < 1:
             raise ClusterError(f"num_shards must be >= 1, got {num_shards}")
@@ -203,6 +214,7 @@ class ShardRouter:
             self.failure_plan.failures, key=lambda f: (f[1], f[0])
         )
         self.rebalance = rebalance
+        self.planner_factory = planner_factory
         self._load = LoadTracker()
         self._inst = ClusterInstruments(self.obs) if self.obs is not None else None
         #: rate-limited failover warning (1st occurrence, then every
@@ -249,8 +261,11 @@ class ShardRouter:
             batch=self.batch,
             durability=manager,
             publish_slo=False,
+            planner=self.planner_factory() if self.planner_factory else None,
         )
         index.brownout = self._brownout
+        if server.planner is not None:
+            server.planner.set_brownout(self._brownout)
         replica = (
             Replica(sid, self.graph, self.config, self.grid, self.ship_every)
             if self.replicas_enabled
@@ -269,6 +284,8 @@ class ShardRouter:
         self._brownout = active
         for shard in self.shards.values():
             shard.index.brownout = active
+            if shard.server.planner is not None:
+                shard.server.planner.set_brownout(active)
 
     def _scratch(self) -> ReplayReport:
         return ReplayReport(index_name=self.name, timing=self.timing)
@@ -723,7 +740,12 @@ class ShardRouter:
             batch=self.batch,
             durability=manager,
             publish_slo=False,
+            # a fresh planner: its TEN foil bootstraps from the promoted
+            # index's object table inside attach()
+            planner=self.planner_factory() if self.planner_factory else None,
         )
+        if server.planner is not None:
+            server.planner.set_brownout(self._brownout)
         self.shards[sid] = Shard(
             sid,
             server,

@@ -94,6 +94,12 @@ class SubscriptionError(ReproError):
     that cannot serve batched queries, or a corrupt delta stream."""
 
 
+class PlanError(ReproError):
+    """Raised by the adaptive query planner (``repro.plan``): an unknown
+    backend name, a planner attached to an incompatible index, or a
+    cache configured with a non-positive time bucket."""
+
+
 class ShedError(ReproError):
     """Raised when the serving front door rejects a query instead of
     answering it (``repro.serve``, DESIGN.md §14).

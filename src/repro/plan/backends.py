@@ -1,0 +1,148 @@
+"""The pluggable index-backend protocol and its shared entry-point rules.
+
+Every kNN index in this repository — the paper's G-Grid, the eager
+V-Tree / ROAD baselines, the Naive oracle and the planner's own TEN
+index — answers the same queries with the same canonical ``(distance,
+object id)`` ordering (:mod:`repro.core.ordering`).  Before this module
+each of them hand-copied the same ``knn`` prologue (reject ``k <= 0``,
+validate the location against the graph); the copies had already started
+to drift in their error text.  :func:`validate_knn_args` is now the one
+shared prologue, and :class:`IndexBackend` is the runtime-checkable
+protocol the planner (and :class:`~repro.server.server.QueryServer`)
+program against.
+
+Capabilities beyond the core contract are feature-detected, never
+assumed:
+
+* ``knn_batch`` — epoch-batched execution (G-Grid only today);
+* ``remove_object`` — explicit deregistration;
+* ``range_query`` — radius queries.
+
+:func:`make_backend` builds any backend by name with one call; imports
+are lazy so this module stays dependency-free for the baselines that
+import it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.errors import PlanError, QueryError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.knn import KnnAnswer
+    from repro.core.messages import Message
+    from repro.roadnet.graph import RoadNetwork
+    from repro.roadnet.location import NetworkLocation
+
+
+@runtime_checkable
+class IndexBackend(Protocol):
+    """What the planner requires of a pluggable index backend.
+
+    The contract every implementation must honour:
+
+    * ``knn`` returns entries in the canonical ascending
+      ``(distance, object id)`` order with unreachable objects dropped;
+    * ``ingest`` applies a location update; monotone timestamps;
+    * cost counters (``update_touches`` and whatever the backend's
+      query path reports through :class:`~repro.core.knn.KnnAnswer`)
+      are deterministic — identical across replays of the same workload.
+    """
+
+    name: str
+
+    def ingest(self, message: "Message") -> None: ...
+
+    def bulk_load(
+        self, placements: dict[int, "NetworkLocation"], t: float
+    ) -> None: ...
+
+    def knn(
+        self, location: "NetworkLocation", k: int, t_now: float | None = None
+    ) -> "KnnAnswer": ...
+
+    def size_bytes(self) -> dict[str, int]: ...
+
+    def reset_objects(self) -> None: ...
+
+
+def validate_knn_args(
+    graph: "RoadNetwork", location: "NetworkLocation", k: int
+) -> None:
+    """The shared ``knn(...)`` entry-point prologue.
+
+    Raises:
+        QueryError: for a non-positive ``k``.
+        GraphError: for a location off ``graph`` (unknown edge or an
+            offset outside ``[0, weight]``).
+    """
+    if k <= 0:
+        raise QueryError(f"k must be positive, got {k}")
+    location.validate(graph)
+
+
+def supports_batch(backend: object) -> bool:
+    """True when the backend exposes epoch-batched execution."""
+    return callable(getattr(backend, "knn_batch", None))
+
+
+def supports_removal(backend: object) -> bool:
+    """True when the backend supports explicit object deregistration."""
+    return callable(getattr(backend, "remove_object", None))
+
+
+#: the names :func:`make_backend` accepts, in documentation order
+BACKEND_NAMES = ("ggrid", "ten", "naive", "road", "vtree", "vtree_gpu")
+
+
+def make_backend(
+    name: str,
+    graph: "RoadNetwork",
+    config: object | None = None,
+    **kwargs: object,
+) -> IndexBackend:
+    """Build an index backend by name.
+
+    Args:
+        name: one of :data:`BACKEND_NAMES`.
+        graph: the road network.
+        config: a :class:`~repro.config.GGridConfig` (only ``ggrid``
+            consumes it; ``ten`` borrows its ``t_delta`` so expiry
+            visibility matches G-Grid's lazy cleaning).
+        kwargs: forwarded to the backend constructor (e.g. ``leaf_size``
+            for the tree indexes, ``k_max`` for TEN).
+
+    Raises:
+        PlanError: for an unknown backend name.
+    """
+    if name == "ggrid":
+        from repro.config import GGridConfig
+        from repro.core.ggrid import GGridIndex
+
+        return GGridIndex(graph, config or GGridConfig(), **kwargs)
+    if name == "ten":
+        from repro.plan.ten import TenIndex
+
+        if config is not None and "t_delta" not in kwargs:
+            kwargs["t_delta"] = config.t_delta
+        return TenIndex(graph, **kwargs)
+    if name == "naive":
+        from repro.baselines.naive import NaiveKnnIndex
+
+        return NaiveKnnIndex(graph)
+    if name == "road":
+        from repro.baselines.road import RoadIndex
+
+        return RoadIndex(graph, **kwargs)
+    if name == "vtree":
+        from repro.baselines.vtree import VTreeIndex
+
+        return VTreeIndex(graph, **kwargs)
+    if name == "vtree_gpu":
+        from repro.baselines.vtree_gpu import VTreeGpuIndex
+
+        return VTreeGpuIndex(graph, **kwargs)
+    raise PlanError(
+        f"unknown backend {name!r}; expected one of {', '.join(BACKEND_NAMES)}"
+    )

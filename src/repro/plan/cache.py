@@ -1,0 +1,220 @@
+"""A delta-invalidated kNN result cache.
+
+Repeated-query traffic (app users polling the same junction, standing
+dashboards) re-pays a whole backend per query even though nothing moved
+nearby.  :class:`ResultCache` short-circuits that: answers are cached
+under ``(cell, edge, offset, k, time-bucket)`` and invalidated by the
+*same* message-stream tap that feeds :mod:`repro.subscribe` — the
+planner taps :meth:`observe` / :meth:`observe_remove` from the server's
+update path, exactly like ``attach_subscriptions`` delta plumbing.
+
+The no-stale-answer invariant (property-tested in
+``tests/plan/test_cache.py``) mirrors the subscription manager's
+dirty-marking rules; a cached entry survives a message only when the
+message provably cannot change the answer:
+
+* **member** — any message (move or removal) touching a cached member
+  invalidates: the member's distance may grow, or it vanishes.
+* **radius** — a non-member *move* invalidates every entry whose
+  cell-distance lower bound (:class:`~repro.cluster.shardmap.
+  CellDistanceBound`) to the message's cell is ``<=`` the entry's k-th
+  distance ``d_k`` — ties included, because an equidistant smaller id
+  would enter the canonical order.  While the entry holds fewer than
+  ``k`` objects the radius is infinite and any move invalidates.  A
+  non-member *removal* is provably safe: it cannot shrink any of the k
+  nearest distances, and while the entry is short every reachable
+  visible object is already a member.
+* **expiry** — lazy cleaning drops a member whose last report ages past
+  ``t_delta`` even when no message arrives, so an entry is only served
+  while ``t_now <= min(member report time) + t_delta``.  Members whose
+  report the tap never saw count as already expired (conservative).
+
+A hit returns a *copy* of the cached answer with its cost fields zeroed:
+the entries are byte-identical to a cold query, and the served cost is
+the cache's (nothing — no kernels, no cleaning, no refinement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.cluster.shardmap import CellDistanceBound
+from repro.core.knn import KnnAnswer, KnnResultEntry
+from repro.errors import PlanError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.graph_grid import GraphGrid
+    from repro.core.messages import Message
+    from repro.roadnet.location import NetworkLocation
+
+_INF = float("inf")
+
+#: (cell, edge, offset, k, bucket) — the exact location is part of the
+#: key (two locations in one cell have different answers); the bucket
+#: bounds how long an entry can live even without invalidation
+CacheKey = tuple[int, int, float, int, int]
+
+
+@dataclass
+class CacheEntry:
+    """One cached answer with everything invalidation needs."""
+
+    key: CacheKey
+    location: "NetworkLocation"
+    k: int
+    entries: tuple[tuple[int, float], ...]
+    members: frozenset[int]
+    #: the pruning radius d_k; infinite while the answer is short
+    radius: float
+    #: serve only while t_now <= expires_at (member expiry horizon)
+    expires_at: float
+    #: serve only at t_now >= stored_at: visibility is monotone in time,
+    #: so an earlier query could legally see *more* objects
+    stored_at: float
+
+
+class ResultCache:
+    """Delta-invalidated memo of exact kNN answers.
+
+    Deterministic counters (``hits`` / ``misses`` / ``invalidations``)
+    feed the trajectory gate; the planner mirrors them into the
+    ``repro_plan_cache_*`` metric families.
+    """
+
+    def __init__(
+        self,
+        grid: "GraphGrid",
+        t_delta: float = _INF,
+        bound: CellDistanceBound | None = None,
+        bucket_s: float | None = None,
+        max_entries: int = 1024,
+    ) -> None:
+        """Args:
+            grid: the G-Grid partitioning (cell keys + distance bounds).
+            t_delta: the report-freshness horizon of the backing index.
+            bound: cell-distance lower bound; built from ``grid`` when
+                not shared with a router.
+            bucket_s: time-bucket width for the cache key; defaults to
+                ``t_delta`` (one expiry horizon), or 60s when expiry is
+                disabled.
+            max_entries: FIFO capacity cap.
+        """
+        if bucket_s is not None and bucket_s <= 0:
+            raise PlanError(f"cache bucket_s must be positive, got {bucket_s}")
+        if max_entries < 1:
+            raise PlanError(f"cache max_entries must be >= 1, got {max_entries}")
+        self.grid = grid
+        self.t_delta = t_delta
+        self.bound = bound or CellDistanceBound(grid)
+        self.bucket_s = bucket_s or (t_delta if t_delta < _INF else 60.0)
+        self.max_entries = max_entries
+        self._entries: dict[CacheKey, CacheEntry] = {}
+        #: last report time per live object — the expiry-horizon clock
+        self._last_seen: dict[int, float] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key_for(self, location: "NetworkLocation", k: int, t: float) -> CacheKey:
+        cell = self.grid.cell_of_edge(location.edge_id)
+        return (cell, location.edge_id, location.offset, k, int(t // self.bucket_s))
+
+    # ------------------------------------------------------------------
+    # lookup / store
+    # ------------------------------------------------------------------
+    def lookup(
+        self, location: "NetworkLocation", k: int, t: float
+    ) -> KnnAnswer | None:
+        """The cached answer for this query, or None (counted as a miss)."""
+        entry = self._entries.get(self.key_for(location, k, t))
+        if entry is None:
+            self.misses += 1
+            return None
+        if t > entry.expires_at:
+            # a member aged past t_delta: lazy cleaning would drop it
+            del self._entries[entry.key]
+            self.invalidations += 1
+            self.misses += 1
+            return None
+        if t < entry.stored_at:
+            self.misses += 1
+            return None
+        self.hits += 1
+        answer = KnnAnswer()
+        answer.entries = [KnnResultEntry(o, d) for o, d in entry.entries]
+        return answer
+
+    def store(
+        self, location: "NetworkLocation", k: int, t: float, answer: KnnAnswer
+    ) -> None:
+        """Memoize a cold answer under its ``(cell, k, bucket)`` key."""
+        if len(self._entries) >= self.max_entries:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        members = frozenset(e.obj for e in answer.entries)
+        if members and all(obj in self._last_seen for obj in members):
+            expires_at = (
+                min(self._last_seen[obj] for obj in members) + self.t_delta
+            )
+        elif members:
+            # a member the tap never saw has no report time: treat it as
+            # already expired (conservative — the entry is never served)
+            expires_at = -_INF
+        else:
+            expires_at = _INF
+        key = self.key_for(location, k, t)
+        self._entries[key] = CacheEntry(
+            key=key,
+            location=location,
+            k=k,
+            entries=tuple((e.obj, e.distance) for e in answer.entries),
+            members=members,
+            radius=answer.entries[-1].distance if len(answer.entries) >= k else _INF,
+            expires_at=expires_at,
+            stored_at=t,
+        )
+
+    # ------------------------------------------------------------------
+    # the update-stream tap
+    # ------------------------------------------------------------------
+    def observe(self, message: "Message") -> None:
+        """Tap one applied update; drop every entry it could change."""
+        if message.is_removal:
+            self.observe_remove(message.obj, message.t)
+            return
+        self._last_seen[message.obj] = message.t
+        cell = self.grid.cell_of_edge(message.edge)
+        cell_range = range(cell, cell + 1)
+        stale = []
+        for key, entry in self._entries.items():
+            if message.obj in entry.members:
+                stale.append(key)
+                continue
+            if entry.radius == _INF:
+                stale.append(key)
+                continue
+            lb = self.bound.lower_bound_to_cells(entry.location, cell_range)
+            if lb <= entry.radius:
+                stale.append(key)
+        self._drop(stale)
+
+    def observe_remove(self, obj: int, t: float) -> None:
+        """Tap a removal; only entries holding the object can change."""
+        self._last_seen.pop(obj, None)
+        self._drop(
+            [key for key, entry in self._entries.items() if obj in entry.members]
+        )
+
+    def _drop(self, keys: list[CacheKey]) -> None:
+        for key in keys:
+            del self._entries[key]
+        self.invalidations += len(keys)
+
+    def clear(self) -> None:
+        """Drop all entries and tap state (index reset)."""
+        self._entries.clear()
+        self._last_seen.clear()

@@ -385,6 +385,11 @@ class FrontDoor:
 
     def _apply_brownout(self, active: bool) -> None:
         self._brownout_applied = active
+        planner = getattr(self.backend, "planner", None)
+        if planner is not None:
+            # the adaptive planner pins queries to the primary during an
+            # overload episode (no speculative TEN rebuilds; DESIGN.md §17)
+            planner.set_brownout(active)
         setter = getattr(self.backend, "set_brownout", None)
         if callable(setter):
             setter(active)
@@ -580,4 +585,9 @@ class FrontDoor:
                 for (a, b), n in sorted(self.shedder.transitions.items())
             },
             "slo": self.slo.report(),
+            "plan": (
+                self.backend.planner.summary()
+                if getattr(self.backend, "planner", None) is not None
+                else None
+            ),
         }

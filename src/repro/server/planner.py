@@ -20,11 +20,15 @@ planner predictions are consistent with replayed measurements (tested in
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core import costmodel
 from repro.errors import ConfigError
 from repro.server.metrics import TimingModel
 from repro.simgpu.device import CostModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.server.metrics import ReplayReport
 
 
 @dataclass(frozen=True)
@@ -67,26 +71,109 @@ class CapacityReport:
     max_queries_per_second: float
 
 
+@dataclass(frozen=True)
+class CalibratedCosts:
+    """Per-operation costs measured from one replayed workload.
+
+    :func:`calibrate` derives these from a
+    :class:`~repro.server.metrics.ReplayReport` so downstream planners
+    (the capacity planner here, the adaptive
+    :class:`~repro.plan.planner.QueryPlanner`) consume *observed*
+    constants instead of hand-copied ``TimingModel`` / ``CostModel``
+    defaults.  ``touches_per_update`` and ``query_gpu_seconds`` are
+    deterministic (op counts and simulated device time); the CPU term is
+    modelled from measured wall time and marked as such.
+    """
+
+    touches_per_update: float
+    query_gpu_seconds: float
+    #: modelled CPU seconds per query (wall-derived — informational,
+    #: replay-deterministic planners must not branch on it)
+    query_cpu_seconds: float
+    touch_cost_s: float = TimingModel.touch_cost_s
+
+    def update_seconds(self) -> float:
+        """Deterministic modelled CPU seconds per update."""
+        return self.touches_per_update * self.touch_cost_s
+
+    def query_seconds(self) -> float:
+        """Modelled seconds per query (GPU + CPU terms)."""
+        return self.query_gpu_seconds + self.query_cpu_seconds
+
+    def utilization(
+        self, updates_per_second: float, queries_per_second: float
+    ) -> float:
+        """Predicted seconds-of-work per second at the given rates."""
+        return (
+            updates_per_second * self.update_seconds()
+            + queries_per_second * self.query_seconds()
+        )
+
+
+def calibrate(
+    report: "ReplayReport", timing: TimingModel | None = None
+) -> CalibratedCosts:
+    """Measure per-operation costs from a replayed report.
+
+    The single helper both planners consume (tested against replayed
+    utilisation in ``tests/server/test_planner.py``): updates cost what
+    the index actually touched, queries cost what the simulated device
+    actually spent — no hand-copied constants.
+    """
+    timing = timing or report.timing
+    n_updates = max(1, report.n_updates)
+    n_queries = max(1, report.n_queries)
+    query_gpu_s = sum(r.gpu_s for r in report.query_records)
+    query_cpu_s = report.query_modeled_s - query_gpu_s
+    return CalibratedCosts(
+        touches_per_update=report.update_touches / n_updates,
+        query_gpu_seconds=query_gpu_s / n_queries,
+        query_cpu_seconds=max(0.0, query_cpu_s) / n_queries,
+        touch_cost_s=timing.touch_cost_s,
+    )
+
+
 class CapacityPlanner:
     """Predicts utilisation from the closed-form cost model."""
 
-    #: cached updates per ingested message (G-Grid touches 2-3 entries)
+    #: cached updates per ingested message (G-Grid touches 2-3 entries);
+    #: the analytic default — :meth:`calibrated` replaces it with the
+    #: replay-measured ratio
     TOUCHES_PER_UPDATE = 3
 
     def __init__(
         self,
         timing: TimingModel | None = None,
         gpu: CostModel | None = None,
+        touches_per_update: float | None = None,
     ) -> None:
         self.timing = timing or TimingModel()
         self.gpu = gpu or CostModel()
+        self.touches_per_update = (
+            self.TOUCHES_PER_UPDATE
+            if touches_per_update is None
+            else touches_per_update
+        )
+
+    @classmethod
+    def calibrated(
+        cls,
+        report: "ReplayReport",
+        timing: TimingModel | None = None,
+        gpu: CostModel | None = None,
+    ) -> "CapacityPlanner":
+        """A planner whose update cost comes from a replayed report."""
+        costs = calibrate(report, timing=timing)
+        return cls(
+            timing=timing, gpu=gpu, touches_per_update=costs.touches_per_update
+        )
 
     # ------------------------------------------------------------------
     # component estimates (per event)
     # ------------------------------------------------------------------
     def update_seconds(self, spec: WorkloadSpec) -> float:
         """CPU time to cache one update (lazy: a few touches)."""
-        return self.timing.update_seconds(self.TOUCHES_PER_UPDATE)
+        return self.touches_per_update * self.timing.touch_cost_s
 
     def query_gpu_seconds(self, spec: WorkloadSpec) -> float:
         """Simulated GPU time for one query: transfers + cleaning +

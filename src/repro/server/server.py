@@ -171,6 +171,7 @@ class QueryServer:
         batch: BatchPolicy | None = None,
         durability: "object | None" = None,
         publish_slo: bool = True,
+        planner: "object | None" = None,
     ) -> None:
         """Args:
             index: any :class:`KnnIndex` implementation.
@@ -196,6 +197,13 @@ class QueryServer:
                 servers — a shard probe is a fragment of a logical
                 query, and only the front door may score it (otherwise
                 every scatter would be double-counted).
+            planner: optional adaptive
+                :class:`~repro.plan.planner.QueryPlanner` (DESIGN.md
+                §17): every applied update is tapped into it (feeding
+                its TEN foil and invalidating its result cache) and
+                every query is routed through its cache + cost-model
+                decision instead of straight to ``index``.  Answers
+                stay exact regardless of the chosen backend.
         """
         self.index = index
         self.timing = timing or TimingModel()
@@ -211,6 +219,11 @@ class QueryServer:
         #: attached standing-query layer (repro.subscribe); every applied
         #: update/removal is tapped into it as the delta stream
         self.subscriptions = None
+        #: attached adaptive planner (repro.plan); taps the same delta
+        #: stream and owns the query routing when present
+        self.planner = planner
+        if planner is not None:
+            planner.attach(index)
         breaker = getattr(index, "breaker", None)
         if self._inst is not None and breaker is not None:
             transitions = self._inst.breaker_transitions
@@ -294,10 +307,15 @@ class QueryServer:
         wall = time.perf_counter() - t0
         if self.subscriptions is not None:
             self.subscriptions.observe(message)
+        planner_touches = 0
+        if self.planner is not None:
+            # the planner taps the same delta stream; its TEN foil's
+            # maintenance work is real and charged to the update budget
+            planner_touches = self.planner.observe(message)
         report.update_wall_s += wall
         report.update_touches += (
             getattr(self.index, "update_touches", 0) - touches_before
-        )
+        ) + planner_touches
         backpressured = (
             getattr(self.index, "backpressure_cleanings", 0) - bp_before
         )
@@ -350,6 +368,8 @@ class QueryServer:
         remove(obj, t)
         if self.subscriptions is not None:
             self.subscriptions.observe_remove(obj, t)
+        if self.planner is not None:
+            self.planner.observe_remove(obj, t)
         if self.durability is not None:
             self.durability.maybe_snapshot(self.index)
 
@@ -380,8 +400,24 @@ class QueryServer:
         component (the cluster router's per-shard probe span): the
         query span joins that trace instead of starting its own, so a
         scatter-gathered query renders as one tree.
+
+        With an attached planner the query first consults the result
+        cache, then executes on whichever backend the planner chooses;
+        without one it goes straight to the primary index.
         """
-        gpu = self._gpu
+        if self.planner is not None:
+            return self._planned_query(q, report, trace_parent)
+        return self._knn_direct(self.index, q, report, trace_parent)
+
+    def _knn_direct(
+        self,
+        index: KnnIndex,
+        q: Query,
+        report: ReplayReport,
+        trace_parent: str | None = None,
+    ) -> KnnAnswer:
+        """Execute one query on a specific backend with full accounting."""
+        gpu = getattr(index, "gpu", None)
         before = gpu.stats.snapshot() if gpu else None
         tracer = self.obs.tracer if self.obs is not None else None
         trace_id: str | None = None
@@ -390,12 +426,12 @@ class QueryServer:
             with tracer.activate(), tracer.span(
                 "query", {"k": q.k, "t": q.t}, parent=trace_parent
             ) as sp:
-                answer = self.index.knn(q.location, q.k, t_now=q.t)
+                answer = index.knn(q.location, q.k, t_now=q.t)
                 sp.set_attr("cells_cleaned", answer.cells_cleaned)
                 sp.set_attr("candidates", answer.candidates)
             trace_id = sp.trace_id_hex
         else:
-            answer = self.index.knn(q.location, q.k, t_now=q.t)
+            answer = index.knn(q.location, q.k, t_now=q.t)
         wall = time.perf_counter() - t0
         gpu_s = 0.0
         transfer = 0
@@ -406,6 +442,49 @@ class QueryServer:
         self._record_answer(
             answer, wall, gpu_s, transfer, report, t=q.t, trace_id=trace_id
         )
+        return answer
+
+    def _planned_query(
+        self, q: Query, report: ReplayReport, trace_parent: str | None = None
+    ) -> KnnAnswer:
+        """Cache lookup → plan → execute → verify (DESIGN.md §17)."""
+        hit = self.planner.cached_answer(q)
+        if hit is not None:
+            # byte-identical entries, zero modelled cost: no kernels, no
+            # cleaning, no refinement ran on anyone's behalf
+            self._record_answer(hit, 0.0, 0.0, 0, report, t=q.t)
+            return hit
+        plan = self.planner.plan_query(q)
+        return self._execute_plan(q, plan, report, trace_parent)
+
+    def _execute_plan(
+        self,
+        q: Query,
+        plan: "object",
+        report: ReplayReport,
+        trace_parent: str | None = None,
+    ) -> KnnAnswer:
+        backend = self.planner.resolve(plan)
+        probe = self.planner.probe(plan)
+        tracer = self.obs.tracer if self.obs is not None else None
+        if tracer is not None:
+            with tracer.activate(), tracer.span(
+                "plan",
+                {
+                    "backend": plan.backend,
+                    "rung": plan.rung,
+                    "predicted_s": plan.predicted_cost,
+                },
+                parent=trace_parent,
+            ) as sp:
+                sp.set_attr("reason", plan.reason)
+                answer = self._knn_direct(
+                    backend, q, report, trace_parent=sp.context.encode()
+                )
+        else:
+            answer = self._knn_direct(backend, q, report, trace_parent=None)
+        self.planner.observe_result(plan, answer, probe)
+        self.planner.cache_store(q, answer)
         return answer
 
     def query_batch(
@@ -434,6 +513,8 @@ class QueryServer:
         if inst is not None:
             inst.batches.inc()
             inst.batch_size.observe(n)
+        if self.planner is not None:
+            return self._planned_batch(queries, report, trace_parent)
         index_batch = getattr(self.index, "knn_batch", None)
         if n == 1 or index_batch is None:
             return [self.query(q, report, trace_parent) for q in queries]
@@ -482,6 +563,32 @@ class QueryServer:
                 trace_id=trace_id,
             )
         return answers
+
+    def _planned_batch(
+        self,
+        queries: list[Query],
+        report: ReplayReport,
+        trace_parent: str | None = None,
+    ) -> list[KnnAnswer]:
+        """One plan decision per epoch: cache hits are served first,
+        then the planner routes the remaining misses as a group (epoch
+        fusion on the primary's batch engine is forfeited — the chosen
+        backend executes the misses sequentially, which the batch
+        docstring already guarantees is answer-identical)."""
+        slots: list[KnnAnswer | None] = [None] * len(queries)
+        misses: list[int] = []
+        for i, q in enumerate(queries):
+            hit = self.planner.cached_answer(q)
+            if hit is not None:
+                self._record_answer(hit, 0.0, 0.0, 0, report, t=q.t)
+                slots[i] = hit
+            else:
+                misses.append(i)
+        if misses:
+            plan = self.planner.plan_epoch([queries[i] for i in misses])
+            for i in misses:
+                slots[i] = self._execute_plan(queries[i], plan, report, trace_parent)
+        return slots
 
     def _record_answer(
         self,

@@ -129,6 +129,7 @@ class TestScenarios:
             "serve",
             "subscriptions",
             "scale",
+            "planner",
         )
 
     def test_scale_scenario_is_deterministic(self):

@@ -1,0 +1,1 @@
+"""Adaptive planner suite: backends, TEN, cache, planner, conformance."""

@@ -1,0 +1,142 @@
+"""Every pluggable backend honours the one IndexBackend contract.
+
+One randomized oracle fixture — co-located ties, ``k`` exceeding the
+object count, an object-free scene — runs through every name
+:func:`repro.plan.make_backend` knows.  Index-vs-oracle comparisons use
+the repository's conformance convention (round to 9 decimals, compare
+tie groups as id sets); the shared :func:`validate_knn_args` prologue is
+checked to raise identically everywhere.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import GGridConfig
+from repro.core.messages import Message
+from repro.errors import GraphError, PlanError, QueryError
+from repro.plan import (
+    IndexBackend,
+    make_backend,
+    supports_batch,
+    supports_removal,
+    validate_knn_args,
+)
+from repro.plan.backends import BACKEND_NAMES
+from repro.roadnet.generators import grid_road_network
+from repro.roadnet.location import NetworkLocation
+
+from tests.conformance.oracle import oracle_knn
+from tests.conformance.test_oracle_conformance import (
+    assert_matches_oracle,
+    entries_of,
+)
+from tests.conftest import random_location
+
+pytestmark = pytest.mark.plan
+
+CONFIG = GGridConfig(eta=3, delta_b=8)
+
+
+def build(name, graph, placements, t=1.0):
+    backend = make_backend(name, graph, config=CONFIG)
+    for obj, loc in placements.items():
+        backend.ingest(Message(obj, loc.edge_id, loc.offset, t))
+    return backend
+
+
+@pytest.fixture(scope="module")
+def scene():
+    """A randomized scene with deliberate co-located ties."""
+    rng = random.Random(13)
+    graph = grid_road_network(6, 6, seed=12)
+    placements = {obj: random_location(graph, rng) for obj in range(24)}
+    spot = NetworkLocation(3, 0.5 * graph.edge(3).weight)
+    for obj in (31, 27, 29):  # shuffled ids sharing one location
+        placements[obj] = spot
+    queries = [(random_location(graph, rng), k) for k in (1, 4, 9, 16)]
+    queries.append((NetworkLocation(0, 0.0), 5))  # offset-0 source case
+    return graph, placements, queries
+
+
+@pytest.mark.parametrize("name", BACKEND_NAMES)
+def test_backend_satisfies_protocol(name, scene):
+    graph, _, _ = scene
+    backend = make_backend(name, graph, config=CONFIG)
+    assert isinstance(backend, IndexBackend)
+    assert isinstance(backend.name, str) and backend.name
+
+
+@pytest.mark.parametrize("name", BACKEND_NAMES)
+def test_backend_matches_oracle(name, scene):
+    graph, placements, queries = scene
+    backend = build(name, graph, placements)
+    for loc, k in queries:
+        got = entries_of(backend.knn(loc, k))
+        assert_matches_oracle(got, oracle_knn(graph, placements, loc, k))
+        # canonical order: ascending (distance, id), no padding
+        assert got == sorted(got, key=lambda e: (e[1], e[0]))
+
+
+@pytest.mark.parametrize("name", BACKEND_NAMES)
+def test_k_exceeds_object_count(name, scene):
+    graph, _, _ = scene
+    rng = random.Random(5)
+    placements = {obj: random_location(graph, rng) for obj in range(3)}
+    backend = build(name, graph, placements)
+    query = random_location(graph, rng)
+    got = entries_of(backend.knn(query, 10))
+    assert_matches_oracle(got, oracle_knn(graph, placements, query, 10))
+    assert len(got) == 3
+
+
+@pytest.mark.parametrize("name", BACKEND_NAMES)
+def test_empty_scene_returns_empty(name, scene):
+    graph, _, _ = scene
+    backend = make_backend(name, graph, config=CONFIG)
+    answer = backend.knn(random_location(graph, random.Random(8)), 4)
+    assert answer.entries == []
+
+
+@pytest.mark.parametrize("name", BACKEND_NAMES)
+def test_shared_prologue_rejects_bad_args(name, scene):
+    graph, placements, _ = scene
+    backend = build(name, graph, placements)
+    loc = NetworkLocation(0, 0.0)
+    for bad_k in (0, -3):
+        with pytest.raises(QueryError):
+            backend.knn(loc, bad_k)
+    with pytest.raises(GraphError):
+        backend.knn(NetworkLocation(graph.num_edges + 7, 0.0), 2)
+    with pytest.raises(GraphError):
+        backend.knn(NetworkLocation(0, graph.edge(0).weight * 2.0), 2)
+
+
+def test_validate_knn_args_direct(scene):
+    graph, _, _ = scene
+    validate_knn_args(graph, NetworkLocation(0, 0.0), 1)  # no raise
+    with pytest.raises(QueryError):
+        validate_knn_args(graph, NetworkLocation(0, 0.0), 0)
+
+
+def test_capability_detection(scene):
+    graph, _, _ = scene
+    ggrid = make_backend("ggrid", graph, config=CONFIG)
+    ten = make_backend("ten", graph, config=CONFIG)
+    assert supports_batch(ggrid) and supports_removal(ggrid)
+    assert not supports_batch(ten) and supports_removal(ten)
+    assert not supports_removal(make_backend("naive", graph))
+
+
+def test_unknown_backend_name(scene):
+    graph, _, _ = scene
+    with pytest.raises(PlanError, match="unknown backend"):
+        make_backend("btree", graph)
+
+
+def test_ten_borrows_ggrid_expiry(scene):
+    graph, _, _ = scene
+    config = GGridConfig(eta=3, delta_b=8, t_delta=7.5)
+    assert make_backend("ten", graph, config=config).t_delta == 7.5

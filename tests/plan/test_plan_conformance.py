@@ -1,0 +1,127 @@
+"""Planner-routed answers are byte-identical to an always-G-Grid server.
+
+The planner's acceptance bar: whatever it routes — primary, TEN, or a
+cache hit — the client sees exactly what a fixed G-Grid server would
+have returned.  Comparisons use the repository's conformance convention
+(round to 9 decimals, tie groups as id sets): TEN re-derives distances
+with a forward Dijkstra, and on rare equal-length alternative paths the
+float fold can land one ulp from G-Grid's refine (same convention the
+oracle and cluster suites use, see ``tests/conformance``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ShardRouter
+from repro.config import GGridConfig
+from repro.core import GGridIndex
+from repro.mobility.workload import Query, make_workload, random_locations
+from repro.plan import QueryPlanner
+from repro.roadnet.generators import grid_road_network
+from repro.server.server import QueryServer
+
+from tests.conformance.test_oracle_conformance import (
+    assert_matches_oracle,
+    entries_of,
+)
+
+pytestmark = [pytest.mark.plan, pytest.mark.conformance]
+
+CONFIG = GGridConfig(eta=3, delta_b=8)
+
+
+def pooled(workload, graph, pool_size=6):
+    pool = random_locations(graph, pool_size, seed=23)
+    workload.queries = [
+        Query(t=q.t, location=pool[i % pool_size], k=q.k)
+        for i, q in enumerate(workload.queries)
+    ]
+    return workload
+
+
+def mixes(graph):
+    """Update-heavy, balanced and query-dominant over the same graph."""
+    shapes = [
+        (40, 1.0, 20, 4),  # update-heavy: TEN stays parked
+        (40, 0.1, 60, 4),  # balanced
+        (30, 0.004, 120, 4),  # query-dominant: TEN routes + cache serves
+    ]
+    for seed, (objects, freq, queries, k) in enumerate(shapes):
+        yield pooled(
+            make_workload(
+                graph,
+                num_objects=objects,
+                duration=30.0,
+                num_queries=queries,
+                k=k,
+                update_frequency=freq,
+                seed=seed + 60,
+            ),
+            graph,
+        )
+
+
+@pytest.mark.parametrize("mix", range(3))
+def test_planner_matches_fixed_ggrid(mix):
+    graph = grid_road_network(8, 8, seed=41)
+    workload = list(mixes(graph))[mix]
+
+    _, want = QueryServer(GGridIndex(graph, CONFIG)).replay(
+        workload, collect_answers=True
+    )
+    planner = QueryPlanner(k_max=16)
+    _, got = QueryServer(GGridIndex(graph, CONFIG), planner=planner).replay(
+        workload, collect_answers=True
+    )
+    assert len(got) == len(want)
+    for a, b in zip(got, want):
+        assert_matches_oracle(entries_of(a), entries_of(b))
+    total = planner.summary()
+    routed = total["decisions_ggrid"] + total["decisions_ten"]
+    assert routed + total.get("cache_hits", 0) == len(workload.queries)
+
+
+def test_query_dominant_mix_actually_exercises_ten_and_cache():
+    """Guard the conformance test's coverage: the third mix must route
+    TEN and serve cache hits, or the byte-identity claim is vacuous."""
+    graph = grid_road_network(8, 8, seed=41)
+    workload = list(mixes(graph))[2]
+    planner = QueryPlanner(k_max=16)
+    QueryServer(GGridIndex(graph, CONFIG), planner=planner).replay(workload)
+    summary = planner.summary()
+    assert summary["decisions_ten"] > 0
+    assert summary["cache_hits"] > 0
+
+
+def test_sharded_planner_matches_sharded_plain():
+    """A per-shard planner must not disturb the router's pruning
+    contract: sharded-with-planner == sharded-without, byte for byte at
+    the conformance convention."""
+    graph = grid_road_network(8, 8, seed=43)
+    workload = pooled(
+        make_workload(
+            graph,
+            num_objects=40,
+            duration=30.0,
+            num_queries=60,
+            k=4,
+            update_frequency=0.01,
+            seed=71,
+        ),
+        graph,
+    )
+    with ShardRouter(graph, CONFIG, num_shards=3) as plain:
+        _, want = plain.replay(workload, collect_answers=True)
+    with ShardRouter(
+        graph,
+        CONFIG,
+        num_shards=3,
+        planner_factory=lambda: QueryPlanner(k_max=16),
+    ) as routed:
+        _, got = routed.replay(workload, collect_answers=True)
+        planners = [shard.server.planner for shard in routed.shards.values()]
+    assert len(got) == len(want)
+    for a, b in zip(got, want):
+        assert_matches_oracle(entries_of(a), entries_of(b))
+    assert all(p is not None for p in planners)

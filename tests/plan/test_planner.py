@@ -1,0 +1,231 @@
+"""The adaptive QueryPlanner: lifecycle, determinism, explainability.
+
+Everything the planner consumes is deterministic over the modelled
+clock, so the replay-twice test demands *identical* decisions and
+counters — not statistically similar ones.  The lifecycle tests walk the
+parked → unparked → parked ladder through public behaviour (seeded
+costs, observed traffic), and the metrics test checks the
+``repro_plan_*`` families the server publishes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import GGridConfig
+from repro.core.ggrid import GGridIndex
+from repro.errors import PlanError
+from repro.mobility.workload import Query, make_workload, random_locations
+from repro.obs import Observability
+from repro.plan import QueryPlanner
+from repro.plan.planner import _DecayCounter
+from repro.roadnet.generators import grid_road_network
+from repro.server.planner import CalibratedCosts
+from repro.server.server import QueryServer
+
+pytestmark = pytest.mark.plan
+
+CONFIG = GGridConfig(eta=3, delta_b=8)
+
+#: a seed claiming G-Grid queries are ruinously expensive — forces the
+#: planner to unpark TEN on its very first decision
+EXPENSIVE_GG = CalibratedCosts(
+    touches_per_update=3.0, query_gpu_seconds=1.0, query_cpu_seconds=1.0
+)
+#: and one claiming they are free — TEN can never win, stays parked
+FREE_GG = CalibratedCosts(
+    touches_per_update=3.0, query_gpu_seconds=0.0, query_cpu_seconds=0.0
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return grid_road_network(6, 6, seed=31)
+
+
+def attached(graph, **kwargs):
+    planner = QueryPlanner(**kwargs)
+    index = GGridIndex(graph, CONFIG)
+    planner.attach(index)
+    return planner, index
+
+
+def pooled_workload(graph, **kwargs):
+    workload = make_workload(graph, **kwargs)
+    pool = random_locations(graph, 6, seed=23)
+    workload.queries = [
+        Query(t=q.t, location=pool[i % 6], k=q.k)
+        for i, q in enumerate(workload.queries)
+    ]
+    return workload
+
+
+def test_constructor_and_attach_guards(graph):
+    with pytest.raises(PlanError):
+        QueryPlanner(k_max=0)
+    planner = QueryPlanner()
+    with pytest.raises(PlanError, match="graph/grid/config"):
+        planner.attach(object())
+    planner, index = attached(graph)
+    planner.attach(index)  # re-attaching the same index is a no-op
+    with pytest.raises(PlanError, match="already attached"):
+        planner.attach(GGridIndex(graph, CONFIG))
+
+
+def _loc(graph):
+    return random_locations(graph, 1, seed=1)[0]
+
+
+def test_starts_parked_with_zero_update_overhead(graph):
+    from repro.core.messages import Message
+
+    planner, _ = attached(graph)
+    assert planner.summary()["parked"] == 1.0
+    touches = planner.observe(Message(1, 0, 0.0, 1.0))
+    assert touches == 0  # the parked TEN tap charges nothing
+    assert planner.ten.messages_ingested == 0
+    plan = planner.plan_query(Query(t=2.0, location=_loc(graph), k=4))
+    assert plan.backend == "ggrid"
+    assert "ten parked" in plan.reason
+
+
+def test_unpark_resyncs_from_primary_table(graph):
+    planner, index = attached(graph, seed_costs=EXPENSIVE_GG)
+    from repro.core.messages import Message
+
+    for obj in range(8):
+        message = Message(obj, obj % graph.num_edges, 0.0, 1.0)
+        index.ingest(message)
+        planner.observe(message)
+    assert planner.ten.num_objects == 0  # parked: tap dormant
+    plan = planner.plan_query(Query(t=2.0, location=_loc(graph), k=4))
+    assert plan.backend == "ten"
+    assert "unparked" in plan.reason
+    assert planner.unparks == 1
+    assert planner.summary()["parked"] == 0.0
+    assert planner.ten.num_objects == 8  # revived from the object table
+
+
+def test_reparks_after_sustained_primary_preference(graph):
+    planner, _ = attached(graph, seed_costs=EXPENSIVE_GG, park_after=3)
+    planner.plan_query(Query(t=2.0, location=_loc(graph), k=4))  # unparks
+    # measurements now say TEN lookups are ruinous: primary wins every time
+    planner._cost_ten_lookup = 10.0
+    for i in range(3):
+        plan = planner.plan_query(Query(t=2.5 + i, location=_loc(graph), k=4))
+        assert plan.backend == "ggrid"
+        assert "ggrid is cheaper" in plan.reason
+    assert planner.parks == 1
+    assert planner.summary()["parked"] == 1.0
+
+
+def test_k_beyond_k_max_routes_primary(graph):
+    planner, _ = attached(graph, seed_costs=EXPENSIVE_GG, k_max=4)
+    plan = planner.plan_query(Query(t=2.0, location=_loc(graph), k=9))
+    assert plan.backend == "ggrid"
+    assert "exceeds TEN k_max" in plan.reason
+
+
+def test_brownout_forces_primary(graph):
+    planner, _ = attached(graph, seed_costs=EXPENSIVE_GG)
+    planner.set_brownout(True)
+    plan = planner.plan_query(Query(t=2.0, location=_loc(graph), k=4))
+    assert plan.backend == "ggrid"
+    assert "brownout" in plan.reason
+    planner.set_brownout(False)
+    assert planner.plan_query(Query(t=3.0, location=_loc(graph), k=4)).backend == "ten"
+
+
+def test_plans_are_explainable(graph):
+    planner, _ = attached(graph, seed_costs=FREE_GG)
+    plan = planner.plan_query(Query(t=2.0, location=_loc(graph), k=4))
+    assert plan.rung == "gpu"
+    assert plan.predicted_cost == pytest.approx(0.0)
+    # every reason carries the rates and costs it was decided on
+    assert "u=" in plan.reason and "ggrid=" in plan.reason
+    assert planner.last_plan is plan
+
+
+def test_epoch_plan_uses_worst_k(graph):
+    planner, _ = attached(graph, seed_costs=EXPENSIVE_GG, k_max=6)
+    queries = [
+        Query(t=2.0, location=_loc(graph), k=2),
+        Query(t=2.1, location=_loc(graph), k=9),
+    ]
+    assert planner.plan_epoch(queries).backend == "ggrid"  # k=9 > k_max
+    assert planner.plan_epoch(queries[:1]).backend == "ten"
+
+
+def test_decay_counter_rates():
+    counter = _DecayCounter(tau=10.0)
+    assert counter.rate(5.0) == 0.0
+    for t in (0.0, 1.0, 2.0):
+        counter.bump(t)
+    burst = counter.rate(2.0)
+    assert burst > 0
+    assert counter.rate(40.0) < burst / 10  # decayed away
+    counter.bump(1.0)  # out-of-order timestamps never go negative
+    assert counter.rate(2.0) > 0
+
+
+def test_replay_twice_plans_identically(graph):
+    workload = pooled_workload(
+        graph,
+        num_objects=40,
+        duration=20.0,
+        num_queries=60,
+        k=4,
+        update_frequency=0.05,
+        seed=9,
+    )
+
+    def run():
+        planner = QueryPlanner(k_max=16)
+        server = QueryServer(GGridIndex(graph, CONFIG), planner=planner)
+        _, answers = server.replay(workload, collect_answers=True)
+        return planner.summary(), [
+            [(e.obj, e.distance) for e in a.entries] for a in answers
+        ]
+
+    summary_a, answers_a = run()
+    summary_b, answers_b = run()
+    assert summary_a == summary_b
+    assert answers_a == answers_b
+    assert summary_a["decisions_ggrid"] + summary_a["decisions_ten"] > 0
+
+
+def test_server_serves_cache_hits(graph):
+    workload = pooled_workload(
+        graph,
+        num_objects=30,
+        duration=20.0,
+        num_queries=80,
+        k=4,
+        update_frequency=0.01,
+        seed=9,
+    )
+    planner = QueryPlanner(k_max=16)
+    server = QueryServer(GGridIndex(graph, CONFIG), planner=planner)
+    server.replay(workload)
+    summary = planner.summary()
+    assert summary["cache_hits"] > 0
+    decisions = summary["decisions_ggrid"] + summary["decisions_ten"]
+    # hits short-circuit planning: decisions only cover the misses
+    assert decisions + summary["cache_hits"] == 80
+
+
+def test_metric_families_publish(graph):
+    obs = Observability()
+    planner, index = attached(graph, obs=obs, seed_costs=FREE_GG)
+    planner.plan_query(Query(t=2.0, location=_loc(graph), k=4))
+    metrics = obs.registry.snapshot()["metrics"]
+    decisions = metrics["repro_plan_decisions_total"]["values"]
+    assert {"labels": {"backend": "ggrid"}, "value": 1} in decisions
+    assert metrics["repro_plan_ten_parked"]["values"][0]["value"] == 1
+    for name in (
+        "repro_plan_cache_hits_total",
+        "repro_plan_cache_misses_total",
+        "repro_plan_cache_invalidations_total",
+        "repro_plan_recalibrations_total",
+    ):
+        assert name in metrics

@@ -1,9 +1,14 @@
-"""Tests for the capacity planner."""
+"""Tests for the capacity planner and the shared calibrate() helper."""
 
 import pytest
 
+from repro.config import GGridConfig
+from repro.core.ggrid import GGridIndex
 from repro.errors import ConfigError
-from repro.server.planner import CapacityPlanner, WorkloadSpec
+from repro.mobility.workload import make_workload
+from repro.roadnet.generators import grid_road_network
+from repro.server.planner import CapacityPlanner, WorkloadSpec, calibrate
+from repro.server.server import QueryServer
 
 
 def _spec(**kw) -> WorkloadSpec:
@@ -96,3 +101,49 @@ def test_bigger_k_costs_more():
     big = planner.plan(_spec(k=128))
     assert big.query_gpu_s_per_s > small.query_gpu_s_per_s
     assert big.transfer_bytes_per_s > small.transfer_bytes_per_s
+
+
+# ----------------------------------------------------------------------
+# calibrate(): the one measured-cost helper both planners consume
+# ----------------------------------------------------------------------
+def _replayed_report(duration=20.0):
+    graph = grid_road_network(8, 8, seed=17)
+    workload = make_workload(
+        graph,
+        num_objects=40,
+        duration=duration,
+        num_queries=30,
+        k=4,
+        update_frequency=0.2,
+        seed=33,
+    )
+    server = QueryServer(GGridIndex(graph, GGridConfig(eta=3, delta_b=8)))
+    report, _ = server.replay(workload)
+    return report, duration
+
+
+def test_calibrated_costs_reproduce_replayed_utilization():
+    """The regression pin: predicted work-per-second from the calibrated
+    per-op costs must reproduce the replayed modelled totals.  On a
+    fault-free replay the identity is exact up to float dust — per-op
+    costs are the totals divided by the event counts — so any drift
+    means ``calibrate`` and the replay accounting disagree about what an
+    update or a query costs."""
+    report, duration = _replayed_report()
+    costs = calibrate(report)
+
+    predicted = costs.utilization(
+        report.n_updates / duration, report.n_queries / duration
+    )
+    replayed = (report.update_modeled_s + report.query_modeled_s) / duration
+    assert predicted == pytest.approx(replayed, rel=1e-9)
+    assert costs.touches_per_update > 0
+    assert costs.query_seconds() > 0
+
+
+def test_calibrated_capacity_planner_uses_measured_touches():
+    report, _ = _replayed_report()
+    planner = CapacityPlanner.calibrated(report)
+    measured = report.update_touches / report.n_updates
+    assert planner.touches_per_update == pytest.approx(measured)
+    assert planner.touches_per_update != CapacityPlanner.TOUCHES_PER_UPDATE
